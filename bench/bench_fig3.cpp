@@ -1,0 +1,122 @@
+// Reproduces Fig. 3: simulation time per epoch and memory consumption of
+// (i) the proposed hybrid training at T=2 and T=3 versus (ii) the baseline
+// direct-encoded hybrid training at T=5 [7], for VGG-16 on the CIFAR-10 and
+// CIFAR-100 analogues. An iso-architecture DNN epoch is included for
+// reference.
+//
+// Expected shape: training/inference time and training memory scale roughly
+// linearly with T, so T=2 cuts both by ~2.4x vs T=5 (paper: 2.38x / 2.33x
+// time, 1.44x training memory), while inference memory is nearly identical
+// (dominated by weights + membrane state, not the BPTT activation cache).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/energy/memory_model.h"
+#include "src/snn/sgl_trainer.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+using namespace ullsnn;
+
+namespace {
+
+struct TimedRun {
+  double train_epoch_s = 0.0;
+  double inference_s = 0.0;
+  energy::MemoryEstimate train_mem;
+  energy::MemoryEstimate infer_mem;
+};
+
+TimedRun time_snn(dnn::Sequential& model, const core::ActivationProfile& profile,
+                  std::int64_t t, core::ConversionMode mode,
+                  const bench::BenchData& data, const bench::BenchSetup& setup) {
+  core::ConversionConfig cc;
+  cc.mode = mode;
+  cc.time_steps = t;
+  auto snn = core::convert(model, profile, cc, nullptr);
+
+  TimedRun run;
+  snn::SglConfig sc;
+  sc.epochs = 1;
+  sc.batch_size = setup.batch_size;
+  sc.augment = false;
+  snn::SglTrainer sgl(*snn, sc);
+  Timer timer;
+  sgl.train_epoch(data.train, 0);
+  run.train_epoch_s = timer.seconds();
+
+  timer.reset();
+  snn::evaluate_snn(*snn, data.test, setup.batch_size);
+  run.inference_s = timer.seconds();
+
+  const Shape input_shape = {1, 3, data.spec.image_size, data.spec.image_size};
+  run.train_mem =
+      energy::estimate_snn_training_memory(*snn, input_shape, setup.batch_size, t);
+  run.infer_mem =
+      energy::estimate_snn_inference_memory(*snn, input_shape, setup.batch_size);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::read_scale();
+  const bench::BenchSetup setup = bench::setup_for(scale);
+  std::printf("== Fig. 3 reproduction (scale: %s) ==\n", bench::scale_name(scale));
+
+  Table table({"Dataset", "Model / T", "train s/epoch", "infer s", "train mem MiB",
+               "infer mem MiB"});
+  for (const std::int64_t classes : {std::int64_t{10}, std::int64_t{100}}) {
+    const bench::BenchData data = bench::make_data(classes, setup);
+    auto model = bench::trained_dnn(core::Architecture::kVgg16, classes, setup, data);
+    const core::ActivationProfile profile =
+        core::collect_activations(*model, data.train);
+    const std::string ds = "CIFAR-" + std::to_string(classes);
+
+    // DNN reference epoch.
+    {
+      dnn::TrainConfig tc;
+      tc.epochs = 1;
+      tc.batch_size = setup.batch_size;
+      tc.augment = false;
+      dnn::DnnTrainer trainer(*model, tc);
+      Timer timer;
+      trainer.train_epoch(data.train, 0);
+      const double train_s = timer.seconds();
+      timer.reset();
+      dnn::evaluate_model(*model, data.test, setup.batch_size);
+      const double infer_s = timer.seconds();
+      const Shape in = {1, 3, data.spec.image_size, data.spec.image_size};
+      const auto tm = energy::estimate_dnn_training_memory(*model, in, setup.batch_size);
+      const auto im = energy::estimate_dnn_inference_memory(*model, in, setup.batch_size);
+      table.add_row({ds, "DNN (reference)", Table::fmt(train_s), Table::fmt(infer_s),
+                     Table::fmt(tm.total_mib()), Table::fmt(im.total_mib())});
+    }
+
+    TimedRun t2;
+    TimedRun t5;
+    for (const std::int64_t t : {2, 3, 5}) {
+      const core::ConversionMode mode = t == 5 ? core::ConversionMode::kThresholdReLU
+                                               : core::ConversionMode::kOursAlphaBeta;
+      const TimedRun run = time_snn(*model, profile, t, mode, data, setup);
+      if (t == 2) t2 = run;
+      if (t == 5) t5 = run;
+      const std::string label =
+          t == 5 ? "hybrid [7], T=5" : "ours, T=" + std::to_string(t);
+      table.add_row({ds, label, Table::fmt(run.train_epoch_s),
+                     Table::fmt(run.inference_s), Table::fmt(run.train_mem.total_mib()),
+                     Table::fmt(run.infer_mem.total_mib())});
+      std::printf("[fig3] %s %s: train %.2fs/epoch, infer %.2fs\n", ds.c_str(),
+                  label.c_str(), run.train_epoch_s, run.inference_s);
+      std::fflush(stdout);
+    }
+    std::printf("[fig3] %s ratios T=5/T=2: train %.2fx, infer %.2fx, "
+                "train-mem %.2fx (paper: 2.38x, 2.33x, 1.44x)\n",
+                ds.c_str(), t5.train_epoch_s / t2.train_epoch_s,
+                t5.inference_s / t2.inference_s,
+                t5.train_mem.total_mib() / t2.train_mem.total_mib());
+  }
+  table.print("Fig. 3: simulation time and memory, VGG-16");
+  table.write_csv("fig3.csv");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Kernel microbenchmarks: GEMM, im2col convolution, IF-neuron stepping.
+// Supporting evidence for the simulation-time analysis (Fig. 3); not a paper
+// table by itself.
+#include <benchmark/benchmark.h>
+
+#include "src/snn/event_driven.h"
+#include "src/snn/neuron.h"
+#include "src/snn/snn_network.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/random.h"
+
+namespace {
+
+using namespace ullsnn;
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n});
+  Tensor b({n, n});
+  Tensor c({n, n});
+  uniform_fill(a, -1.0F, 1.0F, rng);
+  uniform_fill(b, -1.0F, 1.0F, rng);
+  for (auto _ : state) {
+    matmul(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  Rng rng(2);
+  Conv2dSpec spec;
+  spec.in_channels = channels;
+  spec.out_channels = channels;
+  Tensor input({1, channels, 32, 32});
+  Tensor weight({channels, channels, 3, 3});
+  Tensor output({1, channels, 32, 32});
+  uniform_fill(input, -1.0F, 1.0F, rng);
+  uniform_fill(weight, -0.1F, 0.1F, rng);
+  std::vector<float> scratch;
+  for (auto _ : state) {
+    conv2d_forward(input, weight, Tensor(), output, spec, scratch);
+    benchmark::DoNotOptimize(output.data());
+  }
+  state.SetItemsProcessed(state.iterations() * output.numel());
+}
+BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_IfNeuronStep(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(3);
+  snn::IfConfig config;
+  snn::IfNeuron neuron(config);
+  Tensor current({1, n});
+  uniform_fill(current, -0.5F, 1.5F, rng);
+  neuron.begin_sequence({1, n}, 1, /*train=*/false);
+  for (auto _ : state) {
+    Tensor spikes = neuron.step_forward(current, 0, /*train=*/false);
+    benchmark::DoNotOptimize(spikes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IfNeuronStep)->Arg(1 << 12)->Arg(1 << 16);
+
+// Dense time-stepped vs event-driven inference at controlled input activity.
+// The event engine's runtime should drop with activity while the dense
+// engine's stays flat — the software analogue of the Sec. VI sparsity
+// argument. Arg: active pixels per mille (1000 = fully dense).
+std::unique_ptr<snn::SnnNetwork> sparse_bench_net() {
+  auto net = std::make_unique<snn::SnnNetwork>(2);
+  Rng rng(7);
+  Tensor w({16, 16, 3, 3});
+  kaiming_normal(w, 16 * 9, rng);
+  snn::IfConfig neuron;
+  neuron.v_threshold = 1.0F;
+  net->emplace<snn::SpikingConv2d>(std::move(w), Conv2dSpec{16, 16, 3, 1, 1}, neuron);
+  net->emplace<snn::SpikingFlatten>();
+  Tensor wr({10, 16 * 16 * 16});
+  kaiming_normal(wr, 16 * 16 * 16, rng);
+  net->emplace<snn::SpikingLinear>(std::move(wr), snn::IfConfig{}, false);
+  return net;
+}
+
+Tensor sparse_input(std::int64_t per_mille, Rng& rng) {
+  Tensor input({1, 16, 16, 16});
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    if (rng.uniform_int(1000) < per_mille) input[i] = rng.uniform(0.5F, 1.5F);
+  }
+  return input;
+}
+
+void BM_DenseInference(benchmark::State& state) {
+  auto net = sparse_bench_net();
+  Rng rng(8);
+  const Tensor input = sparse_input(state.range(0), rng);
+  for (auto _ : state) {
+    Tensor logits = net->forward(input, false);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_DenseInference)->Arg(1000)->Arg(100)->Arg(10);
+
+void BM_EventDrivenInference(benchmark::State& state) {
+  auto net = sparse_bench_net();
+  snn::EventDrivenEngine engine(*net);
+  Rng rng(8);
+  const Tensor input = sparse_input(state.range(0), rng);
+  for (auto _ : state) {
+    Tensor logits = engine.forward(input);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_EventDrivenInference)->Arg(1000)->Arg(100)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

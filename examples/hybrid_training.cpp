@@ -1,0 +1,111 @@
+// Full three-stage hybrid pipeline with every knob exposed on the command
+// line — the programmable counterpart of a Table I row.
+//
+// Usage:
+//   hybrid_training [--arch vgg11|vgg13|vgg16|resnet20|resnet32]
+//                   [--classes N] [--timesteps T] [--width W]
+//                   [--dnn-epochs N] [--sgl-epochs N] [--train N] [--test N]
+//                   [--mode ours|threshold|maxact|heuristic]
+//                   [--save model.ckpt]
+//
+// Prints the Table I columns for the chosen configuration and, with --save,
+// writes the trained DNN weights for reuse by energy_audit.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "src/core/pipeline.h"
+#include "src/util/serialize.h"
+
+using namespace ullsnn;
+
+namespace {
+
+core::Architecture parse_arch(const std::string& s) {
+  if (s == "vgg11") return core::Architecture::kVgg11;
+  if (s == "vgg13") return core::Architecture::kVgg13;
+  if (s == "vgg16") return core::Architecture::kVgg16;
+  if (s == "resnet20") return core::Architecture::kResNet20;
+  if (s == "resnet32") return core::Architecture::kResNet32;
+  throw std::invalid_argument("unknown --arch " + s);
+}
+
+core::ConversionMode parse_mode(const std::string& s) {
+  if (s == "ours") return core::ConversionMode::kOursAlphaBeta;
+  if (s == "threshold") return core::ConversionMode::kThresholdReLU;
+  if (s == "maxact") return core::ConversionMode::kMaxAct;
+  if (s == "heuristic") return core::ConversionMode::kPercentileHeuristic;
+  throw std::invalid_argument("unknown --mode " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "expected --flag value pairs\n");
+      return 1;
+    }
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  const auto get = [&](const char* key, const std::string& fallback) {
+    const auto it = args.find(key);
+    return it == args.end() ? fallback : it->second;
+  };
+
+  core::PipelineConfig config;
+  config.arch = parse_arch(get("arch", "vgg11"));
+  config.model.num_classes = std::stoll(get("classes", "10"));
+  config.model.width = std::stof(get("width", "0.125"));
+  config.dnn_train.epochs = std::stoll(get("dnn-epochs", "15"));
+  config.dnn_train.augment = false;
+  config.sgl.epochs = std::stoll(get("sgl-epochs", "5"));
+  config.sgl.augment = false;
+  config.conversion.mode = parse_mode(get("mode", "ours"));
+  config.conversion.time_steps = std::stoll(get("timesteps", "2"));
+  config.verbose = true;
+
+  const std::int64_t train_n = std::stoll(get("train", "1024"));
+  const std::int64_t test_n = std::stoll(get("test", "256"));
+  data::SyntheticCifarSpec spec;
+  spec.num_classes = config.model.num_classes;
+  data::SyntheticCifar gen(spec);
+  data::LabeledImages train = gen.generate(train_n, 1);
+  data::LabeledImages test = gen.generate(test_n, 2);
+  const data::ChannelStats stats = data::standardize(train);
+  data::apply_standardize(test, stats);
+
+  std::printf("== hybrid training: %s, %lld classes, T=%lld, mode=%s ==\n",
+              core::to_string(config.arch),
+              static_cast<long long>(config.model.num_classes),
+              static_cast<long long>(config.conversion.time_steps),
+              core::to_string(config.conversion.mode));
+  core::HybridPipeline pipeline(config);
+  const core::PipelineResult result = pipeline.run(train, test);
+
+  std::printf("\n(a) DNN:        %.2f%%   (train %.0fs)\n", 100.0 * result.dnn_accuracy,
+              result.dnn_train_seconds);
+  std::printf("(b) converted:  %.2f%%\n", 100.0 * result.converted_accuracy);
+  std::printf("(c) after SGL:  %.2f%%   (train %.0fs)\n", 100.0 * result.sgl_accuracy,
+              result.sgl_train_seconds);
+  std::printf("\nper-layer (alpha -> V_th, beta):\n");
+  for (std::size_t i = 0; i < result.conversion_report.sites.size(); ++i) {
+    const core::SiteScaling& s = result.conversion_report.sites[i];
+    std::printf("  site %-2zu alpha %.3f  V_th %.3f  beta %.3f\n", i, s.alpha,
+                s.v_threshold, s.beta);
+  }
+
+  const std::string save_path = get("save", "");
+  if (!save_path.empty()) {
+    TensorDict dict;
+    std::int64_t i = 0;
+    for (const dnn::Param* p : pipeline.dnn().params()) {
+      dict["p" + std::to_string(i++)] = p->value;
+    }
+    save_tensors(dict, save_path);
+    std::printf("\nsaved trained DNN weights to %s\n", save_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Latency sweep: trains one DNN, then converts it at a range of time steps
+// under every conversion mode and prints accuracy-vs-T — a programmable
+// Fig. 2 with the proposed (alpha, beta) mode included.
+//
+// Usage: latency_sweep [dnn_epochs] [train_size] [max_T]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/converter.h"
+#include "src/dnn/models.h"
+#include "src/dnn/trainer.h"
+#include "src/util/table.h"
+
+using namespace ullsnn;
+
+int main(int argc, char** argv) {
+  const std::int64_t epochs = argc > 1 ? std::atoll(argv[1]) : 15;
+  const std::int64_t train_n = argc > 2 ? std::atoll(argv[2]) : 1024;
+  const std::int64_t max_t = argc > 3 ? std::atoll(argv[3]) : 16;
+
+  data::SyntheticCifarSpec spec;
+  data::SyntheticCifar gen(spec);
+  data::LabeledImages train = gen.generate(train_n, 1);
+  data::LabeledImages test = gen.generate(train_n / 4, 2);
+  const data::ChannelStats stats = data::standardize(train);
+  data::apply_standardize(test, stats);
+
+  Rng rng(3);
+  dnn::ModelConfig mc;
+  mc.width = 0.125F;
+  auto model = dnn::build_vgg(11, mc, rng);
+  dnn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.augment = false;
+  tc.verbose = true;
+  dnn::DnnTrainer trainer(*model, tc);
+  trainer.fit(train);
+  const double dnn_acc = trainer.evaluate(test);
+  std::printf("DNN accuracy: %.2f%%\n", 100.0 * dnn_acc);
+
+  // Collect once; convert many times (the profile is conversion-invariant).
+  const core::ActivationProfile profile = core::collect_activations(*model, train);
+
+  Table table({"T", "ours %", "threshold-relu %", "max-act %", "heuristic %"});
+  for (std::int64_t t = 1; t <= max_t; t *= 2) {
+    std::vector<std::string> row = {std::to_string(t)};
+    for (const core::ConversionMode mode :
+         {core::ConversionMode::kOursAlphaBeta, core::ConversionMode::kThresholdReLU,
+          core::ConversionMode::kMaxAct, core::ConversionMode::kPercentileHeuristic}) {
+      core::ConversionConfig cc;
+      cc.mode = mode;
+      cc.time_steps = t;
+      auto snn = core::convert(*model, profile, cc, nullptr);
+      row.push_back(Table::fmt(100.0 * snn::evaluate_snn(*snn, test)));
+    }
+    table.add_row(std::move(row));
+    std::printf("T=%lld done\n", static_cast<long long>(t));
+    std::fflush(stdout);
+  }
+  table.print("conversion-only accuracy vs T (DNN = " +
+              Table::fmt(100.0 * dnn_acc) + "%)");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: the whole paper in one small run.
+//
+// Trains a reduced-width VGG-11 on SyntheticCIFAR-10, converts it to a
+// 2-time-step SNN with the percentile (alpha, beta) search, fine-tunes with
+// surrogate gradients, and prints the three-stage accuracies plus the
+// energy-efficiency summary. Finishes in a couple of minutes on one core.
+//
+// Usage: quickstart [epochs] [train_size]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/pipeline.h"
+#include "src/energy/energy_model.h"
+#include "src/energy/flops.h"
+
+using namespace ullsnn;
+
+int main(int argc, char** argv) {
+  const std::int64_t epochs = argc > 1 ? std::atoll(argv[1]) : 6;
+  const std::int64_t train_size = argc > 2 ? std::atoll(argv[2]) : 1024;
+
+  // Synthetic stand-in for CIFAR-10 (see DESIGN.md for the substitution).
+  data::SyntheticCifarSpec data_spec;
+  data::SyntheticCifar generator(data_spec);
+  data::LabeledImages train = generator.generate(train_size, /*split_salt=*/1);
+  data::LabeledImages test = generator.generate(train_size / 4, /*split_salt=*/2);
+  const data::ChannelStats stats = data::standardize(train);
+  data::apply_standardize(test, stats);
+
+  core::PipelineConfig config;
+  config.arch = core::Architecture::kVgg11;
+  config.model.width = 0.125F;  // single-core scale; same topology as paper
+  config.model.num_classes = data_spec.num_classes;
+  config.dnn_train.epochs = epochs;
+  config.dnn_train.verbose = true;
+  config.conversion.mode = core::ConversionMode::kOursAlphaBeta;
+  config.conversion.time_steps = 2;
+  config.sgl.epochs = epochs / 2 + 1;
+  config.sgl.verbose = true;
+  config.verbose = true;
+
+  std::printf("== ull-snn quickstart: VGG-11 on SyntheticCIFAR-10, T=2 ==\n");
+  core::HybridPipeline pipeline(config);
+  const core::PipelineResult result = pipeline.run(train, test);
+
+  std::printf("\n(a) DNN accuracy:            %.2f%%\n", 100.0 * result.dnn_accuracy);
+  std::printf("(b) converted SNN accuracy:  %.2f%%\n", 100.0 * result.converted_accuracy);
+  std::printf("(c) SNN accuracy after SGL:  %.2f%%\n", 100.0 * result.sgl_accuracy);
+
+  // Energy comparison (Sec. VI): measure SNN activity on the test set, then
+  // compare compute energy against the iso-architecture DNN.
+  const Shape input_shape = {1, 3, data_spec.image_size, data_spec.image_size};
+  pipeline.snn().reset_stats();
+  snn::evaluate_snn(pipeline.snn(), test);
+  const energy::FlopsReport dnn_flops =
+      energy::count_dnn_flops(pipeline.dnn(), input_shape);
+  const energy::FlopsReport snn_flops =
+      energy::count_snn_flops(pipeline.snn(), input_shape);
+  const double dnn_pj = energy::compute_energy_pj(dnn_flops);
+  const double snn_pj = energy::compute_energy_pj(snn_flops);
+  std::printf("\nDNN compute: %.3e MACs -> %.3e pJ\n", dnn_flops.total_macs, dnn_pj);
+  std::printf("SNN compute: %.3e MACs + %.3e ACs -> %.3e pJ\n", snn_flops.total_macs,
+              snn_flops.total_acs, snn_pj);
+  std::printf("Compute-energy reduction vs DNN: %.1fx\n", dnn_pj / snn_pj);
+  return 0;
+}

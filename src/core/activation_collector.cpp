@@ -1,0 +1,98 @@
+#include "src/core/activation_collector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/dnn/activations.h"
+#include "src/dnn/residual.h"
+#include "src/tensor/stats.h"
+
+namespace ullsnn::core {
+
+namespace {
+
+// Record `pre` into `site`, striding to respect the per-site sample budget.
+void record(ActivationSite& site, const Tensor& pre, std::int64_t max_samples) {
+  site.d_max = std::max(site.d_max, pre.max());
+  if (static_cast<std::int64_t>(site.samples.size()) >= max_samples) return;
+  const std::int64_t room = max_samples - static_cast<std::int64_t>(site.samples.size());
+  const std::int64_t stride = std::max<std::int64_t>(1, pre.numel() / std::max<std::int64_t>(room, 1));
+  append_samples(pre, site.samples, stride);
+}
+
+// Forward one batch through the model, recording every ThresholdReLU input.
+// Mirrors Sequential::forward / ResidualBlock::forward exactly (verified by
+// tests comparing outputs). `sites` is created on the first batch.
+Tensor instrumented_forward(dnn::Sequential& model, const Tensor& input,
+                            std::vector<ActivationSite>& sites, bool first_batch,
+                            std::int64_t max_samples) {
+  std::size_t site_idx = 0;
+  const auto visit = [&](const Tensor& pre, float mu, const std::string& label) {
+    if (first_batch) {
+      ActivationSite site;
+      site.label = label;
+      site.mu = mu;
+      sites.push_back(std::move(site));
+    }
+    if (site_idx >= sites.size()) {
+      throw std::logic_error("collect_activations: site walk mismatch");
+    }
+    record(sites[site_idx], pre, max_samples);
+    ++site_idx;
+  };
+
+  Tensor x = input;
+  for (std::int64_t i = 0; i < model.size(); ++i) {
+    dnn::Layer& layer = model.layer(i);
+    if (auto* act = dynamic_cast<dnn::ThresholdReLU*>(&layer)) {
+      visit(x, act->mu(), "site" + std::to_string(site_idx));
+      x = act->forward(x, /*train=*/false);
+    } else if (auto* block = dynamic_cast<dnn::ResidualBlock*>(&layer)) {
+      Tensor main = block->conv1().forward(x, /*train=*/false);
+      visit(main, block->act1().mu(), "block" + std::to_string(i) + ".act1");
+      main = block->act1().forward(main, /*train=*/false);
+      main = block->conv2().forward(main, /*train=*/false);
+      Tensor skip = block->has_projection()
+                        ? block->projection().forward(x, /*train=*/false)
+                        : x;
+      main += skip;
+      visit(main, block->act2().mu(), "block" + std::to_string(i) + ".act2");
+      x = block->act2().forward(main, /*train=*/false);
+    } else {
+      x = layer.forward(x, /*train=*/false);
+    }
+  }
+  if (site_idx != sites.size()) {
+    throw std::logic_error("collect_activations: inconsistent site count across batches");
+  }
+  return x;
+}
+
+}  // namespace
+
+ActivationProfile collect_activations(dnn::Sequential& model,
+                                      const data::LabeledImages& calibration,
+                                      const CollectorOptions& options) {
+  if (calibration.size() == 0) {
+    throw std::invalid_argument("collect_activations: empty calibration set");
+  }
+  ActivationProfile profile;
+  Rng rng(0);
+  data::BatchIterator batches(calibration, options.batch_size, rng,
+                              /*shuffle_each_epoch=*/false);
+  for (std::int64_t b = 0; b < batches.num_batches(); ++b) {
+    const data::Batch batch = batches.batch(b);
+    instrumented_forward(model, batch.images, profile.sites, b == 0,
+                         options.max_samples_per_site);
+  }
+  for (ActivationSite& site : profile.sites) {
+    if (site.samples.empty()) {
+      throw std::logic_error("collect_activations: site '" + site.label +
+                             "' recorded no samples");
+    }
+    site.percentiles = percentile_grid(site.samples);
+  }
+  return profile;
+}
+
+}  // namespace ullsnn::core

@@ -1,0 +1,47 @@
+// Collects per-layer DNN pre-activation distributions on a calibration set.
+//
+// A "site" is one ThresholdReLU in forward-traversal order (residual blocks
+// contribute two sites: after conv1 and after the join). Sites are ordered
+// identically to the IF neurons of the converted SNN, so site k's scaling
+// factors configure neuron k (core/converter.h relies on this invariant;
+// tests/core/converter_test.cpp pins it).
+//
+// Each site records: the trained threshold mu, a subsample of pre-activation
+// values (the d of Sec. III-A), their percentile grid P[0..100] (Algorithm
+// 1's search grid), and d_max (the Deng-style [15] conversion threshold).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/dnn/sequential.h"
+
+namespace ullsnn::core {
+
+struct ActivationSite {
+  std::string label;            // e.g. "conv3", "block2.act1", "fc1"
+  float mu = 0.0F;              // trained ThresholdReLU threshold
+  float d_max = 0.0F;           // maximum observed pre-activation
+  std::vector<float> samples;   // subsampled pre-activation values
+  std::vector<float> percentiles;  // P[0..100]
+};
+
+struct ActivationProfile {
+  std::vector<ActivationSite> sites;
+};
+
+struct CollectorOptions {
+  std::int64_t batch_size = 64;
+  /// Per-site sample budget; inputs are strided to stay under it.
+  std::int64_t max_samples_per_site = 200000;
+};
+
+/// Run `model` over `calibration` in inference mode, recording the input of
+/// every ThresholdReLU. The model itself is not modified.
+ActivationProfile collect_activations(dnn::Sequential& model,
+                                      const data::LabeledImages& calibration,
+                                      const CollectorOptions& options = {});
+
+}  // namespace ullsnn::core

@@ -1,0 +1,34 @@
+// BatchNorm folding for conversion.
+//
+// Conversion operates on bias-free conv/linear + ThresholdReLU chains; BN
+// networks (the Deng [15] / calibration [16] baselines) must first fold each
+// BatchNorm into its preceding convolution:
+//
+//   y = gamma * (conv(x) - mean) / sqrt(var + eps) + beta
+//     = conv'(x) + b'   with   W' = W * gamma/sqrt(var+eps)  (per out-channel)
+//                              b' = beta - mean * gamma/sqrt(var+eps)
+//
+// The fold rewrites the Conv2d's weights in place, enables its bias, and
+// replaces the BatchNorm2d with nothing (the caller rebuilds the Sequential
+// without it via fold_batchnorm, which returns a new chain).
+#pragma once
+
+#include <memory>
+
+#include "src/dnn/batchnorm.h"
+#include "src/dnn/conv2d.h"
+#include "src/dnn/sequential.h"
+
+namespace ullsnn::core {
+
+/// Fold one BN into one conv: mutates `conv` (weights, bias) using `bn`'s
+/// learned affine and running statistics.
+void fold_bn_into_conv(dnn::Conv2d& conv, const dnn::BatchNorm2d& bn);
+
+/// Rebuild `model` with every Conv2d + BatchNorm2d pair fused (weights are
+/// moved out of `model`, which is left in an unspecified valid state).
+/// Layers other than folded BatchNorms are transferred untouched.
+/// Throws if a BatchNorm2d is not directly preceded by a Conv2d.
+std::unique_ptr<dnn::Sequential> fold_batchnorm(dnn::Sequential& model);
+
+}  // namespace ullsnn::core

@@ -1,0 +1,98 @@
+// DNN -> SNN conversion (Sec. III-B plus the baselines it is compared to).
+//
+// All modes copy the DNN weights verbatim into an SnnNetwork with the same
+// topology; they differ only in how each IF neuron's threshold / spike
+// amplitude / initial charge are derived from the layer's pre-activation
+// distribution:
+//
+//   kOursAlphaBeta      V_th = alpha*mu, amplitude beta*V_th, no bias shift.
+//                       (alpha, beta) from Algorithm 1 per layer. The
+//                       paper's proposed method.
+//   kThresholdReLU      V_th = mu (the trained clip threshold), bias shift
+//                       delta = V_th/2T. The "our modification" baseline of
+//                       Fig. 2.
+//   kMaxAct             V_th = d_max (maximum observed pre-activation), bias
+//                       shift. Deng et al. [15]-style conversion; d_max is an
+//                       outlier of the skewed distribution, which is exactly
+//                       why this fails at low T (Sec. III-A).
+//   kPercentileHeuristic V_th = scale * percentile(d, q). The grid-searched
+//                       threshold down-scaling heuristics of [16], [24]
+//                       (ablation: collapses at T <= 3 even with SGL).
+//   kWeightNorm         Diehl/Rueckauer [22][23] data-based weight
+//                       normalization: every threshold is 1 and layer l's
+//                       weights are rescaled by lambda_{l-1}/lambda_l with
+//                       lambda = percentile(d, q) — rate-equivalent to
+//                       threshold balancing, provided for completeness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/activation_collector.h"
+#include "src/core/scaling_search.h"
+#include "src/snn/snn_network.h"
+
+namespace ullsnn::core {
+
+enum class ConversionMode {
+  kOursAlphaBeta,
+  kThresholdReLU,
+  kMaxAct,
+  kPercentileHeuristic,
+  kWeightNorm,
+};
+
+const char* to_string(ConversionMode mode);
+
+struct ConversionConfig {
+  ConversionMode mode = ConversionMode::kOursAlphaBeta;
+  std::int64_t time_steps = 2;
+  float beta_step = 0.01F;            // Algorithm 1 beta grid step
+  float heuristic_percentile = 99.0F; // kPercentileHeuristic: quantile q
+  float heuristic_scale = 1.0F;       // kPercentileHeuristic: extra scale
+  /// Ablation hook: when >= 0, overrides every site's initial-membrane
+  /// fraction (e.g. 0.5 re-adds the bias shift to the (alpha, beta) mode the
+  /// paper removed it from; 0 strips it from the baselines).
+  float bias_fraction_override = -1.0F;
+  float leak = 1.0F;                  // 1.0 => IF (conversion target)
+  snn::ResetMode reset = snn::ResetMode::kSubtract;  // soft reset (Eq. 4)
+  bool train_threshold = true;        // expose V_th / leak to SGL fine-tuning
+  bool train_leak = true;
+  std::uint64_t dropout_seed = 123;
+};
+
+struct SiteScaling {
+  float v_threshold = 1.0F;
+  float beta = 1.0F;
+  float initial_membrane_fraction = 0.0F;
+  float alpha = 1.0F;  // recorded for reporting; V_th already includes it
+  /// kWeightNorm only: the site's activation norm lambda. Layer l's weights
+  /// are copied as W * lambda_{l-1}/lambda_l. 1.0 (no-op) for other modes.
+  float norm_factor = 1.0F;
+};
+
+struct ConversionReport {
+  std::vector<SiteScaling> sites;
+  std::vector<ScalingResult> search_results;  // only for kOursAlphaBeta
+};
+
+/// Derive per-site thresholds for `mode` from an activation profile.
+ConversionReport plan_conversion(const ActivationProfile& profile,
+                                 const ConversionConfig& config);
+
+/// Build the spiking twin of `model` with the planned thresholds. The DNN is
+/// walked in the same site order as collect_activations. Weights are copied
+/// (the SNN owns its parameters; SGL fine-tuning does not disturb the DNN).
+std::unique_ptr<snn::SnnNetwork> convert(dnn::Sequential& model,
+                                         const ActivationProfile& profile,
+                                         const ConversionConfig& config,
+                                         ConversionReport* report_out = nullptr);
+
+/// Convenience: collect + plan + build in one call.
+std::unique_ptr<snn::SnnNetwork> convert(dnn::Sequential& model,
+                                         const data::LabeledImages& calibration,
+                                         const ConversionConfig& config,
+                                         ConversionReport* report_out = nullptr);
+
+}  // namespace ullsnn::core

@@ -1,0 +1,100 @@
+#include "src/core/pipeline.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "src/util/timer.h"
+
+namespace ullsnn::core {
+
+const char* to_string(Architecture arch) {
+  switch (arch) {
+    case Architecture::kVgg11: return "VGG-11";
+    case Architecture::kVgg13: return "VGG-13";
+    case Architecture::kVgg16: return "VGG-16";
+    case Architecture::kResNet20: return "ResNet-20";
+    case Architecture::kResNet32: return "ResNet-32";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<dnn::Sequential> build_model(Architecture arch,
+                                             const dnn::ModelConfig& config, Rng& rng) {
+  switch (arch) {
+    case Architecture::kVgg11: return dnn::build_vgg(11, config, rng);
+    case Architecture::kVgg13: return dnn::build_vgg(13, config, rng);
+    case Architecture::kVgg16: return dnn::build_vgg(16, config, rng);
+    case Architecture::kResNet20: return dnn::build_resnet(20, config, rng);
+    case Architecture::kResNet32: return dnn::build_resnet(32, config, rng);
+  }
+  throw std::invalid_argument("build_model: unknown architecture");
+}
+
+HybridPipeline::HybridPipeline(PipelineConfig config) : config_(std::move(config)) {}
+
+PipelineResult HybridPipeline::run(const data::LabeledImages& train,
+                                   const data::LabeledImages& test) {
+  PipelineResult result;
+  Rng rng(config_.weight_seed);
+  dnn_ = build_model(config_.arch, config_.model, rng);
+
+  // Stage (a): DNN training.
+  Timer timer;
+  dnn::TrainConfig dnn_cfg = config_.dnn_train;
+  dnn_cfg.verbose = config_.verbose;
+  dnn::DnnTrainer dnn_trainer(*dnn_, dnn_cfg);
+  dnn_trainer.fit(train);
+  result.dnn_train_seconds = timer.seconds();
+  result.dnn_accuracy = dnn_trainer.evaluate(test);
+  if (config_.verbose) {
+    std::printf("[pipeline] DNN accuracy: %.4f\n", result.dnn_accuracy);
+  }
+
+  // Stage (b): conversion (calibrated on the training set).
+  snn_ = convert(*dnn_, train, config_.conversion, &result.conversion_report);
+  result.converted_accuracy = snn::evaluate_snn(*snn_, test);
+  if (config_.verbose) {
+    std::printf("[pipeline] converted SNN accuracy (T=%lld, %s): %.4f\n",
+                static_cast<long long>(config_.conversion.time_steps),
+                to_string(config_.conversion.mode), result.converted_accuracy);
+  }
+
+  // Stage (c): SGL fine-tuning.
+  timer.reset();
+  snn::SglConfig sgl_cfg = config_.sgl;
+  sgl_cfg.verbose = config_.verbose;
+  snn::SglTrainer sgl_trainer(*snn_, sgl_cfg);
+  sgl_trainer.fit(train);
+  result.sgl_train_seconds = timer.seconds();
+  result.sgl_accuracy = sgl_trainer.evaluate(test);
+  if (config_.verbose) {
+    std::printf("[pipeline] SNN accuracy after SGL: %.4f\n", result.sgl_accuracy);
+  }
+  return result;
+}
+
+double HybridPipeline::run_conversion_only(const data::LabeledImages& train,
+                                           const data::LabeledImages& test) {
+  if (!dnn_) {
+    Rng rng(config_.weight_seed);
+    dnn_ = build_model(config_.arch, config_.model, rng);
+    dnn::TrainConfig dnn_cfg = config_.dnn_train;
+    dnn_cfg.verbose = config_.verbose;
+    dnn::DnnTrainer dnn_trainer(*dnn_, dnn_cfg);
+    dnn_trainer.fit(train);
+  }
+  snn_ = convert(*dnn_, train, config_.conversion, nullptr);
+  return snn::evaluate_snn(*snn_, test);
+}
+
+dnn::Sequential& HybridPipeline::dnn() {
+  if (!dnn_) throw std::logic_error("HybridPipeline::dnn before run()");
+  return *dnn_;
+}
+
+snn::SnnNetwork& HybridPipeline::snn() {
+  if (!snn_) throw std::logic_error("HybridPipeline::snn before run()");
+  return *snn_;
+}
+
+}  // namespace ullsnn::core

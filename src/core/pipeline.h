@@ -1,0 +1,71 @@
+// The full hybrid training pipeline of the paper (Table I's three columns):
+//   (a) train a DNN with trainable clip thresholds,
+//   (b) convert it to an SNN at T time steps (any ConversionMode),
+//   (c) fine-tune the SNN with surrogate-gradient learning.
+//
+// Each stage's accuracy is reported, matching Table I's columns a/b/c.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/converter.h"
+#include "src/dnn/models.h"
+#include "src/dnn/trainer.h"
+#include "src/snn/sgl_trainer.h"
+
+namespace ullsnn::core {
+
+enum class Architecture { kVgg11, kVgg13, kVgg16, kResNet20, kResNet32 };
+
+const char* to_string(Architecture arch);
+
+/// Instantiate an architecture from the zoo.
+std::unique_ptr<dnn::Sequential> build_model(Architecture arch,
+                                             const dnn::ModelConfig& config, Rng& rng);
+
+struct PipelineConfig {
+  Architecture arch = Architecture::kVgg16;
+  dnn::ModelConfig model;
+  dnn::TrainConfig dnn_train;
+  ConversionConfig conversion;
+  snn::SglConfig sgl;
+  std::uint64_t weight_seed = 3;
+  bool verbose = false;
+};
+
+struct PipelineResult {
+  double dnn_accuracy = 0.0;        // Table I column (a)
+  double converted_accuracy = 0.0;  // Table I column (b)
+  double sgl_accuracy = 0.0;        // Table I column (c)
+  double dnn_train_seconds = 0.0;
+  double sgl_train_seconds = 0.0;
+  ConversionReport conversion_report;
+};
+
+class HybridPipeline {
+ public:
+  explicit HybridPipeline(PipelineConfig config);
+
+  /// Run all three stages. The trained DNN and fine-tuned SNN stay owned by
+  /// the pipeline for post-hoc inspection (energy audits, distribution dumps).
+  PipelineResult run(const data::LabeledImages& train,
+                     const data::LabeledImages& test);
+
+  /// Stage accessors (valid after run()).
+  dnn::Sequential& dnn();
+  snn::SnnNetwork& snn();
+
+  /// Stage (a)+(b) only: returns the converted accuracy without SGL (the
+  /// conversion-only sweeps of Fig. 2 and the ablation reuse this).
+  double run_conversion_only(const data::LabeledImages& train,
+                             const data::LabeledImages& test);
+
+ private:
+  PipelineConfig config_;
+  std::unique_ptr<dnn::Sequential> dnn_;
+  std::unique_ptr<snn::SnnNetwork> snn_;
+};
+
+}  // namespace ullsnn::core

@@ -1,0 +1,61 @@
+#include "src/data/augment.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ullsnn::data {
+
+namespace {
+// Crop a [C,H,W] image from its zero-padded version at offset (oy, ox),
+// writing the result back into `img`.
+void crop_from_padded(float* img, std::int64_t channels, std::int64_t height,
+                      std::int64_t width, std::int64_t pad, std::int64_t oy,
+                      std::int64_t ox, std::vector<float>& scratch) {
+  const std::int64_t ph = height + 2 * pad;
+  const std::int64_t pw = width + 2 * pad;
+  scratch.assign(static_cast<std::size_t>(channels * ph * pw), 0.0F);
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t y = 0; y < height; ++y) {
+      std::copy_n(img + (c * height + y) * width, width,
+                  scratch.data() + (c * ph + y + pad) * pw + pad);
+    }
+  }
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t y = 0; y < height; ++y) {
+      std::copy_n(scratch.data() + (c * ph + y + oy) * pw + ox, width,
+                  img + (c * height + y) * width);
+    }
+  }
+}
+
+void hflip(float* img, std::int64_t channels, std::int64_t height, std::int64_t width) {
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t y = 0; y < height; ++y) {
+      float* row = img + (c * height + y) * width;
+      std::reverse(row, row + width);
+    }
+  }
+}
+}  // namespace
+
+void augment_batch(Batch& batch, const AugmentSpec& spec, Rng& rng) {
+  const Shape& s = batch.images.shape();
+  const std::int64_t n = s[0];
+  const std::int64_t channels = s[1];
+  const std::int64_t height = s[2];
+  const std::int64_t width = s[3];
+  std::vector<float> scratch;
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* img = batch.images.data() + i * channels * height * width;
+    if (spec.random_crop && spec.pad > 0) {
+      const std::int64_t oy = rng.uniform_int(2 * spec.pad + 1);
+      const std::int64_t ox = rng.uniform_int(2 * spec.pad + 1);
+      crop_from_padded(img, channels, height, width, spec.pad, oy, ox, scratch);
+    }
+    if (spec.horizontal_flip && rng.bernoulli(0.5F)) {
+      hflip(img, channels, height, width);
+    }
+  }
+}
+
+}  // namespace ullsnn::data

@@ -1,0 +1,19 @@
+// Standard CIFAR training-time augmentation: pad-4 random crop + horizontal
+// flip, applied per batch (Sec. IV-A uses the conventional recipe).
+#pragma once
+
+#include "src/data/dataset.h"
+#include "src/tensor/random.h"
+
+namespace ullsnn::data {
+
+struct AugmentSpec {
+  std::int64_t pad = 4;
+  bool random_crop = true;
+  bool horizontal_flip = true;
+};
+
+/// Augment every image in `batch` in place.
+void augment_batch(Batch& batch, const AugmentSpec& spec, Rng& rng);
+
+}  // namespace ullsnn::data

@@ -1,0 +1,93 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ullsnn::data {
+
+BatchIterator::BatchIterator(const LabeledImages& dataset, std::int64_t batch_size,
+                             Rng& rng, bool shuffle_each_epoch)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      rng_(&rng),
+      shuffle_(shuffle_each_epoch),
+      order_(static_cast<std::size_t>(dataset.size())) {
+  if (batch_size <= 0) throw std::invalid_argument("BatchIterator: batch_size must be positive");
+  std::iota(order_.begin(), order_.end(), 0);
+  if (shuffle_) shuffle(order_, *rng_);
+}
+
+std::int64_t BatchIterator::num_batches() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch BatchIterator::batch(std::int64_t b) const {
+  if (b < 0 || b >= num_batches()) {
+    throw std::out_of_range("BatchIterator::batch: index " + std::to_string(b));
+  }
+  const std::int64_t begin = b * batch_size_;
+  const std::int64_t end = std::min(begin + batch_size_, dataset_.size());
+  const std::int64_t n = end - begin;
+  const Shape& s = dataset_.images.shape();
+  std::int64_t per_image = 1;
+  for (std::size_t d = 1; d < s.size(); ++d) per_image *= s[d];
+  Shape batch_shape = s;
+  batch_shape[0] = n;
+  Batch out;
+  out.images = Tensor(std::move(batch_shape));
+  out.labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t src = order_[static_cast<std::size_t>(begin + i)];
+    std::copy_n(dataset_.images.data() + src * per_image, per_image,
+                out.images.data() + i * per_image);
+    out.labels[static_cast<std::size_t>(i)] = dataset_.labels[static_cast<std::size_t>(src)];
+  }
+  return out;
+}
+
+void BatchIterator::next_epoch() {
+  if (shuffle_) shuffle(order_, *rng_);
+}
+
+ChannelStats standardize(LabeledImages& dataset) {
+  ChannelStats stats;
+  const Shape& s = dataset.images.shape();
+  const std::int64_t n = s[0];
+  const std::int64_t hw = s[2] * s[3];
+  for (int c = 0; c < 3; ++c) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* p = dataset.images.data() + (i * 3 + c) * hw;
+      for (std::int64_t j = 0; j < hw; ++j) {
+        sum += p[j];
+        sq += static_cast<double>(p[j]) * p[j];
+      }
+    }
+    const double count = static_cast<double>(n * hw);
+    const double mean = sum / count;
+    const double var = std::max(sq / count - mean * mean, 1e-12);
+    stats.mean[c] = static_cast<float>(mean);
+    stats.stddev[c] = static_cast<float>(std::sqrt(var));
+  }
+  apply_standardize(dataset, stats);
+  return stats;
+}
+
+void apply_standardize(LabeledImages& dataset, const ChannelStats& stats) {
+  const Shape& s = dataset.images.shape();
+  const std::int64_t n = s[0];
+  const std::int64_t hw = s[2] * s[3];
+  for (int c = 0; c < 3; ++c) {
+    const float mean = stats.mean[c];
+    const float inv = 1.0F / stats.stddev[c];
+    for (std::int64_t i = 0; i < n; ++i) {
+      float* p = dataset.images.data() + (i * 3 + c) * hw;
+      for (std::int64_t j = 0; j < hw; ++j) p[j] = (p[j] - mean) * inv;
+    }
+  }
+}
+
+}  // namespace ullsnn::data

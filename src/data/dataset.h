@@ -1,0 +1,54 @@
+// Dataset containers and mini-batch iteration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/synthetic_cifar.h"
+#include "src/tensor/random.h"
+#include "src/tensor/tensor.h"
+
+namespace ullsnn::data {
+
+struct Batch {
+  Tensor images;                    // [B, C, H, W]
+  std::vector<std::int64_t> labels; // size B
+
+  std::int64_t size() const { return static_cast<std::int64_t>(labels.size()); }
+};
+
+/// Deterministically shuffled mini-batch iterator over a LabeledImages set.
+/// Reshuffles on each new epoch. The final short batch is emitted too.
+class BatchIterator {
+ public:
+  BatchIterator(const LabeledImages& dataset, std::int64_t batch_size, Rng& rng,
+                bool shuffle_each_epoch = true);
+
+  /// Number of batches per epoch.
+  std::int64_t num_batches() const;
+
+  /// Copy the `b`-th batch of the current epoch.
+  Batch batch(std::int64_t b) const;
+
+  /// Reshuffle for the next epoch (no-op when shuffling is disabled).
+  void next_epoch();
+
+ private:
+  const LabeledImages& dataset_;
+  std::int64_t batch_size_;
+  Rng* rng_;
+  bool shuffle_;
+  std::vector<std::int64_t> order_;
+};
+
+/// Standardize images in place to zero mean / unit stddev per channel,
+/// computed over the whole set (the CIFAR-style preprocessing the paper's
+/// training uses). Returns {mean, stddev} per channel for reuse on test data.
+struct ChannelStats {
+  float mean[3] = {0, 0, 0};
+  float stddev[3] = {1, 1, 1};
+};
+ChannelStats standardize(LabeledImages& dataset);
+void apply_standardize(LabeledImages& dataset, const ChannelStats& stats);
+
+}  // namespace ullsnn::data

@@ -1,0 +1,98 @@
+#include "src/dnn/activations.h"
+
+#include <stdexcept>
+
+namespace ullsnn::dnn {
+
+Tensor ReLU::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  if (train) mask_.assign(static_cast<std::size_t>(input.numel()), 0);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    if (out[i] > 0.0F) {
+      if (train) mask_[static_cast<std::size_t>(i)] = 1;
+    } else {
+      out[i] = 0.0F;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (mask_.size() != static_cast<std::size_t>(grad_output.numel())) {
+    throw std::logic_error("ReLU::backward without cached forward");
+  }
+  Tensor grad_input = grad_output;
+  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
+    if (mask_[static_cast<std::size_t>(i)] == 0) grad_input[i] = 0.0F;
+  }
+  return grad_input;
+}
+
+ThresholdReLU::ThresholdReLU(float initial_mu) {
+  if (initial_mu <= 0.0F) throw std::invalid_argument("ThresholdReLU: mu must be positive");
+  mu_.name = "threshold_relu.mu";
+  mu_.value = Tensor({1}, initial_mu);
+  mu_.grad = Tensor({1});
+  mu_.decay = false;
+}
+
+Tensor ThresholdReLU::forward(const Tensor& input, bool train) {
+  const float mu = mu_.value[0];
+  Tensor out = input;
+  if (train) region_.assign(static_cast<std::size_t>(input.numel()), 0);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const float x = out[i];
+    if (x <= 0.0F) {
+      out[i] = 0.0F;
+    } else if (x >= mu) {
+      out[i] = mu;
+      if (train) region_[static_cast<std::size_t>(i)] = 2;
+    } else {
+      if (train) region_[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  return out;
+}
+
+Tensor ThresholdReLU::backward(const Tensor& grad_output) {
+  if (region_.size() != static_cast<std::size_t>(grad_output.numel())) {
+    throw std::logic_error("ThresholdReLU::backward without cached forward");
+  }
+  Tensor grad_input = grad_output;
+  double mu_grad = 0.0;
+  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
+    switch (region_[static_cast<std::size_t>(i)]) {
+      case 0:  // x < 0: no gradient
+        grad_input[i] = 0.0F;
+        break;
+      case 1:  // linear region: dy/dx = 1
+        break;
+      case 2:  // saturated: dy/dmu = 1, dy/dx = 0
+        mu_grad += grad_output[i];
+        grad_input[i] = 0.0F;
+        break;
+      default:
+        break;
+    }
+  }
+  mu_.grad[0] += static_cast<float>(mu_grad);
+  return grad_input;
+}
+
+Tensor Flatten::forward(const Tensor& input, bool train) {
+  if (train) cached_shape_ = input.shape();
+  return input.reshape({input.dim(0), -1});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  if (cached_shape_.empty()) throw std::logic_error("Flatten::backward without forward");
+  return grad_output.reshape(cached_shape_);
+}
+
+Shape Flatten::output_shape(const Shape& input) const {
+  std::int64_t features = 1;
+  for (std::size_t i = 1; i < input.size(); ++i) features *= input[i];
+  return {input[0], features};
+}
+
+}  // namespace ullsnn::dnn

@@ -1,0 +1,61 @@
+// Activation layers and shape utilities.
+//
+// ThresholdReLU is the paper's Eq. (1): y = clip(x, 0, mu) with a trainable
+// per-layer threshold mu. Its post-training value becomes the SNN layer
+// threshold after alpha-scaling (Sec. III-B). Following the TCL-style
+// formulation [20], d(loss)/d(mu) accumulates the output gradient over every
+// saturated element. mu is excluded from weight decay (decay=false): decaying
+// it would silently shrink the clip range; the trainer applies an explicit
+// lambda_mu * mu^2 regularizer instead when one is requested.
+#pragma once
+
+#include "src/dnn/module.h"
+
+namespace ullsnn::dnn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  void clear_cache() override { mask_.clear(); }
+
+ private:
+  std::vector<unsigned char> mask_;
+};
+
+class ThresholdReLU final : public Layer {
+ public:
+  explicit ThresholdReLU(float initial_mu = 1.0F);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&mu_}; }
+  std::string name() const override { return "ThresholdReLU"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  void clear_cache() override { region_.clear(); }
+
+  float mu() const { return mu_.value[0]; }
+  void set_mu(float mu) { mu_.value[0] = mu; }
+  Param& mu_param() { return mu_; }
+
+ private:
+  Param mu_;  // scalar, shape [1]
+  // Per-element region of the clip: 0 => x<0, 1 => linear, 2 => saturated.
+  std::vector<unsigned char> region_;
+};
+
+/// [N,C,H,W] -> [N, C*H*W]; pure reshape, gradients pass through.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+  Shape output_shape(const Shape& input) const override;
+
+ private:
+  Shape cached_shape_;
+};
+
+}  // namespace ullsnn::dnn

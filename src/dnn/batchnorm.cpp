@@ -1,0 +1,140 @@
+#include "src/dnn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ullsnn::dnn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float epsilon)
+    : channels_(channels), momentum_(momentum), epsilon_(epsilon) {
+  if (channels <= 0) throw std::invalid_argument("BatchNorm2d: channels must be positive");
+  if (momentum <= 0.0F || momentum > 1.0F) {
+    throw std::invalid_argument("BatchNorm2d: momentum must be in (0, 1]");
+  }
+  gamma_.name = "batchnorm.gamma";
+  gamma_.value = Tensor({channels}, 1.0F);
+  gamma_.grad = Tensor({channels});
+  gamma_.decay = false;
+  beta_.name = "batchnorm.beta";
+  beta_.value = Tensor({channels});
+  beta_.grad = Tensor({channels});
+  beta_.decay = false;
+  running_mean_ = Tensor({channels});
+  running_var_ = Tensor({channels}, 1.0F);
+}
+
+void BatchNorm2d::set_running_stats(Tensor mean, Tensor var) {
+  if (mean.shape() != Shape{channels_} || var.shape() != Shape{channels_}) {
+    throw std::invalid_argument("BatchNorm2d::set_running_stats: bad shapes");
+  }
+  running_mean_ = std::move(mean);
+  running_var_ = std::move(var);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
+  if (input.rank() != 4 || input.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d: expected [N, " +
+                                std::to_string(channels_) + ", H, W], got " +
+                                shape_to_string(input.shape()));
+  }
+  const std::int64_t n = input.dim(0);
+  const std::int64_t hw = input.dim(2) * input.dim(3);
+  const std::int64_t count = n * hw;
+  Tensor out(input.shape());
+
+  Tensor mean({channels_});
+  Tensor inv_std({channels_});
+  if (train) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      double sum = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* p = input.data() + (i * channels_ + c) * hw;
+        for (std::int64_t j = 0; j < hw; ++j) sum += p[j];
+      }
+      const double mu = sum / static_cast<double>(count);
+      double var = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* p = input.data() + (i * channels_ + c) * hw;
+        for (std::int64_t j = 0; j < hw; ++j) {
+          const double d = p[j] - mu;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(count);
+      mean[c] = static_cast<float>(mu);
+      inv_std[c] = static_cast<float>(1.0 / std::sqrt(var + epsilon_));
+      running_mean_[c] = (1.0F - momentum_) * running_mean_[c] +
+                         momentum_ * static_cast<float>(mu);
+      running_var_[c] =
+          (1.0F - momentum_) * running_var_[c] + momentum_ * static_cast<float>(var);
+    }
+  } else {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      mean[c] = running_mean_[c];
+      inv_std[c] = 1.0F / std::sqrt(running_var_[c] + epsilon_);
+    }
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float* p = input.data() + (i * channels_ + c) * hw;
+      float* q = out.data() + (i * channels_ + c) * hw;
+      const float g = gamma_.value[c] * inv_std[c];
+      const float b = beta_.value[c] - mean[c] * g;
+      for (std::int64_t j = 0; j < hw; ++j) q[j] = g * p[j] + b;
+    }
+  }
+  if (train) {
+    cached_input_ = input;
+    batch_mean_ = std::move(mean);
+    batch_inv_std_ = std::move(inv_std);
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("BatchNorm2d::backward without cached forward");
+  }
+  const std::int64_t n = cached_input_.dim(0);
+  const std::int64_t hw = cached_input_.dim(2) * cached_input_.dim(3);
+  const auto count = static_cast<double>(n * hw);
+  Tensor grad_input(cached_input_.shape());
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const float mu = batch_mean_[c];
+    const float inv_std = batch_inv_std_[c];
+    // Accumulate sum(g), sum(g * xhat), and the parameter gradients.
+    double sum_g = 0.0;
+    double sum_gx = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* x = cached_input_.data() + (i * channels_ + c) * hw;
+      const float* g = grad_output.data() + (i * channels_ + c) * hw;
+      for (std::int64_t j = 0; j < hw; ++j) {
+        const double xhat = (x[j] - mu) * inv_std;
+        sum_g += g[j];
+        sum_gx += g[j] * xhat;
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_gx);
+    beta_.grad[c] += static_cast<float>(sum_g);
+    // dL/dx = gamma * inv_std / count * (count*g - sum_g - xhat * sum_gx).
+    const double scale = static_cast<double>(gamma_.value[c]) * inv_std / count;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* x = cached_input_.data() + (i * channels_ + c) * hw;
+      const float* g = grad_output.data() + (i * channels_ + c) * hw;
+      float* gi = grad_input.data() + (i * channels_ + c) * hw;
+      for (std::int64_t j = 0; j < hw; ++j) {
+        const double xhat = (x[j] - mu) * inv_std;
+        gi[j] = static_cast<float>(scale * (count * g[j] - sum_g - xhat * sum_gx));
+      }
+    }
+  }
+  return grad_input;
+}
+
+void BatchNorm2d::clear_cache() {
+  cached_input_ = Tensor();
+  batch_mean_ = Tensor();
+  batch_inv_std_ = Tensor();
+}
+
+}  // namespace ullsnn::dnn

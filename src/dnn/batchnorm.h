@@ -1,0 +1,55 @@
+// 2-D Batch Normalization.
+//
+// The paper's own pipeline deliberately avoids BN (conversion drops biases,
+// Sec. IV-A), but the baselines it compares against — Deng et al. [15], the
+// calibration heuristics [16] — are BN networks whose conversion first FOLDS
+// BN into the preceding convolution. This layer plus core/bn_fold.h make the
+// baseline library complete: train with BN, fold, then convert with any mode.
+//
+// Standard train-time batch statistics with running-average tracking for
+// inference; the backward pass is the exact batch-statistics gradient.
+#pragma once
+
+#include "src/dnn/module.h"
+
+namespace ullsnn::dnn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1F,
+                       float epsilon = 1e-5F);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return "BatchNorm2d"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  void clear_cache() override;
+
+  std::int64_t channels() const { return channels_; }
+  Param& gamma() { return gamma_; }
+  const Param& gamma() const { return gamma_; }
+  Param& beta() { return beta_; }
+  const Param& beta() const { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  float epsilon() const { return epsilon_; }
+
+  /// Overwrite the running statistics (used by tests and BN folding).
+  void set_running_stats(Tensor mean, Tensor var);
+
+ private:
+  std::int64_t channels_;
+  float momentum_;
+  float epsilon_;
+  Param gamma_;  // [C] scale
+  Param beta_;   // [C] shift
+  Tensor running_mean_;  // [C]
+  Tensor running_var_;   // [C]
+  // Backward caches (batch statistics of the cached forward).
+  Tensor cached_input_;
+  Tensor batch_mean_;     // [C]
+  Tensor batch_inv_std_;  // [C]
+};
+
+}  // namespace ullsnn::dnn

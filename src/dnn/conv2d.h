@@ -1,0 +1,42 @@
+// 2-D convolution layer (NCHW, square kernels).
+#pragma once
+
+#include "src/dnn/module.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/random.h"
+
+namespace ullsnn::dnn {
+
+class Conv2d final : public Layer {
+ public:
+  /// Kaiming-normal weight init. `bias` adds a per-output-channel bias; the
+  /// paper's conversion pipeline uses bias-free convs (Sec. III-B removes the
+  /// bias term), so model builders default it off.
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+         std::int64_t stride, std::int64_t pad, bool bias, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "Conv2d"; }
+  Shape output_shape(const Shape& input) const override;
+  std::int64_t macs(const Shape& input) const override;
+  void clear_cache() override { cached_input_ = Tensor(); }
+
+  const Conv2dSpec& spec() const { return spec_; }
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  bool has_bias() const { return !bias_.value.empty(); }
+  Param& bias() { return bias_; }
+  /// Install (or overwrite) a per-output-channel bias; used by BN folding.
+  void set_bias(Tensor bias);
+
+ private:
+  Conv2dSpec spec_;
+  Param weight_;  // [Cout, Cin, K, K]
+  Param bias_;    // [Cout] or empty
+  Tensor cached_input_;
+  std::vector<float> scratch_;
+};
+
+}  // namespace ullsnn::dnn

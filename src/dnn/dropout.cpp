@@ -1,0 +1,45 @@
+#include "src/dnn/dropout.h"
+
+#include <stdexcept>
+
+namespace ullsnn::dnn {
+
+Dropout::Dropout(float drop_prob, Rng& rng)
+    : drop_prob_(drop_prob), rng_(rng.split()) {
+  if (drop_prob < 0.0F || drop_prob >= 1.0F) {
+    throw std::invalid_argument("Dropout: drop_prob must be in [0, 1)");
+  }
+}
+
+void Dropout::resample_mask(std::int64_t numel) {
+  mask_.resize(static_cast<std::size_t>(numel));
+  const float keep_scale = 1.0F / (1.0F - drop_prob_);
+  for (auto& m : mask_) m = rng_.bernoulli(drop_prob_) ? 0.0F : keep_scale;
+}
+
+Tensor Dropout::apply_mask(const Tensor& input) const {
+  if (mask_.size() != static_cast<std::size_t>(input.numel())) {
+    throw std::logic_error("Dropout::apply_mask: mask size mismatch");
+  }
+  Tensor out = input;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out[i] *= mask_[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  if (!train || drop_prob_ == 0.0F) return input;
+  resample_mask(input.numel());
+  return apply_mask(input);
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (drop_prob_ == 0.0F) return grad_output;
+  if (mask_.size() != static_cast<std::size_t>(grad_output.numel())) {
+    throw std::logic_error("Dropout::backward without cached forward");
+  }
+  return apply_mask(grad_output);
+}
+
+}  // namespace ullsnn::dnn

@@ -1,0 +1,39 @@
+// Inverted dropout. The paper uses dropout (not BatchNorm) as the regularizer
+// because the conversion removes biases (Sec. IV-A). For SNN fine-tuning the
+// mask must be constant across the T time steps of one sample (spiking layers
+// reuse the mask; see snn/spiking_layers.h), which is why the mask generation
+// is exposed separately from forward().
+#pragma once
+
+#include "src/dnn/module.h"
+#include "src/tensor/random.h"
+
+namespace ullsnn::dnn {
+
+class Dropout final : public Layer {
+ public:
+  /// Forks an independent RNG stream from `rng` at construction; the layer
+  /// owns its stream, so the argument need not outlive the layer.
+  Dropout(float drop_prob, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  void clear_cache() override { mask_.clear(); }
+
+  float drop_prob() const { return drop_prob_; }
+
+  /// Draw a fresh mask for `numel` elements (used by spiking wrappers that
+  /// must hold the mask fixed across time steps).
+  void resample_mask(std::int64_t numel);
+  /// Apply the held mask without resampling.
+  Tensor apply_mask(const Tensor& input) const;
+
+ private:
+  float drop_prob_;
+  Rng rng_;
+  std::vector<float> mask_;  // 0 or 1/(1-p) per element
+};
+
+}  // namespace ullsnn::dnn

@@ -1,0 +1,36 @@
+// Fully-connected layer: y = x W^T (+ b). Input [N, in], output [N, out].
+#pragma once
+
+#include "src/dnn/module.h"
+#include "src/tensor/random.h"
+
+namespace ullsnn::dnn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, bool bias, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "Linear"; }
+  Shape output_shape(const Shape& input) const override;
+  std::int64_t macs(const Shape& input) const override;
+  void clear_cache() override { cached_input_ = Tensor(); }
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  bool has_bias() const { return !bias_.value.empty(); }
+  Param& bias() { return bias_; }
+
+ private:
+  std::int64_t in_ = 0;
+  std::int64_t out_ = 0;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out] or empty
+  Tensor cached_input_;
+};
+
+}  // namespace ullsnn::dnn

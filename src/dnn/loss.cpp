@@ -1,0 +1,78 @@
+#include "src/dnn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ullsnn::dnn {
+
+namespace {
+void check_labels(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  if (logits.rank() != 2) throw std::invalid_argument("loss: logits must be [N, C]");
+  if (logits.dim(0) != static_cast<std::int64_t>(labels.size())) {
+    throw std::invalid_argument("loss: batch size mismatch");
+  }
+  for (std::int64_t label : labels) {
+    if (label < 0 || label >= logits.dim(1)) {
+      throw std::invalid_argument("loss: label out of range");
+    }
+  }
+}
+}  // namespace
+
+Tensor softmax(const Tensor& logits) {
+  Tensor probs = logits;
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t c = logits.dim(1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = probs.data() + i * c;
+    const float row_max = *std::max_element(row, row + c);
+    float sum = 0.0F;
+    for (std::int64_t j = 0; j < c; ++j) {
+      row[j] = std::exp(row[j] - row_max);
+      sum += row[j];
+    }
+    const float inv = 1.0F / sum;
+    for (std::int64_t j = 0; j < c; ++j) row[j] *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  check_labels(logits, labels);
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t c = logits.dim(1);
+  LossResult result;
+  result.grad = softmax(logits);
+  double loss = 0.0;
+  const float inv_n = 1.0F / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = result.grad.data() + i * c;
+    const std::int64_t label = labels[static_cast<std::size_t>(i)];
+    loss -= std::log(std::max(row[label], 1e-12F));
+    // argmax before mutating the row
+    const std::int64_t pred =
+        std::distance(row, std::max_element(row, row + c));
+    if (pred == label) ++result.correct;
+    row[label] -= 1.0F;
+    for (std::int64_t j = 0; j < c; ++j) row[j] *= inv_n;
+  }
+  result.loss = static_cast<float>(loss / static_cast<double>(n));
+  return result;
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  check_labels(logits, labels);
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t c = logits.dim(1);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    const std::int64_t pred = std::distance(row, std::max_element(row, row + c));
+    if (pred == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace ullsnn::dnn

@@ -1,0 +1,27 @@
+// Softmax cross-entropy with integer class labels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace ullsnn::dnn {
+
+struct LossResult {
+  float loss = 0.0F;       // mean over the batch
+  Tensor grad;             // d(loss)/d(logits), [N, C]
+  std::int64_t correct = 0;  // top-1 hits in the batch
+};
+
+/// Numerically-stable softmax cross-entropy over logits [N, C].
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+/// Softmax probabilities (row-wise), mainly for inspection/tests.
+Tensor softmax(const Tensor& logits);
+
+/// Top-1 accuracy of logits against labels, in [0, 1].
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+}  // namespace ullsnn::dnn

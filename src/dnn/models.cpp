@@ -1,0 +1,125 @@
+#include "src/dnn/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/dnn/activations.h"
+#include "src/dnn/conv2d.h"
+#include "src/dnn/dropout.h"
+#include "src/dnn/linear.h"
+#include "src/dnn/pooling.h"
+#include "src/dnn/residual.h"
+
+namespace ullsnn::dnn {
+
+namespace {
+constexpr std::int64_t kPool = -1;  // sentinel for a max-pool entry
+
+std::int64_t scaled(std::int64_t channels, float width) {
+  return std::max<std::int64_t>(
+      4, static_cast<std::int64_t>(std::lround(static_cast<double>(channels) * width)));
+}
+
+std::vector<std::int64_t> vgg_plan(int depth) {
+  switch (depth) {
+    case 11:
+      return {64, kPool, 128, kPool, 256, 256, kPool, 512, 512, kPool, 512, 512, kPool};
+    case 13:
+      return {64, 64, kPool, 128, 128, kPool, 256, 256, kPool,
+              512, 512, kPool, 512, 512, kPool};
+    case 16:
+      return {64, 64, kPool, 128, 128, kPool, 256, 256, 256, kPool,
+              512, 512, 512, kPool, 512, 512, 512, kPool};
+    default:
+      throw std::invalid_argument("build_vgg: unsupported depth " + std::to_string(depth));
+  }
+}
+}  // namespace
+
+std::unique_ptr<Sequential> build_vgg(int depth, const ModelConfig& config, Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  std::int64_t in_ch = config.in_channels;
+  std::int64_t spatial = config.image_size;
+  for (std::int64_t entry : vgg_plan(depth)) {
+    if (entry == kPool) {
+      if (config.use_avg_pool) {
+        model->emplace<AvgPool2d>(2, 2);
+      } else {
+        model->emplace<MaxPool2d>(2, 2);
+      }
+      spatial /= 2;
+      continue;
+    }
+    const std::int64_t out_ch = scaled(entry, config.width);
+    model->emplace<Conv2d>(in_ch, out_ch, 3, 1, 1, /*bias=*/false, rng);
+    model->emplace<ThresholdReLU>(config.initial_mu);
+    if (config.conv_dropout > 0.0F) model->emplace<Dropout>(config.conv_dropout, rng);
+    in_ch = out_ch;
+  }
+  if (spatial < 1) {
+    throw std::invalid_argument("build_vgg: image_size too small for depth " +
+                                std::to_string(depth));
+  }
+  const std::int64_t features = in_ch * spatial * spatial;
+  const std::int64_t hidden =
+      config.fc_hidden > 0 ? config.fc_hidden : scaled(4096, config.width);
+  model->emplace<Flatten>();
+  model->emplace<Linear>(features, hidden, /*bias=*/false, rng);
+  model->emplace<ThresholdReLU>(config.initial_mu);
+  if (config.dropout > 0.0F) model->emplace<Dropout>(config.dropout, rng);
+  model->emplace<Linear>(hidden, hidden, /*bias=*/false, rng);
+  model->emplace<ThresholdReLU>(config.initial_mu);
+  if (config.dropout > 0.0F) model->emplace<Dropout>(config.dropout, rng);
+  model->emplace<Linear>(hidden, config.num_classes, /*bias=*/false, rng);
+  return model;
+}
+
+std::unique_ptr<Sequential> build_resnet(int depth, const ModelConfig& config, Rng& rng) {
+  std::int64_t blocks_per_stage = 0;
+  switch (depth) {
+    case 20: blocks_per_stage = 3; break;
+    case 32: blocks_per_stage = 5; break;
+    default:
+      throw std::invalid_argument("build_resnet: unsupported depth " + std::to_string(depth));
+  }
+  auto model = std::make_unique<Sequential>();
+  const std::int64_t c16 = scaled(16, config.width);
+  const std::int64_t c32 = scaled(32, config.width);
+  const std::int64_t c64 = scaled(64, config.width);
+  model->emplace<Conv2d>(config.in_channels, c16, 3, 1, 1, /*bias=*/false, rng);
+  model->emplace<ThresholdReLU>(config.initial_mu);
+  std::int64_t in_ch = c16;
+  std::int64_t spatial = config.image_size;
+  const std::int64_t stage_channels[3] = {c16, c32, c64};
+  // Without BatchNorm, residual variance grows linearly with depth; a
+  // fixup-style downscale of each block's second conv (by 1/sqrt(total
+  // blocks)) keeps the forward signal bounded so the net trains.
+  const float fixup =
+      1.0F / std::sqrt(static_cast<float>(3 * blocks_per_stage));
+  for (int stage = 0; stage < 3; ++stage) {
+    for (std::int64_t b = 0; b < blocks_per_stage; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      auto& block = model->emplace<ResidualBlock>(in_ch, stage_channels[stage],
+                                                  stride, config.initial_mu, rng);
+      block.conv2().weight().value *= fixup;
+      in_ch = stage_channels[stage];
+      if (stride == 2) spatial /= 2;
+    }
+  }
+  // Global average pool, then the classifier.
+  model->emplace<AvgPool2d>(spatial, spatial);
+  model->emplace<Flatten>();
+  if (config.dropout > 0.0F) model->emplace<Dropout>(config.dropout, rng);
+  model->emplace<Linear>(in_ch, config.num_classes, /*bias=*/false, rng);
+  return model;
+}
+
+std::int64_t parameter_count(Sequential& model) {
+  std::int64_t total = 0;
+  for (const Param* p : model.params()) total += p->value.numel();
+  return total;
+}
+
+}  // namespace ullsnn::dnn

@@ -1,0 +1,48 @@
+// Model zoo: the paper's architectures (VGG-11/16, ResNet-20) plus VGG-13 and
+// ResNet-32 variants, all bias-free with ThresholdReLU activations and
+// Dropout regularization, per Sec. IV-A.
+//
+// `width` scales every channel count (and the VGG classifier's hidden size),
+// so the same topology runs at paper scale (width = 1.0) or at the reduced
+// scale the single-core benches use. Conversion behaviour is distributional
+// and width-independent (see DESIGN.md).
+#pragma once
+
+#include <memory>
+
+#include "src/dnn/sequential.h"
+#include "src/tensor/random.h"
+
+namespace ullsnn::dnn {
+
+struct ModelConfig {
+  std::int64_t num_classes = 10;
+  std::int64_t in_channels = 3;
+  std::int64_t image_size = 32;
+  float width = 1.0F;
+  /// Classifier (FC) dropout probability.
+  float dropout = 0.2F;
+  /// Dropout after conv activations. Off by default: at reduced widths it
+  /// starves thin feature maps and stalls training; enable for paper-scale
+  /// widths where it acts as the BatchNorm replacement (Sec. IV-A).
+  float conv_dropout = 0.0F;
+  float initial_mu = 4.0F;
+  /// VGG classifier hidden width; 0 selects 4096 * width (the paper-scale
+  /// DIET-SNN-style head).
+  std::int64_t fc_hidden = 0;
+  /// Pooling ablation (Sec. IV-A): the paper argues FOR max pooling (binary
+  /// spike outputs keep hidden layers accumulate-only); set true to build the
+  /// average-pooling variant instead.
+  bool use_avg_pool = false;
+};
+
+/// VGG-`depth` for depth in {11, 13, 16}.
+std::unique_ptr<Sequential> build_vgg(int depth, const ModelConfig& config, Rng& rng);
+
+/// ResNet-`depth` for depth in {20, 32} (CIFAR-style 3-stage layout).
+std::unique_ptr<Sequential> build_resnet(int depth, const ModelConfig& config, Rng& rng);
+
+/// Total trainable scalar count of a model.
+std::int64_t parameter_count(Sequential& model);
+
+}  // namespace ullsnn::dnn

@@ -1,0 +1,52 @@
+// SGD with momentum and decoupled weight decay, plus the paper's step-decay
+// learning-rate schedule (x0.1 at 60%, 80%, and 90% of total epochs,
+// Sec. IV-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dnn/module.h"
+
+namespace ullsnn::dnn {
+
+struct SgdConfig {
+  float lr = 0.01F;
+  float momentum = 0.9F;
+  float weight_decay = 5e-4F;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, SgdConfig config);
+
+  void zero_grad();
+  void step();
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+  const SgdConfig& config() const { return config_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;  // index-aligned with params_
+  SgdConfig config_;
+};
+
+/// Step-decay schedule: lr = base * gamma^(number of passed milestones),
+/// milestones given as fractions of total_epochs.
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(float base_lr, std::int64_t total_epochs,
+                    std::vector<double> milestone_fractions = {0.6, 0.8, 0.9},
+                    float gamma = 0.1F);
+
+  float lr_at(std::int64_t epoch) const;
+
+ private:
+  float base_lr_;
+  std::vector<std::int64_t> milestones_;
+  float gamma_;
+};
+
+}  // namespace ullsnn::dnn

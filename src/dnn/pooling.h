@@ -1,0 +1,45 @@
+// Pooling layers. The paper deliberately uses max pooling (Sec. IV-A): on
+// binary spike maps, max pooling emits binary outputs, keeping every hidden
+// layer accumulate-only. Average pooling is provided for the ablation.
+#pragma once
+
+#include "src/dnn/module.h"
+#include "src/tensor/ops.h"
+
+namespace ullsnn::dnn {
+
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::int64_t kernel = 2, std::int64_t stride = 2);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+  Shape output_shape(const Shape& input) const override;
+  void clear_cache() override { argmax_.clear(); }
+
+  const Pool2dSpec& spec() const { return spec_; }
+
+ private:
+  Pool2dSpec spec_;
+  std::vector<std::int64_t> argmax_;
+  Shape cached_input_shape_;
+};
+
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::int64_t kernel = 2, std::int64_t stride = 2);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "AvgPool2d"; }
+  Shape output_shape(const Shape& input) const override;
+
+  const Pool2dSpec& spec() const { return spec_; }
+
+ private:
+  Pool2dSpec spec_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace ullsnn::dnn

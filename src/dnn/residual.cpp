@@ -1,0 +1,68 @@
+#include "src/dnn/residual.h"
+
+namespace ullsnn::dnn {
+
+ResidualBlock::ResidualBlock(std::int64_t in_channels, std::int64_t out_channels,
+                             std::int64_t stride, float initial_mu, Rng& rng)
+    : conv1_(in_channels, out_channels, 3, stride, 1, /*bias=*/false, rng),
+      act1_(initial_mu),
+      conv2_(out_channels, out_channels, 3, 1, 1, /*bias=*/false, rng),
+      act2_(initial_mu) {
+  if (stride != 1 || in_channels != out_channels) {
+    projection_ = std::make_unique<Conv2d>(in_channels, out_channels, 1, stride, 0,
+                                           /*bias=*/false, rng);
+  }
+}
+
+Tensor ResidualBlock::forward(const Tensor& input, bool train) {
+  Tensor main = conv2_.forward(act1_.forward(conv1_.forward(input, train), train), train);
+  Tensor skip = projection_ ? projection_->forward(input, train) : input;
+  main += skip;
+  return act2_.forward(main, train);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_output) {
+  const Tensor g_sum = act2_.backward(grad_output);
+  // Main branch.
+  Tensor g_in = conv1_.backward(act1_.backward(conv2_.backward(g_sum)));
+  // Skip branch.
+  if (projection_) {
+    g_in += projection_->backward(g_sum);
+  } else {
+    g_in += g_sum;
+  }
+  return g_in;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> ps;
+  for (Param* p : conv1_.params()) ps.push_back(p);
+  for (Param* p : act1_.params()) ps.push_back(p);
+  for (Param* p : conv2_.params()) ps.push_back(p);
+  if (projection_) {
+    for (Param* p : projection_->params()) ps.push_back(p);
+  }
+  for (Param* p : act2_.params()) ps.push_back(p);
+  return ps;
+}
+
+Shape ResidualBlock::output_shape(const Shape& input) const {
+  return conv2_.output_shape(conv1_.output_shape(input));
+}
+
+std::int64_t ResidualBlock::macs(const Shape& input) const {
+  const Shape mid = conv1_.output_shape(input);
+  std::int64_t total = conv1_.macs(input) + conv2_.macs(mid);
+  if (projection_) total += projection_->macs(input);
+  return total;
+}
+
+void ResidualBlock::clear_cache() {
+  conv1_.clear_cache();
+  act1_.clear_cache();
+  conv2_.clear_cache();
+  if (projection_) projection_->clear_cache();
+  act2_.clear_cache();
+}
+
+}  // namespace ullsnn::dnn

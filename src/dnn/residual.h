@@ -1,0 +1,47 @@
+// Post-activation residual block for ResNet-20/32 (He et al. [18]), without
+// BatchNorm (the paper's conversion removes biases and uses Dropout instead,
+// Sec. IV-A):
+//
+//   main: Conv3x3(stride s) -> ThresholdReLU -> Conv3x3(stride 1)
+//   skip: identity, or Conv1x1(stride s) when the shape changes
+//   out:  ThresholdReLU(main + skip)
+//
+// Both ThresholdReLUs convert to IF neurons; the join becomes a membrane-
+// potential addition in the spiking version (snn/spiking_layers.h).
+#pragma once
+
+#include "src/dnn/activations.h"
+#include "src/dnn/conv2d.h"
+#include "src/dnn/module.h"
+
+namespace ullsnn::dnn {
+
+class ResidualBlock final : public Layer {
+ public:
+  ResidualBlock(std::int64_t in_channels, std::int64_t out_channels,
+                std::int64_t stride, float initial_mu, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "ResidualBlock"; }
+  Shape output_shape(const Shape& input) const override;
+  std::int64_t macs(const Shape& input) const override;
+  void clear_cache() override;
+
+  Conv2d& conv1() { return conv1_; }
+  Conv2d& conv2() { return conv2_; }
+  bool has_projection() const { return projection_ != nullptr; }
+  Conv2d& projection() { return *projection_; }
+  ThresholdReLU& act1() { return act1_; }
+  ThresholdReLU& act2() { return act2_; }
+
+ private:
+  Conv2d conv1_;
+  ThresholdReLU act1_;
+  Conv2d conv2_;
+  std::unique_ptr<Conv2d> projection_;  // null => identity skip
+  ThresholdReLU act2_;
+};
+
+}  // namespace ullsnn::dnn

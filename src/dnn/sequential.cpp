@@ -1,0 +1,58 @@
+#include "src/dnn/sequential.h"
+
+namespace ullsnn::dnn {
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+Shape Sequential::output_shape(const Shape& input) const {
+  Shape s = input;
+  for (const auto& layer : layers_) s = layer->output_shape(s);
+  return s;
+}
+
+std::int64_t Sequential::macs(const Shape& input) const {
+  std::int64_t total = 0;
+  Shape s = input;
+  for (const auto& layer : layers_) {
+    total += layer->macs(s);
+    s = layer->output_shape(s);
+  }
+  return total;
+}
+
+std::vector<std::int64_t> Sequential::per_layer_macs(const Shape& input) const {
+  std::vector<std::int64_t> out;
+  out.reserve(layers_.size());
+  Shape s = input;
+  for (const auto& layer : layers_) {
+    out.push_back(layer->macs(s));
+    s = layer->output_shape(s);
+  }
+  return out;
+}
+
+void Sequential::clear_cache() {
+  for (auto& layer : layers_) layer->clear_cache();
+}
+
+}  // namespace ullsnn::dnn

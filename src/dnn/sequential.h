@@ -1,0 +1,53 @@
+// Sequential container: an ordered chain of layers with joint forward /
+// backward, parameter enumeration, and layer introspection (the conversion
+// code walks the chain to pair each Conv2d/Linear with its ThresholdReLU).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/dnn/module.h"
+
+namespace ullsnn::dnn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns a reference typed as the concrete layer for
+  /// fluent model building.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void append(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+  /// Transfer ownership of all layers out (used by graph rewrites such as
+  /// BatchNorm folding); the Sequential is left empty.
+  std::vector<LayerPtr> release_layers() { return std::move(layers_); }
+
+  std::int64_t size() const { return static_cast<std::int64_t>(layers_.size()); }
+  Layer& layer(std::int64_t i) { return *layers_[static_cast<std::size_t>(i)]; }
+  const Layer& layer(std::int64_t i) const { return *layers_[static_cast<std::size_t>(i)]; }
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "Sequential"; }
+  Shape output_shape(const Shape& input) const override;
+  std::int64_t macs(const Shape& input) const override;
+  void clear_cache() override;
+
+  /// Per-layer MAC counts at the given input shape (index-aligned with the
+  /// chain). Non-arithmetic layers report 0.
+  std::vector<std::int64_t> per_layer_macs(const Shape& input) const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace ullsnn::dnn

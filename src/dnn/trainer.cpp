@@ -1,0 +1,100 @@
+#include "src/dnn/trainer.h"
+
+#include <cstdio>
+
+#include "src/dnn/activations.h"
+#include "src/dnn/loss.h"
+#include "src/util/timer.h"
+
+namespace ullsnn::dnn {
+
+DnnTrainer::DnnTrainer(Sequential& model, TrainConfig config)
+    : model_(&model),
+      config_(config),
+      optimizer_(model.params(),
+                 SgdConfig{config.lr, config.momentum, config.weight_decay}),
+      schedule_(config.lr, config.epochs),
+      rng_(config.seed) {}
+
+EpochStats DnnTrainer::train_epoch(const data::LabeledImages& train,
+                                   std::int64_t epoch) {
+  Timer timer;
+  optimizer_.set_lr(schedule_.lr_at(epoch));
+  data::BatchIterator batches(train, config_.batch_size, rng_);
+  const data::AugmentSpec aug;
+  double loss_sum = 0.0;
+  std::int64_t correct = 0;
+  std::int64_t seen = 0;
+  for (std::int64_t b = 0; b < batches.num_batches(); ++b) {
+    data::Batch batch = batches.batch(b);
+    if (config_.augment) data::augment_batch(batch, aug, rng_);
+    optimizer_.zero_grad();
+    const Tensor logits = model_->forward(batch.images, /*train=*/true);
+    LossResult loss = softmax_cross_entropy(logits, batch.labels);
+    model_->backward(loss.grad);
+    // L2 regularizer on the clip thresholds: grad += 2 * lambda * mu.
+    if (config_.mu_l2 > 0.0F) {
+      for (Param* p : model_->params()) {
+        if (p->name == "threshold_relu.mu") {
+          p->grad[0] += 2.0F * config_.mu_l2 * p->value[0];
+        }
+      }
+    }
+    optimizer_.step();
+    // Keep clip thresholds positive: a mu driven to <= 0 silences its layer
+    // permanently (zero output and zero gradient — unrecoverable).
+    for (Param* p : model_->params()) {
+      if (p->name == "threshold_relu.mu" && p->value[0] < 1e-2F) {
+        p->value[0] = 1e-2F;
+      }
+    }
+    loss_sum += static_cast<double>(loss.loss) * static_cast<double>(batch.size());
+    correct += loss.correct;
+    seen += batch.size();
+  }
+  model_->clear_cache();
+  EpochStats stats;
+  stats.epoch = epoch;
+  stats.train_loss = static_cast<float>(loss_sum / static_cast<double>(seen));
+  stats.train_accuracy = static_cast<double>(correct) / static_cast<double>(seen);
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+std::vector<EpochStats> DnnTrainer::fit(const data::LabeledImages& train,
+                                        const data::LabeledImages* test) {
+  std::vector<EpochStats> history;
+  history.reserve(static_cast<std::size_t>(config_.epochs));
+  for (std::int64_t e = 0; e < config_.epochs; ++e) {
+    EpochStats stats = train_epoch(train, e);
+    if (test != nullptr) stats.test_accuracy = evaluate(*test);
+    if (config_.verbose) {
+      std::printf("  [dnn] epoch %3lld  loss %.4f  train %.4f  test %.4f  (%.1fs)\n",
+                  static_cast<long long>(stats.epoch), stats.train_loss,
+                  stats.train_accuracy, stats.test_accuracy, stats.seconds);
+      std::fflush(stdout);
+    }
+    history.push_back(stats);
+  }
+  return history;
+}
+
+double DnnTrainer::evaluate(const data::LabeledImages& dataset) {
+  return evaluate_model(*model_, dataset, config_.batch_size);
+}
+
+double evaluate_model(Sequential& model, const data::LabeledImages& dataset,
+                      std::int64_t batch_size) {
+  Rng rng(0);  // unused: evaluation neither shuffles nor augments
+  data::BatchIterator batches(dataset, batch_size, rng, /*shuffle_each_epoch=*/false);
+  std::int64_t correct = 0;
+  for (std::int64_t b = 0; b < batches.num_batches(); ++b) {
+    const data::Batch batch = batches.batch(b);
+    const Tensor logits = model.forward(batch.images, /*train=*/false);
+    correct += static_cast<std::int64_t>(
+        accuracy(logits, batch.labels) * static_cast<double>(batch.size()) + 0.5);
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace ullsnn::dnn

@@ -1,0 +1,67 @@
+// DNN training loop (stage (a) of the paper's pipeline, Sec. IV-A):
+// SGD + momentum, step-decay LR at 60/80/90% of epochs, pad-4 crop + flip
+// augmentation, and an optional L2 pull on the ThresholdReLU thresholds to
+// keep them near the bulk of the pre-activation distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/augment.h"
+#include "src/data/dataset.h"
+#include "src/dnn/optimizer.h"
+#include "src/dnn/sequential.h"
+
+namespace ullsnn::dnn {
+
+struct TrainConfig {
+  std::int64_t epochs = 20;
+  std::int64_t batch_size = 32;
+  float lr = 0.01F;
+  float momentum = 0.9F;
+  float weight_decay = 5e-4F;
+  /// L2 coefficient on thresholds mu (applied separately from weight decay).
+  float mu_l2 = 1e-3F;
+  bool augment = true;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  std::int64_t epoch = 0;
+  float train_loss = 0.0F;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double seconds = 0.0;
+};
+
+class DnnTrainer {
+ public:
+  DnnTrainer(Sequential& model, TrainConfig config);
+
+  /// One pass over `train`; applies the schedule's LR for `epoch`.
+  EpochStats train_epoch(const data::LabeledImages& train, std::int64_t epoch);
+
+  /// Full run; evaluates on `test` after each epoch when provided.
+  std::vector<EpochStats> fit(const data::LabeledImages& train,
+                              const data::LabeledImages* test = nullptr);
+
+  /// Top-1 accuracy of the model on `dataset` (inference mode).
+  double evaluate(const data::LabeledImages& dataset);
+
+  Sequential& model() { return *model_; }
+
+ private:
+  Sequential* model_;
+  TrainConfig config_;
+  Sgd optimizer_;
+  StepDecaySchedule schedule_;
+  Rng rng_;
+};
+
+/// Standalone top-1 evaluation of any model (used for converted SNNs' source
+/// DNNs and in tests).
+double evaluate_model(Sequential& model, const data::LabeledImages& dataset,
+                      std::int64_t batch_size = 64);
+
+}  // namespace ullsnn::dnn

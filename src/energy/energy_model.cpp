@@ -1,0 +1,15 @@
+#include "src/energy/energy_model.h"
+
+namespace ullsnn::energy {
+
+double compute_energy_pj(const FlopsReport& flops, const CmosConstants& cmos) {
+  return flops.total_macs * cmos.e_mac_pj + flops.total_acs * cmos.e_ac_pj;
+}
+
+double neuromorphic_energy(double total_flops, std::int64_t time_steps,
+                           const NeuromorphicModel& model) {
+  return total_flops * model.e_compute +
+         static_cast<double>(time_steps) * model.e_static;
+}
+
+}  // namespace ullsnn::energy

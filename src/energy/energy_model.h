@@ -1,0 +1,39 @@
+// Compute-energy models of Sec. VI.
+//
+// CMOS (45 nm, 0.9 V, 32-bit int, Horowitz [29]): E_MAC = 3.2 pJ
+// (3.1 multiply + 0.1 add), E_AC = 0.1 pJ.
+//
+// Neuromorphic (TrueNorth / SpiNNaker, normalized constants from [32]):
+// E_total = FLOPs * E_compute + T * E_static, with (0.4, 0.6) for TrueNorth
+// and (0.64, 0.36) for SpiNNaker. For deep nets FLOPs >> T, so the energy is
+// compute-bound — the paper's argument that GPU-side improvements carry over.
+#pragma once
+
+#include <cstdint>
+
+#include "src/energy/flops.h"
+
+namespace ullsnn::energy {
+
+struct CmosConstants {
+  double e_mac_pj = 3.2;
+  double e_ac_pj = 0.1;
+};
+
+/// Compute energy in picojoules of a FLOPs report under the CMOS model.
+double compute_energy_pj(const FlopsReport& flops, const CmosConstants& cmos = {});
+
+struct NeuromorphicModel {
+  const char* name;
+  double e_compute;
+  double e_static;
+};
+
+constexpr NeuromorphicModel kTrueNorth{"TrueNorth", 0.4, 0.6};
+constexpr NeuromorphicModel kSpiNNaker{"SpiNNaker", 0.64, 0.36};
+
+/// Normalized neuromorphic energy: FLOPs * E_compute + T * E_static.
+double neuromorphic_energy(double total_flops, std::int64_t time_steps,
+                           const NeuromorphicModel& model);
+
+}  // namespace ullsnn::energy

@@ -1,0 +1,94 @@
+#include "src/energy/memory_model.h"
+
+namespace ullsnn::energy {
+
+namespace {
+constexpr double kBytesPerFloat = 4.0;
+constexpr double kMib = 1024.0 * 1024.0;
+
+double mib(double floats) { return floats * kBytesPerFloat / kMib; }
+
+// Sum of per-sample activation sizes across the chain (the tensors a
+// backward pass must retain), for any layer sequence with output_shape.
+template <typename Net>
+double activation_floats(const Net& net, Shape shape) {
+  double total = 0.0;
+  for (std::int64_t i = 0; i < net.size(); ++i) {
+    shape = net.layer(i).output_shape(shape);
+    double numel = 1.0;
+    for (std::size_t d = 1; d < shape.size(); ++d) {
+      numel *= static_cast<double>(shape[d]);
+    }
+    total += numel;
+  }
+  return total;
+}
+
+double param_floats(std::vector<dnn::Param*> params) {
+  double total = 0.0;
+  for (const dnn::Param* p : params) total += static_cast<double>(p->value.numel());
+  return total;
+}
+
+// Per-sample membrane state: one float per IF neuron.
+double membrane_floats(const snn::SnnNetwork& net) {
+  double total = 0.0;
+  for (std::int64_t i = 0; i < net.size(); ++i) {
+    total += static_cast<double>(net.layer(i).neurons());
+  }
+  return total;
+}
+}  // namespace
+
+MemoryEstimate estimate_dnn_training_memory(dnn::Sequential& model,
+                                            const Shape& input_shape,
+                                            std::int64_t batch_size) {
+  MemoryEstimate est;
+  // value + grad + momentum
+  est.params_mib = mib(3.0 * param_floats(model.params()));
+  est.activations_mib =
+      mib(activation_floats(model, input_shape) * static_cast<double>(batch_size));
+  return est;
+}
+
+MemoryEstimate estimate_snn_training_memory(snn::SnnNetwork& net,
+                                            const Shape& input_shape,
+                                            std::int64_t batch_size,
+                                            std::int64_t time_steps) {
+  MemoryEstimate est;
+  est.params_mib = mib(3.0 * param_floats(net.params()));
+  // BPTT stores every step's activations (inputs + pre-reset potentials).
+  est.activations_mib = mib(activation_floats(net, input_shape) *
+                            static_cast<double>(batch_size) *
+                            static_cast<double>(time_steps));
+  est.membranes_mib =
+      mib(2.0 * membrane_floats(net) * static_cast<double>(batch_size) *
+          static_cast<double>(time_steps));
+  return est;
+}
+
+MemoryEstimate estimate_snn_inference_memory(snn::SnnNetwork& net,
+                                             const Shape& input_shape,
+                                             std::int64_t batch_size) {
+  MemoryEstimate est;
+  est.params_mib = mib(param_floats(net.params()));
+  // Inference streams layer to layer; only the widest activation and the
+  // membranes persist. We charge one activation set (conservative).
+  est.activations_mib =
+      mib(activation_floats(net, input_shape) * static_cast<double>(batch_size));
+  est.membranes_mib =
+      mib(membrane_floats(net) * static_cast<double>(batch_size));
+  return est;
+}
+
+MemoryEstimate estimate_dnn_inference_memory(dnn::Sequential& model,
+                                             const Shape& input_shape,
+                                             std::int64_t batch_size) {
+  MemoryEstimate est;
+  est.params_mib = mib(param_floats(model.params()));
+  est.activations_mib =
+      mib(activation_floats(model, input_shape) * static_cast<double>(batch_size));
+  return est;
+}
+
+}  // namespace ullsnn::energy

@@ -1,0 +1,40 @@
+// Analytic training/inference memory model (Fig. 3(b)).
+//
+// DNN training stores one forward activation set (for backward) plus
+// parameters, gradients, and momentum. SNN training with BPTT stores T
+// activation sets plus membrane potentials — the T-linear term the paper's
+// latency reduction attacks. Sizes are float32 bytes; results in MiB.
+#pragma once
+
+#include <cstdint>
+
+#include "src/dnn/sequential.h"
+#include "src/snn/snn_network.h"
+
+namespace ullsnn::energy {
+
+struct MemoryEstimate {
+  double params_mib = 0.0;       // weights + grads + momentum (training)
+  double activations_mib = 0.0;  // cached forward state
+  double membranes_mib = 0.0;    // SNN membrane potentials
+  double total_mib() const { return params_mib + activations_mib + membranes_mib; }
+};
+
+MemoryEstimate estimate_dnn_training_memory(dnn::Sequential& model,
+                                            const Shape& input_shape,
+                                            std::int64_t batch_size);
+
+MemoryEstimate estimate_snn_training_memory(snn::SnnNetwork& net,
+                                            const Shape& input_shape,
+                                            std::int64_t batch_size,
+                                            std::int64_t time_steps);
+
+MemoryEstimate estimate_snn_inference_memory(snn::SnnNetwork& net,
+                                             const Shape& input_shape,
+                                             std::int64_t batch_size);
+
+MemoryEstimate estimate_dnn_inference_memory(dnn::Sequential& model,
+                                             const Shape& input_shape,
+                                             std::int64_t batch_size);
+
+}  // namespace ullsnn::energy

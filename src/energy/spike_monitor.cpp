@@ -1,0 +1,35 @@
+#include "src/energy/spike_monitor.h"
+
+namespace ullsnn::energy {
+
+double ActivityReport::mean_spikes_per_neuron() const {
+  if (layers.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& layer : layers) acc += layer.spikes_per_neuron;
+  return acc / static_cast<double>(layers.size());
+}
+
+ActivityReport measure_activity(snn::SnnNetwork& net,
+                                const data::LabeledImages& dataset,
+                                std::int64_t batch_size) {
+  net.reset_stats();
+  ActivityReport report;
+  report.samples = dataset.size();
+  report.accuracy = snn::evaluate_snn(net, dataset, batch_size);
+  for (std::int64_t i = 0; i < net.size(); ++i) {
+    const snn::SpikingLayer& layer = net.layer(i);
+    if (layer.neurons() == 0) continue;
+    LayerActivity activity;
+    activity.name = layer.name() + "#" + std::to_string(i);
+    activity.neurons = layer.neurons();
+    activity.spikes_per_neuron =
+        static_cast<double>(layer.spikes_emitted()) /
+        (static_cast<double>(report.samples) * static_cast<double>(layer.neurons()));
+    report.total_spikes_per_image +=
+        static_cast<double>(layer.spikes_emitted()) / static_cast<double>(report.samples);
+    report.layers.push_back(std::move(activity));
+  }
+  return report;
+}
+
+}  // namespace ullsnn::energy

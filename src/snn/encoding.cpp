@@ -1,0 +1,20 @@
+#include "src/snn/encoding.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ullsnn::snn {
+
+Tensor encode_step(const Tensor& images, Encoding encoding, Rng& rng) {
+  if (encoding == Encoding::kDirect) return images;
+  // Poisson rate coding: P(spike) = |pixel| clipped to [0, 1], spike value
+  // carries the pixel sign (standardized inputs are signed).
+  Tensor spikes(images.shape());
+  for (std::int64_t i = 0; i < images.numel(); ++i) {
+    const float p = std::min(std::abs(images[i]), 1.0F);
+    if (rng.bernoulli(p)) spikes[i] = images[i] >= 0.0F ? 1.0F : -1.0F;
+  }
+  return spikes;
+}
+
+}  // namespace ullsnn::snn

@@ -1,0 +1,25 @@
+// Input encodings for SNNs.
+//
+// kDirect (the paper's choice, Sec. I): the analog image drives the first
+// convolution at every time step; only subsequent layers spike. Needs MACs in
+// layer 1 but cuts required latency by an order of magnitude [7]-[9].
+//
+// kPoisson (rate coding, for the ablation): each pixel p in [0,1]-normalized
+// magnitude emits a Bernoulli(|p|) spike per step carrying sign(p).
+#pragma once
+
+#include <cstdint>
+
+#include "src/data/dataset.h"
+#include "src/tensor/random.h"
+#include "src/tensor/tensor.h"
+
+namespace ullsnn::snn {
+
+enum class Encoding { kDirect, kPoisson };
+
+/// Produce the layer-1 drive for step t from the analog batch.
+/// Direct encoding returns the images unchanged; Poisson draws fresh spikes.
+Tensor encode_step(const Tensor& images, Encoding encoding, Rng& rng);
+
+}  // namespace ullsnn::snn

@@ -1,0 +1,136 @@
+#include "src/snn/event_driven.h"
+
+#include <stdexcept>
+
+namespace ullsnn::snn {
+
+EventDrivenEngine::EventDrivenEngine(SnnNetwork& net) : net_(&net) {}
+
+Tensor EventDrivenEngine::conv_scatter(const SynapticConv& synapse,
+                                       const Tensor& input, bool count_dense) {
+  const Conv2dSpec& spec = synapse.spec();
+  const Tensor& w = synapse.weight().value;
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t in_ch = input.dim(1);
+  const std::int64_t height = input.dim(2);
+  const std::int64_t width = input.dim(3);
+  const std::int64_t oh = spec.out_extent(height);
+  const std::int64_t ow = spec.out_extent(width);
+  Tensor out({batch, spec.out_channels, oh, ow});
+  const std::int64_t k = spec.kernel;
+  std::int64_t events = 0;
+  std::int64_t acs = 0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < in_ch; ++c) {
+      const float* plane = input.data() + (n * in_ch + c) * height * width;
+      for (std::int64_t y = 0; y < height; ++y) {
+        for (std::int64_t x = 0; x < width; ++x) {
+          const float v = plane[y * width + x];
+          if (v == 0.0F) continue;  // event-driven: skip silent synapses
+          ++events;
+          // Scatter this spike through every kernel position that maps the
+          // input pixel (y, x) to a valid output location.
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t oy_num = y + spec.pad - ky;
+            if (oy_num < 0 || oy_num % spec.stride != 0) continue;
+            const std::int64_t oy = oy_num / spec.stride;
+            if (oy >= oh) continue;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t ox_num = x + spec.pad - kx;
+              if (ox_num < 0 || ox_num % spec.stride != 0) continue;
+              const std::int64_t ox = ox_num / spec.stride;
+              if (ox >= ow) continue;
+              for (std::int64_t co = 0; co < spec.out_channels; ++co) {
+                out.at(n, co, oy, ox) += v * w.at(co, c, ky, kx);
+              }
+              acs += spec.out_channels;
+            }
+          }
+        }
+      }
+    }
+  }
+  stats_.events_processed += events;
+  stats_.accumulate_ops += acs;
+  if (count_dense) stats_.dense_equivalent_ops += synapse.macs(input.shape()) * batch;
+  return out;
+}
+
+Tensor EventDrivenEngine::linear_scatter(const SynapticLinear& synapse,
+                                         const Tensor& input, bool count_dense) {
+  const Tensor& w = synapse.weight().value;
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t in_features = w.dim(1);
+  const std::int64_t out_features = w.dim(0);
+  Tensor out({batch, out_features});
+  std::int64_t events = 0;
+  std::int64_t acs = 0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = input.data() + n * in_features;
+    float* orow = out.data() + n * out_features;
+    for (std::int64_t i = 0; i < in_features; ++i) {
+      const float v = row[i];
+      if (v == 0.0F) continue;
+      ++events;
+      for (std::int64_t o = 0; o < out_features; ++o) {
+        orow[o] += v * w.at(o, i);
+      }
+      acs += out_features;
+    }
+  }
+  stats_.events_processed += events;
+  stats_.accumulate_ops += acs;
+  if (count_dense) stats_.dense_equivalent_ops += synapse.macs() * batch;
+  return out;
+}
+
+Tensor EventDrivenEngine::forward(const Tensor& images) {
+  SnnNetwork& net = *net_;
+  if (net.size() == 0) throw std::logic_error("EventDrivenEngine: empty network");
+  if (net.encoding() != Encoding::kDirect) {
+    throw std::invalid_argument(
+        "EventDrivenEngine: only direct encoding is supported");
+  }
+  const std::int64_t t_steps = net.time_steps();
+  Shape shape = images.shape();
+  for (std::int64_t i = 0; i < net.size(); ++i) {
+    net.layer(i).begin_sequence(shape, t_steps, /*train=*/false);
+    shape = net.layer(i).output_shape(shape);
+  }
+  Tensor logits(shape);
+  for (std::int64_t t = 0; t < t_steps; ++t) {
+    Tensor x = images;
+    for (std::int64_t i = 0; i < net.size(); ++i) {
+      SpikingLayer& layer = net.layer(i);
+      if (auto* conv = dynamic_cast<SpikingConv2d*>(&layer)) {
+        const Tensor current = conv_scatter(conv->synapse(), x, true);
+        x = conv->neuron_or_null()->step_forward(current, t, false);
+      } else if (auto* linear = dynamic_cast<SpikingLinear*>(&layer)) {
+        Tensor current = linear_scatter(linear->synapse(), x, true);
+        if (linear->has_neuron()) {
+          x = linear->neuron_or_null()->step_forward(current, t, false);
+        } else {
+          x = std::move(current);
+        }
+      } else if (auto* block = dynamic_cast<SpikingResidualBlock*>(&layer)) {
+        const Tensor s1 = block->neuron1().step_forward(
+            conv_scatter(block->conv1_synapse(), x, true), t, false);
+        Tensor current = conv_scatter(block->conv2_synapse(), s1, true);
+        if (SynapticConv* projection = block->projection_synapse_or_null()) {
+          current += conv_scatter(*projection, x, true);
+        } else {
+          current += x;
+        }
+        x = block->neuron2().step_forward(current, t, false);
+      } else {
+        // Weightless layers (pool / flatten / inactive dropout) are cheap;
+        // reuse their dense step.
+        x = layer.step_forward(x, t, false);
+      }
+    }
+    logits += x;
+  }
+  return logits;
+}
+
+}  // namespace ullsnn::snn

@@ -1,0 +1,56 @@
+// Event-driven sparse inference engine.
+//
+// The dense simulator (SnnNetwork) evaluates every synapse at every step;
+// real neuromorphic hardware (TrueNorth, SpiNNaker — Sec. VI-B) only does
+// work per *spike*. This engine is the software analogue: per time step it
+// gathers the non-zero inputs of each synaptic layer and performs exactly
+// one accumulate per (spike, fan-out synapse) — so its operation count IS
+// the paper's AC count, and its runtime scales with spiking activity rather
+// than layer size.
+//
+// It consumes a converted SnnNetwork (inference only; training stays in the
+// dense engine) and produces bit-identical logits up to float addition
+// order. Equivalence is property-tested in tests/snn/event_driven_test.cpp;
+// bench_kernels reports the dense-vs-event throughput crossover as a
+// function of activity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/snn/snn_network.h"
+
+namespace ullsnn::snn {
+
+struct EventStats {
+  std::int64_t events_processed = 0;   // input spikes consumed
+  std::int64_t accumulate_ops = 0;     // synaptic ACs actually executed
+  std::int64_t dense_equivalent_ops = 0;  // what the dense engine would do
+};
+
+class EventDrivenEngine {
+ public:
+  /// Wraps (and keeps a reference to) a built network; the network's layer
+  /// structure and weights are read through the SpikingLayer interface.
+  explicit EventDrivenEngine(SnnNetwork& net);
+
+  /// Accumulated logits over the network's T steps for an analog batch,
+  /// computed event-by-event. Matches SnnNetwork::forward(images, false).
+  Tensor forward(const Tensor& images);
+
+  const EventStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  // Sparse scatter of one layer's input spikes through a conv synapse.
+  Tensor conv_scatter(const SynapticConv& synapse, const Tensor& input,
+                      bool count_dense);
+  Tensor linear_scatter(const SynapticLinear& synapse, const Tensor& input,
+                        bool count_dense);
+
+  SnnNetwork* net_;
+  EventStats stats_;
+};
+
+}  // namespace ullsnn::snn

@@ -1,0 +1,109 @@
+// Integrate-and-Fire neuron dynamics (paper Eqs. 2-4, 8) with
+// backpropagation-through-time support.
+//
+// Forward, per time step t:
+//   U_temp(t) = leak * U(t-1) + I(t)                    (Eq. 2)
+//   S(t)      = beta * V_th   if U_temp(t) > V_th       (Eq. 3 with Eq. 8's
+//             = 0             otherwise                  beta output scaling)
+//   U(t)      = U_temp(t) - V_th * [spiked]             (Eq. 4, soft reset)
+//
+// Note the soft reset subtracts V_th, NOT beta*V_th: beta only rescales the
+// y-axis of the effective activation staircase (Fig. 1(b)); firing rates are
+// governed by the threshold alone.
+//
+// Backward (SGL): the discontinuous spike uses the paper's boxcar surrogate
+// dS/dU_temp ~= 1 for U_temp in [0, 2*V_th], else 0 (Sec. III-B). The reset
+// path is detached (standard practice, keeps BPTT stable). The threshold and
+// leak are trainable (DIET-SNN-style joint optimization [7]):
+//   dL/dleak += sum_t gUtemp(t) * U(t-1)                 (exact)
+//   dL/dV_th += sum_t gS(t) * (beta*[spiked] - surr(t))  (amplitude + shift)
+// Both scalar gradients are normalized by the per-sample neuron count so a
+// learning rate shared with the weights stays usable at any layer width.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dnn/module.h"
+#include "src/tensor/tensor.h"
+
+namespace ullsnn::snn {
+
+/// Post-spike membrane handling. Soft reset (subtract V_th, Eq. 4) preserves
+/// the surplus charge and is what makes rate coding track clip() exactly;
+/// hard reset (to zero) discards it — several early conversion works use it,
+/// and it is exposed for the ablation.
+enum class ResetMode { kSubtract, kZero };
+
+struct IfConfig {
+  float v_threshold = 1.0F;
+  float leak = 1.0F;       // lambda; 1.0 => IF, <1 => LIF
+  float beta = 1.0F;       // output spike amplitude scale (Eq. 8)
+  /// Initial membrane charge as a fraction of V_th. The Deng-style bias
+  /// shift delta = V_th/(2T) on the average pre-activation equals a one-off
+  /// initial charge of T*delta = V_th/2, i.e. fraction 0.5. The paper's own
+  /// method removes the bias (fraction 0, Sec. III-B).
+  float initial_membrane_fraction = 0.0F;
+  ResetMode reset = ResetMode::kSubtract;
+  bool train_threshold = true;
+  bool train_leak = true;
+};
+
+class IfNeuron {
+ public:
+  explicit IfNeuron(const IfConfig& config);
+
+  /// Reset membrane state (and caches when training) for a new input
+  /// sequence of the given activation shape.
+  void begin_sequence(const Shape& shape, std::int64_t time_steps, bool train);
+
+  /// Advance one step: integrate `current`, emit spikes (0 or beta*V_th).
+  /// `t` must advance 0, 1, ..., T-1.
+  Tensor step_forward(const Tensor& current, std::int64_t t, bool train);
+
+  /// Must be called once before the reverse-time step_backward sweep.
+  void begin_backward();
+
+  /// Gradient w.r.t. the input current of step `t`, given gradient w.r.t.
+  /// this step's spikes. Must be called with t = T-1, ..., 0.
+  Tensor step_backward(const Tensor& grad_spikes, std::int64_t t);
+
+  std::vector<dnn::Param*> params();
+
+  float threshold() const { return threshold_.value[0]; }
+  void set_threshold(float v);
+  float leak() const { return leak_.value[0]; }
+  void set_leak(float v) { leak_.value[0] = v; }
+  float beta() const { return beta_; }
+  void set_beta(float b) { beta_ = b; }
+  float initial_membrane_fraction() const { return init_fraction_; }
+
+  /// Spikes emitted since reset_stats() (summed over steps and batch).
+  std::int64_t spikes_emitted() const { return spikes_emitted_; }
+  /// Per-sample neuron count of the last sequence (feature-map size,
+  /// excluding the batch dimension).
+  std::int64_t neurons() const { return neurons_; }
+  void reset_stats() { spikes_emitted_ = 0; }
+
+  const Tensor& membrane() const { return membrane_; }
+
+ private:
+  dnn::Param threshold_;  // [1]
+  dnn::Param leak_;       // [1]
+  float beta_;
+  float init_fraction_;
+  ResetMode reset_;
+  bool train_threshold_;
+  bool train_leak_;
+
+  Tensor membrane_;
+  // Per-step caches for BPTT (only populated when training).
+  std::vector<Tensor> cached_utemp_;
+  std::vector<Tensor> cached_prev_u_;
+  Tensor grad_membrane_;  // dL/dU(t) carried backwards through time
+
+  std::int64_t spikes_emitted_ = 0;
+  std::int64_t neurons_ = 0;
+};
+
+}  // namespace ullsnn::snn

@@ -1,0 +1,102 @@
+#include "src/snn/sgl_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/dnn/loss.h"
+#include "src/util/timer.h"
+
+namespace ullsnn::snn {
+
+SglTrainer::SglTrainer(SnnNetwork& net, SglConfig config)
+    : net_(&net),
+      config_(config),
+      optimizer_(net.params(),
+                 dnn::SgdConfig{config.lr, config.momentum, config.weight_decay}),
+      schedule_(config.lr, config.epochs),
+      rng_(config.seed) {}
+
+dnn::EpochStats SglTrainer::train_epoch(const data::LabeledImages& train,
+                                        std::int64_t epoch) {
+  Timer timer;
+  optimizer_.set_lr(schedule_.lr_at(epoch));
+  data::BatchIterator batches(train, config_.batch_size, rng_);
+  const data::AugmentSpec aug;
+  double loss_sum = 0.0;
+  std::int64_t correct = 0;
+  std::int64_t seen = 0;
+  for (std::int64_t b = 0; b < batches.num_batches(); ++b) {
+    data::Batch batch = batches.batch(b);
+    if (config_.augment) data::augment_batch(batch, aug, rng_);
+    optimizer_.zero_grad();
+    const Tensor logits = net_->forward(batch.images, /*train=*/true);
+    dnn::LossResult loss = dnn::softmax_cross_entropy(logits, batch.labels);
+    net_->backward(loss.grad);
+    clip_gradients();
+    optimizer_.step();
+    clamp_neuron_params();
+    loss_sum += static_cast<double>(loss.loss) * static_cast<double>(batch.size());
+    correct += loss.correct;
+    seen += batch.size();
+  }
+  dnn::EpochStats stats;
+  stats.epoch = epoch;
+  stats.train_loss = static_cast<float>(loss_sum / static_cast<double>(seen));
+  stats.train_accuracy = static_cast<double>(correct) / static_cast<double>(seen);
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+std::vector<dnn::EpochStats> SglTrainer::fit(const data::LabeledImages& train,
+                                             const data::LabeledImages* test) {
+  std::vector<dnn::EpochStats> history;
+  history.reserve(static_cast<std::size_t>(config_.epochs));
+  for (std::int64_t e = 0; e < config_.epochs; ++e) {
+    dnn::EpochStats stats = train_epoch(train, e);
+    if (test != nullptr) stats.test_accuracy = evaluate(*test);
+    if (config_.verbose) {
+      std::printf("  [sgl] epoch %3lld  loss %.4f  train %.4f  test %.4f  (%.1fs)\n",
+                  static_cast<long long>(stats.epoch), stats.train_loss,
+                  stats.train_accuracy, stats.test_accuracy, stats.seconds);
+      std::fflush(stdout);
+    }
+    history.push_back(stats);
+  }
+  return history;
+}
+
+double SglTrainer::evaluate(const data::LabeledImages& dataset) {
+  return evaluate_snn(*net_, dataset, config_.batch_size);
+}
+
+void SglTrainer::clip_gradients() {
+  if (config_.grad_clip_norm <= 0.0F) return;
+  double sq = 0.0;
+  for (dnn::Param* p : net_->params()) {
+    for (std::int64_t i = 0; i < p->grad.numel(); ++i) {
+      sq += static_cast<double>(p->grad[i]) * p->grad[i];
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm <= config_.grad_clip_norm) return;
+  const float scale = config_.grad_clip_norm / static_cast<float>(norm);
+  for (dnn::Param* p : net_->params()) {
+    for (std::int64_t i = 0; i < p->grad.numel(); ++i) p->grad[i] *= scale;
+  }
+}
+
+void SglTrainer::clamp_neuron_params() {
+  // Keep the neuron dynamics physical: thresholds strictly positive, leaks in
+  // [0, 1]. SGD steps can momentarily push them outside, after which the
+  // forward dynamics (and the surrogate support) would be meaningless.
+  for (dnn::Param* p : net_->params()) {
+    if (p->name == "if.threshold") {
+      p->value[0] = std::max(p->value[0], 1e-3F);
+    } else if (p->name == "if.leak") {
+      p->value[0] = std::clamp(p->value[0], 0.0F, 1.0F);
+    }
+  }
+}
+
+}  // namespace ullsnn::snn

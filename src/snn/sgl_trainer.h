@@ -1,0 +1,55 @@
+// Surrogate-gradient learning (SGL) in the SNN domain — stage (c) of the
+// paper's pipeline: after conversion, jointly fine-tune weights, thresholds,
+// and leaks [7] with BPTT over the T time steps, starting from a small
+// learning rate (1e-4 in Sec. IV-A) with the same step-decay schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/augment.h"
+#include "src/data/dataset.h"
+#include "src/dnn/optimizer.h"
+#include "src/dnn/trainer.h"
+#include "src/snn/snn_network.h"
+
+namespace ullsnn::snn {
+
+struct SglConfig {
+  std::int64_t epochs = 10;
+  std::int64_t batch_size = 32;
+  float lr = 1e-4F;
+  float momentum = 0.9F;
+  float weight_decay = 0.0F;  // fine-tuning: decay off by default
+  /// Global L2 gradient-norm clip. BPTT through the spike discontinuities
+  /// occasionally produces outlier batches whose unclipped step destroys the
+  /// converted initialization; 0 disables.
+  float grad_clip_norm = 5.0F;
+  bool augment = true;
+  std::uint64_t seed = 11;
+  bool verbose = false;
+};
+
+class SglTrainer {
+ public:
+  SglTrainer(SnnNetwork& net, SglConfig config);
+
+  dnn::EpochStats train_epoch(const data::LabeledImages& train, std::int64_t epoch);
+  std::vector<dnn::EpochStats> fit(const data::LabeledImages& train,
+                                   const data::LabeledImages* test = nullptr);
+  double evaluate(const data::LabeledImages& dataset);
+
+  SnnNetwork& network() { return *net_; }
+
+ private:
+  void clip_gradients();
+  void clamp_neuron_params();
+
+  SnnNetwork* net_;
+  SglConfig config_;
+  dnn::Sgd optimizer_;
+  dnn::StepDecaySchedule schedule_;
+  Rng rng_;
+};
+
+}  // namespace ullsnn::snn

@@ -1,0 +1,98 @@
+#include "src/snn/snn_network.h"
+
+#include <stdexcept>
+
+#include "src/dnn/loss.h"
+
+namespace ullsnn::snn {
+
+SnnNetwork::SnnNetwork(std::int64_t time_steps) : time_steps_(time_steps) {
+  if (time_steps <= 0) throw std::invalid_argument("SnnNetwork: time_steps must be positive");
+}
+
+void SnnNetwork::append(SpikingLayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+void SnnNetwork::set_time_steps(std::int64_t t) {
+  if (t <= 0) throw std::invalid_argument("SnnNetwork: time_steps must be positive");
+  time_steps_ = t;
+}
+
+void SnnNetwork::set_encoding(Encoding encoding, std::uint64_t seed) {
+  encoding_ = encoding;
+  encoder_rng_ = Rng(seed);
+}
+
+Tensor SnnNetwork::forward(const Tensor& images, bool train) {
+  if (layers_.empty()) throw std::logic_error("SnnNetwork::forward: empty network");
+  cached_input_shape_ = images.shape();
+  Shape shape = images.shape();
+  for (auto& layer : layers_) {
+    layer->begin_sequence(shape, time_steps_, train);
+    shape = layer->output_shape(shape);
+  }
+  Tensor logits(shape);
+  for (std::int64_t t = 0; t < time_steps_; ++t) {
+    Tensor x = encode_step(images, encoding_, encoder_rng_);
+    for (auto& layer : layers_) x = layer->step_forward(x, t, train);
+    logits += x;
+  }
+  return logits;
+}
+
+void SnnNetwork::backward(const Tensor& grad_logits) {
+  for (auto& layer : layers_) layer->begin_backward();
+  for (std::int64_t t = time_steps_ - 1; t >= 0; --t) {
+    Tensor g = grad_logits;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      g = (*it)->step_backward(g, t);
+    }
+  }
+}
+
+std::vector<Param*> SnnNetwork::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+void SnnNetwork::reset_stats() {
+  for (auto& layer : layers_) layer->reset_stats();
+}
+
+std::int64_t SnnNetwork::total_spikes() const {
+  std::int64_t total = 0;
+  for (const auto& layer : layers_) total += layer->spikes_emitted();
+  return total;
+}
+
+std::vector<double> SnnNetwork::spikes_per_neuron(std::int64_t samples) const {
+  if (samples <= 0) throw std::invalid_argument("spikes_per_neuron: samples must be positive");
+  std::vector<double> out;
+  for (const auto& layer : layers_) {
+    const std::int64_t neurons = layer->neurons();  // per sample
+    if (neurons == 0) continue;  // weightless / readout layers
+    // spikes_emitted sums over batch and steps; dividing by (samples x
+    // per-sample neurons) yields the paper's per-image average spike count.
+    out.push_back(static_cast<double>(layer->spikes_emitted()) /
+                  (static_cast<double>(samples) * static_cast<double>(neurons)));
+  }
+  return out;
+}
+
+double evaluate_snn(SnnNetwork& net, const data::LabeledImages& dataset,
+                    std::int64_t batch_size) {
+  Rng rng(0);
+  data::BatchIterator batches(dataset, batch_size, rng, /*shuffle_each_epoch=*/false);
+  std::int64_t correct = 0;
+  for (std::int64_t b = 0; b < batches.num_batches(); ++b) {
+    const data::Batch batch = batches.batch(b);
+    const Tensor logits = net.forward(batch.images, /*train=*/false);
+    correct += static_cast<std::int64_t>(
+        dnn::accuracy(logits, batch.labels) * static_cast<double>(batch.size()) + 0.5);
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace ullsnn::snn

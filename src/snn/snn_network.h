@@ -1,0 +1,84 @@
+// SnnNetwork: temporal orchestration of a spiking layer chain.
+//
+// Forward (direct input encoding, Sec. I): the analog image is presented to
+// the first layer at every step t = 0..T-1; the final layer is a neuron-free
+// SpikingLinear whose per-step currents are summed into the logits (output
+// accumulation — the standard readout for converted/direct-encoded SNNs).
+//
+// Backward (SGL): logits = sum_t out_t, so each step receives the same
+// d(loss)/d(logits); the network sweeps t from T-1 down to 0 calling each
+// layer's step_backward in reverse chain order (full BPTT).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/snn/encoding.h"
+#include "src/snn/spiking_layers.h"
+
+namespace ullsnn::snn {
+
+class SnnNetwork {
+ public:
+  explicit SnnNetwork(std::int64_t time_steps);
+
+  void append(SpikingLayerPtr layer);
+
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  std::int64_t size() const { return static_cast<std::int64_t>(layers_.size()); }
+  SpikingLayer& layer(std::int64_t i) { return *layers_[static_cast<std::size_t>(i)]; }
+  const SpikingLayer& layer(std::int64_t i) const {
+    return *layers_[static_cast<std::size_t>(i)];
+  }
+
+  std::int64_t time_steps() const { return time_steps_; }
+  void set_time_steps(std::int64_t t);
+
+  Encoding encoding() const { return encoding_; }
+  void set_encoding(Encoding encoding, std::uint64_t seed = 99);
+
+  /// Shared RNG for SpikingDropout layers built into this network (the
+  /// network outlives its layers' Rng* references by construction).
+  Rng& dropout_rng() { return dropout_rng_; }
+  void seed_dropout(std::uint64_t seed) { dropout_rng_ = Rng(seed); }
+
+  /// Accumulated logits over all T steps for a batch of analog images.
+  Tensor forward(const Tensor& images, bool train);
+
+  /// BPTT given d(loss)/d(logits). Requires a preceding forward(train=true).
+  void backward(const Tensor& grad_logits);
+
+  std::vector<Param*> params();
+
+  /// Drop activity counters on every layer.
+  void reset_stats();
+
+  /// Total spikes emitted across all layers since the last reset_stats().
+  std::int64_t total_spikes() const;
+
+  /// Per-sample average spike count per neuron, layer by layer (the Fig. 4(a)
+  /// metric), given how many input samples contributed to the counters.
+  std::vector<double> spikes_per_neuron(std::int64_t samples) const;
+
+ private:
+  std::vector<SpikingLayerPtr> layers_;
+  std::int64_t time_steps_;
+  Encoding encoding_ = Encoding::kDirect;
+  Rng encoder_rng_{99};
+  Rng dropout_rng_{123};
+  Shape cached_input_shape_;
+};
+
+/// Top-1 accuracy of an SNN on a labeled set (inference mode).
+double evaluate_snn(SnnNetwork& net, const data::LabeledImages& dataset,
+                    std::int64_t batch_size = 64);
+
+}  // namespace ullsnn::snn

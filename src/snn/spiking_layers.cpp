@@ -1,0 +1,443 @@
+#include "src/snn/spiking_layers.h"
+
+#include <stdexcept>
+
+namespace ullsnn::snn {
+
+namespace {
+std::int64_t count_nonzeros(const Tensor& t) {
+  std::int64_t n = 0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) n += (t[i] != 0.0F) ? 1 : 0;
+  return n;
+}
+
+double nonzero_rate(std::int64_t nonzeros, std::int64_t elements) {
+  return elements > 0 ? static_cast<double>(nonzeros) / static_cast<double>(elements)
+                      : 0.0;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SynapticConv
+// ---------------------------------------------------------------------------
+
+SynapticConv::SynapticConv(Tensor weight, Conv2dSpec spec) : spec_(spec) {
+  const Shape expected = {spec.out_channels, spec.in_channels, spec.kernel, spec.kernel};
+  if (weight.shape() != expected) {
+    throw std::invalid_argument("SynapticConv: weight shape " +
+                                shape_to_string(weight.shape()) + " != " +
+                                shape_to_string(expected));
+  }
+  weight_.name = "synaptic_conv.weight";
+  weight_.value = std::move(weight);
+  weight_.grad = Tensor(weight_.value.shape());
+}
+
+void SynapticConv::begin_sequence(std::int64_t time_steps, bool train) {
+  cached_inputs_.clear();
+  if (train) cached_inputs_.resize(static_cast<std::size_t>(time_steps));
+}
+
+Tensor SynapticConv::forward(const Tensor& input, std::int64_t t, bool train) {
+  input_nonzeros_ += count_nonzeros(input);
+  input_elements_ += input.numel();
+  Tensor out(output_shape(input.shape()));
+  conv2d_forward(input, weight_.value, Tensor(), out, spec_, scratch_);
+  if (train) cached_inputs_[static_cast<std::size_t>(t)] = input;
+  return out;
+}
+
+Tensor SynapticConv::backward(const Tensor& grad_current, std::int64_t t) {
+  const Tensor& input = cached_inputs_.at(static_cast<std::size_t>(t));
+  if (input.empty()) throw std::logic_error("SynapticConv::backward without forward");
+  Tensor grad_input(input.shape());
+  conv2d_backward(input, weight_.value, grad_current, &grad_input, weight_.grad,
+                  nullptr, spec_, scratch_);
+  return grad_input;
+}
+
+Shape SynapticConv::output_shape(const Shape& input) const {
+  return {input[0], spec_.out_channels, spec_.out_extent(input[2]),
+          spec_.out_extent(input[3])};
+}
+
+std::int64_t SynapticConv::macs(const Shape& input) const {
+  const std::int64_t oh = spec_.out_extent(input[2]);
+  const std::int64_t ow = spec_.out_extent(input[3]);
+  return spec_.out_channels * oh * ow * spec_.in_channels * spec_.kernel * spec_.kernel;
+}
+
+// ---------------------------------------------------------------------------
+// SynapticLinear
+// ---------------------------------------------------------------------------
+
+SynapticLinear::SynapticLinear(Tensor weight) {
+  if (weight.rank() != 2) {
+    throw std::invalid_argument("SynapticLinear: weight must be [out, in]");
+  }
+  weight_.name = "synaptic_linear.weight";
+  weight_.value = std::move(weight);
+  weight_.grad = Tensor(weight_.value.shape());
+}
+
+void SynapticLinear::begin_sequence(std::int64_t time_steps, bool train) {
+  cached_inputs_.clear();
+  if (train) cached_inputs_.resize(static_cast<std::size_t>(time_steps));
+}
+
+Tensor SynapticLinear::forward(const Tensor& input, std::int64_t t, bool train) {
+  if (input.rank() != 2 || input.dim(1) != in_features()) {
+    throw std::invalid_argument("SynapticLinear: bad input shape " +
+                                shape_to_string(input.shape()));
+  }
+  input_nonzeros_ += count_nonzeros(input);
+  input_elements_ += input.numel();
+  const std::int64_t n = input.dim(0);
+  Tensor out({n, out_features()});
+  matmul_bt(input.data(), weight_.value.data(), out.data(), n, in_features(),
+            out_features());
+  if (train) cached_inputs_[static_cast<std::size_t>(t)] = input;
+  return out;
+}
+
+Tensor SynapticLinear::backward(const Tensor& grad_current, std::int64_t t) {
+  const Tensor& input = cached_inputs_.at(static_cast<std::size_t>(t));
+  if (input.empty()) throw std::logic_error("SynapticLinear::backward without forward");
+  const std::int64_t n = input.dim(0);
+  matmul_at(grad_current.data(), input.data(), weight_.grad.data(), out_features(),
+            n, in_features(), /*accumulate=*/true);
+  Tensor grad_input({n, in_features()});
+  matmul(grad_current.data(), weight_.value.data(), grad_input.data(), n,
+         out_features(), in_features());
+  return grad_input;
+}
+
+// ---------------------------------------------------------------------------
+// SpikingConv2d
+// ---------------------------------------------------------------------------
+
+SpikingConv2d::SpikingConv2d(Tensor weight, Conv2dSpec spec,
+                             const IfConfig& neuron_config)
+    : synapse_(std::move(weight), spec), neuron_(neuron_config) {}
+
+void SpikingConv2d::begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                                   bool train) {
+  synapse_.begin_sequence(time_steps, train);
+  neuron_.begin_sequence(synapse_.output_shape(input_shape), time_steps, train);
+}
+
+Tensor SpikingConv2d::step_forward(const Tensor& input, std::int64_t t, bool train) {
+  return neuron_.step_forward(synapse_.forward(input, t, train), t, train);
+}
+
+Tensor SpikingConv2d::step_backward(const Tensor& grad_output, std::int64_t t) {
+  return synapse_.backward(neuron_.step_backward(grad_output, t), t);
+}
+
+std::vector<Param*> SpikingConv2d::params() {
+  std::vector<Param*> ps = {&synapse_.weight()};
+  for (Param* p : neuron_.params()) ps.push_back(p);
+  return ps;
+}
+
+Shape SpikingConv2d::output_shape(const Shape& input) const {
+  return synapse_.output_shape(input);
+}
+
+double SpikingConv2d::acs_estimate(const Shape& input, std::int64_t time_steps) const {
+  return static_cast<double>(synapse_.macs(input)) *
+         nonzero_rate(synapse_.input_nonzeros(), synapse_.input_elements()) *
+         static_cast<double>(time_steps);
+}
+
+// ---------------------------------------------------------------------------
+// SpikingLinear
+// ---------------------------------------------------------------------------
+
+SpikingLinear::SpikingLinear(Tensor weight, const IfConfig& neuron_config,
+                             bool with_neuron)
+    : synapse_(std::move(weight)) {
+  if (with_neuron) neuron_ = std::make_unique<IfNeuron>(neuron_config);
+}
+
+void SpikingLinear::begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                                   bool train) {
+  synapse_.begin_sequence(time_steps, train);
+  if (neuron_) {
+    neuron_->begin_sequence({input_shape[0], synapse_.out_features()}, time_steps,
+                            train);
+  }
+}
+
+Tensor SpikingLinear::step_forward(const Tensor& input, std::int64_t t, bool train) {
+  Tensor current = synapse_.forward(input, t, train);
+  if (neuron_) return neuron_->step_forward(current, t, train);
+  return current;
+}
+
+void SpikingLinear::begin_backward() {
+  if (neuron_) neuron_->begin_backward();
+}
+
+Tensor SpikingLinear::step_backward(const Tensor& grad_output, std::int64_t t) {
+  if (neuron_) return synapse_.backward(neuron_->step_backward(grad_output, t), t);
+  return synapse_.backward(grad_output, t);
+}
+
+std::vector<Param*> SpikingLinear::params() {
+  std::vector<Param*> ps = {&synapse_.weight()};
+  if (neuron_) {
+    for (Param* p : neuron_->params()) ps.push_back(p);
+  }
+  return ps;
+}
+
+Shape SpikingLinear::output_shape(const Shape& input) const {
+  return {input[0], synapse_.out_features()};
+}
+
+void SpikingLinear::reset_stats() {
+  synapse_.reset_stats();
+  if (neuron_) neuron_->reset_stats();
+}
+
+double SpikingLinear::acs_estimate(const Shape& input, std::int64_t time_steps) const {
+  (void)input;
+  return static_cast<double>(synapse_.macs()) *
+         nonzero_rate(synapse_.input_nonzeros(), synapse_.input_elements()) *
+         static_cast<double>(time_steps);
+}
+
+// ---------------------------------------------------------------------------
+// SpikingMaxPool
+// ---------------------------------------------------------------------------
+
+SpikingMaxPool::SpikingMaxPool(Pool2dSpec spec) : spec_(spec) {}
+
+void SpikingMaxPool::begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                                    bool train) {
+  input_shape_ = input_shape;
+  argmax_per_step_.clear();
+  if (train) argmax_per_step_.resize(static_cast<std::size_t>(time_steps));
+}
+
+Tensor SpikingMaxPool::step_forward(const Tensor& input, std::int64_t t, bool train) {
+  Tensor out(output_shape(input.shape()));
+  std::vector<std::int64_t> argmax;
+  maxpool2d_forward(input, out, argmax, spec_);
+  if (train) argmax_per_step_[static_cast<std::size_t>(t)] = std::move(argmax);
+  return out;
+}
+
+Tensor SpikingMaxPool::step_backward(const Tensor& grad_output, std::int64_t t) {
+  const auto& argmax = argmax_per_step_.at(static_cast<std::size_t>(t));
+  if (argmax.empty()) throw std::logic_error("SpikingMaxPool::step_backward without forward");
+  Tensor grad_input(input_shape_);
+  maxpool2d_backward(grad_output, argmax, grad_input);
+  return grad_input;
+}
+
+Shape SpikingMaxPool::output_shape(const Shape& input) const {
+  return {input[0], input[1], spec_.out_extent(input[2]), spec_.out_extent(input[3])};
+}
+
+// ---------------------------------------------------------------------------
+// SpikingAvgPool
+// ---------------------------------------------------------------------------
+
+SpikingAvgPool::SpikingAvgPool(Pool2dSpec spec) : spec_(spec) {}
+
+void SpikingAvgPool::begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                                    bool train) {
+  (void)time_steps;
+  (void)train;
+  input_shape_ = input_shape;
+}
+
+Tensor SpikingAvgPool::step_forward(const Tensor& input, std::int64_t t, bool train) {
+  (void)t;
+  (void)train;
+  Tensor out(output_shape(input.shape()));
+  avgpool2d_forward(input, out, spec_);
+  return out;
+}
+
+Tensor SpikingAvgPool::step_backward(const Tensor& grad_output, std::int64_t t) {
+  (void)t;
+  Tensor grad_input(input_shape_);
+  avgpool2d_backward(grad_output, grad_input, spec_);
+  return grad_input;
+}
+
+Shape SpikingAvgPool::output_shape(const Shape& input) const {
+  return {input[0], input[1], spec_.out_extent(input[2]), spec_.out_extent(input[3])};
+}
+
+// ---------------------------------------------------------------------------
+// SpikingDropout
+// ---------------------------------------------------------------------------
+
+SpikingDropout::SpikingDropout(float drop_prob, Rng& rng)
+    : drop_prob_(drop_prob), rng_(rng.split()) {
+  if (drop_prob < 0.0F || drop_prob >= 1.0F) {
+    throw std::invalid_argument("SpikingDropout: drop_prob must be in [0, 1)");
+  }
+}
+
+void SpikingDropout::begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                                    bool train) {
+  (void)time_steps;
+  active_ = train && drop_prob_ > 0.0F;
+  if (!active_) return;
+  mask_.resize(static_cast<std::size_t>(shape_numel(input_shape)));
+  const float keep_scale = 1.0F / (1.0F - drop_prob_);
+  for (auto& m : mask_) m = rng_.bernoulli(drop_prob_) ? 0.0F : keep_scale;
+}
+
+Tensor SpikingDropout::step_forward(const Tensor& input, std::int64_t t, bool train) {
+  (void)t;
+  (void)train;
+  if (!active_) return input;
+  if (mask_.size() != static_cast<std::size_t>(input.numel())) {
+    throw std::logic_error("SpikingDropout: mask size mismatch");
+  }
+  Tensor out = input;
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] *= mask_[static_cast<std::size_t>(i)];
+  return out;
+}
+
+Tensor SpikingDropout::step_backward(const Tensor& grad_output, std::int64_t t) {
+  return step_forward(grad_output, t, /*train=*/false).reshape(grad_output.shape());
+}
+
+// ---------------------------------------------------------------------------
+// SpikingFlatten
+// ---------------------------------------------------------------------------
+
+void SpikingFlatten::begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                                    bool train) {
+  (void)time_steps;
+  (void)train;
+  input_shape_ = input_shape;
+}
+
+Tensor SpikingFlatten::step_forward(const Tensor& input, std::int64_t t, bool train) {
+  (void)t;
+  (void)train;
+  return input.reshape({input.dim(0), -1});
+}
+
+Tensor SpikingFlatten::step_backward(const Tensor& grad_output, std::int64_t t) {
+  (void)t;
+  return grad_output.reshape(input_shape_);
+}
+
+Shape SpikingFlatten::output_shape(const Shape& input) const {
+  std::int64_t features = 1;
+  for (std::size_t i = 1; i < input.size(); ++i) features *= input[i];
+  return {input[0], features};
+}
+
+// ---------------------------------------------------------------------------
+// SpikingResidualBlock
+// ---------------------------------------------------------------------------
+
+SpikingResidualBlock::SpikingResidualBlock(Tensor conv1_weight, Conv2dSpec conv1_spec,
+                                           const IfConfig& neuron1,
+                                           Tensor conv2_weight, Conv2dSpec conv2_spec,
+                                           const IfConfig& neuron2,
+                                           Tensor projection_weight,
+                                           Conv2dSpec projection_spec)
+    : conv1_(std::move(conv1_weight), conv1_spec),
+      neuron1_(neuron1),
+      conv2_(std::move(conv2_weight), conv2_spec),
+      neuron2_(neuron2) {
+  if (!projection_weight.empty()) {
+    projection_ = std::make_unique<SynapticConv>(std::move(projection_weight),
+                                                 projection_spec);
+  }
+}
+
+void SpikingResidualBlock::begin_sequence(const Shape& input_shape,
+                                          std::int64_t time_steps, bool train) {
+  conv1_.begin_sequence(time_steps, train);
+  const Shape mid = conv1_.output_shape(input_shape);
+  neuron1_.begin_sequence(mid, time_steps, train);
+  conv2_.begin_sequence(time_steps, train);
+  if (projection_) projection_->begin_sequence(time_steps, train);
+  neuron2_.begin_sequence(conv2_.output_shape(mid), time_steps, train);
+}
+
+Tensor SpikingResidualBlock::step_forward(const Tensor& input, std::int64_t t,
+                                          bool train) {
+  const Tensor s1 =
+      neuron1_.step_forward(conv1_.forward(input, t, train), t, train);
+  Tensor current = conv2_.forward(s1, t, train);
+  if (projection_) {
+    current += projection_->forward(input, t, train);
+  } else {
+    current += input;
+  }
+  return neuron2_.step_forward(current, t, train);
+}
+
+void SpikingResidualBlock::begin_backward() {
+  neuron1_.begin_backward();
+  neuron2_.begin_backward();
+}
+
+Tensor SpikingResidualBlock::step_backward(const Tensor& grad_output, std::int64_t t) {
+  const Tensor g_current = neuron2_.step_backward(grad_output, t);
+  Tensor g_in = conv1_.backward(neuron1_.step_backward(conv2_.backward(g_current, t), t), t);
+  if (projection_) {
+    g_in += projection_->backward(g_current, t);
+  } else {
+    g_in += g_current;
+  }
+  return g_in;
+}
+
+std::vector<Param*> SpikingResidualBlock::params() {
+  std::vector<Param*> ps = {&conv1_.weight()};
+  for (Param* p : neuron1_.params()) ps.push_back(p);
+  ps.push_back(&conv2_.weight());
+  if (projection_) ps.push_back(&projection_->weight());
+  for (Param* p : neuron2_.params()) ps.push_back(p);
+  return ps;
+}
+
+Shape SpikingResidualBlock::output_shape(const Shape& input) const {
+  return conv2_.output_shape(conv1_.output_shape(input));
+}
+
+std::int64_t SpikingResidualBlock::macs(const Shape& input) const {
+  const Shape mid = conv1_.output_shape(input);
+  std::int64_t total = conv1_.macs(input) + conv2_.macs(mid);
+  if (projection_) total += projection_->macs(input);
+  return total;
+}
+
+double SpikingResidualBlock::acs_estimate(const Shape& input,
+                                          std::int64_t time_steps) const {
+  const Shape mid = conv1_.output_shape(input);
+  const auto t = static_cast<double>(time_steps);
+  double acs = static_cast<double>(conv1_.macs(input)) *
+               nonzero_rate(conv1_.input_nonzeros(), conv1_.input_elements()) * t;
+  acs += static_cast<double>(conv2_.macs(mid)) *
+         nonzero_rate(conv2_.input_nonzeros(), conv2_.input_elements()) * t;
+  if (projection_) {
+    acs += static_cast<double>(projection_->macs(input)) *
+           nonzero_rate(projection_->input_nonzeros(), projection_->input_elements()) * t;
+  }
+  return acs;
+}
+
+void SpikingResidualBlock::reset_stats() {
+  conv1_.reset_stats();
+  neuron1_.reset_stats();
+  conv2_.reset_stats();
+  if (projection_) projection_->reset_stats();
+  neuron2_.reset_stats();
+}
+
+}  // namespace ullsnn::snn

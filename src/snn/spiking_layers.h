@@ -1,0 +1,323 @@
+// Spiking layer zoo. Layers process one time step at a time under an
+// explicit temporal protocol driven by SnnNetwork:
+//
+//   begin_sequence(shape, T, train)          once per batch
+//   step_forward(x, t, train)                t = 0 .. T-1
+//   begin_backward()                         once, training only
+//   step_backward(g, t)                      t = T-1 .. 0   (BPTT)
+//
+// Synaptic weight ops (conv / linear) are split from the IF dynamics so that
+// residual blocks can sum currents into a shared post-neuron, exactly like
+// the DNN residual join converts (DESIGN.md).
+//
+// Every synaptic op counts its input non-zeros; IF neurons count emitted
+// spikes. These counters feed the Sec. VI spiking-activity / FLOPs / energy
+// accounting without any extra instrumentation passes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dnn/module.h"
+#include "src/snn/neuron.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/random.h"
+
+namespace ullsnn::snn {
+
+using dnn::Param;
+
+// ---------------------------------------------------------------------------
+// Synaptic ops: weights only, no membrane dynamics.
+// ---------------------------------------------------------------------------
+
+class SynapticConv {
+ public:
+  SynapticConv(Tensor weight, Conv2dSpec spec);
+
+  void begin_sequence(std::int64_t time_steps, bool train);
+  Tensor forward(const Tensor& input, std::int64_t t, bool train);
+  /// Gradient w.r.t. the step-t input; accumulates the weight gradient.
+  Tensor backward(const Tensor& grad_current, std::int64_t t);
+
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  const Conv2dSpec& spec() const { return spec_; }
+  Shape output_shape(const Shape& input) const;
+  std::int64_t macs(const Shape& input) const;
+
+  std::int64_t input_nonzeros() const { return input_nonzeros_; }
+  std::int64_t input_elements() const { return input_elements_; }
+  void reset_stats() { input_nonzeros_ = 0; input_elements_ = 0; }
+
+ private:
+  Param weight_;
+  Conv2dSpec spec_;
+  std::vector<Tensor> cached_inputs_;
+  std::vector<float> scratch_;
+  std::int64_t input_nonzeros_ = 0;
+  std::int64_t input_elements_ = 0;
+};
+
+class SynapticLinear {
+ public:
+  SynapticLinear(Tensor weight);  // weight [out, in]
+
+  void begin_sequence(std::int64_t time_steps, bool train);
+  Tensor forward(const Tensor& input, std::int64_t t, bool train);
+  Tensor backward(const Tensor& grad_current, std::int64_t t);
+
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  std::int64_t in_features() const { return weight_.value.dim(1); }
+  std::int64_t out_features() const { return weight_.value.dim(0); }
+  std::int64_t macs() const { return in_features() * out_features(); }
+
+  std::int64_t input_nonzeros() const { return input_nonzeros_; }
+  std::int64_t input_elements() const { return input_elements_; }
+  void reset_stats() { input_nonzeros_ = 0; input_elements_ = 0; }
+
+ private:
+  Param weight_;
+  std::vector<Tensor> cached_inputs_;
+  std::int64_t input_nonzeros_ = 0;
+  std::int64_t input_elements_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Spiking layer interface.
+// ---------------------------------------------------------------------------
+
+class SpikingLayer {
+ public:
+  virtual ~SpikingLayer() = default;
+  SpikingLayer() = default;
+  SpikingLayer(const SpikingLayer&) = delete;
+  SpikingLayer& operator=(const SpikingLayer&) = delete;
+
+  virtual void begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                              bool train) = 0;
+  virtual Tensor step_forward(const Tensor& input, std::int64_t t, bool train) = 0;
+  virtual void begin_backward() {}
+  virtual Tensor step_backward(const Tensor& grad_output, std::int64_t t) = 0;
+
+  virtual std::vector<Param*> params() { return {}; }
+  virtual Shape output_shape(const Shape& input) const = 0;
+  virtual std::string name() const = 0;
+
+  /// Dense per-step per-sample synaptic MAC count at this input shape
+  /// (0 for weightless layers).
+  virtual std::int64_t macs(const Shape& input) const { (void)input; return 0; }
+
+  /// Measured accumulate-operation count per sample over `time_steps` steps:
+  /// dense MACs scaled by the observed input non-zero rate (each input spike
+  /// triggers exactly its fan-out's worth of ACs). Valid after inference has
+  /// populated the activity counters; 0 for weightless layers.
+  virtual double acs_estimate(const Shape& input, std::int64_t time_steps) const {
+    (void)input;
+    (void)time_steps;
+    return 0.0;
+  }
+
+  // Activity statistics (accumulated across sequences until reset_stats()).
+  virtual std::int64_t spikes_emitted() const { return 0; }
+  virtual std::int64_t neurons() const { return 0; }
+  virtual std::int64_t input_nonzeros() const { return 0; }
+  virtual std::int64_t input_elements() const { return 0; }
+  virtual void reset_stats() {}
+
+  /// Primary IF neuron of this layer, or nullptr for weight/shape-only layers.
+  virtual IfNeuron* neuron_or_null() { return nullptr; }
+};
+
+using SpikingLayerPtr = std::unique_ptr<SpikingLayer>;
+
+// ---------------------------------------------------------------------------
+// Concrete layers.
+// ---------------------------------------------------------------------------
+
+/// Convolution followed by IF dynamics. The first network layer receives the
+/// analog image directly each step (direct encoding) — the math is identical,
+/// only the energy accounting differs (MACs vs ACs; see energy/flops.h).
+class SpikingConv2d final : public SpikingLayer {
+ public:
+  SpikingConv2d(Tensor weight, Conv2dSpec spec, const IfConfig& neuron_config);
+
+  void begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                      bool train) override;
+  Tensor step_forward(const Tensor& input, std::int64_t t, bool train) override;
+  void begin_backward() override { neuron_.begin_backward(); }
+  Tensor step_backward(const Tensor& grad_output, std::int64_t t) override;
+  std::vector<Param*> params() override;
+  Shape output_shape(const Shape& input) const override;
+  std::string name() const override { return "SpikingConv2d"; }
+  std::int64_t macs(const Shape& input) const override { return synapse_.macs(input); }
+  double acs_estimate(const Shape& input, std::int64_t time_steps) const override;
+  std::int64_t spikes_emitted() const override { return neuron_.spikes_emitted(); }
+  std::int64_t neurons() const override { return neuron_.neurons(); }
+  std::int64_t input_nonzeros() const override { return synapse_.input_nonzeros(); }
+  std::int64_t input_elements() const override { return synapse_.input_elements(); }
+  void reset_stats() override { neuron_.reset_stats(); synapse_.reset_stats(); }
+  IfNeuron* neuron_or_null() override { return &neuron_; }
+
+  SynapticConv& synapse() { return synapse_; }
+
+ private:
+  SynapticConv synapse_;
+  IfNeuron neuron_;
+};
+
+/// Fully connected synapse, optionally followed by IF dynamics. The output
+/// (classifier) layer uses with_neuron = false: its currents are accumulated
+/// into logits across the T steps by SnnNetwork.
+class SpikingLinear final : public SpikingLayer {
+ public:
+  SpikingLinear(Tensor weight, const IfConfig& neuron_config, bool with_neuron);
+
+  void begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                      bool train) override;
+  Tensor step_forward(const Tensor& input, std::int64_t t, bool train) override;
+  void begin_backward() override;
+  Tensor step_backward(const Tensor& grad_output, std::int64_t t) override;
+  std::vector<Param*> params() override;
+  Shape output_shape(const Shape& input) const override;
+  std::string name() const override { return "SpikingLinear"; }
+  std::int64_t macs(const Shape& input) const override {
+    (void)input;
+    return synapse_.macs();
+  }
+  double acs_estimate(const Shape& input, std::int64_t time_steps) const override;
+  std::int64_t spikes_emitted() const override {
+    return neuron_ ? neuron_->spikes_emitted() : 0;
+  }
+  std::int64_t neurons() const override { return neuron_ ? neuron_->neurons() : 0; }
+  std::int64_t input_nonzeros() const override { return synapse_.input_nonzeros(); }
+  std::int64_t input_elements() const override { return synapse_.input_elements(); }
+  void reset_stats() override;
+  IfNeuron* neuron_or_null() override { return neuron_.get(); }
+
+  SynapticLinear& synapse() { return synapse_; }
+  bool has_neuron() const { return neuron_ != nullptr; }
+
+ private:
+  SynapticLinear synapse_;
+  std::unique_ptr<IfNeuron> neuron_;
+};
+
+/// Max pooling over spike maps. On {0, amplitude} inputs the output stays in
+/// {0, amplitude}, preserving the accumulate-only property (Sec. IV-A).
+class SpikingMaxPool final : public SpikingLayer {
+ public:
+  explicit SpikingMaxPool(Pool2dSpec spec);
+
+  void begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                      bool train) override;
+  Tensor step_forward(const Tensor& input, std::int64_t t, bool train) override;
+  Tensor step_backward(const Tensor& grad_output, std::int64_t t) override;
+  Shape output_shape(const Shape& input) const override;
+  std::string name() const override { return "SpikingMaxPool"; }
+
+ private:
+  Pool2dSpec spec_;
+  Shape input_shape_;
+  std::vector<std::vector<std::int64_t>> argmax_per_step_;
+};
+
+/// Average pooling (used by the ResNet head and the pooling ablation).
+class SpikingAvgPool final : public SpikingLayer {
+ public:
+  explicit SpikingAvgPool(Pool2dSpec spec);
+
+  void begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                      bool train) override;
+  Tensor step_forward(const Tensor& input, std::int64_t t, bool train) override;
+  Tensor step_backward(const Tensor& grad_output, std::int64_t t) override;
+  Shape output_shape(const Shape& input) const override;
+  std::string name() const override { return "SpikingAvgPool"; }
+
+ private:
+  Pool2dSpec spec_;
+  Shape input_shape_;
+};
+
+/// Dropout with a mask held FIXED across the T steps of each sequence so the
+/// temporal statistics of a sample are not scrambled (standard for SNN SGL).
+class SpikingDropout final : public SpikingLayer {
+ public:
+  /// Forks an independent RNG stream from `rng` at construction; the layer
+  /// owns its stream, so the argument need not outlive the layer.
+  SpikingDropout(float drop_prob, Rng& rng);
+
+  void begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                      bool train) override;
+  Tensor step_forward(const Tensor& input, std::int64_t t, bool train) override;
+  Tensor step_backward(const Tensor& grad_output, std::int64_t t) override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  std::string name() const override { return "SpikingDropout"; }
+
+ private:
+  float drop_prob_;
+  Rng rng_;
+  std::vector<float> mask_;
+  bool active_ = false;
+};
+
+class SpikingFlatten final : public SpikingLayer {
+ public:
+  void begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                      bool train) override;
+  Tensor step_forward(const Tensor& input, std::int64_t t, bool train) override;
+  Tensor step_backward(const Tensor& grad_output, std::int64_t t) override;
+  Shape output_shape(const Shape& input) const override;
+  std::string name() const override { return "SpikingFlatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+/// Spiking residual block mirroring dnn::ResidualBlock: the second conv's
+/// current and the skip current sum into the post-join IF neuron's membrane.
+class SpikingResidualBlock final : public SpikingLayer {
+ public:
+  SpikingResidualBlock(Tensor conv1_weight, Conv2dSpec conv1_spec,
+                       const IfConfig& neuron1, Tensor conv2_weight,
+                       Conv2dSpec conv2_spec, const IfConfig& neuron2,
+                       Tensor projection_weight,  // empty => identity skip
+                       Conv2dSpec projection_spec);
+
+  void begin_sequence(const Shape& input_shape, std::int64_t time_steps,
+                      bool train) override;
+  Tensor step_forward(const Tensor& input, std::int64_t t, bool train) override;
+  void begin_backward() override;
+  Tensor step_backward(const Tensor& grad_output, std::int64_t t) override;
+  std::vector<Param*> params() override;
+  Shape output_shape(const Shape& input) const override;
+  std::string name() const override { return "SpikingResidualBlock"; }
+  std::int64_t macs(const Shape& input) const override;
+  double acs_estimate(const Shape& input, std::int64_t time_steps) const override;
+  std::int64_t spikes_emitted() const override {
+    return neuron1_.spikes_emitted() + neuron2_.spikes_emitted();
+  }
+  std::int64_t neurons() const override { return neuron1_.neurons() + neuron2_.neurons(); }
+  std::int64_t input_nonzeros() const override { return conv1_.input_nonzeros(); }
+  std::int64_t input_elements() const override { return conv1_.input_elements(); }
+  void reset_stats() override;
+  IfNeuron* neuron_or_null() override { return &neuron2_; }
+
+  IfNeuron& neuron1() { return neuron1_; }
+  IfNeuron& neuron2() { return neuron2_; }
+  SynapticConv& conv1_synapse() { return conv1_; }
+  SynapticConv& conv2_synapse() { return conv2_; }
+  SynapticConv* projection_synapse_or_null() { return projection_.get(); }
+
+ private:
+  SynapticConv conv1_;
+  IfNeuron neuron1_;
+  SynapticConv conv2_;
+  std::unique_ptr<SynapticConv> projection_;  // null => identity
+  IfNeuron neuron2_;
+};
+
+}  // namespace ullsnn::snn

@@ -1,0 +1,304 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "src/util/parallel.h"
+
+namespace ullsnn {
+
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t k, std::int64_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  // i-k-j order: the inner loop streams both B's row and C's row, which
+  // vectorizes cleanly and keeps B in cache across consecutive i.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = ai[kk];
+      if (aik == 0.0F) continue;  // spikes make many zero rows; skip them
+      const float* bk = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  // A stored [K,M]: element A^T(i,kk) = a[kk*m + i].
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* ak = a + kk * m;
+    const float* bk = b + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aik = ak[i];
+      if (aik == 0.0F) continue;
+      float* ci = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  // B stored [N,K]: dot products of contiguous rows — already cache-friendly.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * k;
+      float acc = 0.0F;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
+      ci[j] += acc;
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul: incompatible shapes " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()));
+  }
+  Tensor c({a.dim(0), b.dim(1)});
+  matmul(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
+  return c;
+}
+
+void im2col(const float* img, float* cols, std::int64_t channels,
+            std::int64_t height, std::int64_t width, const Conv2dSpec& spec) {
+  const std::int64_t oh = spec.out_extent(height);
+  const std::int64_t ow = spec.out_extent(width);
+  const std::int64_t k = spec.kernel;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float* ch = img + c * height * width;
+    for (std::int64_t ky = 0; ky < k; ++ky) {
+      for (std::int64_t kx = 0; kx < k; ++kx, ++row) {
+        float* out_row = cols + row * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * spec.stride + ky - spec.pad;
+          float* dst = out_row + oy * ow;
+          if (iy < 0 || iy >= height) {
+            std::memset(dst, 0, static_cast<std::size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* src_row = ch + iy * width;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * spec.stride + kx - spec.pad;
+            dst[ox] = (ix >= 0 && ix < width) ? src_row[ix] : 0.0F;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, float* img, std::int64_t channels,
+            std::int64_t height, std::int64_t width, const Conv2dSpec& spec) {
+  const std::int64_t oh = spec.out_extent(height);
+  const std::int64_t ow = spec.out_extent(width);
+  const std::int64_t k = spec.kernel;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    float* ch = img + c * height * width;
+    for (std::int64_t ky = 0; ky < k; ++ky) {
+      for (std::int64_t kx = 0; kx < k; ++kx, ++row) {
+        const float* in_row = cols + row * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * spec.stride + ky - spec.pad;
+          if (iy < 0 || iy >= height) continue;
+          const float* src = in_row + oy * ow;
+          float* dst_row = ch + iy * width;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * spec.stride + kx - spec.pad;
+            if (ix >= 0 && ix < width) dst_row[ix] += src[ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_forward(const Tensor& input, const Tensor& weight,
+                    const Tensor& bias, Tensor& output, const Conv2dSpec& spec,
+                    std::vector<float>& scratch) {
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t height = input.dim(2);
+  const std::int64_t width = input.dim(3);
+  const std::int64_t oh = spec.out_extent(height);
+  const std::int64_t ow = spec.out_extent(width);
+  const std::int64_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  if (input.dim(1) != spec.in_channels) {
+    throw std::invalid_argument("conv2d_forward: input channels " +
+                                std::to_string(input.dim(1)) + " != spec " +
+                                std::to_string(spec.in_channels));
+  }
+  const auto run_sample = [&](std::int64_t nImg, std::vector<float>& cols) {
+    cols.resize(static_cast<std::size_t>(patch * oh * ow));
+    const float* img = input.data() + nImg * spec.in_channels * height * width;
+    im2col(img, cols.data(), spec.in_channels, height, width, spec);
+    float* out = output.data() + nImg * spec.out_channels * oh * ow;
+    matmul(weight.data(), cols.data(), out, spec.out_channels, patch, oh * ow);
+    if (!bias.empty()) {
+      for (std::int64_t c = 0; c < spec.out_channels; ++c) {
+        const float b = bias[c];
+        float* oc = out + c * oh * ow;
+        for (std::int64_t i = 0; i < oh * ow; ++i) oc[i] += b;
+      }
+    }
+  };
+  if (num_threads() > 1 && batch > 1) {
+    // Samples write disjoint output slices, so batch-level parallelism needs
+    // no synchronization; each worker keeps its own im2col buffer.
+    parallel_for(batch, [&](std::int64_t nImg) {
+      thread_local std::vector<float> local_cols;
+      run_sample(nImg, local_cols);
+    });
+  } else {
+    for (std::int64_t nImg = 0; nImg < batch; ++nImg) run_sample(nImg, scratch);
+  }
+}
+
+void conv2d_backward(const Tensor& input, const Tensor& weight,
+                     const Tensor& grad_output, Tensor* grad_input,
+                     Tensor& grad_weight, Tensor* grad_bias,
+                     const Conv2dSpec& spec, std::vector<float>& scratch) {
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t height = input.dim(2);
+  const std::int64_t width = input.dim(3);
+  const std::int64_t oh = spec.out_extent(height);
+  const std::int64_t ow = spec.out_extent(width);
+  const std::int64_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  const std::int64_t cols_size = patch * oh * ow;
+  // scratch layout: [cols | dcols]
+  scratch.resize(static_cast<std::size_t>(2 * cols_size));
+  float* cols = scratch.data();
+  float* dcols = scratch.data() + cols_size;
+  if (grad_input != nullptr) grad_input->fill(0.0F);
+  for (std::int64_t nImg = 0; nImg < batch; ++nImg) {
+    const float* img = input.data() + nImg * spec.in_channels * height * width;
+    const float* gout = grad_output.data() + nImg * spec.out_channels * oh * ow;
+    im2col(img, cols, spec.in_channels, height, width, spec);
+    // dW[Cout,patch] += gout[Cout,OHW] * cols^T[OHW,patch]
+    matmul_bt(gout, cols, grad_weight.data(), spec.out_channels, oh * ow, patch,
+              /*accumulate=*/true);
+    if (grad_bias != nullptr) {
+      for (std::int64_t c = 0; c < spec.out_channels; ++c) {
+        const float* gc = gout + c * oh * ow;
+        float acc = 0.0F;
+        for (std::int64_t i = 0; i < oh * ow; ++i) acc += gc[i];
+        (*grad_bias)[c] += acc;
+      }
+    }
+    if (grad_input != nullptr) {
+      // dcols[patch,OHW] = W^T[patch,Cout] * gout[Cout,OHW]
+      matmul_at(weight.data(), gout, dcols, patch, spec.out_channels, oh * ow);
+      col2im(dcols, grad_input->data() + nImg * spec.in_channels * height * width,
+             spec.in_channels, height, width, spec);
+    }
+  }
+}
+
+void maxpool2d_forward(const Tensor& input, Tensor& output,
+                       std::vector<std::int64_t>& argmax, const Pool2dSpec& spec) {
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t channels = input.dim(1);
+  const std::int64_t height = input.dim(2);
+  const std::int64_t width = input.dim(3);
+  const std::int64_t oh = spec.out_extent(height);
+  const std::int64_t ow = spec.out_extent(width);
+  argmax.resize(static_cast<std::size_t>(batch * channels * oh * ow));
+  std::int64_t out_idx = 0;
+  for (std::int64_t nc = 0; nc < batch * channels; ++nc) {
+    const float* plane = input.data() + nc * height * width;
+    const std::int64_t plane_base = nc * height * width;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::int64_t best_idx = -1;
+        for (std::int64_t ky = 0; ky < spec.kernel; ++ky) {
+          const std::int64_t iy = oy * spec.stride + ky;
+          for (std::int64_t kx = 0; kx < spec.kernel; ++kx) {
+            const std::int64_t ix = ox * spec.stride + kx;
+            const float v = plane[iy * width + ix];
+            if (v > best) {
+              best = v;
+              best_idx = plane_base + iy * width + ix;
+            }
+          }
+        }
+        output[out_idx] = best;
+        argmax[static_cast<std::size_t>(out_idx)] = best_idx;
+      }
+    }
+  }
+}
+
+void maxpool2d_backward(const Tensor& grad_output,
+                        const std::vector<std::int64_t>& argmax,
+                        Tensor& grad_input) {
+  grad_input.fill(0.0F);
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[argmax[static_cast<std::size_t>(i)]] += grad_output[i];
+  }
+}
+
+void avgpool2d_forward(const Tensor& input, Tensor& output, const Pool2dSpec& spec) {
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t channels = input.dim(1);
+  const std::int64_t height = input.dim(2);
+  const std::int64_t width = input.dim(3);
+  const std::int64_t oh = spec.out_extent(height);
+  const std::int64_t ow = spec.out_extent(width);
+  const float inv = 1.0F / static_cast<float>(spec.kernel * spec.kernel);
+  std::int64_t out_idx = 0;
+  for (std::int64_t nc = 0; nc < batch * channels; ++nc) {
+    const float* plane = input.data() + nc * height * width;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
+        float acc = 0.0F;
+        for (std::int64_t ky = 0; ky < spec.kernel; ++ky) {
+          const std::int64_t iy = oy * spec.stride + ky;
+          for (std::int64_t kx = 0; kx < spec.kernel; ++kx) {
+            acc += plane[iy * width + ox * spec.stride + kx];
+          }
+        }
+        output[out_idx] = acc * inv;
+      }
+    }
+  }
+}
+
+void avgpool2d_backward(const Tensor& grad_output, Tensor& grad_input,
+                        const Pool2dSpec& spec) {
+  grad_input.fill(0.0F);
+  const std::int64_t batch = grad_output.dim(0);
+  const std::int64_t channels = grad_output.dim(1);
+  const std::int64_t oh = grad_output.dim(2);
+  const std::int64_t ow = grad_output.dim(3);
+  const std::int64_t height = grad_input.dim(2);
+  const std::int64_t width = grad_input.dim(3);
+  const float inv = 1.0F / static_cast<float>(spec.kernel * spec.kernel);
+  std::int64_t out_idx = 0;
+  for (std::int64_t nc = 0; nc < batch * channels; ++nc) {
+    float* plane = grad_input.data() + nc * height * width;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
+        const float g = grad_output[out_idx] * inv;
+        for (std::int64_t ky = 0; ky < spec.kernel; ++ky) {
+          const std::int64_t iy = oy * spec.stride + ky;
+          for (std::int64_t kx = 0; kx < spec.kernel; ++kx) {
+            plane[iy * width + ox * spec.stride + kx] += g;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ullsnn

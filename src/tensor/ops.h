@@ -1,0 +1,87 @@
+// Hot numeric kernels: GEMM, im2col convolution (forward + both backward
+// passes), and pooling. Everything is NCHW, float32, single-threaded but
+// cache-blocked — this repo runs on one core by design (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace ullsnn {
+
+/// C[M,N] = A[M,K] * B[K,N]. `accumulate` adds into C instead of overwriting.
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t k, std::int64_t n, bool accumulate = false);
+
+/// C[M,N] = A^T[M,K] * B[K,N] where A is stored [K,M].
+void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate = false);
+
+/// C[M,N] = A[M,K] * B^T[K,N] where B is stored [N,K].
+void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate = false);
+
+/// Tensor-level GEMM convenience: a is [M,K], b is [K,N], result [M,N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+struct Conv2dSpec {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t pad = 1;
+
+  std::int64_t out_extent(std::int64_t in_extent) const {
+    return (in_extent + 2 * pad - kernel) / stride + 1;
+  }
+};
+
+/// Unpack one sample's [C,H,W] image into columns [C*K*K, OH*OW].
+void im2col(const float* img, float* cols, std::int64_t channels,
+            std::int64_t height, std::int64_t width, const Conv2dSpec& spec);
+
+/// Inverse of im2col: accumulate columns back into the [C,H,W] image buffer.
+/// The image buffer must be zeroed by the caller.
+void col2im(const float* cols, float* img, std::int64_t channels,
+            std::int64_t height, std::int64_t width, const Conv2dSpec& spec);
+
+/// Forward convolution. input [N,Cin,H,W], weight [Cout,Cin,K,K],
+/// bias [Cout] (may be empty), output [N,Cout,OH,OW].
+/// `scratch` must hold at least Cin*K*K*OH*OW floats.
+void conv2d_forward(const Tensor& input, const Tensor& weight,
+                    const Tensor& bias, Tensor& output, const Conv2dSpec& spec,
+                    std::vector<float>& scratch);
+
+/// Gradients of conv2d. grad_output [N,Cout,OH,OW].
+/// Accumulates into grad_weight/grad_bias; overwrites grad_input.
+/// Pass nullptr grad_input to skip the input gradient (first layer).
+void conv2d_backward(const Tensor& input, const Tensor& weight,
+                     const Tensor& grad_output, Tensor* grad_input,
+                     Tensor& grad_weight, Tensor* grad_bias,
+                     const Conv2dSpec& spec, std::vector<float>& scratch);
+
+struct Pool2dSpec {
+  std::int64_t kernel = 2;
+  std::int64_t stride = 2;
+
+  std::int64_t out_extent(std::int64_t in_extent) const {
+    return (in_extent - kernel) / stride + 1;
+  }
+};
+
+/// Max pooling; records the flat input index of each output's argmax in
+/// `argmax` (same shape as output) for the backward pass.
+void maxpool2d_forward(const Tensor& input, Tensor& output,
+                       std::vector<std::int64_t>& argmax, const Pool2dSpec& spec);
+
+/// Scatter grad_output to the recorded argmax positions. Overwrites grad_input.
+void maxpool2d_backward(const Tensor& grad_output,
+                        const std::vector<std::int64_t>& argmax,
+                        Tensor& grad_input);
+
+/// Average pooling.
+void avgpool2d_forward(const Tensor& input, Tensor& output, const Pool2dSpec& spec);
+void avgpool2d_backward(const Tensor& grad_output, Tensor& grad_input,
+                        const Pool2dSpec& spec);
+
+}  // namespace ullsnn

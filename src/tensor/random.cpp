@@ -1,0 +1,101 @@
+#include "src/tensor/random.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ullsnn {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+float Rng::uniform() {
+  // 24 high bits -> float in [0, 1) with full float mantissa coverage.
+  return static_cast<float>(next_u64() >> 40) * 0x1.0p-24F;
+}
+
+float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+float Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  float u1 = uniform();
+  while (u1 <= 1e-12F) u1 = uniform();
+  const float u2 = uniform();
+  const float r = std::sqrt(-2.0F * std::log(u1));
+  const float theta = 2.0F * std::numbers::pi_v<float> * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+std::int64_t Rng::uniform_int(std::int64_t n) {
+  if (n <= 0) throw std::invalid_argument("Rng::uniform_int: n must be positive");
+  // Rejection-free for our purposes; modulo bias is negligible for n << 2^64.
+  return static_cast<std::int64_t>(next_u64() % static_cast<std::uint64_t>(n));
+}
+
+bool Rng::bernoulli(float p) { return uniform() < p; }
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+void shuffle(std::vector<std::int64_t>& indices, Rng& rng) {
+  for (std::int64_t i = static_cast<std::int64_t>(indices.size()) - 1; i > 0; --i) {
+    const std::int64_t j = rng.uniform_int(i + 1);
+    std::swap(indices[static_cast<std::size_t>(i)], indices[static_cast<std::size_t>(j)]);
+  }
+}
+
+void kaiming_normal(Tensor& w, std::int64_t fan_in, Rng& rng) {
+  if (fan_in <= 0) throw std::invalid_argument("kaiming_normal: fan_in must be positive");
+  const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+  normal_fill(w, 0.0F, stddev, rng);
+}
+
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out, Rng& rng) {
+  if (fan_in <= 0 || fan_out <= 0) {
+    throw std::invalid_argument("xavier_uniform: fans must be positive");
+  }
+  const float limit = std::sqrt(6.0F / static_cast<float>(fan_in + fan_out));
+  uniform_fill(w, -limit, limit, rng);
+}
+
+void normal_fill(Tensor& w, float mean, float stddev, Rng& rng) {
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal(mean, stddev);
+}
+
+void uniform_fill(Tensor& w, float lo, float hi, Rng& rng) {
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform(lo, hi);
+}
+
+}  // namespace ullsnn

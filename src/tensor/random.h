@@ -1,0 +1,60 @@
+// Deterministic RNG and weight initializers.
+//
+// Uses xoshiro256** seeded via SplitMix64 — fast, reproducible across
+// platforms (unlike std::normal_distribution whose output is
+// implementation-defined), which matters because benches assert result
+// *shapes* against recorded runs.
+#pragma once
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace ullsnn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+  /// Uniform in [0, 1).
+  float uniform();
+  /// Uniform in [lo, hi).
+  float uniform(float lo, float hi);
+  /// Standard normal via Box–Muller (cached second value).
+  float normal();
+  float normal(float mean, float stddev);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::int64_t uniform_int(std::int64_t n);
+  /// Bernoulli(p) as a bool.
+  bool bernoulli(float p);
+
+  /// Fork a statistically independent stream (for per-worker determinism).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  float cached_normal_ = 0.0F;
+};
+
+/// Fisher–Yates shuffle of an index vector.
+void shuffle(std::vector<std::int64_t>& indices, Rng& rng);
+
+// ---- initializers ----
+
+/// He/Kaiming normal: stddev = sqrt(2 / fan_in). The paper's networks are
+/// ReLU-family, so Kaiming is the right default.
+void kaiming_normal(Tensor& w, std::int64_t fan_in, Rng& rng);
+
+/// Xavier/Glorot uniform: limit = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out, Rng& rng);
+
+/// Fill with N(mean, stddev).
+void normal_fill(Tensor& w, float mean, float stddev, Rng& rng);
+
+/// Fill with U[lo, hi).
+void uniform_fill(Tensor& w, float lo, float hi, Rng& rng);
+
+}  // namespace ullsnn

@@ -1,0 +1,113 @@
+#include "src/tensor/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ullsnn {
+
+namespace {
+float percentile_sorted(const std::vector<float>& sorted, float p) {
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double rank = (p / 100.0) * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<float>(sorted[lo] + frac * (sorted[hi] - sorted[lo]));
+}
+}  // namespace
+
+float percentile(std::vector<float> values, float p) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0F || p > 100.0F) throw std::invalid_argument("percentile: p out of [0,100]");
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, p);
+}
+
+std::vector<float> percentile_grid(std::vector<float> values) {
+  if (values.empty()) throw std::invalid_argument("percentile_grid: empty sample");
+  std::sort(values.begin(), values.end());
+  std::vector<float> grid(101);
+  for (int i = 0; i <= 100; ++i) {
+    grid[static_cast<std::size_t>(i)] = percentile_sorted(values, static_cast<float>(i));
+  }
+  return grid;
+}
+
+double Histogram::fraction_in(float a, float b) const {
+  if (total == 0 || counts.empty() || b <= a) return 0.0;
+  const float w = bin_width();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const float bin_lo = lo + static_cast<float>(i) * w;
+    const float bin_hi = bin_lo + w;
+    const float ov_lo = std::max(a, bin_lo);
+    const float ov_hi = std::min(b, bin_hi);
+    if (ov_hi > ov_lo) {
+      acc += static_cast<double>(counts[i]) * (ov_hi - ov_lo) / w;
+    }
+  }
+  return acc / static_cast<double>(total);
+}
+
+double Histogram::density_at(float x) const {
+  if (total == 0 || counts.empty() || x < lo || x >= hi) return 0.0;
+  const float w = bin_width();
+  const auto bin = static_cast<std::size_t>((x - lo) / w);
+  if (bin >= counts.size()) return 0.0;
+  return static_cast<double>(counts[bin]) /
+         (static_cast<double>(total) * static_cast<double>(w));
+}
+
+Histogram make_histogram(const std::vector<float>& values, float lo, float hi,
+                         std::int64_t bins) {
+  if (bins <= 0) throw std::invalid_argument("make_histogram: bins must be positive");
+  if (hi <= lo) throw std::invalid_argument("make_histogram: hi must exceed lo");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(static_cast<std::size_t>(bins), 0);
+  h.total = static_cast<std::int64_t>(values.size());
+  const float w = h.bin_width();
+  for (float v : values) {
+    if (v < lo || v >= hi) continue;
+    auto bin = static_cast<std::size_t>((v - lo) / w);
+    if (bin >= h.counts.size()) bin = h.counts.size() - 1;
+    ++h.counts[bin];
+  }
+  return h;
+}
+
+Moments compute_moments(const std::vector<float>& values) {
+  Moments m;
+  if (values.empty()) return m;
+  double sum = 0.0;
+  m.min = values[0];
+  m.max = values[0];
+  for (float v : values) {
+    sum += v;
+    m.min = std::min(m.min, v);
+    m.max = std::max(m.max, v);
+  }
+  m.mean = sum / static_cast<double>(values.size());
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (float v : values) {
+    const double d = v - m.mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(values.size());
+  m3 /= static_cast<double>(values.size());
+  m.stddev = std::sqrt(m2);
+  m.skewness = (m2 > 0.0) ? m3 / std::pow(m2, 1.5) : 0.0;
+  return m;
+}
+
+void append_samples(const Tensor& t, std::vector<float>& out, std::int64_t stride) {
+  if (stride <= 0) throw std::invalid_argument("append_samples: stride must be positive");
+  for (std::int64_t i = 0; i < t.numel(); i += stride) out.push_back(t[i]);
+}
+
+}  // namespace ullsnn

@@ -1,0 +1,54 @@
+// Distribution statistics over activation samples: percentiles, histograms,
+// and moments. These feed the paper's Algorithm 1 (percentile grid for α)
+// and the Sec. III-A analysis of K(μ) and h(T, μ).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace ullsnn {
+
+/// p-th percentile (p in [0, 100]) via linear interpolation between order
+/// statistics (the same convention as numpy.percentile). Requires non-empty.
+float percentile(std::vector<float> values, float p);
+
+/// Percentiles P[0..100] in one sort. Returns 101 values; P[i] is the i-th
+/// percentile. This is the grid Algorithm 1 walks for candidate α = P[i]/μ.
+std::vector<float> percentile_grid(std::vector<float> values);
+
+struct Histogram {
+  float lo = 0.0F;
+  float hi = 1.0F;
+  std::vector<std::int64_t> counts;  // counts.size() bins over [lo, hi]
+  std::int64_t total = 0;            // includes out-of-range samples
+
+  /// Fraction of all samples falling in [a, b] (clipped to [lo, hi] bins).
+  double fraction_in(float a, float b) const;
+  /// Density estimate at the bin containing x (count / (total * bin_width)).
+  double density_at(float x) const;
+  float bin_width() const { return (hi - lo) / static_cast<float>(counts.size()); }
+};
+
+/// Histogram of `values` over [lo, hi] with `bins` bins. Out-of-range samples
+/// count toward `total` but no bin (they matter for tail fractions).
+Histogram make_histogram(const std::vector<float>& values, float lo, float hi,
+                         std::int64_t bins);
+
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double skewness = 0.0;
+  float min = 0.0F;
+  float max = 0.0F;
+};
+
+/// Mean / stddev / skewness / min / max in one pass over the data.
+Moments compute_moments(const std::vector<float>& values);
+
+/// Flatten a tensor's elements into a vector (sampled every `stride`-th
+/// element to bound memory when collecting activations over many batches).
+void append_samples(const Tensor& t, std::vector<float>& out, std::int64_t stride = 1);
+
+}  // namespace ullsnn

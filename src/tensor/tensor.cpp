@@ -1,0 +1,210 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ullsnn {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("shape_numel: negative extent in " + shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0F) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (static_cast<std::int64_t>(data_.size()) != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+                                " does not match shape " + shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::of(std::initializer_list<float> values) {
+  return Tensor({static_cast<std::int64_t>(values.size())},
+                std::vector<float>(values));
+}
+
+std::int64_t Tensor::dim(std::int64_t d) const {
+  const std::int64_t r = rank();
+  if (d < 0) d += r;
+  if (d < 0 || d >= r) {
+    throw std::out_of_range("Tensor::dim: axis " + std::to_string(d) +
+                            " out of range for shape " + shape_to_string(shape_));
+  }
+  return shape_[static_cast<std::size_t>(d)];
+}
+
+namespace {
+Shape resolve_shape(const Shape& new_shape, std::int64_t numel) {
+  Shape resolved = new_shape;
+  std::int64_t known = 1;
+  std::int64_t infer_at = -1;
+  for (std::size_t i = 0; i < resolved.size(); ++i) {
+    if (resolved[i] == -1) {
+      if (infer_at != -1) throw std::invalid_argument("reshape: more than one -1 extent");
+      infer_at = static_cast<std::int64_t>(i);
+    } else {
+      known *= resolved[i];
+    }
+  }
+  if (infer_at >= 0) {
+    if (known == 0 || numel % known != 0) {
+      throw std::invalid_argument("reshape: cannot infer extent for " +
+                                  shape_to_string(new_shape));
+    }
+    resolved[static_cast<std::size_t>(infer_at)] = numel / known;
+  }
+  if (shape_numel(resolved) != numel) {
+    throw std::invalid_argument("reshape: element count mismatch, " +
+                                shape_to_string(new_shape) + " vs numel " +
+                                std::to_string(numel));
+  }
+  return resolved;
+}
+}  // namespace
+
+Tensor Tensor::reshape(Shape new_shape) const& {
+  Tensor out = *this;
+  out.shape_ = resolve_shape(new_shape, numel());
+  return out;
+}
+
+Tensor Tensor::reshape(Shape new_shape) && {
+  shape_ = resolve_shape(new_shape, numel());
+  return std::move(*this);
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::apply(const std::function<float(float)>& f) {
+  for (float& x : data_) x = f(x);
+}
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+}
+}  // namespace
+
+Tensor& Tensor::operator+=(const Tensor& rhs) {
+  check_same_shape(*this, rhs, "operator+=");
+  const float* r = rhs.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += r[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& rhs) {
+  check_same_shape(*this, rhs, "operator-=");
+  const float* r = rhs.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= r[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& rhs) {
+  check_same_shape(*this, rhs, "operator*=");
+  const float* r = rhs.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= r[i];
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float rhs) {
+  for (float& x : data_) x += rhs;
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float rhs) {
+  for (float& x : data_) x *= rhs;
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float x : data_) acc += x;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) return 0.0F;
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::logic_error("Tensor::min on empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::logic_error("Tensor::max on empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::int64_t Tensor::argmax() const {
+  if (data_.empty()) throw std::logic_error("Tensor::argmax on empty tensor");
+  return static_cast<std::int64_t>(
+      std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+}
+
+float Tensor::rms() const {
+  if (data_.empty()) return 0.0F;
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(acc / static_cast<double>(data_.size())));
+}
+
+std::int64_t Tensor::count(const std::function<bool(float)>& pred) const {
+  std::int64_t n = 0;
+  for (float x : data_) n += pred(x) ? 1 : 0;
+  return n;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  os << "Tensor" << shape_to_string(t.shape()) << " {";
+  const std::int64_t n = std::min<std::int64_t>(t.numel(), 8);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i != 0) os << ", ";
+    os << t[i];
+  }
+  if (t.numel() > n) os << ", ...";
+  os << '}';
+  return os;
+}
+
+}  // namespace ullsnn

@@ -1,0 +1,134 @@
+// Dense float32 tensor: the numeric substrate for the DNN/SNN libraries.
+//
+// Design: a Tensor owns a contiguous row-major buffer plus a shape vector.
+// Indices are signed 64-bit (Core Guidelines ES.102/ES.107). There are no
+// strided views; reshape is O(1) metadata-only, everything else copies.
+// This keeps aliasing trivially correct, which matters far more here than
+// saving copies: all hot loops (conv, matmul) run on raw pointers anyway.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ullsnn {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements a shape describes. Throws on negative extents.
+std::int64_t shape_numel(const Shape& shape);
+
+/// Human-readable form, e.g. "[2, 3, 32, 32]".
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty tensor: rank 0, no elements.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Tensor adopting `values` (size must equal shape_numel(shape)).
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+  /// 1-D tensor from an initializer list; convenient in tests.
+  static Tensor of(std::initializer_list<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t rank() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  /// Extent of dimension `dim` (supports negative Python-style indices).
+  std::int64_t dim(std::int64_t d) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Multi-dimensional accessors (bounds-checked in debug builds only on the
+  /// flat index; shape agreement is the caller's responsibility).
+  float& at(std::int64_t i0) { return data_[static_cast<std::size_t>(i0)]; }
+  float& at(std::int64_t i0, std::int64_t i1) {
+    return data_[static_cast<std::size_t>(i0 * shape_[1] + i1)];
+  }
+  float& at(std::int64_t i0, std::int64_t i1, std::int64_t i2) {
+    return data_[static_cast<std::size_t>((i0 * shape_[1] + i1) * shape_[2] + i2)];
+  }
+  float& at(std::int64_t i0, std::int64_t i1, std::int64_t i2, std::int64_t i3) {
+    return data_[static_cast<std::size_t>(
+        ((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3)];
+  }
+  float at(std::int64_t i0) const { return data_[static_cast<std::size_t>(i0)]; }
+  float at(std::int64_t i0, std::int64_t i1) const {
+    return data_[static_cast<std::size_t>(i0 * shape_[1] + i1)];
+  }
+  float at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const {
+    return data_[static_cast<std::size_t>((i0 * shape_[1] + i1) * shape_[2] + i2)];
+  }
+  float at(std::int64_t i0, std::int64_t i1, std::int64_t i2, std::int64_t i3) const {
+    return data_[static_cast<std::size_t>(
+        ((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3)];
+  }
+
+  /// O(1) metadata change; total element count must be preserved.
+  /// At most one extent may be -1 (inferred).
+  Tensor reshape(Shape new_shape) const&;
+  Tensor reshape(Shape new_shape) &&;
+
+  /// Fill every element with `value`.
+  void fill(float value);
+
+  /// In-place elementwise transform.
+  void apply(const std::function<float(float)>& f);
+
+  // ---- elementwise arithmetic (shapes must match exactly) ----
+  Tensor& operator+=(const Tensor& rhs);
+  Tensor& operator-=(const Tensor& rhs);
+  Tensor& operator*=(const Tensor& rhs);
+  Tensor& operator+=(float rhs);
+  Tensor& operator*=(float rhs);
+  friend Tensor operator+(Tensor lhs, const Tensor& rhs) { return lhs += rhs; }
+  friend Tensor operator-(Tensor lhs, const Tensor& rhs) { return lhs -= rhs; }
+  friend Tensor operator*(Tensor lhs, const Tensor& rhs) { return lhs *= rhs; }
+  friend Tensor operator*(Tensor lhs, float rhs) { return lhs *= rhs; }
+  friend Tensor operator*(float lhs, Tensor rhs) { return rhs *= lhs; }
+
+  // ---- reductions ----
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  /// Index of the maximum element (first on ties). Requires numel() > 0.
+  std::int64_t argmax() const;
+  /// Square root of mean of squares; 0 for empty tensors.
+  float rms() const;
+  /// Count of elements for which `pred` holds.
+  std::int64_t count(const std::function<bool(float)>& pred) const;
+
+  /// True iff shapes match and elements are within `tol` of each other.
+  bool allclose(const Tensor& other, float tol = 1e-5F) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+}  // namespace ullsnn

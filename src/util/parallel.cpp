@@ -1,0 +1,112 @@
+#include "src/util/parallel.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace ullsnn {
+
+ThreadPool::ThreadPool(std::int64_t threads) {
+  if (threads < 0) throw std::invalid_argument("ThreadPool: negative thread count");
+  if (threads <= 1) return;  // inline execution, no workers
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (std::int64_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(std::int64_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      ++active_;
+    }
+    while (true) {
+      std::int64_t index;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (next_index_ >= job_count_) break;
+        index = next_index_++;
+      }
+      (*job)(index);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (active_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(std::int64_t count, const std::function<void(std::int64_t)>& fn) {
+  if (count <= 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_count_ = count;
+    next_index_ = 0;
+    ++generation_;
+  }
+  wake_.notify_all();
+  // The calling thread also works, then waits for the stragglers.
+  while (true) {
+    std::int64_t index;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (next_index_ >= job_count_) break;
+      index = next_index_++;
+    }
+    fn(index);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return active_ == 0; });
+  job_ = nullptr;
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& global_pool() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+std::int64_t& global_threads() {
+  static std::int64_t threads = 1;
+  return threads;
+}
+}  // namespace
+
+void set_num_threads(std::int64_t threads) {
+  if (threads <= 0) throw std::invalid_argument("set_num_threads: must be positive");
+  global_threads() = threads;
+  global_pool() = threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+}
+
+std::int64_t num_threads() { return global_threads(); }
+
+void parallel_for(std::int64_t count, const std::function<void(std::int64_t)>& fn) {
+  ThreadPool* pool = global_pool().get();
+  if (pool == nullptr) {
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool->run(count, fn);
+}
+
+}  // namespace ullsnn

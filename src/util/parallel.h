@@ -1,0 +1,59 @@
+// Minimal thread pool and parallel_for for data-parallel batch work.
+//
+// The reference benches run single-core (DESIGN.md), so everything defaults
+// to serial execution; callers opt in via set_num_threads(n). Parallelism is
+// exposed at the batch-sample level (conv2d_forward's per-sample im2col+GEMM
+// loop), which is embarrassingly parallel and keeps all kernels bitwise
+// deterministic regardless of thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ullsnn {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 or 1 => no workers; run() executes inline).
+  explicit ThreadPool(std::int64_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::int64_t thread_count() const {
+    return static_cast<std::int64_t>(workers_.size());
+  }
+
+  /// Run fn(i) for i in [0, count), blocking until all iterations finish.
+  /// Iterations are distributed dynamically (atomic counter), so uneven
+  /// per-iteration cost balances automatically. fn must not throw.
+  void run(std::int64_t count, const std::function<void(std::int64_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::int64_t)>* job_ = nullptr;
+  std::int64_t job_count_ = 0;
+  std::int64_t next_index_ = 0;
+  std::int64_t active_ = 0;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Process-wide worker count for library kernels (default 1 = serial).
+void set_num_threads(std::int64_t threads);
+std::int64_t num_threads();
+
+/// Run fn(i) for i in [0, count) on the process-wide pool (inline when the
+/// pool is serial or count == 1).
+void parallel_for(std::int64_t count, const std::function<void(std::int64_t)>& fn);
+
+}  // namespace ullsnn

@@ -1,0 +1,75 @@
+#include "src/util/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace ullsnn {
+
+namespace {
+constexpr char kMagic[4] = {'U', 'L', 'S', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("load_tensors: truncated file");
+  return v;
+}
+}  // namespace
+
+void save_tensors(const TensorDict& tensors, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_tensors: cannot open " + path);
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    write_pod(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(out, static_cast<std::uint32_t>(tensor.rank()));
+    for (std::int64_t d : tensor.shape()) write_pod(out, d);
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_tensors: write failed for " + path);
+}
+
+TensorDict load_tensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_tensors: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("load_tensors: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("load_tensors: unsupported version " + std::to_string(version));
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+  TensorDict dict;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const auto rank = read_pod<std::uint32_t>(in);
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::int64_t>(in);
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_tensors: truncated tensor data in " + path);
+    dict.emplace(std::move(name), std::move(t));
+  }
+  return dict;
+}
+
+}  // namespace ullsnn

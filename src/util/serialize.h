@@ -1,0 +1,25 @@
+// Binary checkpoint format for trained networks: a flat dictionary of named
+// tensors. Lets examples/benches train once and reuse weights across stages
+// (DNN training -> conversion -> SGL fine-tuning).
+//
+// File layout (little-endian):
+//   magic "ULSN" | u32 version | u64 count |
+//   count x { u32 name_len | name bytes | u32 rank | i64 dims... | f32 data... }
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/tensor/tensor.h"
+
+namespace ullsnn {
+
+using TensorDict = std::map<std::string, Tensor>;
+
+/// Write all tensors to `path`. Throws std::runtime_error on I/O failure.
+void save_tensors(const TensorDict& tensors, const std::string& path);
+
+/// Read a checkpoint written by save_tensors. Throws on malformed input.
+TensorDict load_tensors(const std::string& path);
+
+}  // namespace ullsnn

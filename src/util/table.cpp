@@ -1,0 +1,86 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ullsnn {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: arity " + std::to_string(row.size()) +
+                                " != header arity " + std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_int(long long v) { return std::to_string(v); }
+
+std::string Table::fmt_sci(double v, const std::string& unit, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  std::string s = buf;
+  if (!unit.empty()) s += " " + unit;
+  return s;
+}
+
+void Table::print(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto hline = [&] {
+    std::cout << '+';
+    for (std::size_t w : widths) std::cout << std::string(w + 2, '-') << '+';
+    std::cout << '\n';
+  };
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    std::cout << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::cout << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    std::cout << '\n';
+  };
+  if (!title.empty()) std::cout << "\n== " << title << " ==\n";
+  hline();
+  print_row(headers_);
+  hline();
+  for (const auto& row : rows_) print_row(row);
+  hline();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Table::write_csv: cannot open " + path);
+  const auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      const bool quote = row[c].find(',') != std::string::npos;
+      if (quote) out << '"';
+      out << row[c];
+      if (quote) out << '"';
+    }
+    out << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  if (!out) throw std::runtime_error("Table::write_csv: write failed for " + path);
+}
+
+}  // namespace ullsnn

@@ -1,0 +1,36 @@
+// Console table and CSV emitters used by the benchmark harnesses to print
+// the paper's tables/figure series in a uniform format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ullsnn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formatting helpers for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  /// Engineering notation with a unit, e.g. "3.20e+09 FLOPs".
+  static std::string fmt_sci(double v, const std::string& unit, int precision = 2);
+
+  /// Render with box-drawing separators to stdout.
+  void print(const std::string& title = "") const;
+
+  /// Write as CSV (headers + rows) to `path`. Throws on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ullsnn

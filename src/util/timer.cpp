@@ -1,0 +1,9 @@
+#include "src/util/timer.h"
+
+namespace ullsnn {
+
+double Timer::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace ullsnn

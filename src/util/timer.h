@@ -1,0 +1,43 @@
+// Wall-clock timing helpers for the simulation-time benches (Fig. 3).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ullsnn {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const;
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates durations across start/stop pairs (e.g. per-phase epoch time).
+class StopWatch {
+ public:
+  void start() { running_ = true; timer_.reset(); }
+  void stop() {
+    if (running_) {
+      total_ += timer_.seconds();
+      running_ = false;
+    }
+  }
+  double total_seconds() const { return total_; }
+  void clear() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace ullsnn

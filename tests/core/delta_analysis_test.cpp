@@ -1,0 +1,139 @@
+#include "src/core/delta_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/random.h"
+
+namespace ullsnn::core {
+namespace {
+
+std::vector<float> uniform_samples(float hi, int n = 20000) {
+  Rng rng(1);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(0.0F, hi);
+  return v;
+}
+
+std::vector<float> exponential_samples(float scale, int n = 20000) {
+  Rng rng(2);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = -scale * std::log(1.0F - rng.uniform());
+  return v;
+}
+
+TEST(EstimateKTest, UniformIsHalf) {
+  // Sec. III-A: K(mu) = 1/2 for uniform f_D on [0, mu].
+  EXPECT_NEAR(estimate_k(uniform_samples(1.0F), 1.0F), 0.5, 0.01);
+}
+
+TEST(EstimateKTest, SkewedIsBelowHalf) {
+  // Mass concentrated near 0 pulls the normalized first moment down.
+  EXPECT_LT(estimate_k(exponential_samples(0.15F), 1.0F), 0.3);
+}
+
+TEST(EstimateKTest, IndependentOfT) {
+  // K has no T dependence by construction; sanity only (same call).
+  const auto s = exponential_samples(0.2F);
+  EXPECT_DOUBLE_EQ(estimate_k(s, 1.0F), estimate_k(s, 1.0F));
+}
+
+TEST(EstimateHTest, UniformIsHalf) {
+  // Sec. III-A: for uniform f_S, h(T, mu) = (T-1)/2T + 1/2T = 1/2 at any T.
+  const auto s = uniform_samples(1.0F);
+  for (const std::int64_t t : {2, 3, 5, 8}) {
+    EXPECT_NEAR(estimate_h(s, 1.0F, t), 0.5, 0.02) << "T=" << t;
+  }
+}
+
+TEST(EstimateHTest, SkewedCollapsesAtLowT) {
+  // The paper's key observation: h(T, mu) drops sharply as T shrinks below
+  // ~5 for skewed distributions (Fig. 1(a) insert).
+  const auto s = exponential_samples(0.12F);
+  const double h2 = estimate_h(s, 1.0F, 2);
+  const double h5 = estimate_h(s, 1.0F, 5);
+  const double h16 = estimate_h(s, 1.0F, 16);
+  EXPECT_LT(h2, h5);
+  EXPECT_LT(h5, h16);
+  EXPECT_LT(h2, 0.25);
+}
+
+TEST(EstimateHTest, DeltaVanishesForUniform) {
+  // K = h = 1/2 under the uniform assumption => Delta ~ 0 (Eq. 7).
+  const auto s = uniform_samples(1.0F);
+  const double delta = 1.0 * (estimate_k(s, 1.0F) - estimate_h(s, 1.0F, 2));
+  EXPECT_NEAR(delta, 0.0, 0.02);
+}
+
+TEST(EstimateHTest, DeltaPositiveForSkewedLowT) {
+  const auto s = exponential_samples(0.12F);
+  const double delta = estimate_k(s, 1.0F) - estimate_h(s, 1.0F, 2);
+  EXPECT_GT(delta, 0.02);
+}
+
+TEST(DnnActivationTest, Clip) {
+  EXPECT_FLOAT_EQ(dnn_activation(-1.0F, 2.0F), 0.0F);
+  EXPECT_FLOAT_EQ(dnn_activation(1.5F, 2.0F), 1.5F);
+  EXPECT_FLOAT_EQ(dnn_activation(3.0F, 2.0F), 2.0F);
+}
+
+TEST(SnnActivationTest, StaircaseLevels) {
+  // mu=1, alpha=1, beta=1, T=2, no bias: steps of 0.5 at s = 0.5 and 1.0.
+  EXPECT_FLOAT_EQ(snn_activation(0.4F, 1.0F, 1.0F, 1.0F, 2, false), 0.0F);
+  EXPECT_FLOAT_EQ(snn_activation(0.6F, 1.0F, 1.0F, 1.0F, 2, false), 0.5F);
+  EXPECT_FLOAT_EQ(snn_activation(1.2F, 1.0F, 1.0F, 1.0F, 2, false), 1.0F);
+  EXPECT_FLOAT_EQ(snn_activation(9.0F, 1.0F, 1.0F, 1.0F, 2, false), 1.0F);
+}
+
+TEST(SnnActivationTest, BiasShiftMovesStepsLeft) {
+  // With delta = V_th/2T the first step starts at s = V_th/2T lower.
+  const float no_bias = snn_activation(0.45F, 1.0F, 1.0F, 1.0F, 2, false);
+  const float bias = snn_activation(0.45F, 1.0F, 1.0F, 1.0F, 2, true);
+  EXPECT_FLOAT_EQ(no_bias, 0.0F);
+  EXPECT_FLOAT_EQ(bias, 0.5F);
+}
+
+TEST(SnnActivationTest, AlphaScalesThresholdBetaScalesOutput) {
+  // alpha=0.5: threshold 0.5; s=0.3 -> floor(2*0.3/0.5)=1 spike of
+  // amplitude beta*0.5; average = beta*0.5/2.
+  EXPECT_FLOAT_EQ(snn_activation(0.3F, 1.0F, 0.5F, 1.0F, 2, false), 0.25F);
+  EXPECT_FLOAT_EQ(snn_activation(0.3F, 1.0F, 0.5F, 2.0F, 2, false), 0.5F);
+}
+
+TEST(SnnActivationTest, NegativeInputGivesZero) {
+  EXPECT_FLOAT_EQ(snn_activation(-0.5F, 1.0F, 1.0F, 1.0F, 4, false), 0.0F);
+}
+
+TEST(EmpiricalDeltaTest, MatchesClosedFormTrend) {
+  const auto skewed = exponential_samples(0.12F);
+  const double d2 = empirical_delta(skewed, 1.0F, 1.0F, 1.0F, 2, true);
+  const double d16 = empirical_delta(skewed, 1.0F, 1.0F, 1.0F, 16, true);
+  EXPECT_GT(d2, d16);  // low T has the larger DNN-SNN gap
+  EXPECT_GT(d2, 0.0);
+}
+
+TEST(EmpiricalDeltaTest, ScalingSearchReducesDelta) {
+  // Applying a (alpha < 1, beta) correction must be able to reduce the T=2
+  // gap on a skewed distribution. Probe a small grid like Algorithm 1 does.
+  const auto skewed = exponential_samples(0.12F);
+  const double base = std::abs(empirical_delta(skewed, 1.0F, 1.0F, 1.0F, 2, false));
+  double best = base;
+  for (float alpha = 0.1F; alpha <= 1.0F; alpha += 0.1F) {
+    for (float beta = 0.2F; beta <= 2.0F; beta += 0.2F) {
+      best = std::min(best,
+                      std::abs(empirical_delta(skewed, 1.0F, alpha, beta, 2, false)));
+    }
+  }
+  EXPECT_LT(best, base * 0.5);
+}
+
+TEST(DeltaAnalysisTest, Validation) {
+  EXPECT_THROW(estimate_k({}, 1.0F), std::invalid_argument);
+  EXPECT_THROW(estimate_k({0.5F}, 0.0F), std::invalid_argument);
+  EXPECT_THROW(empirical_delta({}, 1.0F, 1.0F, 1.0F, 2, false),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ullsnn::core

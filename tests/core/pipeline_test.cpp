@@ -1,0 +1,95 @@
+#include "src/core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace ullsnn::core {
+namespace {
+
+data::LabeledImages easy_data(std::int64_t n, std::uint64_t salt,
+                              std::int64_t classes = 3) {
+  data::SyntheticCifarSpec spec;
+  spec.image_size = 32;
+  spec.num_classes = classes;
+  spec.sign_flip_prob = 0.0F;
+  spec.occluder_prob = 0.0F;
+  spec.noise_stddev = 0.15F;
+  data::SyntheticCifar gen(spec);
+  data::LabeledImages d = gen.generate(n, salt);
+  data::standardize(d);
+  return d;
+}
+
+PipelineConfig tiny_pipeline_config() {
+  PipelineConfig config;
+  config.arch = Architecture::kVgg11;
+  config.model.width = 0.0625F;  // minimum-width VGG
+  config.model.num_classes = 3;
+  config.model.image_size = 32;
+  config.dnn_train.epochs = 8;
+  config.dnn_train.batch_size = 32;
+  config.dnn_train.augment = false;
+  config.conversion.time_steps = 2;
+  config.sgl.epochs = 3;
+  config.sgl.augment = false;
+  return config;
+}
+
+TEST(ArchitectureTest, Names) {
+  EXPECT_STREQ(to_string(Architecture::kVgg11), "VGG-11");
+  EXPECT_STREQ(to_string(Architecture::kResNet20), "ResNet-20");
+}
+
+TEST(BuildModelTest, AllArchitecturesConstruct) {
+  dnn::ModelConfig mc;
+  mc.width = 0.0625F;
+  Rng rng(1);
+  for (const Architecture arch :
+       {Architecture::kVgg11, Architecture::kVgg13, Architecture::kVgg16,
+        Architecture::kResNet20, Architecture::kResNet32}) {
+    auto model = build_model(arch, mc, rng);
+    EXPECT_EQ(model->output_shape({1, 3, 32, 32}), Shape({1, 10}))
+        << to_string(arch);
+  }
+}
+
+TEST(HybridPipelineTest, EndToEndStagesAreConsistent) {
+  const data::LabeledImages train = easy_data(192, 1);
+  const data::LabeledImages test = easy_data(48, 2);
+  HybridPipeline pipeline(tiny_pipeline_config());
+  const PipelineResult result = pipeline.run(train, test);
+  // Stage (a) learns something on the easy task.
+  EXPECT_GT(result.dnn_accuracy, 0.5);
+  // Stage (c) should not be catastrophically below (a) (paper's headline).
+  EXPECT_GT(result.sgl_accuracy, result.dnn_accuracy - 0.4);
+  // Conversion report carries one entry per activation site.
+  EXPECT_FALSE(result.conversion_report.sites.empty());
+  EXPECT_EQ(result.conversion_report.sites.size(),
+            result.conversion_report.search_results.size());
+  // Accessors work after run().
+  EXPECT_NO_THROW(pipeline.dnn());
+  EXPECT_NO_THROW(pipeline.snn());
+  EXPECT_EQ(pipeline.snn().time_steps(), 2);
+}
+
+TEST(HybridPipelineTest, AccessorsThrowBeforeRun) {
+  HybridPipeline pipeline(tiny_pipeline_config());
+  EXPECT_THROW(pipeline.dnn(), std::logic_error);
+  EXPECT_THROW(pipeline.snn(), std::logic_error);
+}
+
+TEST(HybridPipelineTest, ConversionOnlyPath) {
+  const data::LabeledImages train = easy_data(128, 1);
+  const data::LabeledImages test = easy_data(32, 2);
+  PipelineConfig config = tiny_pipeline_config();
+  config.conversion.time_steps = 32;  // high T: conversion should track DNN
+  // Threshold-ReLU conversion is the asymptotically-exact mode; the
+  // (alpha, beta) search optimizes the low-T regime instead.
+  config.conversion.mode = ConversionMode::kThresholdReLU;
+  HybridPipeline pipeline(config);
+  const double acc = pipeline.run_conversion_only(train, test);
+  const double dnn_acc = dnn::evaluate_model(pipeline.dnn(), test, 32);
+  EXPECT_GT(acc, dnn_acc - 0.25);
+}
+
+}  // namespace
+}  // namespace ullsnn::core

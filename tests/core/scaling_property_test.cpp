@@ -1,0 +1,95 @@
+// Structural invariants of the Algorithm-1 loss model (complementing the
+// hand-computed segment cases in scaling_search_test.cpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/scaling_search.h"
+#include "src/tensor/random.h"
+
+namespace ullsnn::core {
+namespace {
+
+std::vector<float> skewed(float scale, int n = 101) {
+  std::vector<float> p(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    p[static_cast<std::size_t>(i)] =
+        -scale * std::log(1.0F - static_cast<float>(i) / (static_cast<float>(n) + 1.0F));
+  }
+  return p;
+}
+
+TEST(ScalingLossPropertyTest, HomogeneousUnderJointRescaling) {
+  // Scaling all percentiles AND mu by c scales the loss by c (every segment
+  // term is linear in the value scale).
+  const auto p = skewed(0.2F);
+  const double base = compute_scaling_loss(p, 1.0F, 0.5F, 1.2F, 2);
+  std::vector<float> p2 = p;
+  for (auto& v : p2) v *= 3.0F;
+  const double scaled = compute_scaling_loss(p2, 3.0F, 0.5F, 1.2F, 2);
+  EXPECT_NEAR(scaled, 3.0 * base, 1e-4 * std::abs(base) + 1e-6);
+}
+
+TEST(ScalingLossPropertyTest, BetaZeroCountsAllPositiveMass) {
+  // With beta = 0 the SNN emits nothing: loss = sum of clipped DNN outputs.
+  const auto p = skewed(0.3F);
+  double expected = 0.0;
+  for (float v : p) {
+    if (v > 0.0F) expected += std::min(v, 1.0F);
+  }
+  EXPECT_NEAR(compute_scaling_loss(p, 1.0F, 1.0F, 0.0F, 2), expected, 1e-4);
+}
+
+TEST(ScalingLossPropertyTest, MonotoneDecreasingInBeta) {
+  // Raising beta raises every SNN output level, so the signed loss is
+  // non-increasing in beta for fixed alpha, T.
+  const auto p = skewed(0.25F);
+  double prev = compute_scaling_loss(p, 1.0F, 0.5F, 0.0F, 2);
+  for (float beta = 0.1F; beta <= 2.0F; beta += 0.1F) {
+    const double loss = compute_scaling_loss(p, 1.0F, 0.5F, beta, 2);
+    EXPECT_LE(loss, prev + 1e-9);
+    prev = loss;
+  }
+}
+
+TEST(ScalingLossPropertyTest, FoundOptimumBeatsNeighbours) {
+  // Local optimality of the returned (alpha, beta) against the search grid.
+  const auto p = skewed(0.2F);
+  const ScalingResult r = find_scaling_factors(p, 1.0F, 2);
+  const double best = std::abs(r.loss);
+  for (const float dbeta : {-0.01F, 0.01F}) {
+    const float beta = r.beta + dbeta;
+    if (beta < 0.0F || beta > 2.0F) continue;
+    EXPECT_GE(std::abs(compute_scaling_loss(p, 1.0F, r.alpha, beta, 2)) + 1e-9, best);
+  }
+}
+
+TEST(ScalingLossPropertyTest, AllNegativeSamplesGiveZeroLoss) {
+  std::vector<float> p(101, -0.5F);
+  EXPECT_EQ(compute_scaling_loss(p, 1.0F, 0.7F, 1.3F, 3), 0.0);
+  const ScalingResult r = find_scaling_factors(p, 1.0F, 3);
+  EXPECT_EQ(r.loss, 0.0);
+}
+
+class ScalingSweepTest
+    : public ::testing::TestWithParam<std::tuple<float, std::int64_t>> {};
+
+TEST_P(ScalingSweepTest, SearchNeverWorsensBaseline) {
+  // For any distribution scale and any T, the search result must be at least
+  // as good as (alpha, beta) = (1, 1) — Algorithm 1 only accepts
+  // improvements.
+  const auto [scale, t] = GetParam();
+  const auto p = skewed(scale);
+  const ScalingResult r = find_scaling_factors(p, 1.0F, t);
+  EXPECT_LE(std::abs(r.loss), std::abs(r.initial_loss) + 1e-9);
+  EXPECT_GT(r.alpha, 0.0F);
+  EXPECT_LE(r.alpha, 1.0F);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScalingSweepTest,
+    ::testing::Combine(::testing::Values(0.05F, 0.15F, 0.35F, 0.8F),
+                       ::testing::Values<std::int64_t>(1, 2, 3, 5, 8)));
+
+}  // namespace
+}  // namespace ullsnn::core

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/data/augment.h"
+#include "src/data/dataset.h"
+#include "src/data/synthetic_cifar.h"
+
+namespace ullsnn::data {
+namespace {
+
+TEST(SyntheticCifarTest, ShapesAndLabels) {
+  SyntheticCifarSpec spec;
+  SyntheticCifar gen(spec);
+  const LabeledImages d = gen.generate(50, 1);
+  EXPECT_EQ(d.images.shape(), Shape({50, 3, 32, 32}));
+  EXPECT_EQ(d.size(), 50);
+  for (std::int64_t label : d.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+}
+
+TEST(SyntheticCifarTest, BalancedClasses) {
+  SyntheticCifarSpec spec;
+  SyntheticCifar gen(spec);
+  const LabeledImages d = gen.generate(100, 1);
+  std::vector<int> counts(10, 0);
+  for (std::int64_t label : d.labels) ++counts[static_cast<std::size_t>(label)];
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SyntheticCifarTest, DeterministicForSameSeedAndSalt) {
+  SyntheticCifarSpec spec;
+  SyntheticCifar a(spec);
+  SyntheticCifar b(spec);
+  const LabeledImages da = a.generate(10, 7);
+  const LabeledImages db = b.generate(10, 7);
+  EXPECT_TRUE(da.images.allclose(db.images));
+}
+
+TEST(SyntheticCifarTest, SplitsAreDecorrelated) {
+  SyntheticCifarSpec spec;
+  SyntheticCifar gen(spec);
+  const LabeledImages train = gen.generate(10, 1);
+  const LabeledImages test = gen.generate(10, 2);
+  EXPECT_FALSE(train.images.allclose(test.images, 1e-3F));
+}
+
+TEST(SyntheticCifarTest, Cifar100Analogue) {
+  SyntheticCifarSpec spec;
+  spec.num_classes = 100;
+  SyntheticCifar gen(spec);
+  const LabeledImages d = gen.generate(200, 1);
+  std::set<std::int64_t> labels(d.labels.begin(), d.labels.end());
+  EXPECT_EQ(labels.size(), 100U);
+}
+
+TEST(SyntheticCifarTest, InstancesOfSameClassDiffer) {
+  SyntheticCifarSpec spec;
+  SyntheticCifar gen(spec);
+  const LabeledImages d = gen.generate(20, 1);
+  // Instances 0 and 10 share a class (balanced round-robin labelling).
+  ASSERT_EQ(d.labels[0], d.labels[10]);
+  const std::int64_t per_image = 3 * 32 * 32;
+  Tensor a({per_image});
+  Tensor b({per_image});
+  std::copy_n(d.images.data(), per_image, a.data());
+  std::copy_n(d.images.data() + 10 * per_image, per_image, b.data());
+  EXPECT_FALSE(a.allclose(b, 0.01F));
+}
+
+TEST(StandardizeTest, ZeroMeanUnitStddev) {
+  SyntheticCifarSpec spec;
+  SyntheticCifar gen(spec);
+  LabeledImages d = gen.generate(64, 1);
+  const ChannelStats stats = standardize(d);
+  for (int c = 0; c < 3; ++c) EXPECT_GT(stats.stddev[c], 0.0F);
+  // Per-channel mean of standardized data ~ 0, stddev ~ 1.
+  const std::int64_t hw = 32 * 32;
+  for (int c = 0; c < 3; ++c) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (std::int64_t i = 0; i < d.size(); ++i) {
+      const float* p = d.images.data() + (i * 3 + c) * hw;
+      for (std::int64_t j = 0; j < hw; ++j) {
+        sum += p[j];
+        sq += static_cast<double>(p[j]) * p[j];
+      }
+    }
+    const double n = static_cast<double>(d.size() * hw);
+    EXPECT_NEAR(sum / n, 0.0, 1e-4);
+    EXPECT_NEAR(sq / n, 1.0, 1e-3);
+  }
+}
+
+TEST(StandardizeTest, ApplyReusesTrainStats) {
+  SyntheticCifarSpec spec;
+  SyntheticCifar gen(spec);
+  LabeledImages train = gen.generate(64, 1);
+  LabeledImages test = gen.generate(64, 2);
+  const ChannelStats stats = standardize(train);
+  const float before = test.images[0];
+  apply_standardize(test, stats);
+  EXPECT_NEAR(test.images[0], (before - stats.mean[0]) / stats.stddev[0], 1e-5F);
+}
+
+TEST(BatchIteratorTest, CoversAllSamplesOnce) {
+  SyntheticCifarSpec spec;
+  spec.image_size = 8;
+  SyntheticCifar gen(spec);
+  const LabeledImages d = gen.generate(25, 1);
+  Rng rng(1);
+  BatchIterator it(d, 8, rng);
+  EXPECT_EQ(it.num_batches(), 4);
+  std::int64_t total = 0;
+  for (std::int64_t b = 0; b < it.num_batches(); ++b) total += it.batch(b).size();
+  EXPECT_EQ(total, 25);
+  EXPECT_EQ(it.batch(3).size(), 1);  // short final batch
+}
+
+TEST(BatchIteratorTest, NoShuffleIsIdentityOrder) {
+  SyntheticCifarSpec spec;
+  spec.image_size = 8;
+  SyntheticCifar gen(spec);
+  const LabeledImages d = gen.generate(10, 1);
+  Rng rng(1);
+  BatchIterator it(d, 10, rng, /*shuffle_each_epoch=*/false);
+  const Batch batch = it.batch(0);
+  EXPECT_EQ(batch.labels, d.labels);
+}
+
+TEST(BatchIteratorTest, ReshufflesAcrossEpochs) {
+  SyntheticCifarSpec spec;
+  spec.image_size = 8;
+  SyntheticCifar gen(spec);
+  const LabeledImages d = gen.generate(64, 1);
+  Rng rng(1);
+  BatchIterator it(d, 64, rng);
+  const std::vector<std::int64_t> first = it.batch(0).labels;
+  it.next_epoch();
+  EXPECT_NE(it.batch(0).labels, first);
+}
+
+TEST(BatchIteratorTest, Validates) {
+  SyntheticCifarSpec spec;
+  spec.image_size = 8;
+  SyntheticCifar gen(spec);
+  const LabeledImages d = gen.generate(4, 1);
+  Rng rng(1);
+  EXPECT_THROW(BatchIterator(d, 0, rng), std::invalid_argument);
+  BatchIterator it(d, 2, rng);
+  EXPECT_THROW(it.batch(2), std::out_of_range);
+  EXPECT_THROW(it.batch(-1), std::out_of_range);
+}
+
+TEST(AugmentTest, PreservesShapeAndFinite) {
+  SyntheticCifarSpec spec;
+  SyntheticCifar gen(spec);
+  const LabeledImages d = gen.generate(8, 1);
+  Rng rng(2);
+  BatchIterator it(d, 8, rng, false);
+  Batch batch = it.batch(0);
+  const Shape before = batch.images.shape();
+  augment_batch(batch, AugmentSpec{}, rng);
+  EXPECT_EQ(batch.images.shape(), before);
+  for (std::int64_t i = 0; i < batch.images.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(batch.images[i]));
+  }
+}
+
+TEST(AugmentTest, NoOpsWhenDisabled) {
+  SyntheticCifarSpec spec;
+  spec.image_size = 8;
+  SyntheticCifar gen(spec);
+  const LabeledImages d = gen.generate(4, 1);
+  Rng rng(3);
+  BatchIterator it(d, 4, rng, false);
+  Batch batch = it.batch(0);
+  const Tensor original = batch.images;
+  AugmentSpec aug;
+  aug.random_crop = false;
+  aug.horizontal_flip = false;
+  augment_batch(batch, aug, rng);
+  EXPECT_TRUE(batch.images.allclose(original));
+}
+
+TEST(AugmentTest, FlipIsInvolution) {
+  // Flipping twice with forced flips restores the image; we emulate forced
+  // flips by checking that crop-only leaves row-sums invariant under flip.
+  SyntheticCifarSpec spec;
+  spec.image_size = 8;
+  SyntheticCifar gen(spec);
+  const LabeledImages d = gen.generate(2, 1);
+  Rng rng(4);
+  BatchIterator it(d, 2, rng, false);
+  Batch batch = it.batch(0);
+  AugmentSpec aug;
+  aug.random_crop = false;
+  aug.horizontal_flip = true;
+  Tensor before = batch.images;
+  // Row sums are flip-invariant regardless of which images were flipped.
+  augment_batch(batch, aug, rng);
+  for (std::int64_t n = 0; n < 2; ++n) {
+    for (std::int64_t c = 0; c < 3; ++c) {
+      for (std::int64_t y = 0; y < 8; ++y) {
+        double sb = 0.0;
+        double sa = 0.0;
+        for (std::int64_t x = 0; x < 8; ++x) {
+          sb += before.at(n, c, y, x);
+          sa += batch.images.at(n, c, y, x);
+        }
+        EXPECT_NEAR(sa, sb, 1e-4);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ullsnn::data

@@ -1,0 +1,158 @@
+#include "src/dnn/batchnorm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/bn_fold.h"
+#include "src/dnn/activations.h"
+#include "src/dnn/conv2d.h"
+#include "src/tensor/random.h"
+
+namespace ullsnn::dnn {
+namespace {
+
+TEST(BatchNormTest, NormalizesBatchStatistics) {
+  BatchNorm2d bn(2);
+  Rng rng(1);
+  Tensor x({8, 2, 4, 4});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.normal(3.0F, 2.0F);
+  const Tensor y = bn.forward(x, /*train=*/true);
+  // Per-channel output mean ~ 0, variance ~ 1.
+  const std::int64_t hw = 16;
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (std::int64_t i = 0; i < 8; ++i) {
+      const float* p = y.data() + (i * 2 + c) * hw;
+      for (std::int64_t j = 0; j < hw; ++j) {
+        sum += p[j];
+        sq += static_cast<double>(p[j]) * p[j];
+      }
+    }
+    const double n = 8.0 * hw;
+    EXPECT_NEAR(sum / n, 0.0, 1e-4);
+    EXPECT_NEAR(sq / n, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, GammaBetaAffine) {
+  BatchNorm2d bn(1);
+  bn.gamma().value[0] = 3.0F;
+  bn.beta().value[0] = -1.0F;
+  Tensor x({4, 1, 2, 2});
+  Rng rng(2);
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.normal();
+  const Tensor y = bn.forward(x, true);
+  EXPECT_NEAR(y.mean(), -1.0F, 1e-4F);
+}
+
+TEST(BatchNormTest, RunningStatsConvergeAndDriveInference) {
+  BatchNorm2d bn(1, /*momentum=*/0.5F);
+  Tensor x({16, 1, 2, 2});
+  Rng rng(3);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.normal(5.0F, 2.0F);
+    bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 5.0F, 0.3F);
+  EXPECT_NEAR(bn.running_var()[0], 4.0F, 0.6F);
+  // Inference on a constant input uses running stats, not batch stats.
+  Tensor c({1, 1, 2, 2}, 5.0F);
+  const Tensor y = bn.forward(c, false);
+  EXPECT_NEAR(y[0], 0.0F, 0.2F);
+}
+
+TEST(BatchNormTest, GradientMatchesFiniteDifference) {
+  BatchNorm2d bn(2);
+  Rng rng(4);
+  Tensor x({3, 2, 2, 2});
+  uniform_fill(x, -1.0F, 1.0F, rng);
+  Tensor g(x.shape());
+  uniform_fill(g, -1.0F, 1.0F, rng);
+
+  bn.forward(x, true);
+  const Tensor grad_input = bn.backward(g);
+  const auto loss = [&](const Tensor& input) {
+    const Tensor y = bn.forward(input, true);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) acc += static_cast<double>(y[i]) * g[i];
+    return acc;
+  };
+  const float eps = 1e-2F;
+  for (std::int64_t idx : {std::int64_t{0}, x.numel() / 2, x.numel() - 1}) {
+    Tensor xp = x;
+    Tensor xm = x;
+    xp[idx] += eps;
+    xm[idx] -= eps;
+    const double fd = (loss(xp) - loss(xm)) / (2.0 * eps);
+    EXPECT_NEAR(grad_input[idx], fd, 3e-2) << idx;
+  }
+}
+
+TEST(BatchNormTest, Validates) {
+  EXPECT_THROW(BatchNorm2d(0), std::invalid_argument);
+  EXPECT_THROW(BatchNorm2d(4, 0.0F), std::invalid_argument);
+  BatchNorm2d bn(2);
+  EXPECT_THROW(bn.forward(Tensor({1, 3, 2, 2}), true), std::invalid_argument);
+  EXPECT_THROW(bn.backward(Tensor({1, 2, 2, 2})), std::logic_error);
+}
+
+TEST(BnFoldTest, FoldedConvMatchesConvPlusBn) {
+  Rng rng(5);
+  Conv2d conv(2, 3, 3, 1, 1, /*bias=*/false, rng);
+  BatchNorm2d bn(3);
+  // Non-trivial BN state.
+  bn.gamma().value = Tensor::of({1.5F, 0.5F, 2.0F});
+  bn.beta().value = Tensor::of({0.1F, -0.2F, 0.3F});
+  bn.set_running_stats(Tensor::of({0.2F, -0.1F, 0.5F}),
+                       Tensor::of({1.2F, 0.8F, 2.5F}));
+
+  Tensor x({2, 2, 5, 5});
+  uniform_fill(x, -1.0F, 1.0F, rng);
+  const Tensor reference = bn.forward(conv.forward(x, false), /*train=*/false);
+
+  core::fold_bn_into_conv(conv, bn);
+  EXPECT_TRUE(conv.has_bias());
+  const Tensor folded = conv.forward(x, false);
+  EXPECT_TRUE(folded.allclose(reference, 1e-4F));
+}
+
+TEST(BnFoldTest, FoldSequentialDropsBnLayers) {
+  Rng rng(6);
+  Sequential model;
+  model.emplace<Conv2d>(3, 4, 3, 1, 1, false, rng);
+  model.emplace<BatchNorm2d>(4);
+  model.emplace<ReLU>();
+  model.emplace<Conv2d>(4, 2, 3, 1, 1, false, rng);
+  model.emplace<BatchNorm2d>(2);
+
+  // Populate running stats via one training pass.
+  Tensor x({4, 3, 6, 6});
+  uniform_fill(x, -1.0F, 1.0F, rng);
+  model.forward(x, true);
+  const Tensor reference = model.forward(x, /*train=*/false);
+
+  auto folded = core::fold_batchnorm(model);
+  EXPECT_EQ(folded->size(), 3);  // conv, relu, conv
+  const Tensor y = folded->forward(x, false);
+  EXPECT_TRUE(y.allclose(reference, 1e-3F));
+}
+
+TEST(BnFoldTest, RejectsOrphanBn) {
+  Rng rng(7);
+  Sequential model;
+  model.emplace<ReLU>();
+  model.emplace<BatchNorm2d>(2);
+  EXPECT_THROW(core::fold_batchnorm(model), std::invalid_argument);
+}
+
+TEST(BnFoldTest, ChannelMismatchThrows) {
+  Rng rng(8);
+  Conv2d conv(2, 3, 3, 1, 1, false, rng);
+  BatchNorm2d bn(4);
+  EXPECT_THROW(core::fold_bn_into_conv(conv, bn), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ullsnn::dnn

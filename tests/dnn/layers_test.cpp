@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dnn/activations.h"
+#include "src/dnn/conv2d.h"
+#include "src/dnn/dropout.h"
+#include "src/dnn/linear.h"
+#include "src/dnn/pooling.h"
+#include "src/tensor/random.h"
+
+namespace ullsnn::dnn {
+namespace {
+
+// Finite-difference check of dL/dx for L = sum(layer(x) * g) at a handful of
+// coordinates. Assumes the layer is locally smooth at the probed points.
+void check_input_gradient(Layer& layer, const Tensor& input, float eps = 1e-2F,
+                          float tol = 2e-2F) {
+  Rng rng(99);
+  Tensor out = layer.forward(input, /*train=*/true);
+  Tensor g(out.shape());
+  uniform_fill(g, -1.0F, 1.0F, rng);
+  const Tensor grad_input = layer.backward(g);
+  ASSERT_EQ(grad_input.shape(), input.shape());
+
+  const auto loss = [&](const Tensor& x) {
+    const Tensor y = layer.forward(x, /*train=*/true);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) acc += static_cast<double>(y[i]) * g[i];
+    return acc;
+  };
+  for (std::int64_t idx : {std::int64_t{0}, input.numel() / 3, input.numel() - 1}) {
+    Tensor xp = input;
+    Tensor xm = input;
+    xp[idx] += eps;
+    xm[idx] -= eps;
+    const double fd = (loss(xp) - loss(xm)) / (2.0 * eps);
+    // Re-run forward on the original input so the layer cache matches again.
+    layer.forward(input, /*train=*/true);
+    EXPECT_NEAR(grad_input[idx], fd, tol) << "idx " << idx;
+  }
+}
+
+TEST(ReLUTest, ForwardClampsNegative) {
+  ReLU relu;
+  Tensor x = Tensor::of({-1.0F, 0.0F, 2.0F});
+  Tensor y = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0F);
+  EXPECT_FLOAT_EQ(y[1], 0.0F);
+  EXPECT_FLOAT_EQ(y[2], 2.0F);
+}
+
+TEST(ReLUTest, BackwardMasksNegative) {
+  ReLU relu;
+  Tensor x = Tensor::of({-1.0F, 3.0F});
+  relu.forward(x, true);
+  Tensor g = relu.backward(Tensor::of({5.0F, 7.0F}));
+  EXPECT_FLOAT_EQ(g[0], 0.0F);
+  EXPECT_FLOAT_EQ(g[1], 7.0F);
+}
+
+TEST(ReLUTest, BackwardWithoutForwardThrows) {
+  ReLU relu;
+  EXPECT_THROW(relu.backward(Tensor::of({1.0F})), std::logic_error);
+}
+
+TEST(ThresholdReLUTest, ForwardClipsBothSides) {
+  ThresholdReLU act(2.0F);
+  Tensor x = Tensor::of({-1.0F, 1.0F, 3.0F});
+  Tensor y = act.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0F);
+  EXPECT_FLOAT_EQ(y[1], 1.0F);
+  EXPECT_FLOAT_EQ(y[2], 2.0F);
+}
+
+TEST(ThresholdReLUTest, MuGradientSumsOverSaturated) {
+  ThresholdReLU act(1.0F);
+  Tensor x = Tensor::of({0.5F, 2.0F, 3.0F, -1.0F});
+  act.forward(x, true);
+  act.backward(Tensor::of({1.0F, 2.0F, 3.0F, 4.0F}));
+  // Saturated elements: x=2 (g=2) and x=3 (g=3) -> dmu = 5.
+  EXPECT_FLOAT_EQ(act.mu_param().grad[0], 5.0F);
+}
+
+TEST(ThresholdReLUTest, InputGradientRegions) {
+  ThresholdReLU act(1.0F);
+  Tensor x = Tensor::of({-0.5F, 0.5F, 1.5F});
+  act.forward(x, true);
+  Tensor g = act.backward(Tensor::of({1.0F, 1.0F, 1.0F}));
+  EXPECT_FLOAT_EQ(g[0], 0.0F);  // below zero
+  EXPECT_FLOAT_EQ(g[1], 1.0F);  // linear
+  EXPECT_FLOAT_EQ(g[2], 0.0F);  // saturated
+}
+
+TEST(ThresholdReLUTest, FiniteDifferenceInLinearRegion) {
+  ThresholdReLU act(1.0F);
+  Rng rng(5);
+  Tensor x({16});
+  uniform_fill(x, 0.1F, 0.9F, rng);  // strictly inside the linear region
+  check_input_gradient(act, x);
+}
+
+TEST(ThresholdReLUTest, RejectsNonPositiveMu) {
+  EXPECT_THROW(ThresholdReLU(0.0F), std::invalid_argument);
+  EXPECT_THROW(ThresholdReLU(-1.0F), std::invalid_argument);
+}
+
+TEST(ThresholdReLUTest, MuExcludedFromDecay) {
+  ThresholdReLU act(1.0F);
+  EXPECT_FALSE(act.mu_param().decay);
+}
+
+TEST(Conv2dLayerTest, GradientCheck) {
+  Rng rng(7);
+  Conv2d conv(2, 3, 3, 1, 1, /*bias=*/true, rng);
+  Tensor x({2, 2, 5, 5});
+  uniform_fill(x, -1.0F, 1.0F, rng);
+  check_input_gradient(conv, x);
+}
+
+TEST(Conv2dLayerTest, WeightGradientAccumulates) {
+  Rng rng(7);
+  Conv2d conv(1, 1, 3, 1, 1, false, rng);
+  Tensor x({1, 1, 4, 4}, 1.0F);
+  Tensor out = conv.forward(x, true);
+  conv.backward(Tensor(out.shape(), 1.0F));
+  const Tensor grad1 = conv.weight().grad;
+  conv.forward(x, true);
+  conv.backward(Tensor(out.shape(), 1.0F));
+  EXPECT_TRUE(conv.weight().grad.allclose(grad1 * 2.0F, 1e-4F));
+}
+
+TEST(Conv2dLayerTest, OutputShapeAndMacs) {
+  Rng rng(7);
+  Conv2d conv(3, 8, 3, 2, 1, false, rng);
+  const Shape out = conv.output_shape({4, 3, 32, 32});
+  EXPECT_EQ(out, Shape({4, 8, 16, 16}));
+  EXPECT_EQ(conv.macs({1, 3, 32, 32}), 8 * 16 * 16 * 3 * 3 * 3);
+}
+
+TEST(Conv2dLayerTest, RejectsBadGeometry) {
+  Rng rng(7);
+  EXPECT_THROW(Conv2d(0, 1, 3, 1, 1, false, rng), std::invalid_argument);
+  EXPECT_THROW(Conv2d(1, 1, 3, 0, 1, false, rng), std::invalid_argument);
+}
+
+TEST(LinearLayerTest, GradientCheck) {
+  Rng rng(9);
+  Linear linear(6, 4, /*bias=*/true, rng);
+  Tensor x({3, 6});
+  uniform_fill(x, -1.0F, 1.0F, rng);
+  check_input_gradient(linear, x);
+}
+
+TEST(LinearLayerTest, ForwardMatchesManual) {
+  Rng rng(9);
+  Linear linear(2, 1, false, rng);
+  linear.weight().value[0] = 2.0F;
+  linear.weight().value[1] = -3.0F;
+  Tensor x = Tensor::of({1.0F, 2.0F}).reshape({1, 2});
+  Tensor y = linear.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 2.0F - 6.0F);
+}
+
+TEST(LinearLayerTest, BiasGradient) {
+  Rng rng(9);
+  Linear linear(2, 2, true, rng);
+  Tensor x({3, 2}, 1.0F);
+  linear.forward(x, true);
+  linear.backward(Tensor({3, 2}, 1.0F));
+  // Bias grad = sum over batch of grad_output.
+  EXPECT_FLOAT_EQ(linear.bias().grad[0], 3.0F);
+  EXPECT_FLOAT_EQ(linear.bias().grad[1], 3.0F);
+}
+
+TEST(LinearLayerTest, RejectsWrongInputShape) {
+  Rng rng(9);
+  Linear linear(4, 2, false, rng);
+  EXPECT_THROW(linear.forward(Tensor({2, 5}), false), std::invalid_argument);
+}
+
+TEST(MaxPoolLayerTest, GradientCheckAwayFromTies) {
+  // Use distinct values so argmax is stable under the FD perturbation.
+  MaxPool2d pool;
+  Tensor x({1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i) * 0.37F;
+  check_input_gradient(pool, x, 1e-3F, 1e-2F);
+}
+
+TEST(AvgPoolLayerTest, GradientCheck) {
+  AvgPool2d pool;
+  Rng rng(13);
+  Tensor x({2, 2, 4, 4});
+  uniform_fill(x, -1.0F, 1.0F, rng);
+  check_input_gradient(pool, x);
+}
+
+TEST(DropoutTest, InferenceIsIdentity) {
+  Rng rng(15);
+  Dropout dropout(0.5F, rng);
+  Tensor x({100}, 1.0F);
+  Tensor y = dropout.forward(x, /*train=*/false);
+  EXPECT_TRUE(y.allclose(x));
+}
+
+TEST(DropoutTest, TrainScalesSurvivors) {
+  Rng rng(15);
+  Dropout dropout(0.5F, rng);
+  Tensor x({10000}, 1.0F);
+  Tensor y = dropout.forward(x, /*train=*/true);
+  // Inverted dropout: survivors scaled by 1/(1-p); expected mean stays 1.
+  EXPECT_NEAR(y.mean(), 1.0F, 0.05F);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(y[i] == 0.0F || std::abs(y[i] - 2.0F) < 1e-5F);
+  }
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Rng rng(15);
+  Dropout dropout(0.5F, rng);
+  Tensor x({1000}, 1.0F);
+  Tensor y = dropout.forward(x, true);
+  Tensor g = dropout.backward(Tensor({1000}, 1.0F));
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(g[i], y[i]);
+}
+
+TEST(DropoutTest, ZeroProbIsNoop) {
+  Rng rng(15);
+  Dropout dropout(0.0F, rng);
+  Tensor x({5}, 3.0F);
+  EXPECT_TRUE(dropout.forward(x, true).allclose(x));
+}
+
+TEST(DropoutTest, RejectsBadProb) {
+  Rng rng(15);
+  EXPECT_THROW(Dropout(1.0F, rng), std::invalid_argument);
+  EXPECT_THROW(Dropout(-0.1F, rng), std::invalid_argument);
+}
+
+TEST(FlattenTest, RoundTrip) {
+  Flatten flatten;
+  Tensor x({2, 3, 4, 5});
+  Tensor y = flatten.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({2, 60}));
+  Tensor g = flatten.backward(Tensor({2, 60}, 1.0F));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+}  // namespace
+}  // namespace ullsnn::dnn

@@ -1,0 +1,109 @@
+#include "src/dnn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/random.h"
+
+namespace ullsnn::dnn {
+namespace {
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(1);
+  Tensor logits({4, 7});
+  uniform_fill(logits, -5.0F, 5.0F, rng);
+  const Tensor probs = softmax(logits);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    float sum = 0.0F;
+    for (std::int64_t j = 0; j < 7; ++j) sum += probs.at(i, j);
+    EXPECT_NEAR(sum, 1.0F, 1e-5F);
+  }
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  Tensor logits({1, 2});
+  logits[0] = 1000.0F;
+  logits[1] = 999.0F;
+  const Tensor probs = softmax(logits);
+  EXPECT_NEAR(probs[0], 1.0F / (1.0F + std::exp(-1.0F)), 1e-5F);
+  EXPECT_FALSE(std::isnan(probs[0]));
+}
+
+TEST(SoftmaxTest, UniformLogitsGiveUniformProbs) {
+  Tensor logits({1, 4}, 3.0F);
+  const Tensor probs = softmax(logits);
+  for (std::int64_t j = 0; j < 4; ++j) EXPECT_NEAR(probs[j], 0.25F, 1e-6F);
+}
+
+TEST(CrossEntropyTest, PerfectPredictionLowLoss) {
+  Tensor logits({1, 3});
+  logits[0] = 100.0F;
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-3F);
+  EXPECT_EQ(r.correct, 1);
+}
+
+TEST(CrossEntropyTest, UniformPredictionIsLogC) {
+  Tensor logits({2, 10}, 0.0F);
+  const LossResult r = softmax_cross_entropy(logits, {3, 7});
+  EXPECT_NEAR(r.loss, std::log(10.0F), 1e-5F);
+}
+
+TEST(CrossEntropyTest, GradientIsProbsMinusOneHotOverN) {
+  Tensor logits({2, 3}, 0.0F);
+  const LossResult r = softmax_cross_entropy(logits, {1, 2});
+  // probs uniform 1/3; grad = (p - onehot)/N.
+  EXPECT_NEAR(r.grad.at(0, 0), (1.0F / 3.0F) / 2.0F, 1e-6F);
+  EXPECT_NEAR(r.grad.at(0, 1), (1.0F / 3.0F - 1.0F) / 2.0F, 1e-6F);
+  EXPECT_NEAR(r.grad.at(1, 2), (1.0F / 3.0F - 1.0F) / 2.0F, 1e-6F);
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifference) {
+  Rng rng(2);
+  Tensor logits({3, 5});
+  uniform_fill(logits, -2.0F, 2.0F, rng);
+  const std::vector<std::int64_t> labels = {1, 4, 0};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3F;
+  for (std::int64_t idx : {std::int64_t{0}, std::int64_t{7}, std::int64_t{14}}) {
+    Tensor lp = logits;
+    Tensor lm = logits;
+    lp[idx] += eps;
+    lm[idx] -= eps;
+    const float fp = softmax_cross_entropy(lp, labels).loss;
+    const float fm = softmax_cross_entropy(lm, labels).loss;
+    EXPECT_NEAR(r.grad[idx], (fp - fm) / (2.0F * eps), 1e-3F);
+  }
+}
+
+TEST(CrossEntropyTest, GradientSumIsZeroPerRow) {
+  Rng rng(3);
+  Tensor logits({2, 4});
+  uniform_fill(logits, -1.0F, 1.0F, rng);
+  const LossResult r = softmax_cross_entropy(logits, {0, 3});
+  for (std::int64_t i = 0; i < 2; ++i) {
+    float sum = 0.0F;
+    for (std::int64_t j = 0; j < 4; ++j) sum += r.grad.at(i, j);
+    EXPECT_NEAR(sum, 0.0F, 1e-6F);
+  }
+}
+
+TEST(CrossEntropyTest, ValidatesInputs) {
+  Tensor logits({2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, -1}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(Tensor({6}), {0}), std::invalid_argument);
+}
+
+TEST(AccuracyTest, CountsTopOne) {
+  Tensor logits({3, 2});
+  logits.at(0, 0) = 1.0F;  // pred 0, label 0: hit
+  logits.at(1, 1) = 1.0F;  // pred 1, label 0: miss
+  logits.at(2, 1) = 1.0F;  // pred 1, label 1: hit
+  EXPECT_NEAR(accuracy(logits, {0, 0, 1}), 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ullsnn::dnn

@@ -1,0 +1,94 @@
+#include "src/dnn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace ullsnn::dnn {
+namespace {
+
+Param make_param(float value, bool decay = true) {
+  Param p;
+  p.name = "p";
+  p.value = Tensor({1}, value);
+  p.grad = Tensor({1});
+  p.decay = decay;
+  return p;
+}
+
+TEST(SgdTest, PlainStepDescends) {
+  Param p = make_param(1.0F);
+  Sgd sgd({&p}, {0.1F, 0.0F, 0.0F});
+  p.grad[0] = 2.0F;
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0F - 0.1F * 2.0F);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Param p = make_param(0.0F);
+  Sgd sgd({&p}, {1.0F, 0.5F, 0.0F});
+  p.grad[0] = 1.0F;
+  sgd.step();  // v = 1, p = -1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0F);
+  sgd.step();  // v = 0.5 + 1 = 1.5, p = -2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5F);
+}
+
+TEST(SgdTest, WeightDecayAppliesOnlyWhenFlagged) {
+  Param decayed = make_param(10.0F, true);
+  Param exempt = make_param(10.0F, false);
+  Sgd sgd({&decayed, &exempt}, {0.1F, 0.0F, 0.01F});
+  sgd.step();  // zero grads: only decay acts
+  EXPECT_FLOAT_EQ(decayed.value[0], 10.0F - 0.1F * 0.01F * 10.0F);
+  EXPECT_FLOAT_EQ(exempt.value[0], 10.0F);
+}
+
+TEST(SgdTest, ZeroGradClears) {
+  Param p = make_param(0.0F);
+  p.grad[0] = 5.0F;
+  Sgd sgd({&p}, {0.1F, 0.9F, 0.0F});
+  sgd.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0F);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimize (x - 3)^2 with gradient 2(x - 3).
+  Param p = make_param(0.0F);
+  Sgd sgd({&p}, {0.1F, 0.9F, 0.0F});
+  for (int i = 0; i < 200; ++i) {
+    sgd.zero_grad();
+    p.grad[0] = 2.0F * (p.value[0] - 3.0F);
+    sgd.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0F, 1e-3F);
+}
+
+TEST(SgdTest, ValidatesConfig) {
+  Param p = make_param(0.0F);
+  EXPECT_THROW(Sgd({&p}, {0.0F, 0.9F, 0.0F}), std::invalid_argument);
+  EXPECT_THROW(Sgd({&p}, {0.1F, 1.0F, 0.0F}), std::invalid_argument);
+}
+
+TEST(StepDecayTest, PaperSchedule) {
+  // Paper: decay x0.1 at 60 / 80 / 90% of epochs.
+  StepDecaySchedule sched(0.01F, 100);
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 0.01F);
+  EXPECT_FLOAT_EQ(sched.lr_at(59), 0.01F);
+  EXPECT_FLOAT_EQ(sched.lr_at(60), 0.001F);
+  EXPECT_FLOAT_EQ(sched.lr_at(80), 0.0001F);
+  EXPECT_NEAR(sched.lr_at(95), 1e-5F, 1e-9F);
+}
+
+TEST(StepDecayTest, ShortRunsRoundMilestones) {
+  StepDecaySchedule sched(1.0F, 10);
+  EXPECT_FLOAT_EQ(sched.lr_at(5), 1.0F);
+  EXPECT_FLOAT_EQ(sched.lr_at(6), 0.1F);
+  EXPECT_FLOAT_EQ(sched.lr_at(8), 0.01F);
+  EXPECT_NEAR(sched.lr_at(9), 0.001F, 1e-7F);
+}
+
+TEST(StepDecayTest, Validates) {
+  EXPECT_THROW(StepDecaySchedule(0.0F, 10), std::invalid_argument);
+  EXPECT_THROW(StepDecaySchedule(0.1F, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ullsnn::dnn

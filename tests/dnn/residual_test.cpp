@@ -1,0 +1,89 @@
+#include "src/dnn/residual.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/random.h"
+
+namespace ullsnn::dnn {
+namespace {
+
+TEST(ResidualBlockTest, IdentitySkipWhenShapesMatch) {
+  Rng rng(1);
+  ResidualBlock block(4, 4, 1, 10.0F, rng);
+  EXPECT_FALSE(block.has_projection());
+}
+
+TEST(ResidualBlockTest, ProjectionWhenStrideOrChannelsChange) {
+  Rng rng(1);
+  ResidualBlock strided(4, 4, 2, 10.0F, rng);
+  EXPECT_TRUE(strided.has_projection());
+  ResidualBlock widened(4, 8, 1, 10.0F, rng);
+  EXPECT_TRUE(widened.has_projection());
+}
+
+TEST(ResidualBlockTest, OutputShape) {
+  Rng rng(1);
+  ResidualBlock block(4, 8, 2, 10.0F, rng);
+  EXPECT_EQ(block.output_shape({2, 4, 16, 16}), Shape({2, 8, 8, 8}));
+}
+
+TEST(ResidualBlockTest, IdentitySkipPassesSignalWhenConvsAreZero) {
+  Rng rng(1);
+  ResidualBlock block(2, 2, 1, 100.0F, rng);
+  block.conv1().weight().value.fill(0.0F);
+  block.conv2().weight().value.fill(0.0F);
+  Tensor x({1, 2, 4, 4}, 0.5F);
+  const Tensor y = block.forward(x, false);
+  // Main path contributes 0; output = clip(skip, 0, 100) = x.
+  EXPECT_TRUE(y.allclose(x, 1e-6F));
+}
+
+TEST(ResidualBlockTest, GradientCheck) {
+  Rng rng(2);
+  ResidualBlock block(2, 2, 1, 10.0F, rng);
+  Tensor x({1, 2, 4, 4});
+  uniform_fill(x, 0.05F, 0.4F, rng);  // keep activations in smooth regions
+  Tensor out = block.forward(x, true);
+  Tensor g(out.shape());
+  uniform_fill(g, -1.0F, 1.0F, rng);
+  const Tensor grad_input = block.backward(g);
+
+  const auto loss = [&](const Tensor& input) {
+    const Tensor y = block.forward(input, true);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) acc += static_cast<double>(y[i]) * g[i];
+    return acc;
+  };
+  const float eps = 1e-2F;
+  for (std::int64_t idx : {std::int64_t{0}, x.numel() / 2, x.numel() - 1}) {
+    Tensor xp = x;
+    Tensor xm = x;
+    xp[idx] += eps;
+    xm[idx] -= eps;
+    const double fd = (loss(xp) - loss(xm)) / (2.0 * eps);
+    block.forward(x, true);
+    EXPECT_NEAR(grad_input[idx], fd, 3e-2) << idx;
+  }
+}
+
+TEST(ResidualBlockTest, ParamsIncludeBothActsAndConvs) {
+  Rng rng(3);
+  ResidualBlock plain(2, 2, 1, 10.0F, rng);
+  EXPECT_EQ(plain.params().size(), 4U);  // conv1, mu1, conv2, mu2
+  ResidualBlock proj(2, 4, 2, 10.0F, rng);
+  EXPECT_EQ(proj.params().size(), 5U);  // + projection
+}
+
+TEST(ResidualBlockTest, MacsIncludeProjection) {
+  Rng rng(3);
+  ResidualBlock plain(4, 4, 1, 10.0F, rng);
+  ResidualBlock proj(4, 8, 2, 10.0F, rng);
+  const Shape in = {1, 4, 8, 8};
+  const std::int64_t plain_macs = plain.macs(in);
+  // conv1: 4*8*8*4*9, conv2 same => 2 * 9216.
+  EXPECT_EQ(plain_macs, 2 * 4 * 8 * 8 * 4 * 9);
+  EXPECT_GT(proj.macs(in), 0);
+}
+
+}  // namespace
+}  // namespace ullsnn::dnn

@@ -1,0 +1,103 @@
+#include "src/dnn/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dnn/activations.h"
+#include "src/dnn/conv2d.h"
+#include "src/dnn/dropout.h"
+#include "src/dnn/linear.h"
+#include "src/dnn/pooling.h"
+#include "src/tensor/random.h"
+
+namespace ullsnn::dnn {
+namespace {
+
+std::unique_ptr<Sequential> chain(Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  model->emplace<Conv2d>(3, 4, 3, 1, 1, true, rng);
+  model->emplace<ThresholdReLU>(1.0F);
+  model->emplace<MaxPool2d>();
+  model->emplace<Flatten>();
+  model->emplace<Dropout>(0.1F, rng);
+  model->emplace<Linear>(4 * 4 * 4, 5, false, rng);
+  return model;
+}
+
+TEST(SequentialTest, SizeAndLayerAccess) {
+  Rng rng(1);
+  auto model = chain(rng);
+  EXPECT_EQ(model->size(), 6);
+  EXPECT_EQ(model->layer(0).name(), "Conv2d");
+  EXPECT_EQ(model->layer(5).name(), "Linear");
+}
+
+TEST(SequentialTest, ParamsEnumerationCoversAllLayers) {
+  Rng rng(2);
+  auto model = chain(rng);
+  // conv weight + conv bias + mu + linear weight = 4.
+  EXPECT_EQ(model->params().size(), 4U);
+}
+
+TEST(SequentialTest, OutputShapePropagates) {
+  Rng rng(3);
+  auto model = chain(rng);
+  EXPECT_EQ(model->output_shape({7, 3, 8, 8}), Shape({7, 5}));
+}
+
+TEST(SequentialTest, MacsSumAndPerLayerAlign) {
+  Rng rng(4);
+  auto model = chain(rng);
+  const Shape in = {1, 3, 8, 8};
+  const auto per_layer = model->per_layer_macs(in);
+  ASSERT_EQ(per_layer.size(), 6U);
+  std::int64_t sum = 0;
+  for (std::int64_t m : per_layer) sum += m;
+  EXPECT_EQ(sum, model->macs(in));
+  // Conv: 4*8*8*3*9; Linear: 64*5; others zero.
+  EXPECT_EQ(per_layer[0], 4 * 8 * 8 * 3 * 9);
+  EXPECT_EQ(per_layer[1], 0);
+  EXPECT_EQ(per_layer[5], 64 * 5);
+}
+
+TEST(SequentialTest, ForwardBackwardEndToEnd) {
+  Rng rng(5);
+  auto model = chain(rng);
+  Tensor x({2, 3, 8, 8});
+  uniform_fill(x, -1.0F, 1.0F, rng);
+  const Tensor y = model->forward(x, /*train=*/true);
+  EXPECT_EQ(y.shape(), Shape({2, 5}));
+  const Tensor gin = model->backward(Tensor({2, 5}, 1.0F));
+  EXPECT_EQ(gin.shape(), x.shape());
+  // Gradients landed on the first conv.
+  auto* conv = dynamic_cast<Conv2d*>(&model->layer(0));
+  ASSERT_NE(conv, nullptr);
+  EXPECT_GT(conv->weight().grad.rms(), 0.0F);
+}
+
+TEST(SequentialTest, ClearCacheInvalidatesBackward) {
+  Rng rng(6);
+  auto model = chain(rng);
+  Tensor x({1, 3, 8, 8}, 0.5F);
+  model->forward(x, true);
+  model->clear_cache();
+  EXPECT_THROW(model->backward(Tensor({1, 5}, 1.0F)), std::logic_error);
+}
+
+TEST(SequentialTest, ReleaseLayersEmptiesModel) {
+  Rng rng(7);
+  auto model = chain(rng);
+  auto layers = model->release_layers();
+  EXPECT_EQ(layers.size(), 6U);
+  EXPECT_EQ(model->size(), 0);
+}
+
+TEST(SequentialTest, EmptyModelIsIdentity) {
+  Sequential model;
+  Tensor x({2, 3}, 1.5F);
+  EXPECT_TRUE(model.forward(x, false).allclose(x));
+  EXPECT_EQ(model.output_shape({2, 3}), Shape({2, 3}));
+  EXPECT_EQ(model.macs({2, 3}), 0);
+}
+
+}  // namespace
+}  // namespace ullsnn::dnn

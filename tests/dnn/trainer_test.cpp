@@ -1,0 +1,98 @@
+#include "src/dnn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dnn/activations.h"
+#include "src/dnn/conv2d.h"
+#include "src/dnn/linear.h"
+#include "src/dnn/pooling.h"
+
+namespace ullsnn::dnn {
+namespace {
+
+data::LabeledImages easy_data(std::int64_t n, std::uint64_t salt) {
+  data::SyntheticCifarSpec spec;
+  spec.image_size = 8;
+  spec.num_classes = 3;
+  spec.sign_flip_prob = 0.0F;
+  spec.occluder_prob = 0.0F;
+  spec.noise_stddev = 0.1F;
+  data::SyntheticCifar gen(spec);
+  data::LabeledImages d = gen.generate(n, salt);
+  data::standardize(d);
+  return d;
+}
+
+std::unique_ptr<Sequential> small_model(Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  model->emplace<Conv2d>(3, 8, 3, 1, 1, false, rng);
+  model->emplace<ThresholdReLU>(2.0F);
+  model->emplace<MaxPool2d>();
+  model->emplace<Flatten>();
+  model->emplace<Linear>(8 * 4 * 4, 3, false, rng);
+  return model;
+}
+
+TEST(DnnTrainerTest, LearnsEasyTask) {
+  Rng rng(1);
+  auto model = small_model(rng);
+  const data::LabeledImages train = easy_data(192, 1);
+  const data::LabeledImages test = easy_data(48, 2);
+  TrainConfig config;
+  config.epochs = 12;
+  config.batch_size = 32;
+  config.augment = false;
+  DnnTrainer trainer(*model, config);
+  const auto history = trainer.fit(train, &test);
+  ASSERT_EQ(history.size(), 12U);
+  EXPECT_GT(history.back().train_accuracy, 0.8);
+  EXPECT_GT(trainer.evaluate(test), 0.7);
+  // Loss should broadly decrease.
+  EXPECT_LT(history.back().train_loss, history.front().train_loss);
+}
+
+TEST(DnnTrainerTest, ThresholdsAdaptDuringTraining) {
+  Rng rng(2);
+  auto model = small_model(rng);
+  const data::LabeledImages train = easy_data(96, 1);
+  TrainConfig config;
+  config.epochs = 5;
+  config.mu_l2 = 0.05F;  // strong pull so the effect is visible quickly
+  config.augment = false;
+  float mu_before = 0.0F;
+  for (Param* p : model->params()) {
+    if (p->name == "threshold_relu.mu") mu_before = p->value[0];
+  }
+  DnnTrainer trainer(*model, config);
+  trainer.fit(train);
+  float mu_after = 0.0F;
+  for (Param* p : model->params()) {
+    if (p->name == "threshold_relu.mu") mu_after = p->value[0];
+  }
+  EXPECT_NE(mu_before, mu_after);
+  EXPECT_GT(mu_after, 0.0F);
+}
+
+TEST(DnnTrainerTest, EpochStatsArePopulated) {
+  Rng rng(3);
+  auto model = small_model(rng);
+  const data::LabeledImages train = easy_data(64, 1);
+  DnnTrainer trainer(*model, TrainConfig{.epochs = 1, .augment = false});
+  const EpochStats stats = trainer.train_epoch(train, 0);
+  EXPECT_EQ(stats.epoch, 0);
+  EXPECT_GT(stats.train_loss, 0.0F);
+  EXPECT_GE(stats.train_accuracy, 0.0);
+  EXPECT_LE(stats.train_accuracy, 1.0);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(DnnTrainerTest, EvaluateModelMatchesTrainerEvaluate) {
+  Rng rng(4);
+  auto model = small_model(rng);
+  const data::LabeledImages test = easy_data(48, 2);
+  DnnTrainer trainer(*model, TrainConfig{});
+  EXPECT_DOUBLE_EQ(trainer.evaluate(test), evaluate_model(*model, test, 32));
+}
+
+}  // namespace
+}  // namespace ullsnn::dnn

@@ -1,0 +1,53 @@
+#include "src/snn/encoding.h"
+
+#include <gtest/gtest.h>
+
+namespace ullsnn::snn {
+namespace {
+
+TEST(EncodingTest, DirectIsPassThrough) {
+  Rng rng(1);
+  Tensor images({2, 3}, 0.37F);
+  const Tensor out = encode_step(images, Encoding::kDirect, rng);
+  EXPECT_TRUE(out.allclose(images));
+}
+
+TEST(EncodingTest, PoissonRateMatchesMagnitude) {
+  Rng rng(2);
+  Tensor images({1, 100000}, 0.3F);
+  std::int64_t spikes = 0;
+  const Tensor out = encode_step(images, Encoding::kPoisson, rng);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_TRUE(out[i] == 0.0F || out[i] == 1.0F);
+    spikes += out[i] != 0.0F ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(spikes) / 100000.0, 0.3, 0.01);
+}
+
+TEST(EncodingTest, PoissonCarriesSign) {
+  Rng rng(3);
+  Tensor images({1, 10000}, -0.8F);
+  const Tensor out = encode_step(images, Encoding::kPoisson, rng);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_TRUE(out[i] == 0.0F || out[i] == -1.0F);
+  }
+  EXPECT_LT(out.sum(), 0.0F);
+}
+
+TEST(EncodingTest, PoissonClipsProbabilityAtOne) {
+  Rng rng(4);
+  Tensor images({1, 1000}, 5.0F);
+  const Tensor out = encode_step(images, Encoding::kPoisson, rng);
+  EXPECT_FLOAT_EQ(out.sum(), 1000.0F);  // p clipped to 1: always spikes
+}
+
+TEST(EncodingTest, PoissonStepsDiffer) {
+  Rng rng(5);
+  Tensor images({1, 1000}, 0.5F);
+  const Tensor a = encode_step(images, Encoding::kPoisson, rng);
+  const Tensor b = encode_step(images, Encoding::kPoisson, rng);
+  EXPECT_FALSE(a.allclose(b));
+}
+
+}  // namespace
+}  // namespace ullsnn::snn

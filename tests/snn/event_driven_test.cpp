@@ -1,0 +1,156 @@
+// Equivalence and accounting tests for the event-driven inference engine:
+// it must produce the same logits as the dense time-stepped simulator and
+// its accumulate count must track the input spike sparsity.
+#include "src/snn/event_driven.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/converter.h"
+#include "src/dnn/activations.h"
+#include "src/dnn/conv2d.h"
+#include "src/dnn/linear.h"
+#include "src/dnn/models.h"
+#include "src/dnn/pooling.h"
+#include "src/tensor/random.h"
+
+namespace ullsnn::snn {
+namespace {
+
+data::LabeledImages calib_data(std::int64_t image_size, std::int64_t n = 48) {
+  data::SyntheticCifarSpec spec;
+  spec.image_size = image_size;
+  spec.num_classes = 3;
+  data::SyntheticCifar gen(spec);
+  data::LabeledImages d = gen.generate(n, 1);
+  data::standardize(d);
+  return d;
+}
+
+TEST(EventDrivenTest, MatchesDenseOnConvLinearNet) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 6, 3, 1, 1, false, rng);
+  model.emplace<dnn::ThresholdReLU>(1.0F);
+  model.emplace<dnn::MaxPool2d>();
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(6 * 4 * 4, 8, false, rng);
+  model.emplace<dnn::ThresholdReLU>(1.0F);
+  model.emplace<dnn::Linear>(8, 3, false, rng);
+  const auto calib = calib_data(8);
+  core::ConversionConfig cc;
+  cc.time_steps = 3;
+  auto net = core::convert(model, calib, cc, nullptr);
+
+  Tensor images({4, 3, 8, 8});
+  uniform_fill(images, -1.0F, 1.0F, rng);
+  const Tensor dense = net->forward(images, false);
+  EventDrivenEngine engine(*net);
+  const Tensor sparse = engine.forward(images);
+  EXPECT_TRUE(sparse.allclose(dense, 1e-3F));
+  EXPECT_GT(engine.stats().events_processed, 0);
+}
+
+TEST(EventDrivenTest, MatchesDenseOnStridedConv) {
+  Rng rng(2);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(2, 4, 3, 2, 1, false, rng);
+  model.emplace<dnn::ThresholdReLU>(1.0F);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(4 * 4 * 4, 3, false, rng);
+  data::LabeledImages calib;
+  calib.images = Tensor({8, 2, 8, 8});
+  uniform_fill(calib.images, -1.0F, 1.0F, rng);
+  calib.labels.assign(8, 0);
+  core::ConversionConfig cc;
+  cc.time_steps = 2;
+  auto net = core::convert(model, calib, cc, nullptr);
+
+  Tensor images({2, 2, 8, 8});
+  uniform_fill(images, -1.0F, 1.0F, rng);
+  const Tensor dense = net->forward(images, false);
+  EventDrivenEngine engine(*net);
+  EXPECT_TRUE(engine.forward(images).allclose(dense, 1e-3F));
+}
+
+TEST(EventDrivenTest, MatchesDenseOnResNet) {
+  Rng rng(3);
+  dnn::ModelConfig mc;
+  mc.width = 0.125F;
+  mc.num_classes = 3;
+  mc.image_size = 8;
+  auto model = dnn::build_resnet(20, mc, rng);
+  const auto calib = calib_data(8);
+  core::ConversionConfig cc;
+  cc.time_steps = 2;
+  auto net = core::convert(*model, calib, cc, nullptr);
+
+  Tensor images({2, 3, 8, 8});
+  uniform_fill(images, -1.0F, 1.0F, rng);
+  const Tensor dense = net->forward(images, false);
+  EventDrivenEngine engine(*net);
+  EXPECT_TRUE(engine.forward(images).allclose(dense, 1e-3F));
+}
+
+TEST(EventDrivenTest, OpsScaleWithSparsity) {
+  // Same network, two inputs: a dense analog one and one that silences most
+  // pixels. The hidden-layer AC count must shrink accordingly.
+  Rng rng(4);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(1, 8, 3, 1, 1, false, rng);
+  model.emplace<dnn::ThresholdReLU>(0.5F);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(8 * 8 * 8, 3, false, rng);
+  data::LabeledImages calib;
+  calib.images = Tensor({8, 1, 8, 8});
+  uniform_fill(calib.images, 0.0F, 1.0F, rng);
+  calib.labels.assign(8, 0);
+  core::ConversionConfig cc;
+  cc.time_steps = 2;
+  auto net = core::convert(model, calib, cc, nullptr);
+
+  EventDrivenEngine engine(*net);
+  Tensor hot({1, 1, 8, 8}, 1.0F);
+  engine.forward(hot);
+  const std::int64_t hot_acs = engine.stats().accumulate_ops;
+  engine.reset_stats();
+  Tensor cold({1, 1, 8, 8});
+  cold[0] = 1.0F;  // single active pixel
+  engine.forward(cold);
+  const std::int64_t cold_acs = engine.stats().accumulate_ops;
+  EXPECT_LT(cold_acs, hot_acs / 8);
+  EXPECT_LE(engine.stats().accumulate_ops, engine.stats().dense_equivalent_ops);
+}
+
+TEST(EventDrivenTest, ZeroInputDoesNoSynapticWork) {
+  Rng rng(5);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(1, 4, 3, 1, 1, false, rng);
+  model.emplace<dnn::ThresholdReLU>(1.0F);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(4 * 4 * 4, 2, false, rng);
+  data::LabeledImages calib;
+  calib.images = Tensor({4, 1, 4, 4});
+  uniform_fill(calib.images, 0.0F, 1.0F, rng);
+  calib.labels.assign(4, 0);
+  core::ConversionConfig cc;
+  cc.time_steps = 4;
+  auto net = core::convert(model, calib, cc, nullptr);
+
+  EventDrivenEngine engine(*net);
+  const Tensor logits = engine.forward(Tensor({1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(logits.sum(), 0.0F);
+  EXPECT_EQ(engine.stats().events_processed, 0);
+  EXPECT_EQ(engine.stats().accumulate_ops, 0);
+}
+
+TEST(EventDrivenTest, RejectsPoissonEncoding) {
+  Rng rng(6);
+  auto net = std::make_unique<SnnNetwork>(2);
+  net->emplace<SpikingLinear>(Tensor({2, 2}, 1.0F), IfConfig{}, false);
+  net->set_encoding(Encoding::kPoisson);
+  EventDrivenEngine engine(*net);
+  EXPECT_THROW(engine.forward(Tensor({1, 2}, 1.0F)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ullsnn::snn

@@ -1,0 +1,202 @@
+#include "src/snn/neuron.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ullsnn::snn {
+namespace {
+
+IfConfig if_config(float v_th = 1.0F, float leak = 1.0F, float beta = 1.0F,
+                   float init_frac = 0.0F) {
+  IfConfig c;
+  c.v_threshold = v_th;
+  c.leak = leak;
+  c.beta = beta;
+  c.initial_membrane_fraction = init_frac;
+  return c;
+}
+
+TEST(IfNeuronTest, NoSpikeBelowThreshold) {
+  IfNeuron n(if_config());
+  n.begin_sequence({1, 1}, 4, false);
+  Tensor current({1, 1}, 0.4F);
+  for (std::int64_t t = 0; t < 2; ++t) {
+    EXPECT_FLOAT_EQ(n.step_forward(current, t, false)[0], 0.0F);
+  }
+  // Membrane integrated 0.8 so far; third step crosses 1.0.
+  EXPECT_FLOAT_EQ(n.step_forward(current, 2, false)[0], 1.0F);
+}
+
+TEST(IfNeuronTest, SoftResetKeepsSurplus) {
+  IfNeuron n(if_config());
+  n.begin_sequence({1, 1}, 2, false);
+  Tensor current({1, 1}, 1.7F);
+  EXPECT_FLOAT_EQ(n.step_forward(current, 0, false)[0], 1.0F);
+  // Surplus 0.7 kept: 0.7 + 1.7 = 2.4 > 1 -> spike again, membrane 1.4.
+  EXPECT_FLOAT_EQ(n.step_forward(current, 1, false)[0], 1.0F);
+  EXPECT_NEAR(n.membrane()[0], 1.4F, 1e-6F);
+}
+
+TEST(IfNeuronTest, RateCodesInput) {
+  // Over many steps, spike rate ~= drive / threshold (IF, soft reset).
+  IfNeuron n(if_config(1.0F));
+  const std::int64_t steps = 1000;
+  n.begin_sequence({1, 1}, steps, false);
+  Tensor current({1, 1}, 0.37F);
+  for (std::int64_t t = 0; t < steps; ++t) n.step_forward(current, t, false);
+  const double rate =
+      static_cast<double>(n.spikes_emitted()) / static_cast<double>(steps);
+  EXPECT_NEAR(rate, 0.37, 0.005);
+}
+
+TEST(IfNeuronTest, LeakDecaysMembrane) {
+  IfNeuron n(if_config(10.0F, 0.5F));
+  n.begin_sequence({1, 1}, 3, false);
+  Tensor current({1, 1}, 1.0F);
+  n.step_forward(current, 0, false);  // U = 1
+  n.step_forward(current, 1, false);  // U = 0.5 + 1 = 1.5
+  EXPECT_NEAR(n.membrane()[0], 1.5F, 1e-6F);
+  n.step_forward(current, 2, false);  // U = 0.75 + 1 = 1.75
+  EXPECT_NEAR(n.membrane()[0], 1.75F, 1e-6F);
+}
+
+TEST(IfNeuronTest, BetaScalesAmplitudeOnly) {
+  IfNeuron n(if_config(2.0F, 1.0F, 0.25F));
+  n.begin_sequence({1, 1}, 1, false);
+  Tensor current({1, 1}, 3.0F);
+  const Tensor s = n.step_forward(current, 0, false);
+  EXPECT_FLOAT_EQ(s[0], 0.25F * 2.0F);     // amplitude beta * V_th
+  EXPECT_NEAR(n.membrane()[0], 1.0F, 1e-6F);  // reset subtracts V_th, not beta*V_th
+}
+
+TEST(IfNeuronTest, InitialMembraneFraction) {
+  IfNeuron n(if_config(2.0F, 1.0F, 1.0F, 0.5F));
+  n.begin_sequence({1, 1}, 1, false);
+  EXPECT_FLOAT_EQ(n.membrane()[0], 1.0F);
+  // With bias charge 1.0, a current of 1.1 crosses the threshold at once.
+  Tensor current({1, 1}, 1.1F);
+  EXPECT_FLOAT_EQ(n.step_forward(current, 0, false)[0], 2.0F);
+}
+
+TEST(IfNeuronTest, SpikeCountStats) {
+  IfNeuron n(if_config());
+  n.begin_sequence({2, 3}, 1, false);
+  EXPECT_EQ(n.neurons(), 3);  // per sample
+  Tensor current({2, 3}, 2.0F);
+  n.step_forward(current, 0, false);
+  EXPECT_EQ(n.spikes_emitted(), 6);
+  n.reset_stats();
+  EXPECT_EQ(n.spikes_emitted(), 0);
+}
+
+TEST(IfNeuronTest, ShapeMismatchThrows) {
+  IfNeuron n(if_config());
+  n.begin_sequence({1, 2}, 1, false);
+  EXPECT_THROW(n.step_forward(Tensor({1, 3}), 0, false), std::invalid_argument);
+}
+
+TEST(IfNeuronTest, ValidatesConfig) {
+  EXPECT_THROW(IfNeuron(if_config(0.0F)), std::invalid_argument);
+  EXPECT_THROW(IfNeuron(if_config(1.0F, -0.1F)), std::invalid_argument);
+  EXPECT_THROW(IfNeuron(if_config(1.0F, 1.1F)), std::invalid_argument);
+}
+
+TEST(IfNeuronTest, SetThresholdValidates) {
+  IfNeuron n(if_config());
+  EXPECT_THROW(n.set_threshold(-1.0F), std::invalid_argument);
+  n.set_threshold(2.5F);
+  EXPECT_FLOAT_EQ(n.threshold(), 2.5F);
+}
+
+// ---- BPTT gradient behaviour ----
+
+TEST(IfNeuronBackwardTest, SurrogatePassesGradientNearThreshold) {
+  IfNeuron n(if_config(1.0F));
+  n.begin_sequence({1, 1}, 1, true);
+  Tensor current({1, 1}, 0.9F);  // u_temp = 0.9, inside [0, 2]
+  n.step_forward(current, 0, true);
+  n.begin_backward();
+  const Tensor g = n.step_backward(Tensor({1, 1}, 1.0F), 0);
+  EXPECT_FLOAT_EQ(g[0], 1.0F);  // boxcar surrogate = 1
+}
+
+TEST(IfNeuronBackwardTest, SurrogateBlocksFarFromThreshold) {
+  IfNeuron n(if_config(1.0F));
+  n.begin_sequence({1, 1}, 1, true);
+  Tensor current({1, 1}, 5.0F);  // u_temp = 5 > 2*V_th
+  n.step_forward(current, 0, true);
+  n.begin_backward();
+  const Tensor g = n.step_backward(Tensor({1, 1}, 1.0F), 0);
+  EXPECT_FLOAT_EQ(g[0], 0.0F);
+}
+
+TEST(IfNeuronBackwardTest, GradientFlowsThroughTimeViaLeak) {
+  IfNeuron n(if_config(10.0F, 0.5F));  // high threshold: no spikes
+  n.begin_sequence({1, 1}, 2, true);
+  Tensor current({1, 1}, 0.1F);
+  n.step_forward(current, 0, true);
+  n.step_forward(current, 1, true);
+  n.begin_backward();
+  // Only step 1's output gets gradient; its surrogate = 1 (u in [0,20]).
+  const Tensor g1 = n.step_backward(Tensor({1, 1}, 1.0F), 1);
+  EXPECT_FLOAT_EQ(g1[0], 1.0F);
+  // Step 0 receives the carry lam * gUtemp = 0.5 even with zero local grad.
+  const Tensor g0 = n.step_backward(Tensor({1, 1}, 0.0F), 0);
+  EXPECT_FLOAT_EQ(g0[0], 0.5F);
+}
+
+TEST(IfNeuronBackwardTest, LeakGradientIsExact) {
+  // d(U_temp(1))/d(lam) = U(0); with no spikes, U(0) = current(0).
+  IfNeuron n(if_config(100.0F, 0.7F));
+  n.begin_sequence({1, 1}, 2, true);
+  Tensor c0({1, 1}, 3.0F);
+  Tensor c1({1, 1}, 1.0F);
+  n.step_forward(c0, 0, true);
+  n.step_forward(c1, 1, true);
+  n.begin_backward();
+  n.step_backward(Tensor({1, 1}, 1.0F), 1);
+  n.step_backward(Tensor({1, 1}, 0.0F), 0);
+  // gUtemp(1) = 1 (surrogate=1, u_temp=3.1 in [0,200]); dleak += 1 * U(0)=3.
+  // At t=0: gUtemp(0) = carry 0.7; dleak += 0.7 * U(-1)=0.
+  float leak_grad = 0.0F;
+  for (dnn::Param* p : n.params()) {
+    if (p->name == "if.leak") leak_grad = p->grad[0];
+  }
+  EXPECT_FLOAT_EQ(leak_grad, 3.0F);
+}
+
+TEST(IfNeuronBackwardTest, ThresholdGradientAmplitudeAndShiftTerms) {
+  IfNeuron n(if_config(1.0F, 1.0F, 2.0F));  // beta = 2
+  n.begin_sequence({1, 1}, 1, true);
+  Tensor current({1, 1}, 1.5F);  // spikes (u=1.5 in [0,2]: surr=1)
+  n.step_forward(current, 0, true);
+  n.begin_backward();
+  n.step_backward(Tensor({1, 1}, 1.0F), 0);
+  float th_grad = 0.0F;
+  for (dnn::Param* p : n.params()) {
+    if (p->name == "if.threshold") th_grad = p->grad[0];
+  }
+  // dS/dVth = beta*spiked - surr = 2 - 1 = 1.
+  EXPECT_FLOAT_EQ(th_grad, 1.0F);
+}
+
+TEST(IfNeuronBackwardTest, RequiresTrainingForward) {
+  IfNeuron n(if_config());
+  n.begin_sequence({1, 1}, 1, false);
+  n.step_forward(Tensor({1, 1}, 0.5F), 0, false);
+  EXPECT_THROW(n.begin_backward(), std::logic_error);
+}
+
+TEST(IfNeuronBackwardTest, ParamsRespectTrainFlags) {
+  IfConfig c = if_config();
+  c.train_threshold = false;
+  c.train_leak = false;
+  IfNeuron n(c);
+  EXPECT_TRUE(n.params().empty());
+  IfNeuron full(if_config());
+  EXPECT_EQ(full.params().size(), 2U);
+}
+
+}  // namespace
+}  // namespace ullsnn::snn

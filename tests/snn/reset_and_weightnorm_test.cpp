@@ -1,0 +1,160 @@
+// Tests for the hard-reset neuron variant and the Diehl/Rueckauer
+// weight-normalization conversion mode.
+#include <gtest/gtest.h>
+
+#include "src/core/converter.h"
+#include "src/dnn/activations.h"
+#include "src/dnn/conv2d.h"
+#include "src/dnn/linear.h"
+#include "src/dnn/trainer.h"
+#include "src/snn/neuron.h"
+
+namespace ullsnn::snn {
+namespace {
+
+TEST(HardResetTest, DiscardsSurplusCharge) {
+  IfConfig config;
+  config.v_threshold = 1.0F;
+  config.reset = ResetMode::kZero;
+  IfNeuron neuron(config);
+  neuron.begin_sequence({1, 1}, 2, false);
+  Tensor current({1, 1}, 1.7F);
+  EXPECT_FLOAT_EQ(neuron.step_forward(current, 0, false)[0], 1.0F);
+  // Hard reset: membrane went to 0, not 0.7.
+  EXPECT_FLOAT_EQ(neuron.membrane()[0], 0.0F);
+}
+
+TEST(HardResetTest, UnderCountsRateVsSoftReset) {
+  // With drive 0.7 over many steps: soft reset fires at rate ~0.7, hard
+  // reset the same here (no overshoot); with drive 1.7 soft reset fires
+  // every step AND carries surplus; hard reset caps at 1 spike/step too but
+  // discards 0.7 per spike => same rate. The regime where they differ is
+  // drive in (V_th, 2 V_th) with uneven arrival — model with alternating
+  // drive.
+  IfConfig soft_cfg;
+  soft_cfg.v_threshold = 1.0F;
+  IfConfig hard_cfg = soft_cfg;
+  hard_cfg.reset = ResetMode::kZero;
+  IfNeuron soft(soft_cfg);
+  IfNeuron hard(hard_cfg);
+  const std::int64_t steps = 200;
+  soft.begin_sequence({1, 1}, steps, false);
+  hard.begin_sequence({1, 1}, steps, false);
+  for (std::int64_t t = 0; t < steps; ++t) {
+    // Alternating 1.5 / 0.2 drive: average 0.85.
+    Tensor current({1, 1}, (t % 2 == 0) ? 1.5F : 0.2F);
+    soft.step_forward(current, t, false);
+    hard.step_forward(current, t, false);
+  }
+  // Soft reset conserves charge: rate ~ 0.85. Hard reset loses the 0.5
+  // surplus on every even step: rate ~ 0.5.
+  EXPECT_NEAR(static_cast<double>(soft.spikes_emitted()) / steps, 0.85, 0.03);
+  EXPECT_LT(hard.spikes_emitted(), soft.spikes_emitted());
+}
+
+// Weight-normalized conversion: thresholds 1, weights rescaled; at high T it
+// must track the DNN like threshold balancing does (rate equivalence).
+TEST(WeightNormConversionTest, HighTTracksDnn) {
+  data::SyntheticCifarSpec spec;
+  spec.image_size = 8;
+  spec.num_classes = 3;
+  spec.sign_flip_prob = 0.0F;
+  spec.occluder_prob = 0.0F;
+  spec.noise_stddev = 0.1F;
+  data::SyntheticCifar gen(spec);
+  data::LabeledImages train = gen.generate(256, 1);
+  data::standardize(train);
+
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, false, rng);
+  model.emplace<dnn::ThresholdReLU>(1.0F);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(8 * 8 * 8, 8, false, rng);
+  model.emplace<dnn::ThresholdReLU>(1.0F);
+  model.emplace<dnn::Linear>(8, 3, false, rng);
+
+  dnn::TrainConfig tc;
+  tc.epochs = 15;
+  tc.augment = false;
+  dnn::DnnTrainer trainer(model, tc);
+  trainer.fit(train);
+  const double dnn_acc = trainer.evaluate(train);
+  ASSERT_GT(dnn_acc, 0.7);
+
+  core::ConversionConfig cc;
+  cc.mode = core::ConversionMode::kWeightNorm;
+  cc.heuristic_percentile = 99.5F;
+  cc.time_steps = 64;
+  core::ConversionReport report;
+  auto net = core::convert(model, train, cc, &report);
+  // All thresholds are exactly 1 in this mode.
+  for (const auto& site : report.sites) {
+    EXPECT_FLOAT_EQ(site.v_threshold, 1.0F);
+    EXPECT_GT(site.norm_factor, 0.0F);
+  }
+  const double snn_acc = evaluate_snn(*net, train);
+  EXPECT_GT(snn_acc, dnn_acc - 0.15);
+}
+
+TEST(WeightNormConversionTest, WeightsAreRescaledCopies) {
+  data::SyntheticCifarSpec spec;
+  spec.image_size = 8;
+  spec.num_classes = 3;
+  data::SyntheticCifar gen(spec);
+  data::LabeledImages calib = gen.generate(32, 1);
+  data::standardize(calib);
+
+  Rng rng(2);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 4, 3, 1, 1, false, rng);
+  model.emplace<dnn::ThresholdReLU>(1.0F);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(4 * 8 * 8, 3, false, rng);
+
+  core::ConversionConfig cc;
+  cc.mode = core::ConversionMode::kWeightNorm;
+  cc.time_steps = 4;
+  core::ConversionReport report;
+  auto net = core::convert(model, calib, cc, &report);
+  ASSERT_EQ(report.sites.size(), 1U);
+  const float lambda = report.sites[0].norm_factor;
+  auto* sconv = dynamic_cast<SpikingConv2d*>(&net->layer(0));
+  ASSERT_NE(sconv, nullptr);
+  auto* dconv = dynamic_cast<dnn::Conv2d*>(&model.layer(0));
+  // Conv weights scaled by 1/lambda; readout scaled back by lambda.
+  Tensor expected = dconv->weight().value * (1.0F / lambda);
+  EXPECT_TRUE(sconv->synapse().weight().value.allclose(expected, 1e-5F));
+}
+
+TEST(ConversionConfigTest, HardResetPropagates) {
+  data::SyntheticCifarSpec spec;
+  spec.image_size = 8;
+  spec.num_classes = 3;
+  data::SyntheticCifar gen(spec);
+  data::LabeledImages calib = gen.generate(32, 1);
+  data::standardize(calib);
+  Rng rng(3);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 4, 3, 1, 1, false, rng);
+  model.emplace<dnn::ThresholdReLU>(1.0F);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(4 * 8 * 8, 3, false, rng);
+
+  core::ConversionConfig cc;
+  cc.reset = ResetMode::kZero;
+  cc.time_steps = 2;
+  auto net = core::convert(model, calib, cc, nullptr);
+  // Behavioural check: run a forward pass; with hard reset the membrane of
+  // the conv layer is exactly 0 wherever a spike fired at the last step.
+  Tensor x({1, 3, 8, 8}, 1.0F);
+  net->forward(x, false);
+  auto* sconv = dynamic_cast<SpikingConv2d*>(&net->layer(0));
+  ASSERT_NE(sconv, nullptr);
+  const IfNeuron* neuron = sconv->neuron_or_null();
+  ASSERT_NE(neuron, nullptr);
+  EXPECT_GT(neuron->spikes_emitted(), 0);
+}
+
+}  // namespace
+}  // namespace ullsnn::snn

@@ -1,0 +1,119 @@
+#include "src/snn/sgl_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/converter.h"
+#include "src/dnn/activations.h"
+#include "src/dnn/conv2d.h"
+#include "src/dnn/linear.h"
+#include "src/dnn/pooling.h"
+#include "src/dnn/trainer.h"
+
+namespace ullsnn::snn {
+namespace {
+
+data::LabeledImages easy_data(std::int64_t n, std::uint64_t salt) {
+  data::SyntheticCifarSpec spec;
+  spec.image_size = 8;
+  spec.num_classes = 3;
+  spec.sign_flip_prob = 0.0F;
+  spec.occluder_prob = 0.0F;
+  spec.noise_stddev = 0.1F;
+  data::SyntheticCifar gen(spec);
+  data::LabeledImages d = gen.generate(n, salt);
+  data::standardize(d);
+  return d;
+}
+
+TEST(SglTrainerTest, ImprovesConvertedNetwork) {
+  // Train a tiny DNN partially, convert at T=2 (lossy), and verify SGL
+  // raises train accuracy above the conversion baseline.
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, false, rng);
+  model.emplace<dnn::ThresholdReLU>(1.0F);
+  model.emplace<dnn::MaxPool2d>();
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(8 * 4 * 4, 3, false, rng);
+
+  const data::LabeledImages train = easy_data(192, 1);
+  dnn::TrainConfig tc;
+  tc.epochs = 8;
+  tc.augment = false;
+  dnn::DnnTrainer dnn_trainer(model, tc);
+  dnn_trainer.fit(train);
+
+  core::ConversionConfig cc;
+  cc.time_steps = 2;
+  auto net = core::convert(model, train, cc, nullptr);
+  const double before = evaluate_snn(*net, train);
+
+  SglConfig sc;
+  sc.epochs = 6;
+  sc.lr = 3e-4F;
+  sc.augment = false;
+  SglTrainer sgl(*net, sc);
+  const auto history = sgl.fit(train);
+  const double after = sgl.evaluate(train);
+  EXPECT_GE(after, before - 0.02);
+  EXPECT_GT(after, 0.5);
+  ASSERT_EQ(history.size(), 6U);
+}
+
+TEST(SglTrainerTest, NeuronParamsStayPhysical) {
+  Rng rng(2);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 4, 3, 1, 1, false, rng);
+  model.emplace<dnn::ThresholdReLU>(1.0F);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(4 * 8 * 8, 3, false, rng);
+  const data::LabeledImages train = easy_data(64, 1);
+  core::ConversionConfig cc;
+  cc.time_steps = 2;
+  auto net = core::convert(model, train, cc, nullptr);
+
+  SglConfig sc;
+  sc.epochs = 3;
+  sc.lr = 0.05F;  // aggressive on purpose: exercises the clamps
+  sc.augment = false;
+  SglTrainer sgl(*net, sc);
+  sgl.fit(train);
+  for (dnn::Param* p : net->params()) {
+    if (p->name == "if.threshold") EXPECT_GT(p->value[0], 0.0F);
+    if (p->name == "if.leak") {
+      EXPECT_GE(p->value[0], 0.0F);
+      EXPECT_LE(p->value[0], 1.0F);
+    }
+  }
+}
+
+TEST(SglTrainerTest, TrainsThresholdAndLeak) {
+  Rng rng(3);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 4, 3, 1, 1, false, rng);
+  model.emplace<dnn::ThresholdReLU>(1.0F);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(4 * 8 * 8, 3, false, rng);
+  const data::LabeledImages train = easy_data(64, 1);
+  core::ConversionConfig cc;
+  cc.time_steps = 2;
+  auto net = core::convert(model, train, cc, nullptr);
+  float th_before = 0.0F;
+  for (dnn::Param* p : net->params()) {
+    if (p->name == "if.threshold") th_before = p->value[0];
+  }
+  SglConfig sc;
+  sc.epochs = 2;
+  sc.lr = 1e-2F;
+  sc.augment = false;
+  SglTrainer sgl(*net, sc);
+  sgl.fit(train);
+  float th_after = 0.0F;
+  for (dnn::Param* p : net->params()) {
+    if (p->name == "if.threshold") th_after = p->value[0];
+  }
+  EXPECT_NE(th_before, th_after);
+}
+
+}  // namespace
+}  // namespace ullsnn::snn

@@ -1,0 +1,110 @@
+// Property tests tying the IF simulator to the closed-form SNN activation
+// staircase used by the Sec. III-A analysis and Algorithm 1 (Eq. 5 and its
+// Fig. 1(b) scaling): for a constant drive s presented for T steps, the
+// simulated average output must equal snn_activation(s, ...) exactly.
+// This is the invariant that makes the scaling search's loss model valid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/delta_analysis.h"
+#include "src/snn/neuron.h"
+
+namespace ullsnn {
+namespace {
+
+struct StaircaseCase {
+  float drive;    // constant input current s
+  float mu;       // DNN threshold (V_th = alpha * mu)
+  float alpha;
+  float beta;
+  std::int64_t t;
+  bool bias_shift;
+};
+
+class StaircaseTest : public ::testing::TestWithParam<StaircaseCase> {};
+
+TEST_P(StaircaseTest, SimulatedAverageMatchesClosedForm) {
+  const StaircaseCase& c = GetParam();
+  snn::IfConfig config;
+  config.v_threshold = c.alpha * c.mu;
+  config.beta = c.beta;
+  config.initial_membrane_fraction = c.bias_shift ? 0.5F : 0.0F;
+  snn::IfNeuron neuron(config);
+  neuron.begin_sequence({1, 1}, c.t, /*train=*/false);
+  Tensor current({1, 1}, c.drive);
+  double total = 0.0;
+  for (std::int64_t step = 0; step < c.t; ++step) {
+    total += neuron.step_forward(current, step, false)[0];
+  }
+  const double simulated = total / static_cast<double>(c.t);
+  const double predicted =
+      core::snn_activation(c.drive, c.mu, c.alpha, c.beta, c.t, c.bias_shift);
+  EXPECT_NEAR(simulated, predicted, 1e-5)
+      << "s=" << c.drive << " mu=" << c.mu << " alpha=" << c.alpha
+      << " beta=" << c.beta << " T=" << c.t << " bias=" << c.bias_shift;
+}
+
+// Sweep drives across all staircase segments, both bias conventions, several
+// (alpha, beta, T) combinations. Drives sit strictly inside steps to avoid
+// float ties at the exact step boundaries.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StaircaseTest,
+    ::testing::Values(
+        // Below threshold region.
+        StaircaseCase{0.10F, 1.0F, 1.0F, 1.0F, 2, false},
+        StaircaseCase{-0.50F, 1.0F, 1.0F, 1.0F, 4, false},
+        // Interior steps.
+        StaircaseCase{0.60F, 1.0F, 1.0F, 1.0F, 2, false},
+        StaircaseCase{0.60F, 1.0F, 1.0F, 1.0F, 4, false},
+        StaircaseCase{0.35F, 1.0F, 1.0F, 1.0F, 8, false},
+        StaircaseCase{0.85F, 1.0F, 1.0F, 1.0F, 8, false},
+        // Saturation.
+        StaircaseCase{2.30F, 1.0F, 1.0F, 1.0F, 2, false},
+        StaircaseCase{5.00F, 1.0F, 1.0F, 1.0F, 3, false},
+        // Alpha-scaled thresholds.
+        StaircaseCase{0.30F, 1.0F, 0.5F, 1.0F, 2, false},
+        StaircaseCase{0.30F, 1.0F, 0.5F, 2.0F, 2, false},
+        StaircaseCase{0.22F, 2.0F, 0.25F, 1.5F, 4, false},
+        // Beta-only scaling.
+        StaircaseCase{0.60F, 1.0F, 1.0F, 0.5F, 2, false},
+        StaircaseCase{0.60F, 1.0F, 1.0F, 1.9F, 3, false},
+        // Bias-shifted variants (Deng-style initial half-threshold charge).
+        StaircaseCase{0.30F, 1.0F, 1.0F, 1.0F, 2, true},
+        StaircaseCase{0.45F, 1.0F, 1.0F, 1.0F, 2, true},
+        StaircaseCase{0.10F, 1.0F, 1.0F, 1.0F, 5, true},
+        StaircaseCase{0.95F, 1.0F, 1.0F, 1.0F, 5, true},
+        StaircaseCase{0.30F, 2.0F, 0.5F, 1.0F, 3, true}));
+
+TEST(StaircaseTest, AverageIsMonotoneInDrive) {
+  // The staircase is a monotone non-decreasing function of the drive.
+  snn::IfConfig config;
+  config.v_threshold = 1.0F;
+  double prev = -1.0;
+  for (float s = -0.5F; s < 2.5F; s += 0.03F) {
+    snn::IfNeuron neuron(config);
+    neuron.begin_sequence({1, 1}, 6, false);
+    Tensor current({1, 1}, s);
+    double total = 0.0;
+    for (std::int64_t t = 0; t < 6; ++t) total += neuron.step_forward(current, t, false)[0];
+    EXPECT_GE(total + 1e-6, prev) << "at s=" << s;
+    prev = total;
+  }
+}
+
+TEST(StaircaseTest, ConvergesToClipAsTGrows) {
+  // sup-norm distance between the T-step staircase and clip(s, 0, V_th)
+  // shrinks like V_th/T.
+  for (const std::int64_t t : {4, 16, 64}) {
+    double worst = 0.0;
+    for (float s = 0.0F; s <= 1.5F; s += 0.01F) {
+      const double stair = core::snn_activation(s, 1.0F, 1.0F, 1.0F, t, false);
+      const double clip = core::dnn_activation(s, 1.0F);
+      worst = std::max(worst, std::abs(stair - clip));
+    }
+    EXPECT_LE(worst, 1.0 / static_cast<double>(t) + 1e-4) << "T=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace ullsnn

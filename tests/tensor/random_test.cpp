@@ -1,0 +1,154 @@
+#include "src/tensor/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace ullsnn {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float u = rng.uniform();
+    EXPECT_GE(u, 0.0F);
+    EXPECT_LT(u, 1.0F);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const float u = rng.uniform(-3.0F, 5.0F);
+    EXPECT_GE(u, -3.0F);
+    EXPECT_LT(u, 5.0F);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0F, 0.5F);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(23);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7U);
+}
+
+TEST(RngTest, UniformIntRejectsNonPositive) {
+  Rng rng(29);
+  EXPECT_THROW(rng.uniform_int(0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform_int(-1), std::invalid_argument);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3F) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(41);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.next_u64() == child.next_u64() ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(ShuffleTest, PermutesAllElements) {
+  Rng rng(43);
+  std::vector<std::int64_t> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<std::int64_t> original = v;
+  shuffle(v, rng);
+  EXPECT_NE(v, original);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(InitTest, KaimingStddev) {
+  Rng rng(47);
+  Tensor w({64, 64, 3, 3});
+  const std::int64_t fan_in = 64 * 9;
+  kaiming_normal(w, fan_in, rng);
+  const float expected = std::sqrt(2.0F / static_cast<float>(fan_in));
+  EXPECT_NEAR(w.rms(), expected, expected * 0.05F);
+  EXPECT_NEAR(w.mean(), 0.0F, expected * 0.05F);
+}
+
+TEST(InitTest, KaimingRejectsBadFanIn) {
+  Rng rng(1);
+  Tensor w({4});
+  EXPECT_THROW(kaiming_normal(w, 0, rng), std::invalid_argument);
+}
+
+TEST(InitTest, XavierBounds) {
+  Rng rng(53);
+  Tensor w({100, 100});
+  xavier_uniform(w, 100, 100, rng);
+  const float limit = std::sqrt(6.0F / 200.0F);
+  EXPECT_LE(w.max(), limit);
+  EXPECT_GE(w.min(), -limit);
+  EXPECT_NEAR(w.mean(), 0.0F, 0.01F);
+}
+
+TEST(InitTest, UniformFillBounds) {
+  Rng rng(59);
+  Tensor w({1000});
+  uniform_fill(w, 2.0F, 3.0F, rng);
+  EXPECT_GE(w.min(), 2.0F);
+  EXPECT_LT(w.max(), 3.0F);
+}
+
+}  // namespace
+}  // namespace ullsnn

@@ -1,0 +1,119 @@
+#include "src/tensor/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/random.h"
+
+namespace ullsnn {
+namespace {
+
+TEST(PercentileTest, MedianOfOddCount) {
+  EXPECT_FLOAT_EQ(percentile({3, 1, 2}, 50.0F), 2.0F);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics) {
+  // Sorted {10, 20}: p75 -> 10 + 0.75*(20-10) = 17.5 (numpy convention).
+  EXPECT_FLOAT_EQ(percentile({20, 10}, 75.0F), 17.5F);
+}
+
+TEST(PercentileTest, Extremes) {
+  std::vector<float> v = {5, 1, 9, 3};
+  EXPECT_FLOAT_EQ(percentile(v, 0.0F), 1.0F);
+  EXPECT_FLOAT_EQ(percentile(v, 100.0F), 9.0F);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_FLOAT_EQ(percentile({42.0F}, 37.0F), 42.0F);
+}
+
+TEST(PercentileTest, RejectsEmptyAndBadP) {
+  EXPECT_THROW(percentile({}, 50.0F), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0F}, -1.0F), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0F}, 101.0F), std::invalid_argument);
+}
+
+TEST(PercentileGridTest, MonotoneAndAnchored) {
+  Rng rng(3);
+  std::vector<float> v(10000);
+  for (auto& x : v) x = rng.normal();
+  const std::vector<float> grid = percentile_grid(v);
+  ASSERT_EQ(grid.size(), 101U);
+  for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_LE(grid[i - 1], grid[i]);
+  EXPECT_FLOAT_EQ(grid[0], *std::min_element(v.begin(), v.end()));
+  EXPECT_FLOAT_EQ(grid[100], *std::max_element(v.begin(), v.end()));
+  EXPECT_NEAR(grid[50], 0.0F, 0.05F);
+}
+
+TEST(HistogramTest, CountsAndTotal) {
+  const Histogram h = make_histogram({0.1F, 0.2F, 0.6F, 0.9F, 1.5F}, 0.0F, 1.0F, 4);
+  EXPECT_EQ(h.total, 5);
+  EXPECT_EQ(h.counts[0], 2);  // [0, .25): 0.1, 0.2
+  EXPECT_EQ(h.counts[2], 1);  // [.5, .75): 0.6
+  EXPECT_EQ(h.counts[3], 1);  // [.75, 1): 0.9; 1.5 is out of range
+}
+
+TEST(HistogramTest, FractionIn) {
+  std::vector<float> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<float>(i) / 1000.0F);
+  const Histogram h = make_histogram(v, 0.0F, 1.0F, 100);
+  EXPECT_NEAR(h.fraction_in(0.0F, 0.5F), 0.5, 0.02);
+  EXPECT_NEAR(h.fraction_in(0.25F, 0.75F), 0.5, 0.02);
+  EXPECT_NEAR(h.fraction_in(0.0F, 1.0F), 1.0, 0.01);
+  EXPECT_EQ(h.fraction_in(0.5F, 0.5F), 0.0);
+}
+
+TEST(HistogramTest, DensityUniform) {
+  std::vector<float> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(static_cast<float>(i) / 10000.0F);
+  const Histogram h = make_histogram(v, 0.0F, 1.0F, 50);
+  EXPECT_NEAR(h.density_at(0.3F), 1.0, 0.05);
+  EXPECT_EQ(h.density_at(-0.1F), 0.0);
+  EXPECT_EQ(h.density_at(1.0F), 0.0);
+}
+
+TEST(HistogramTest, Validation) {
+  EXPECT_THROW(make_histogram({}, 0.0F, 1.0F, 0), std::invalid_argument);
+  EXPECT_THROW(make_histogram({}, 1.0F, 0.0F, 4), std::invalid_argument);
+}
+
+TEST(MomentsTest, GaussianMoments) {
+  Rng rng(7);
+  std::vector<float> v(100000);
+  for (auto& x : v) x = rng.normal(2.0F, 3.0F);
+  const Moments m = compute_moments(v);
+  EXPECT_NEAR(m.mean, 2.0, 0.05);
+  EXPECT_NEAR(m.stddev, 3.0, 0.05);
+  EXPECT_NEAR(m.skewness, 0.0, 0.05);
+}
+
+TEST(MomentsTest, SkewedSample) {
+  // Exponential-ish: heavily right-skewed.
+  Rng rng(11);
+  std::vector<float> v(50000);
+  for (auto& x : v) x = -std::log(1.0F - rng.uniform());
+  const Moments m = compute_moments(v);
+  EXPECT_GT(m.skewness, 1.5);
+  EXPECT_NEAR(m.mean, 1.0, 0.05);
+}
+
+TEST(MomentsTest, EmptyIsZero) {
+  const Moments m = compute_moments({});
+  EXPECT_EQ(m.mean, 0.0);
+  EXPECT_EQ(m.stddev, 0.0);
+}
+
+TEST(AppendSamplesTest, StrideSubsamples) {
+  Tensor t({10});
+  for (std::int64_t i = 0; i < 10; ++i) t[i] = static_cast<float>(i);
+  std::vector<float> out;
+  append_samples(t, out, 3);
+  EXPECT_EQ(out, (std::vector<float>{0, 3, 6, 9}));
+  append_samples(t, out, 1);
+  EXPECT_EQ(out.size(), 14U);
+  EXPECT_THROW(append_samples(t, out, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ullsnn

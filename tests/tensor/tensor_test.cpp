@@ -1,0 +1,166 @@
+#include "src/tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ullsnn {
+namespace {
+
+TEST(ShapeTest, NumelOfEmptyShapeIsOne) { EXPECT_EQ(shape_numel({}), 1); }
+
+TEST(ShapeTest, NumelMultipliesExtents) { EXPECT_EQ(shape_numel({2, 3, 4}), 24); }
+
+TEST(ShapeTest, NumelZeroExtent) { EXPECT_EQ(shape_numel({2, 0, 4}), 0); }
+
+TEST(ShapeTest, NumelRejectsNegative) {
+  EXPECT_THROW(shape_numel({2, -1}), std::invalid_argument);
+}
+
+TEST(ShapeTest, ToString) { EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]"); }
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(TensorTest, FillConstructor) {
+  Tensor t({4}, 2.5F);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5F);
+}
+
+TEST(TensorTest, VectorConstructorChecksSize) {
+  EXPECT_THROW(Tensor({3}, std::vector<float>{1.0F, 2.0F}), std::invalid_argument);
+}
+
+TEST(TensorTest, OfBuildsRank1) {
+  Tensor t = Tensor::of({1.0F, 2.0F, 3.0F});
+  EXPECT_EQ(t.shape(), Shape({3}));
+  EXPECT_EQ(t[1], 2.0F);
+}
+
+TEST(TensorTest, DimSupportsNegativeIndex) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_THROW(t.dim(3), std::out_of_range);
+  EXPECT_THROW(t.dim(-4), std::out_of_range);
+}
+
+TEST(TensorTest, MultiDimAccessors) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0F;
+  EXPECT_EQ(t[5], 7.0F);
+  const Tensor& ct = t;
+  EXPECT_EQ(ct.at(1, 2), 7.0F);
+}
+
+TEST(TensorTest, At4d) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0F;
+  EXPECT_EQ(t[t.numel() - 1], 9.0F);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::of({1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshape({2, 3});
+  EXPECT_EQ(r.shape(), Shape({2, 3}));
+  EXPECT_EQ(r.at(1, 0), 4.0F);
+}
+
+TEST(TensorTest, ReshapeInfersExtent) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.reshape({2, -1}).shape(), Shape({2, 12}));
+  EXPECT_EQ(t.reshape({-1}).shape(), Shape({24}));
+}
+
+TEST(TensorTest, ReshapeRejectsBadShapes) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshape({4}), std::invalid_argument);
+  EXPECT_THROW(t.reshape({-1, -1}), std::invalid_argument);
+  EXPECT_THROW(t.reshape({-1, 5}), std::invalid_argument);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+  Tensor a = Tensor::of({1, 2, 3});
+  Tensor b = Tensor::of({4, 5, 6});
+  Tensor sum = a + b;
+  EXPECT_EQ(sum[0], 5.0F);
+  EXPECT_EQ(sum[2], 9.0F);
+  Tensor diff = b - a;
+  EXPECT_EQ(diff[1], 3.0F);
+  Tensor prod = a * b;
+  EXPECT_EQ(prod[2], 18.0F);
+  Tensor scaled = a * 2.0F;
+  EXPECT_EQ(scaled[1], 4.0F);
+}
+
+TEST(TensorTest, ArithmeticShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a *= b, std::invalid_argument);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t = Tensor::of({1, -2, 3, 4});
+  EXPECT_FLOAT_EQ(t.sum(), 6.0F);
+  EXPECT_FLOAT_EQ(t.mean(), 1.5F);
+  EXPECT_FLOAT_EQ(t.min(), -2.0F);
+  EXPECT_FLOAT_EQ(t.max(), 4.0F);
+  EXPECT_EQ(t.argmax(), 3);
+}
+
+TEST(TensorTest, ReductionsOnEmptyThrow) {
+  Tensor t;
+  EXPECT_THROW(t.min(), std::logic_error);
+  EXPECT_THROW(t.max(), std::logic_error);
+  EXPECT_THROW(t.argmax(), std::logic_error);
+  EXPECT_EQ(t.mean(), 0.0F);
+}
+
+TEST(TensorTest, Rms) {
+  Tensor t = Tensor::of({3, 4});
+  EXPECT_NEAR(t.rms(), 3.5355339F, 1e-5F);
+}
+
+TEST(TensorTest, Count) {
+  Tensor t = Tensor::of({1, -1, 2, -2, 0});
+  EXPECT_EQ(t.count([](float x) { return x > 0.0F; }), 2);
+}
+
+TEST(TensorTest, Apply) {
+  Tensor t = Tensor::of({1, 2, 3});
+  t.apply([](float x) { return x * x; });
+  EXPECT_EQ(t[2], 9.0F);
+}
+
+TEST(TensorTest, Allclose) {
+  Tensor a = Tensor::of({1.0F, 2.0F});
+  Tensor b = Tensor::of({1.0F + 1e-7F, 2.0F});
+  EXPECT_TRUE(a.allclose(b));
+  Tensor c = Tensor::of({1.1F, 2.0F});
+  EXPECT_FALSE(a.allclose(c));
+  Tensor d({3});
+  EXPECT_FALSE(a.allclose(d));
+}
+
+TEST(TensorTest, StreamOutputTruncates) {
+  Tensor t({20}, 1.0F);
+  std::ostringstream os;
+  os << t;
+  EXPECT_NE(os.str().find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ullsnn

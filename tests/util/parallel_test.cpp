@@ -1,0 +1,90 @@
+#include "src/util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/random.h"
+
+namespace ullsnn {
+namespace {
+
+// RAII guard so every test leaves the process back in serial mode.
+struct SerialGuard {
+  ~SerialGuard() { set_num_threads(1); }
+};
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  SerialGuard guard;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.run(257, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  SerialGuard guard;
+  ThreadPool pool(2);
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.run(50, [&](std::int64_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 20 * (49 * 50) / 2);
+}
+
+TEST(ThreadPoolTest, SerialPoolExecutesInline) {
+  SerialGuard guard;
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 0);
+  std::int64_t calls = 0;
+  pool.run(5, [&](std::int64_t) { ++calls; });  // no races: inline
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsNoop) {
+  SerialGuard guard;
+  ThreadPool pool(3);
+  bool called = false;
+  pool.run(0, [&](std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, RejectsNegative) {
+  EXPECT_THROW(ThreadPool(-1), std::invalid_argument);
+}
+
+TEST(ParallelForTest, GlobalConfig) {
+  SerialGuard guard;
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(100, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950);
+  EXPECT_THROW(set_num_threads(0), std::invalid_argument);
+}
+
+TEST(ParallelForTest, ConvForwardMatchesSerial) {
+  SerialGuard guard;
+  Rng rng(1);
+  Conv2dSpec spec{3, 8, 3, 1, 1};
+  Tensor input({6, 3, 12, 12});
+  Tensor weight({8, 3, 3, 3});
+  uniform_fill(input, -1.0F, 1.0F, rng);
+  uniform_fill(weight, -0.5F, 0.5F, rng);
+  std::vector<float> scratch;
+  Tensor serial({6, 8, 12, 12});
+  conv2d_forward(input, weight, Tensor(), serial, spec, scratch);
+  set_num_threads(4);
+  Tensor parallel({6, 8, 12, 12});
+  conv2d_forward(input, weight, Tensor(), parallel, spec, scratch);
+  // Per-sample partition => bitwise identical results.
+  for (std::int64_t i = 0; i < serial.numel(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ullsnn

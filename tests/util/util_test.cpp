@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/serialize.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace ullsnn {
+namespace {
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += i * 0.5;
+  EXPECT_GT(t.seconds(), 0.0);
+  EXPECT_GT(t.millis(), 0.0);
+}
+
+TEST(StopWatchTest, AccumulatesAcrossSegments) {
+  StopWatch sw;
+  sw.start();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink += i;
+  sw.stop();
+  const double first = sw.total_seconds();
+  EXPECT_GT(first, 0.0);
+  sw.start();
+  for (int i = 0; i < 1000000; ++i) sink += i;
+  sw.stop();
+  EXPECT_GT(sw.total_seconds(), first);
+  sw.clear();
+  EXPECT_EQ(sw.total_seconds(), 0.0);
+}
+
+TEST(TableTest, RejectsEmptyHeaderAndBadArity) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.num_rows(), 1U);
+}
+
+TEST(TableTest, Formatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_int(42), "42");
+  EXPECT_EQ(Table::fmt_sci(1234.5, "pJ", 1), "1.2e+03 pJ");
+  EXPECT_EQ(Table::fmt_sci(2.0, "", 2), "2.00e+00");
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "0.5"});
+  t.add_row({"with,comma", "1"});
+  const std::string path = testing::TempDir() + "/ullsnn_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "alpha,0.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",1");
+  std::filesystem::remove(path);
+}
+
+TEST(TableTest, CsvBadPathThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.write_csv("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}
+
+TEST(SerializeTest, RoundTrip) {
+  TensorDict dict;
+  dict["w1"] = Tensor({2, 3}, 1.5F);
+  dict["w2"] = Tensor::of({1, 2, 3});
+  Tensor big({4, 4, 4});
+  for (std::int64_t i = 0; i < big.numel(); ++i) big[i] = static_cast<float>(i);
+  dict["big"] = big;
+  const std::string path = testing::TempDir() + "/ullsnn_ckpt_test.bin";
+  save_tensors(dict, path);
+  const TensorDict loaded = load_tensors(path);
+  ASSERT_EQ(loaded.size(), 3U);
+  EXPECT_TRUE(loaded.at("w1").allclose(dict.at("w1")));
+  EXPECT_TRUE(loaded.at("w2").allclose(dict.at("w2")));
+  EXPECT_TRUE(loaded.at("big").allclose(big));
+  EXPECT_EQ(loaded.at("big").shape(), Shape({4, 4, 4}));
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_tensors("/nonexistent_xyz.bin"), std::runtime_error);
+}
+
+TEST(SerializeTest, BadMagicThrows) {
+  const std::string path = testing::TempDir() + "/ullsnn_bad_magic.bin";
+  std::ofstream(path) << "not a checkpoint";
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, TruncatedFileThrows) {
+  TensorDict dict;
+  dict["w"] = Tensor({100});
+  const std::string path = testing::TempDir() + "/ullsnn_trunc.bin";
+  save_tensors(dict, path);
+  std::filesystem::resize_file(path, 30);
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, EmptyDict) {
+  const std::string path = testing::TempDir() + "/ullsnn_empty.bin";
+  save_tensors({}, path);
+  EXPECT_TRUE(load_tensors(path).empty());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ullsnn
