@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_driven_inference.dir/event_driven_inference.cpp.o"
+  "CMakeFiles/event_driven_inference.dir/event_driven_inference.cpp.o.d"
+  "event_driven_inference"
+  "event_driven_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_driven_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_training.dir/hybrid_training.cpp.o"
+  "CMakeFiles/hybrid_training.dir/hybrid_training.cpp.o.d"
+  "hybrid_training"
+  "hybrid_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activation_collector.cpp" "src/CMakeFiles/ullsnn.dir/core/activation_collector.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/core/activation_collector.cpp.o.d"
+  "/root/repo/src/core/bn_fold.cpp" "src/CMakeFiles/ullsnn.dir/core/bn_fold.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/core/bn_fold.cpp.o.d"
+  "/root/repo/src/core/converter.cpp" "src/CMakeFiles/ullsnn.dir/core/converter.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/core/converter.cpp.o.d"
+  "/root/repo/src/core/delta_analysis.cpp" "src/CMakeFiles/ullsnn.dir/core/delta_analysis.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/core/delta_analysis.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/ullsnn.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/scaling_search.cpp" "src/CMakeFiles/ullsnn.dir/core/scaling_search.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/core/scaling_search.cpp.o.d"
+  "/root/repo/src/data/augment.cpp" "src/CMakeFiles/ullsnn.dir/data/augment.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/data/augment.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/ullsnn.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/synthetic_cifar.cpp" "src/CMakeFiles/ullsnn.dir/data/synthetic_cifar.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/data/synthetic_cifar.cpp.o.d"
+  "/root/repo/src/dnn/activations.cpp" "src/CMakeFiles/ullsnn.dir/dnn/activations.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/dnn/activations.cpp.o.d"
+  "/root/repo/src/dnn/adam.cpp" "src/CMakeFiles/ullsnn.dir/dnn/adam.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/dnn/adam.cpp.o.d"
+  "/root/repo/src/dnn/batchnorm.cpp" "src/CMakeFiles/ullsnn.dir/dnn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/dnn/batchnorm.cpp.o.d"
+  "/root/repo/src/dnn/conv2d.cpp" "src/CMakeFiles/ullsnn.dir/dnn/conv2d.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/dnn/conv2d.cpp.o.d"
+  "/root/repo/src/dnn/dropout.cpp" "src/CMakeFiles/ullsnn.dir/dnn/dropout.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/dnn/dropout.cpp.o.d"
+  "/root/repo/src/dnn/linear.cpp" "src/CMakeFiles/ullsnn.dir/dnn/linear.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/dnn/linear.cpp.o.d"
+  "/root/repo/src/dnn/loss.cpp" "src/CMakeFiles/ullsnn.dir/dnn/loss.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/dnn/loss.cpp.o.d"
+  "/root/repo/src/dnn/models.cpp" "src/CMakeFiles/ullsnn.dir/dnn/models.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/dnn/models.cpp.o.d"
+  "/root/repo/src/dnn/optimizer.cpp" "src/CMakeFiles/ullsnn.dir/dnn/optimizer.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/dnn/optimizer.cpp.o.d"
+  "/root/repo/src/dnn/pooling.cpp" "src/CMakeFiles/ullsnn.dir/dnn/pooling.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/dnn/pooling.cpp.o.d"
+  "/root/repo/src/dnn/residual.cpp" "src/CMakeFiles/ullsnn.dir/dnn/residual.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/dnn/residual.cpp.o.d"
+  "/root/repo/src/dnn/sequential.cpp" "src/CMakeFiles/ullsnn.dir/dnn/sequential.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/dnn/sequential.cpp.o.d"
+  "/root/repo/src/dnn/trainer.cpp" "src/CMakeFiles/ullsnn.dir/dnn/trainer.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/dnn/trainer.cpp.o.d"
+  "/root/repo/src/energy/energy_model.cpp" "src/CMakeFiles/ullsnn.dir/energy/energy_model.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/energy/energy_model.cpp.o.d"
+  "/root/repo/src/energy/flops.cpp" "src/CMakeFiles/ullsnn.dir/energy/flops.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/energy/flops.cpp.o.d"
+  "/root/repo/src/energy/memory_model.cpp" "src/CMakeFiles/ullsnn.dir/energy/memory_model.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/energy/memory_model.cpp.o.d"
+  "/root/repo/src/energy/spike_monitor.cpp" "src/CMakeFiles/ullsnn.dir/energy/spike_monitor.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/energy/spike_monitor.cpp.o.d"
+  "/root/repo/src/snn/encoding.cpp" "src/CMakeFiles/ullsnn.dir/snn/encoding.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/snn/encoding.cpp.o.d"
+  "/root/repo/src/snn/event_driven.cpp" "src/CMakeFiles/ullsnn.dir/snn/event_driven.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/snn/event_driven.cpp.o.d"
+  "/root/repo/src/snn/neuron.cpp" "src/CMakeFiles/ullsnn.dir/snn/neuron.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/snn/neuron.cpp.o.d"
+  "/root/repo/src/snn/sgl_trainer.cpp" "src/CMakeFiles/ullsnn.dir/snn/sgl_trainer.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/snn/sgl_trainer.cpp.o.d"
+  "/root/repo/src/snn/snn_network.cpp" "src/CMakeFiles/ullsnn.dir/snn/snn_network.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/snn/snn_network.cpp.o.d"
+  "/root/repo/src/snn/spiking_layers.cpp" "src/CMakeFiles/ullsnn.dir/snn/spiking_layers.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/snn/spiking_layers.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/ullsnn.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/random.cpp" "src/CMakeFiles/ullsnn.dir/tensor/random.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/tensor/random.cpp.o.d"
+  "/root/repo/src/tensor/stats.cpp" "src/CMakeFiles/ullsnn.dir/tensor/stats.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/tensor/stats.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/ullsnn.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "src/CMakeFiles/ullsnn.dir/util/parallel.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/util/parallel.cpp.o.d"
+  "/root/repo/src/util/serialize.cpp" "src/CMakeFiles/ullsnn.dir/util/serialize.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/util/serialize.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/ullsnn.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/ullsnn.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/ullsnn.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

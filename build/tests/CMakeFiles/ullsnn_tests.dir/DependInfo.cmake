@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/converter_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/core/converter_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/core/converter_test.cpp.o.d"
+  "/root/repo/tests/core/delta_analysis_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/core/delta_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/core/delta_analysis_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/scaling_property_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/core/scaling_property_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/core/scaling_property_test.cpp.o.d"
+  "/root/repo/tests/core/scaling_search_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/core/scaling_search_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/core/scaling_search_test.cpp.o.d"
+  "/root/repo/tests/data/data_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/data/data_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/data/data_test.cpp.o.d"
+  "/root/repo/tests/dnn/adam_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/dnn/adam_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/dnn/adam_test.cpp.o.d"
+  "/root/repo/tests/dnn/batchnorm_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/dnn/batchnorm_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/dnn/batchnorm_test.cpp.o.d"
+  "/root/repo/tests/dnn/layers_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/dnn/layers_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/dnn/layers_test.cpp.o.d"
+  "/root/repo/tests/dnn/loss_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/dnn/loss_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/dnn/loss_test.cpp.o.d"
+  "/root/repo/tests/dnn/models_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/dnn/models_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/dnn/models_test.cpp.o.d"
+  "/root/repo/tests/dnn/optimizer_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/dnn/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/dnn/optimizer_test.cpp.o.d"
+  "/root/repo/tests/dnn/residual_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/dnn/residual_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/dnn/residual_test.cpp.o.d"
+  "/root/repo/tests/dnn/sequential_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/dnn/sequential_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/dnn/sequential_test.cpp.o.d"
+  "/root/repo/tests/dnn/trainer_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/dnn/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/dnn/trainer_test.cpp.o.d"
+  "/root/repo/tests/energy/energy_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/energy/energy_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/energy/energy_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/snn/bptt_gradient_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/snn/bptt_gradient_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/snn/bptt_gradient_test.cpp.o.d"
+  "/root/repo/tests/snn/encoding_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/snn/encoding_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/snn/encoding_test.cpp.o.d"
+  "/root/repo/tests/snn/event_driven_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/snn/event_driven_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/snn/event_driven_test.cpp.o.d"
+  "/root/repo/tests/snn/neuron_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/snn/neuron_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/snn/neuron_test.cpp.o.d"
+  "/root/repo/tests/snn/reset_and_weightnorm_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/snn/reset_and_weightnorm_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/snn/reset_and_weightnorm_test.cpp.o.d"
+  "/root/repo/tests/snn/sgl_trainer_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/snn/sgl_trainer_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/snn/sgl_trainer_test.cpp.o.d"
+  "/root/repo/tests/snn/snn_network_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/snn/snn_network_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/snn/snn_network_test.cpp.o.d"
+  "/root/repo/tests/snn/spiking_layers_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/snn/spiking_layers_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/snn/spiking_layers_test.cpp.o.d"
+  "/root/repo/tests/snn/staircase_equivalence_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/snn/staircase_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/snn/staircase_equivalence_test.cpp.o.d"
+  "/root/repo/tests/tensor/ops_property_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/tensor/ops_property_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/tensor/ops_property_test.cpp.o.d"
+  "/root/repo/tests/tensor/ops_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/tensor/ops_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/tensor/ops_test.cpp.o.d"
+  "/root/repo/tests/tensor/random_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/tensor/random_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/tensor/random_test.cpp.o.d"
+  "/root/repo/tests/tensor/stats_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/tensor/stats_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/tensor/stats_test.cpp.o.d"
+  "/root/repo/tests/tensor/tensor_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/tensor/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/tensor/tensor_test.cpp.o.d"
+  "/root/repo/tests/util/parallel_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/util/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/util/parallel_test.cpp.o.d"
+  "/root/repo/tests/util/util_test.cpp" "tests/CMakeFiles/ullsnn_tests.dir/util/util_test.cpp.o" "gcc" "tests/CMakeFiles/ullsnn_tests.dir/util/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ullsnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
