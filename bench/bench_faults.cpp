@@ -1,0 +1,95 @@
+// Fault-tolerance bench: converted-SNN accuracy vs injected fault rate at
+// ultra-low latency (T = 2, 3, 5).
+//
+// Low-T SNNs are pitched for noisy neuromorphic hardware, so the interesting
+// question is how the accuracy of a T=2..5 network degrades under the
+// standard hardware fault taxonomy: random IEEE-754 weight bit-flips, weight
+// sign-flips, stuck-at-zero (dead) output units, and membrane-potential
+// bit-flips during inference. Each (T, kind, rate) cell converts a fresh SNN
+// from the cached trained DNN, injects faults deterministically, and
+// measures test accuracy.
+//
+// Expected shape: a clean cliff for weight bit-flips (exponent hits scale a
+// weight by 2^k), a gentler slope for sign-flips and dead units, and T-fold
+// averaging giving larger T slightly more resilience to membrane flips.
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+#include "src/robust/fault_injector.h"
+#include "src/util/table.h"
+
+using namespace ullsnn;
+
+namespace {
+
+struct FaultKind {
+  const char* name;
+  double robust::FaultSpec::* rate_field;
+};
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::read_scale();
+  const bench::BenchSetup setup = bench::setup_for(scale);
+  std::printf("== Fault-tolerance bench (scale: %s) ==\n", bench::scale_name(scale));
+
+  const core::Architecture arch = core::Architecture::kVgg11;
+  const bench::BenchData data = bench::make_data(10, setup);
+  double dnn_acc = 0.0;
+  auto model = bench::trained_dnn(arch, 10, setup, data, &dnn_acc);
+  const core::ActivationProfile profile =
+      core::collect_activations(*model, data.train);
+  std::printf("[faults] DNN accuracy: %.2f%%\n", 100.0 * dnn_acc);
+
+  const FaultKind kinds[] = {
+      {"weight_bitflip", &robust::FaultSpec::weight_bitflip_rate},
+      {"weight_signflip", &robust::FaultSpec::weight_signflip_rate},
+      {"stuck_at_zero", &robust::FaultSpec::stuck_at_zero_rate},
+      {"membrane_bitflip", &robust::FaultSpec::membrane_bitflip_rate},
+  };
+  const double rates[] = {0.0, 1e-4, 1e-3, 1e-2, 3e-2};
+  const std::int64_t ts[] = {2, 3, 5};
+
+  Table table({"T", "Fault kind", "Rate", "Faults", "SNN accuracy %",
+               "Clean accuracy %"});
+  for (const std::int64_t t : ts) {
+    core::ConversionConfig cc;
+    cc.time_steps = t;
+    // Clean baseline for this T (rate 0 re-measures it per kind as a check).
+    auto clean_snn = core::convert(*model, profile, cc, nullptr);
+    const double clean_acc =
+        snn::evaluate_snn(*clean_snn, data.test, setup.batch_size);
+    for (const FaultKind& kind : kinds) {
+      for (const double rate : rates) {
+        // Fresh conversion per cell: faults must not accumulate across cells.
+        auto snn = core::convert(*model, profile, cc, nullptr);
+        robust::FaultSpec spec;
+        spec.*kind.rate_field = rate;
+        robust::FaultInjector injector(spec);
+        injector.inject(snn->params());
+        if (spec.membrane_bitflip_rate > 0.0) {
+          injector.attach_membrane_faults(*snn);
+        }
+        const double acc = snn::evaluate_snn(*snn, data.test, setup.batch_size);
+        snn->clear_step_hook();
+        table.add_row({std::to_string(t), kind.name, Table::fmt(rate, 5),
+                       std::to_string(injector.faults_injected()),
+                       Table::fmt(100.0 * acc), Table::fmt(100.0 * clean_acc)});
+        std::printf("[faults] T=%lld %-16s rate=%-7g faults=%-5lld acc %.2f%% "
+                    "(clean %.2f%%)\n",
+                    static_cast<long long>(t), kind.name, rate,
+                    static_cast<long long>(injector.faults_injected()),
+                    100.0 * acc, 100.0 * clean_acc);
+        std::fflush(stdout);
+      }
+    }
+  }
+  table.print("Converted-SNN accuracy vs fault rate (T = 2, 3, 5)");
+  table.write_csv("faults.csv");
+  std::printf("\nShape to verify: accuracy is flat at rate 0 and 1e-4, and\n"
+              "weight bit-flips degrade hardest (exponent hits); membrane\n"
+              "flips hurt less at larger T (more steps to average out).\n");
+  return 0;
+}

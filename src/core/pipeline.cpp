@@ -1,6 +1,7 @@
 #include "src/core/pipeline.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 
 #include "src/util/timer.h"
@@ -35,24 +36,71 @@ HybridPipeline::HybridPipeline(PipelineConfig config) : config_(std::move(config
 PipelineResult HybridPipeline::run(const data::LabeledImages& train,
                                    const data::LabeledImages& test) {
   PipelineResult result;
+  const CheckpointConfig& ck = config_.checkpoint;
+  robust::PipelineManifest manifest;
+  if (ck.enabled) {
+    std::filesystem::create_directories(ck.dir);
+    const std::string mpath = robust::manifest_path(ck.dir);
+    if (ck.resume && std::filesystem::exists(mpath)) {
+      manifest = robust::load_manifest(mpath);
+      if (config_.verbose && manifest.stage_completed > 0) {
+        std::printf("[pipeline] resuming: stage %lld already completed (%s)\n",
+                    static_cast<long long>(manifest.stage_completed),
+                    ck.dir.c_str());
+      }
+    }
+  }
   Rng rng(config_.weight_seed);
   dnn_ = build_model(config_.arch, config_.model, rng);
 
   // Stage (a): DNN training.
-  Timer timer;
-  dnn::TrainConfig dnn_cfg = config_.dnn_train;
-  dnn_cfg.verbose = config_.verbose;
-  dnn::DnnTrainer dnn_trainer(*dnn_, dnn_cfg);
-  dnn_trainer.fit(train);
-  result.dnn_train_seconds = timer.seconds();
-  result.dnn_accuracy = dnn_trainer.evaluate(test);
+  if (ck.enabled && manifest.stage_completed >= 1) {
+    robust::load_params(dnn_->params(), robust::stage_weights_path(ck.dir, 1));
+    result.dnn_accuracy = manifest.dnn_accuracy;
+    result.dnn_train_seconds = manifest.dnn_train_seconds;
+  } else {
+    Timer timer;
+    dnn::TrainConfig dnn_cfg = config_.dnn_train;
+    dnn_cfg.verbose = config_.verbose;
+    dnn::DnnTrainer dnn_trainer(*dnn_, dnn_cfg);
+    std::unique_ptr<robust::TrainCheckpointer> epoch_ckpt;
+    if (ck.enabled && ck.epoch_checkpoints) {
+      epoch_ckpt = std::make_unique<robust::TrainCheckpointer>(
+          robust::stage_train_state_path(ck.dir, 1));
+    }
+    dnn_trainer.fit(train, nullptr, epoch_ckpt.get());
+    result.dnn_train_seconds = timer.seconds();
+    result.dnn_accuracy = dnn_trainer.evaluate(test);
+    if (ck.enabled) {
+      robust::save_params(dnn_->params(), robust::stage_weights_path(ck.dir, 1));
+      manifest.stage_completed = 1;
+      manifest.dnn_accuracy = result.dnn_accuracy;
+      manifest.dnn_train_seconds = result.dnn_train_seconds;
+      robust::save_manifest(manifest, robust::manifest_path(ck.dir));
+      if (epoch_ckpt) epoch_ckpt->remove();
+    }
+  }
   if (config_.verbose) {
     std::printf("[pipeline] DNN accuracy: %.4f\n", result.dnn_accuracy);
   }
 
-  // Stage (b): conversion (calibrated on the training set).
+  // Stage (b): conversion (calibrated on the training set). Conversion is
+  // deterministic given the stage-(a) weights, so a resumed run rebuilds the
+  // SNN topology and the report by re-converting, then (for stage >= 2)
+  // overlays the persisted weights — identical to the uninterrupted run.
   snn_ = convert(*dnn_, train, config_.conversion, &result.conversion_report);
-  result.converted_accuracy = snn::evaluate_snn(*snn_, test);
+  if (ck.enabled && manifest.stage_completed >= 2) {
+    robust::load_params(snn_->params(), robust::stage_weights_path(ck.dir, 2));
+    result.converted_accuracy = manifest.converted_accuracy;
+  } else {
+    result.converted_accuracy = snn::evaluate_snn(*snn_, test);
+    if (ck.enabled) {
+      robust::save_params(snn_->params(), robust::stage_weights_path(ck.dir, 2));
+      manifest.stage_completed = 2;
+      manifest.converted_accuracy = result.converted_accuracy;
+      robust::save_manifest(manifest, robust::manifest_path(ck.dir));
+    }
+  }
   if (config_.verbose) {
     std::printf("[pipeline] converted SNN accuracy (T=%lld, %s): %.4f\n",
                 static_cast<long long>(config_.conversion.time_steps),
@@ -60,13 +108,32 @@ PipelineResult HybridPipeline::run(const data::LabeledImages& train,
   }
 
   // Stage (c): SGL fine-tuning.
-  timer.reset();
-  snn::SglConfig sgl_cfg = config_.sgl;
-  sgl_cfg.verbose = config_.verbose;
-  snn::SglTrainer sgl_trainer(*snn_, sgl_cfg);
-  sgl_trainer.fit(train);
-  result.sgl_train_seconds = timer.seconds();
-  result.sgl_accuracy = sgl_trainer.evaluate(test);
+  if (ck.enabled && manifest.stage_completed >= 3) {
+    robust::load_params(snn_->params(), robust::stage_weights_path(ck.dir, 3));
+    result.sgl_accuracy = manifest.sgl_accuracy;
+    result.sgl_train_seconds = manifest.sgl_train_seconds;
+  } else {
+    Timer timer;
+    snn::SglConfig sgl_cfg = config_.sgl;
+    sgl_cfg.verbose = config_.verbose;
+    snn::SglTrainer sgl_trainer(*snn_, sgl_cfg);
+    std::unique_ptr<robust::TrainCheckpointer> epoch_ckpt;
+    if (ck.enabled && ck.epoch_checkpoints) {
+      epoch_ckpt = std::make_unique<robust::TrainCheckpointer>(
+          robust::stage_train_state_path(ck.dir, 3));
+    }
+    sgl_trainer.fit(train, nullptr, epoch_ckpt.get());
+    result.sgl_train_seconds = timer.seconds();
+    result.sgl_accuracy = sgl_trainer.evaluate(test);
+    if (ck.enabled) {
+      robust::save_params(snn_->params(), robust::stage_weights_path(ck.dir, 3));
+      manifest.stage_completed = 3;
+      manifest.sgl_accuracy = result.sgl_accuracy;
+      manifest.sgl_train_seconds = result.sgl_train_seconds;
+      robust::save_manifest(manifest, robust::manifest_path(ck.dir));
+      if (epoch_ckpt) epoch_ckpt->remove();
+    }
+  }
   if (config_.verbose) {
     std::printf("[pipeline] SNN accuracy after SGL: %.4f\n", result.sgl_accuracy);
   }

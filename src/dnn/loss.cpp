@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace ullsnn::dnn {
@@ -24,13 +25,45 @@ Tensor softmax(const Tensor& logits) {
   Tensor probs = logits;
   const std::int64_t n = logits.dim(0);
   const std::int64_t c = logits.dim(1);
+  const float uniform = 1.0F / static_cast<float>(c);
   for (std::int64_t i = 0; i < n; ++i) {
     float* row = probs.data() + i * c;
-    const float row_max = *std::max_element(row, row + c);
+    // Degenerate rows (any NaN, or every logit -inf) carry no preference
+    // ordering; fall back to the uniform distribution rather than emitting
+    // NaN probabilities that would poison the gradients of the whole batch.
+    bool has_nan = false;
+    bool has_pos_inf = false;
+    float row_max = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < c; ++j) {
+      if (std::isnan(row[j])) has_nan = true;
+      if (row[j] == std::numeric_limits<float>::infinity()) has_pos_inf = true;
+      row_max = std::max(row_max, row[j]);
+    }
+    if (has_nan || row_max == -std::numeric_limits<float>::infinity()) {
+      for (std::int64_t j = 0; j < c; ++j) row[j] = uniform;
+      continue;
+    }
+    if (has_pos_inf) {
+      // exp(inf - inf) is NaN; the limit distribution puts all mass on the
+      // +inf entries, split evenly among ties.
+      float count = 0.0F;
+      for (std::int64_t j = 0; j < c; ++j) {
+        row[j] = (row[j] == std::numeric_limits<float>::infinity()) ? 1.0F : 0.0F;
+        count += row[j];
+      }
+      for (std::int64_t j = 0; j < c; ++j) row[j] /= count;
+      continue;
+    }
     float sum = 0.0F;
     for (std::int64_t j = 0; j < c; ++j) {
       row[j] = std::exp(row[j] - row_max);
       sum += row[j];
+    }
+    // row_max is finite, so exp(0) = 1 is in the sum and it cannot be zero;
+    // the guard is belt-and-braces against denormal-flushing math modes.
+    if (!(sum > 0.0F)) {
+      for (std::int64_t j = 0; j < c; ++j) row[j] = uniform;
+      continue;
     }
     const float inv = 1.0F / sum;
     for (std::int64_t j = 0; j < c; ++j) row[j] *= inv;

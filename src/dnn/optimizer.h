@@ -27,6 +27,12 @@ class Sgd {
   float lr() const { return config_.lr; }
   const SgdConfig& config() const { return config_; }
 
+  /// Momentum buffers, index-aligned with the params passed at construction.
+  /// Exposed so checkpoint/resume and health-guard rollback can round-trip
+  /// the optimizer state together with the weights.
+  std::vector<Tensor>& velocity() { return velocity_; }
+  const std::vector<Tensor>& velocity() const { return velocity_; }
+
  private:
   std::vector<Param*> params_;
   std::vector<Tensor> velocity_;  // index-aligned with params_

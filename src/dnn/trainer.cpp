@@ -1,6 +1,7 @@
 #include "src/dnn/trainer.h"
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "src/dnn/activations.h"
 #include "src/dnn/loss.h"
@@ -19,7 +20,7 @@ DnnTrainer::DnnTrainer(Sequential& model, TrainConfig config)
 EpochStats DnnTrainer::train_epoch(const data::LabeledImages& train,
                                    std::int64_t epoch) {
   Timer timer;
-  optimizer_.set_lr(schedule_.lr_at(epoch));
+  optimizer_.set_lr(schedule_.lr_at(epoch) * lr_scale_);
   data::BatchIterator batches(train, config_.batch_size, rng_);
   const data::AugmentSpec aug;
   double loss_sum = 0.0;
@@ -62,11 +63,41 @@ EpochStats DnnTrainer::train_epoch(const data::LabeledImages& train,
 }
 
 std::vector<EpochStats> DnnTrainer::fit(const data::LabeledImages& train,
-                                        const data::LabeledImages* test) {
+                                        const data::LabeledImages* test,
+                                        robust::TrainCheckpointer* checkpointer) {
+  robust::HealthMonitor monitor(config_.guard);
   std::vector<EpochStats> history;
   history.reserve(static_cast<std::size_t>(config_.epochs));
-  for (std::int64_t e = 0; e < config_.epochs; ++e) {
+  std::int64_t start = 0;
+  if (checkpointer != nullptr) {
+    start = checkpointer->restore(model_->params(), optimizer_.velocity(), rng_);
+    if (config_.verbose && start > 0) {
+      std::printf("  [dnn] resuming from epoch %lld (%s)\n",
+                  static_cast<long long>(start), checkpointer->path().c_str());
+    }
+  }
+  if (config_.guard.policy == robust::GuardPolicy::kRollback) {
+    monitor.snapshot(model_->params(), optimizer_.velocity(), rng_);
+  }
+  for (std::int64_t e = start; e < config_.epochs;) {
+    if (epoch_hook_) epoch_hook_(e);
     EpochStats stats = train_epoch(train, e);
+    if (monitor.enabled()) {
+      const robust::HealthReport report = monitor.check(model_->params(), stats.train_loss);
+      switch (monitor.decide(report)) {
+        case robust::GuardAction::kAbort:
+          throw std::runtime_error("DnnTrainer: " + report.describe());
+        case robust::GuardAction::kRetry:
+          monitor.restore(model_->params(), optimizer_.velocity(), rng_);
+          lr_scale_ = monitor.lr_scale();
+          continue;  // replay the same epoch from the restored state
+        case robust::GuardAction::kProceed:
+          break;
+      }
+      if (config_.guard.policy == robust::GuardPolicy::kRollback) {
+        monitor.snapshot(model_->params(), optimizer_.velocity(), rng_);
+      }
+    }
     if (test != nullptr) stats.test_accuracy = evaluate(*test);
     if (config_.verbose) {
       std::printf("  [dnn] epoch %3lld  loss %.4f  train %.4f  test %.4f  (%.1fs)\n",
@@ -75,6 +106,10 @@ std::vector<EpochStats> DnnTrainer::fit(const data::LabeledImages& train,
       std::fflush(stdout);
     }
     history.push_back(stats);
+    if (checkpointer != nullptr) {
+      checkpointer->save(e + 1, model_->params(), optimizer_.velocity(), rng_);
+    }
+    ++e;
   }
   return history;
 }

@@ -5,12 +5,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/data/augment.h"
 #include "src/data/dataset.h"
 #include "src/dnn/optimizer.h"
 #include "src/dnn/sequential.h"
+#include "src/robust/checkpoint.h"
+#include "src/robust/health.h"
 
 namespace ullsnn::dnn {
 
@@ -25,6 +28,9 @@ struct TrainConfig {
   bool augment = true;
   std::uint64_t seed = 7;
   bool verbose = false;
+  /// Per-epoch numeric health guard (NaN/Inf/explosion in loss, weights, and
+  /// gradients). kOff by default: no checks, no overhead.
+  robust::GuardConfig guard;
 };
 
 struct EpochStats {
@@ -39,17 +45,29 @@ class DnnTrainer {
  public:
   DnnTrainer(Sequential& model, TrainConfig config);
 
-  /// One pass over `train`; applies the schedule's LR for `epoch`.
+  /// One pass over `train`; applies the schedule's LR for `epoch` (times any
+  /// health-guard backoff accumulated by fit()'s rollbacks).
   EpochStats train_epoch(const data::LabeledImages& train, std::int64_t epoch);
 
-  /// Full run; evaluates on `test` after each epoch when provided.
+  /// Full run; evaluates on `test` after each epoch when provided. With a
+  /// checkpointer, restores any saved state first (resuming from the last
+  /// completed epoch) and persists weights + momentum + RNG after each epoch.
+  /// With config.guard.policy != kOff, every epoch is health-checked; under
+  /// kRollback an unhealthy epoch is undone and retried at a reduced LR.
   std::vector<EpochStats> fit(const data::LabeledImages& train,
-                              const data::LabeledImages* test = nullptr);
+                              const data::LabeledImages* test = nullptr,
+                              robust::TrainCheckpointer* checkpointer = nullptr);
 
   /// Top-1 accuracy of the model on `dataset` (inference mode).
   double evaluate(const data::LabeledImages& dataset);
 
   Sequential& model() { return *model_; }
+
+  /// Invoked at the top of every fit() epoch with the epoch index. Test and
+  /// fault-injection hook: lets a harness perturb state mid-run.
+  void set_epoch_hook(std::function<void(std::int64_t)> hook) {
+    epoch_hook_ = std::move(hook);
+  }
 
  private:
   Sequential* model_;
@@ -57,6 +75,8 @@ class DnnTrainer {
   Sgd optimizer_;
   StepDecaySchedule schedule_;
   Rng rng_;
+  float lr_scale_ = 1.0F;  // health-guard backoff, applied on top of the schedule
+  std::function<void(std::int64_t)> epoch_hook_;
 };
 
 /// Standalone top-1 evaluation of any model (used for converted SNNs' source

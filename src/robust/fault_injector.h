@@ -1,0 +1,84 @@
+// Deterministic fault-injection harness.
+//
+// Low-T converted SNNs are pitched as deployment targets for noisy
+// neuromorphic substrates, where bit-flips in stored weights and membrane
+// potentials are the expected failure mode rather than the exception. The
+// injector models the standard hardware fault taxonomy:
+//
+//   * weight bit-flips    — flip one uniformly random bit of the IEEE-754
+//                           representation (exponent hits included: that is
+//                           what makes real SEUs catastrophic);
+//   * weight sign-flips   — flip only the sign bit;
+//   * stuck-at-zero units — zero an entire output unit's fan-in (row of a
+//                           rank >= 2 weight), modeling a dead neuron;
+//   * membrane bit-flips  — flip bits of live membrane potentials between
+//                           time steps, via SnnNetwork's step hook;
+//   * checkpoint-byte corruption — XOR a chosen or random byte of a file on
+//                           disk, for exercising the serializer's CRC path.
+//
+// All injection is driven by a private xoshiro stream: the same spec + seed
+// reproduces the same faults, so degradation curves (bench_faults) and tests
+// are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dnn/module.h"
+#include "src/snn/snn_network.h"
+#include "src/tensor/random.h"
+
+namespace ullsnn::robust {
+
+struct FaultSpec {
+  /// Per-element probability of flipping one random bit of a weight.
+  double weight_bitflip_rate = 0.0;
+  /// Per-element probability of flipping a weight's sign bit.
+  double weight_signflip_rate = 0.0;
+  /// Per-output-unit probability of zeroing the unit's entire weight row.
+  double stuck_at_zero_rate = 0.0;
+  /// Per-element, per-time-step probability of flipping one random bit of a
+  /// membrane potential (applied through attach_membrane_faults).
+  double membrane_bitflip_rate = 0.0;
+  std::uint64_t seed = 0xFA017;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  /// Apply weight bit-flips, sign-flips, and stuck-at-zero faults to every
+  /// parameter. Returns the number of faults injected by this call.
+  std::int64_t inject(const std::vector<dnn::Param*>& params);
+
+  /// Bit-flip faults on one tensor at the given per-element rate. Returns the
+  /// number of flips. `sign_only` restricts flips to the sign bit.
+  std::int64_t inject_tensor(Tensor& t, double rate, bool sign_only = false);
+
+  /// Install a step hook on `net` that flips membrane bits at
+  /// `membrane_bitflip_rate` after every time step. The injector must outlive
+  /// the hook (call net.clear_step_hook() or destroy the network first).
+  void attach_membrane_faults(snn::SnnNetwork& net);
+
+  /// Total faults injected since construction (all kinds).
+  std::int64_t faults_injected() const { return faults_; }
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// XOR the byte at `offset` of `path` with `mask` (mask 0 is rejected —
+  /// it would be a no-op "corruption"). Throws on I/O errors or
+  /// out-of-range offsets.
+  static void corrupt_byte(const std::string& path, std::uint64_t offset,
+                           unsigned char mask);
+
+  /// Corrupt one uniformly random byte of `path`; returns the offset chosen.
+  std::uint64_t corrupt_random_byte(const std::string& path);
+
+ private:
+  FaultSpec spec_;
+  Rng rng_;
+  std::int64_t faults_ = 0;
+};
+
+}  // namespace ullsnn::robust

@@ -86,6 +86,10 @@ class IfNeuron {
   void reset_stats() { spikes_emitted_ = 0; }
 
   const Tensor& membrane() const { return membrane_; }
+  /// Mutable membrane access for fault injection (robust::FaultInjector
+  /// flips bits in U between time steps to model noisy neuromorphic
+  /// substrates). Training code must not write through this.
+  Tensor& membrane_mut() { return membrane_; }
 
  private:
   dnn::Param threshold_;  // [1]

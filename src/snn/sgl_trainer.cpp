@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 #include "src/dnn/loss.h"
 #include "src/util/timer.h"
@@ -20,7 +21,7 @@ SglTrainer::SglTrainer(SnnNetwork& net, SglConfig config)
 dnn::EpochStats SglTrainer::train_epoch(const data::LabeledImages& train,
                                         std::int64_t epoch) {
   Timer timer;
-  optimizer_.set_lr(schedule_.lr_at(epoch));
+  optimizer_.set_lr(schedule_.lr_at(epoch) * lr_scale_);
   data::BatchIterator batches(train, config_.batch_size, rng_);
   const data::AugmentSpec aug;
   double loss_sum = 0.0;
@@ -49,11 +50,49 @@ dnn::EpochStats SglTrainer::train_epoch(const data::LabeledImages& train,
 }
 
 std::vector<dnn::EpochStats> SglTrainer::fit(const data::LabeledImages& train,
-                                             const data::LabeledImages* test) {
+                                             const data::LabeledImages* test,
+                                             robust::TrainCheckpointer* checkpointer) {
+  robust::HealthMonitor monitor(config_.guard);
   std::vector<dnn::EpochStats> history;
   history.reserve(static_cast<std::size_t>(config_.epochs));
-  for (std::int64_t e = 0; e < config_.epochs; ++e) {
+  std::int64_t start = 0;
+  if (checkpointer != nullptr) {
+    start = checkpointer->restore(net_->params(), optimizer_.velocity(), rng_);
+    if (config_.verbose && start > 0) {
+      std::printf("  [sgl] resuming from epoch %lld (%s)\n",
+                  static_cast<long long>(start), checkpointer->path().c_str());
+    }
+  }
+  if (config_.guard.policy == robust::GuardPolicy::kRollback) {
+    monitor.snapshot(net_->params(), optimizer_.velocity(), rng_);
+  }
+  for (std::int64_t e = start; e < config_.epochs;) {
+    if (epoch_hook_) epoch_hook_(e);
     dnn::EpochStats stats = train_epoch(train, e);
+    if (monitor.enabled()) {
+      robust::HealthReport report = monitor.check(net_->params(), stats.train_loss);
+      // BPTT-specific: the membrane potentials left by the last batch reveal
+      // in-dynamics blowups that the weights alone may not show yet.
+      for (std::int64_t i = 0; i < net_->size(); ++i) {
+        if (IfNeuron* neuron = net_->layer(i).neuron_or_null()) {
+          monitor.scan_tensor("layer" + std::to_string(i) + ".membrane",
+                              neuron->membrane(), report);
+        }
+      }
+      switch (monitor.decide(report)) {
+        case robust::GuardAction::kAbort:
+          throw std::runtime_error("SglTrainer: " + report.describe());
+        case robust::GuardAction::kRetry:
+          monitor.restore(net_->params(), optimizer_.velocity(), rng_);
+          lr_scale_ = monitor.lr_scale();
+          continue;  // replay the same epoch from the restored state
+        case robust::GuardAction::kProceed:
+          break;
+      }
+      if (config_.guard.policy == robust::GuardPolicy::kRollback) {
+        monitor.snapshot(net_->params(), optimizer_.velocity(), rng_);
+      }
+    }
     if (test != nullptr) stats.test_accuracy = evaluate(*test);
     if (config_.verbose) {
       std::printf("  [sgl] epoch %3lld  loss %.4f  train %.4f  test %.4f  (%.1fs)\n",
@@ -62,6 +101,10 @@ std::vector<dnn::EpochStats> SglTrainer::fit(const data::LabeledImages& train,
       std::fflush(stdout);
     }
     history.push_back(stats);
+    if (checkpointer != nullptr) {
+      checkpointer->save(e + 1, net_->params(), optimizer_.velocity(), rng_);
+    }
+    ++e;
   }
   return history;
 }

@@ -5,12 +5,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/data/augment.h"
 #include "src/data/dataset.h"
 #include "src/dnn/optimizer.h"
 #include "src/dnn/trainer.h"
+#include "src/robust/checkpoint.h"
+#include "src/robust/health.h"
 #include "src/snn/snn_network.h"
 
 namespace ullsnn::snn {
@@ -28,6 +31,9 @@ struct SglConfig {
   bool augment = true;
   std::uint64_t seed = 11;
   bool verbose = false;
+  /// Per-epoch numeric health guard; in the SGL stage it also scans the
+  /// membrane potentials left by the last batch. kOff by default.
+  robust::GuardConfig guard;
 };
 
 class SglTrainer {
@@ -35,11 +41,19 @@ class SglTrainer {
   SglTrainer(SnnNetwork& net, SglConfig config);
 
   dnn::EpochStats train_epoch(const data::LabeledImages& train, std::int64_t epoch);
+  /// Same resume/guard semantics as DnnTrainer::fit (see dnn/trainer.h).
   std::vector<dnn::EpochStats> fit(const data::LabeledImages& train,
-                                   const data::LabeledImages* test = nullptr);
+                                   const data::LabeledImages* test = nullptr,
+                                   robust::TrainCheckpointer* checkpointer = nullptr);
   double evaluate(const data::LabeledImages& dataset);
 
   SnnNetwork& network() { return *net_; }
+
+  /// Invoked at the top of every fit() epoch with the epoch index. Test and
+  /// fault-injection hook: lets a harness perturb state mid-run.
+  void set_epoch_hook(std::function<void(std::int64_t)> hook) {
+    epoch_hook_ = std::move(hook);
+  }
 
  private:
   void clip_gradients();
@@ -50,6 +64,8 @@ class SglTrainer {
   dnn::Sgd optimizer_;
   dnn::StepDecaySchedule schedule_;
   Rng rng_;
+  float lr_scale_ = 1.0F;  // health-guard backoff, applied on top of the schedule
+  std::function<void(std::int64_t)> epoch_hook_;
 };
 
 }  // namespace ullsnn::snn

@@ -35,6 +35,7 @@ Tensor SnnNetwork::forward(const Tensor& images, bool train) {
     Tensor x = encode_step(images, encoding_, encoder_rng_);
     for (auto& layer : layers_) x = layer->step_forward(x, t, train);
     logits += x;
+    if (step_hook_) step_hook_(*this, t);
   }
   return logits;
 }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -50,6 +51,13 @@ class SnnNetwork {
   Rng& dropout_rng() { return dropout_rng_; }
   void seed_dropout(std::uint64_t seed) { dropout_rng_ = Rng(seed); }
 
+  /// Called after every completed time step of forward() with the step index.
+  /// Used by robust::FaultInjector to perturb membrane state mid-sequence;
+  /// an empty hook (the default) costs nothing.
+  using StepHook = std::function<void(SnnNetwork&, std::int64_t)>;
+  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+  void clear_step_hook() { step_hook_ = nullptr; }
+
   /// Accumulated logits over all T steps for a batch of analog images.
   Tensor forward(const Tensor& images, bool train);
 
@@ -75,6 +83,7 @@ class SnnNetwork {
   Rng encoder_rng_{99};
   Rng dropout_rng_{123};
   Shape cached_input_shape_;
+  StepHook step_hook_;
 };
 
 /// Top-1 accuracy of an SNN on a labeled set (inference mode).

@@ -1,6 +1,7 @@
 #include "src/tensor/random.h"
 
 #include <cmath>
+#include <cstring>
 #include <numbers>
 #include <stdexcept>
 
@@ -68,6 +69,23 @@ std::int64_t Rng::uniform_int(std::int64_t n) {
 bool Rng::bernoulli(float p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng(next_u64()); }
+
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.has_cached_normal = has_cached_normal_ ? 1 : 0;
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &cached_normal_, sizeof bits);
+  st.cached_normal_bits = bits;
+  return st;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal != 0;
+  const auto bits = static_cast<std::uint32_t>(state.cached_normal_bits);
+  std::memcpy(&cached_normal_, &bits, sizeof bits);
+}
 
 void shuffle(std::vector<std::int64_t>& indices, Rng& rng) {
   for (std::int64_t i = static_cast<std::int64_t>(indices.size()) - 1; i > 0; --i) {

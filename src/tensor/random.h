@@ -12,6 +12,16 @@
 
 namespace ullsnn {
 
+/// Complete serializable Rng state: the four xoshiro words plus the Box–Muller
+/// cache. Round-tripping through state()/set_state() reproduces the stream
+/// bitwise, which is what makes checkpoint/resume of a training run
+/// deterministic (robust::TrainCheckpointer).
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  std::uint64_t has_cached_normal = 0;
+  std::uint64_t cached_normal_bits = 0;  // float payload, zero-extended
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
@@ -32,6 +42,10 @@ class Rng {
 
   /// Fork a statistically independent stream (for per-worker determinism).
   Rng split();
+
+  /// Snapshot / restore the full generator state (bitwise round-trip).
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

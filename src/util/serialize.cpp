@@ -1,75 +1,202 @@
 #include "src/util/serialize.h"
 
-#include <cstdint>
+#include <array>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
 
 namespace ullsnn {
 
 namespace {
 constexpr char kMagic[4] = {'U', 'L', 'S', 'N'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+
+// Bounds on header fields. A corrupt length field must not translate into a
+// multi-gigabyte allocation before the mismatch is even noticed.
+constexpr std::uint32_t kMaxNameLen = 4096;
+constexpr std::uint32_t kMaxRank = 8;
 
 template <typename T>
-void write_pod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+void append_pod(std::vector<char>& buf, const T& v) {
+  const char* bytes = reinterpret_cast<const char*>(&v);
+  buf.insert(buf.end(), bytes, bytes + sizeof v);
 }
 
-template <typename T>
-T read_pod(std::ifstream& in) {
-  T v{};
-  in.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!in) throw std::runtime_error("load_tensors: truncated file");
-  return v;
+/// Bounds-checked cursor over an in-memory file image. Every read throws on
+/// overrun, so truncated files fail deterministically at the first missing
+/// byte instead of reading past the buffer.
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size, std::string path)
+      : data_(data), size_(size), path_(std::move(path)) {}
+
+  template <typename T>
+  T read_pod() {
+    T v{};
+    read_bytes(&v, sizeof v);
+    return v;
+  }
+
+  void read_bytes(void* dst, std::size_t n) {
+    if (n > remaining()) {
+      throw std::runtime_error("load_tensors: truncated file " + path_);
+    }
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  const char* here() const { return data_ + pos_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string path_;
+};
+
+TensorDict parse_entries(Cursor& cur) {
+  const auto count = cur.read_pod<std::uint64_t>();
+  TensorDict dict;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = cur.read_pod<std::uint32_t>();
+    if (name_len > kMaxNameLen) {
+      throw std::runtime_error("load_tensors: tensor name length " +
+                               std::to_string(name_len) + " exceeds bound in " +
+                               cur.path());
+    }
+    std::string name(name_len, '\0');
+    cur.read_bytes(name.data(), name_len);
+    const auto rank = cur.read_pod<std::uint32_t>();
+    if (rank > kMaxRank) {
+      throw std::runtime_error("load_tensors: tensor rank " + std::to_string(rank) +
+                               " exceeds bound in " + cur.path());
+    }
+    Shape shape(rank);
+    std::uint64_t numel = 1;
+    for (auto& d : shape) {
+      d = cur.read_pod<std::int64_t>();
+      if (d < 0) {
+        throw std::runtime_error("load_tensors: negative dimension in " + cur.path());
+      }
+      numel *= static_cast<std::uint64_t>(d);
+      // The data for this tensor must fit in what is left of the file; a
+      // corrupt dim cannot request more memory than the file could back.
+      if (numel * sizeof(float) > cur.remaining()) {
+        throw std::runtime_error("load_tensors: tensor '" + name +
+                                 "' larger than remaining bytes in " + cur.path());
+      }
+    }
+    Tensor t(shape);
+    cur.read_bytes(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+    dict.emplace(std::move(name), std::move(t));
+  }
+  if (cur.remaining() != 0) {
+    throw std::runtime_error("load_tensors: trailing bytes after last tensor in " +
+                             cur.path());
+  }
+  return dict;
 }
 }  // namespace
 
-void save_tensors(const TensorDict& tensors, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_tensors: cannot open " + path);
-  out.write(kMagic, sizeof kMagic);
-  write_pod(out, kVersion);
-  write_pod(out, static_cast<std::uint64_t>(tensors.size()));
-  for (const auto& [name, tensor] : tensors) {
-    write_pod(out, static_cast<std::uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_pod(out, static_cast<std::uint32_t>(tensor.rank()));
-    for (std::int64_t d : tensor.shape()) write_pod(out, d);
-    out.write(reinterpret_cast<const char*>(tensor.data()),
-              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFU;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFU] ^ (crc >> 8);
   }
-  if (!out) throw std::runtime_error("save_tensors: write failed for " + path);
+  return crc ^ 0xFFFFFFFFU;
+}
+
+void atomic_write_file(const std::string& path, const void* data, std::size_t n) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("atomic_write_file: cannot open " + tmp);
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    out.flush();
+    if (!out) throw std::runtime_error("atomic_write_file: write failed for " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("atomic_write_file: rename to " + path + " failed");
+  }
+}
+
+void save_tensors(const TensorDict& tensors, const std::string& path) {
+  std::vector<char> payload;
+  append_pod(payload, static_cast<std::uint64_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    append_pod(payload, static_cast<std::uint32_t>(name.size()));
+    payload.insert(payload.end(), name.begin(), name.end());
+    append_pod(payload, static_cast<std::uint32_t>(tensor.rank()));
+    for (std::int64_t d : tensor.shape()) append_pod(payload, d);
+    const char* bytes = reinterpret_cast<const char*>(tensor.data());
+    payload.insert(payload.end(), bytes,
+                   bytes + static_cast<std::size_t>(tensor.numel()) * sizeof(float));
+  }
+  std::vector<char> file;
+  file.reserve(payload.size() + 20);
+  file.insert(file.end(), kMagic, kMagic + sizeof kMagic);
+  append_pod(file, kVersion);
+  append_pod(file, crc32(payload.data(), payload.size()));
+  append_pod(file, static_cast<std::uint64_t>(payload.size()));
+  file.insert(file.end(), payload.begin(), payload.end());
+  atomic_write_file(path, file.data(), file.size());
 }
 
 TensorDict load_tensors(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_tensors: cannot open " + path);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("load_tensors: read failed for " + path);
+  }
+  Cursor cur(bytes.data(), bytes.size(), path);
   char magic[4];
-  in.read(magic, sizeof magic);
-  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+  cur.read_bytes(magic, sizeof magic);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
     throw std::runtime_error("load_tensors: bad magic in " + path);
   }
-  const auto version = read_pod<std::uint32_t>(in);
+  const auto version = cur.read_pod<std::uint32_t>();
+  if (version == 1) {
+    // Pre-CRC format: parse directly (still bounds-checked).
+    return parse_entries(cur);
+  }
   if (version != kVersion) {
-    throw std::runtime_error("load_tensors: unsupported version " + std::to_string(version));
+    throw std::runtime_error("load_tensors: unsupported version " +
+                             std::to_string(version) + " in " + path);
   }
-  const auto count = read_pod<std::uint64_t>(in);
-  TensorDict dict;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const auto name_len = read_pod<std::uint32_t>(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    const auto rank = read_pod<std::uint32_t>(in);
-    Shape shape(rank);
-    for (auto& d : shape) d = read_pod<std::int64_t>(in);
-    Tensor t(shape);
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-    if (!in) throw std::runtime_error("load_tensors: truncated tensor data in " + path);
-    dict.emplace(std::move(name), std::move(t));
+  const auto stored_crc = cur.read_pod<std::uint32_t>();
+  const auto payload_size = cur.read_pod<std::uint64_t>();
+  if (payload_size != cur.remaining()) {
+    throw std::runtime_error("load_tensors: payload size mismatch in " + path +
+                             " (header says " + std::to_string(payload_size) +
+                             ", file has " + std::to_string(cur.remaining()) + ")");
   }
-  return dict;
+  const std::uint32_t actual_crc = crc32(cur.here(), cur.remaining());
+  if (actual_crc != stored_crc) {
+    throw std::runtime_error("load_tensors: CRC mismatch in " + path +
+                             " (checkpoint is corrupt)");
+  }
+  return parse_entries(cur);
 }
 
 }  // namespace ullsnn

@@ -1,12 +1,25 @@
 // Binary checkpoint format for trained networks: a flat dictionary of named
 // tensors. Lets examples/benches train once and reuse weights across stages
-// (DNN training -> conversion -> SGL fine-tuning).
+// (DNN training -> conversion -> SGL fine-tuning), and backs the pipeline's
+// crash-safe stage checkpoints (docs/robustness.md).
 //
-// File layout (little-endian):
-//   magic "ULSN" | u32 version | u64 count |
-//   count x { u32 name_len | name bytes | u32 rank | i64 dims... | f32 data... }
+// v2 layout (little-endian), written by save_tensors:
+//   magic "ULSN" | u32 version=2 | u32 crc32(payload) | u64 payload_size |
+//   payload: u64 count |
+//            count x { u32 name_len | name bytes | u32 rank | i64 dims... |
+//                      f32 data... }
+// v1 files (no crc/payload_size header fields) are still readable.
+//
+// Writes are atomic: data goes to "<path>.tmp" and is renamed over `path`
+// only after a successful flush, so a crash mid-write never leaves a
+// truncated checkpoint under the real name. Loads verify the CRC (v2) and
+// sanity-bound every header field before allocating, so any corrupt or
+// truncated file is rejected with std::runtime_error instead of crashing or
+// returning garbage.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -16,10 +29,19 @@ namespace ullsnn {
 
 using TensorDict = std::map<std::string, Tensor>;
 
-/// Write all tensors to `path`. Throws std::runtime_error on I/O failure.
+/// Write all tensors to `path` (v2, CRC-checked, atomic tmp+rename).
+/// Throws std::runtime_error on I/O failure.
 void save_tensors(const TensorDict& tensors, const std::string& path);
 
-/// Read a checkpoint written by save_tensors. Throws on malformed input.
+/// Read a checkpoint written by save_tensors (v2) or a pre-CRC v1 file.
+/// Throws std::runtime_error on any malformed, truncated, or corrupt input.
 TensorDict load_tensors(const std::string& path);
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `n` bytes. Pass a previous
+/// return value as `seed` to checksum incrementally; 0 starts a new sum.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/// Write `n` bytes to `path` via "<path>.tmp" + rename (all-or-nothing).
+void atomic_write_file(const std::string& path, const void* data, std::size_t n);
 
 }  // namespace ullsnn

@@ -1,0 +1,190 @@
+// Fuzz-style corruption tests for the checkpoint serializer: every single
+// corrupted byte, every truncation point, and every oversized header field
+// must produce a clean std::runtime_error — never a crash, an allocation
+// bomb, or silently wrong tensors.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "src/robust/fault_injector.h"
+#include "src/util/serialize.h"
+
+namespace ullsnn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TensorDict sample_dict() {
+  TensorDict dict;
+  dict["weight"] = Tensor({3, 4}, 0.25F);
+  Tensor ramp({7});
+  for (std::int64_t i = 0; i < ramp.numel(); ++i) ramp[i] = static_cast<float>(i);
+  dict["ramp"] = ramp;
+  return dict;
+}
+
+TEST(SerializeCorruptionTest, EverySingleByteFlipIsRejected) {
+  const std::string path = temp_path("ullsnn_fuzz_byteflip.bin");
+  save_tensors(sample_dict(), path);
+  const std::vector<char> pristine = read_file(path);
+  ASSERT_GT(pristine.size(), 20U);
+  for (std::size_t offset = 0; offset < pristine.size(); ++offset) {
+    std::vector<char> bytes = pristine;
+    bytes[offset] = static_cast<char>(bytes[offset] ^ 0x04);
+    write_file(path, bytes);
+    EXPECT_THROW(load_tensors(path), std::runtime_error)
+        << "corrupted byte at offset " << offset << " was accepted";
+  }
+  // Sanity: the pristine bytes still load.
+  write_file(path, pristine);
+  EXPECT_EQ(load_tensors(path).size(), 2U);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeCorruptionTest, EveryTruncationPointIsRejected) {
+  const std::string path = temp_path("ullsnn_fuzz_trunc.bin");
+  save_tensors(sample_dict(), path);
+  const std::vector<char> pristine = read_file(path);
+  for (std::size_t keep = 0; keep < pristine.size(); ++keep) {
+    write_file(path, {pristine.begin(), pristine.begin() + static_cast<long>(keep)});
+    EXPECT_THROW(load_tensors(path), std::runtime_error)
+        << "file truncated to " << keep << " bytes was accepted";
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeCorruptionTest, TrailingGarbageIsRejected) {
+  const std::string path = temp_path("ullsnn_fuzz_trailing.bin");
+  save_tensors(sample_dict(), path);
+  std::vector<char> bytes = read_file(path);
+  bytes.push_back('x');
+  write_file(path, bytes);
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeCorruptionTest, RandomByteCorruptionViaInjectorIsRejected) {
+  const std::string path = temp_path("ullsnn_fuzz_injector.bin");
+  save_tensors(sample_dict(), path);
+  const std::vector<char> pristine = read_file(path);
+  robust::FaultInjector injector(robust::FaultSpec{.seed = 7});
+  for (int trial = 0; trial < 64; ++trial) {
+    write_file(path, pristine);
+    injector.corrupt_random_byte(path);
+    EXPECT_THROW(load_tensors(path), std::runtime_error) << "trial " << trial;
+  }
+  std::filesystem::remove(path);
+}
+
+// ---- hand-crafted v1 files: compatibility and hardened field bounds ----
+
+template <typename T>
+void append_pod(std::vector<char>& buf, const T& v) {
+  const char* p = reinterpret_cast<const char*>(&v);
+  buf.insert(buf.end(), p, p + sizeof v);
+}
+
+std::vector<char> v1_header(std::uint64_t count) {
+  std::vector<char> buf = {'U', 'L', 'S', 'N'};
+  append_pod(buf, std::uint32_t{1});
+  append_pod(buf, count);
+  return buf;
+}
+
+TEST(SerializeCorruptionTest, V1FilesStillLoad) {
+  std::vector<char> buf = v1_header(1);
+  append_pod(buf, std::uint32_t{1});  // name_len
+  buf.push_back('w');
+  append_pod(buf, std::uint32_t{2});  // rank
+  append_pod(buf, std::int64_t{1});
+  append_pod(buf, std::int64_t{3});
+  for (float v : {1.0F, 2.0F, 3.0F}) append_pod(buf, v);
+  const std::string path = temp_path("ullsnn_v1_compat.bin");
+  write_file(path, buf);
+  const TensorDict dict = load_tensors(path);
+  ASSERT_EQ(dict.size(), 1U);
+  EXPECT_EQ(dict.at("w").shape(), Shape({1, 3}));
+  EXPECT_FLOAT_EQ(dict.at("w")[2], 3.0F);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeCorruptionTest, OversizedNameLenIsRejected) {
+  std::vector<char> buf = v1_header(1);
+  append_pod(buf, std::uint32_t{0xFFFFFFFF});  // absurd name_len
+  const std::string path = temp_path("ullsnn_v1_badname.bin");
+  write_file(path, buf);
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeCorruptionTest, OversizedRankIsRejected) {
+  std::vector<char> buf = v1_header(1);
+  append_pod(buf, std::uint32_t{1});
+  buf.push_back('w');
+  append_pod(buf, std::uint32_t{1000000});  // absurd rank
+  const std::string path = temp_path("ullsnn_v1_badrank.bin");
+  write_file(path, buf);
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeCorruptionTest, NegativeDimIsRejected) {
+  std::vector<char> buf = v1_header(1);
+  append_pod(buf, std::uint32_t{1});
+  buf.push_back('w');
+  append_pod(buf, std::uint32_t{1});
+  append_pod(buf, std::int64_t{-4});
+  const std::string path = temp_path("ullsnn_v1_negdim.bin");
+  write_file(path, buf);
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeCorruptionTest, HugeElementCountIsRejectedBeforeAllocating) {
+  // Claims a ~4 exabyte tensor in a 60-byte file: must throw a runtime_error
+  // from the bounds check, not bad_alloc from attempting the allocation.
+  std::vector<char> buf = v1_header(1);
+  append_pod(buf, std::uint32_t{1});
+  buf.push_back('w');
+  append_pod(buf, std::uint32_t{2});
+  append_pod(buf, std::int64_t{1LL << 30});
+  append_pod(buf, std::int64_t{1LL << 30});
+  const std::string path = temp_path("ullsnn_v1_hugedim.bin");
+  write_file(path, buf);
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeCorruptionTest, AtomicSaveLeavesNoTempFile) {
+  const std::string path = temp_path("ullsnn_atomic.bin");
+  save_tensors(sample_dict(), path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeCorruptionTest, Crc32KnownVector) {
+  // The classic IEEE 802.3 check value.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, 9), 0xCBF43926U);
+  EXPECT_EQ(crc32(nullptr, 0), 0U);
+}
+
+}  // namespace
+}  // namespace ullsnn
