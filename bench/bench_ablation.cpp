@@ -68,7 +68,7 @@ int main() {
     std::fflush(stdout);
   }
   heur.print("A: threshold-scaling heuristics + SGL (paper: ~10% on CIFAR-10)");
-  heur.write_csv("ablation_heuristic.csv");
+  bench::write_csv(heur, "ablation_heuristic.csv");
 
   // --- B: iso-accuracy latency, conversion only ---
   const double target = 0.9 * dnn_acc;
@@ -91,7 +91,7 @@ int main() {
     std::fflush(stdout);
   }
   iso.print("B: iso-accuracy conversion latency (paper: ours 12 vs [15] 16)");
-  iso.write_csv("ablation_latency.csv");
+  bench::write_csv(iso, "ablation_latency.csv");
 
   // --- C: percentile vs linear alpha grid ---
   Table grid({"Site", "pct alpha", "pct |Delta|", "linear alpha", "linear |Delta|",
@@ -140,7 +140,7 @@ int main() {
                                                         data, setup))});
   }
   bias.print("D: bias shift ablation on (alpha, beta) conversion");
-  bias.write_csv("ablation_bias.csv");
+  bench::write_csv(bias, "ablation_bias.csv");
 
   // --- E: direct vs Poisson input encoding ---
   Table enc({"Encoding", "T", "converted %"});
@@ -155,6 +155,6 @@ int main() {
                                                        snn::Encoding::kPoisson))});
   }
   enc.print("E: direct vs Poisson rate encoding (direct should dominate at low T)");
-  enc.write_csv("ablation_encoding.csv");
+  bench::write_csv(enc, "ablation_encoding.csv");
   return 0;
 }

@@ -87,7 +87,7 @@ int main() {
     }
   }
   table.print("Converted-SNN accuracy vs fault rate (T = 2, 3, 5)");
-  table.write_csv("faults.csv");
+  bench::write_csv(table, "faults.csv");
   std::printf("\nShape to verify: accuracy is flat at rate 0 and 1e-4, and\n"
               "weight bit-flips degrade hardest (exponent hits); membrane\n"
               "flips hurt less at larger T (more steps to average out).\n");

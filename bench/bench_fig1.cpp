@@ -62,7 +62,7 @@ int main() {
                 Table::fmt(mu * (k - ht), 4)});
   }
   hT.print("Fig. 1(a) insert: h(T, mu) collapse at low T (K is T-independent)");
-  hT.write_csv("fig1_h.csv");
+  bench::write_csv(hT, "fig1_h.csv");
 
   // Activation transfer functions (Fig. 1(a) curves + Fig. 1(b) scaling).
   const core::ScalingResult scaled = core::find_scaling_factors(site.percentiles, mu, 2);
@@ -79,7 +79,7 @@ int main() {
                                3)});
   }
   curves.print("Fig. 1(a)/(b): activation transfer functions");
-  curves.write_csv("fig1_curves.csv");
+  bench::write_csv(curves, "fig1_curves.csv");
 
   // Fig. 1(b): per-site scaling factors chosen by Algorithm 1 at T=2.
   Table sites({"site", "mu", "alpha", "beta", "V_th = alpha*mu", "|Delta| before",
@@ -93,6 +93,6 @@ int main() {
                    Table::fmt(std::abs(all[i].loss), 2)});
   }
   sites.print("Algorithm 1 per-layer scaling factors (T=2)");
-  sites.write_csv("fig1_scaling.csv");
+  bench::write_csv(sites, "fig1_scaling.csv");
   return 0;
 }

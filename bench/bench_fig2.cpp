@@ -49,7 +49,7 @@ int main() {
     }
   }
   table.print("Fig. 2: conversion-only accuracy vs time steps");
-  table.write_csv("fig2.csv");
+  bench::write_csv(table, "fig2.csv");
   std::printf("\nShape to verify: accuracy collapses for T <= 4; max-act [15]\n"
               "degrades more than threshold-ReLU at every low T.\n");
   return 0;

@@ -117,6 +117,6 @@ int main() {
                 t5.train_mem.total_mib() / t2.train_mem.total_mib());
   }
   table.print("Fig. 3: simulation time and memory, VGG-16");
-  table.write_csv("fig3.csv");
+  bench::write_csv(table, "fig3.csv");
   return 0;
 }

@@ -95,7 +95,7 @@ int main() {
                           Table::fmt(layer.spikes_per_neuron, 4)});
         }
         layers.print("Fig. 4(a): per-layer spiking activity, " + ds + ", ours T=2");
-        layers.write_csv("fig4a_" + std::to_string(classes) + ".csv");
+        bench::write_csv(layers, "fig4a_" + std::to_string(classes) + ".csv");
 
         // Neuromorphic energy (Sec. VI-B closing argument).
         const double total = snn_flops.total_flops();
@@ -108,7 +108,7 @@ int main() {
     }
   }
   summary.print("Fig. 4(b)/(c): FLOPs and compute energy, VGG-16");
-  summary.write_csv("fig4.csv");
+  bench::write_csv(summary, "fig4.csv");
   std::printf("\nPaper reference: CIFAR-10 DNN/SNN energy 103.5x; CIFAR-100 159.2x;\n"
               "ours vs [7] 1.27-1.52x; ours vs [15] 4.72-5.18x.\n");
   return 0;

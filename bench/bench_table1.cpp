@@ -70,7 +70,7 @@ int main() {
   };
   for (const Row& row : rows) run_row(row, setup, table);
   table.print("Table I: accuracy after (a) DNN training, (b) conversion, (c) SGL");
-  table.write_csv("table1.csv");
+  bench::write_csv(table, "table1.csv");
   std::printf("\nPaper reference (real CIFAR, full width): VGG-16/CIFAR-10 T=2:\n"
               "(a) 93.26, (b) 69.58, (c) 91.79. Shape to verify here: (b) well\n"
               "below (a), worst on CIFAR-100; (c) recovers close to (a).\n");

@@ -156,7 +156,7 @@ int main() {
     }
   }
   table.print("Table II: comparison with SOTA deep SNNs");
-  table.write_csv("table2.csv");
+  bench::write_csv(table, "table2.csv");
   std::printf("\nShape to verify: 'This work' at T=2 is within a few points of the\n"
               "baselines that need 5-16 steps (2.5-8x latency reduction).\n");
   return 0;

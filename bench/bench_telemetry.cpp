@@ -1,0 +1,149 @@
+// Telemetry overhead microbenchmarks (docs/observability.md quotes these):
+//   * metric fast paths (counter add, gauge set, histogram observe),
+//   * TraceScope with the tracer disabled (the steady-state cost paid by
+//     instrumented code) and enabled,
+//   * an instrumented SNN forward pass: bare vs tracer on vs probe attached.
+// Build with -DULLSNN_TELEMETRY=OFF to confirm the macros vanish: the
+// "disabled" variants then measure an empty loop.
+#include <benchmark/benchmark.h>
+
+#include "src/obs/metrics.h"
+#include "src/obs/probe.h"
+#include "src/obs/trace.h"
+#include "src/snn/snn_network.h"
+#include "src/tensor/random.h"
+
+namespace {
+
+using namespace ullsnn;
+
+void BM_CounterAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    ULLSNN_COUNTER_ADD("bench.counter", 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_GaugeSet(benchmark::State& state) {
+  double v = 0.0;
+  for (auto _ : state) {
+    ULLSNN_GAUGE_SET("bench.gauge", v);
+    v += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  double v = 1e-6;
+  for (auto _ : state) {
+    ULLSNN_HISTOGRAM_OBSERVE("bench.histogram", v);
+    v = v < 1e3 ? v * 1.7 : 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_TraceScopeDisabled(benchmark::State& state) {
+  obs::Tracer::instance().set_enabled(false);
+  for (auto _ : state) {
+    ULLSNN_TRACE_SCOPE("bench.span");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceScopeDisabled);
+
+void BM_TraceScopeEnabled(benchmark::State& state) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_enabled(true);
+  for (auto _ : state) {
+    ULLSNN_TRACE_SCOPE("bench.span");
+    benchmark::ClobberMemory();
+  }
+  tracer.set_enabled(false);
+  tracer.clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceScopeEnabled);
+
+std::unique_ptr<snn::SnnNetwork> overhead_net() {
+  auto net = std::make_unique<snn::SnnNetwork>(4);
+  Rng rng(11);
+  Tensor w({16, 3, 3, 3});
+  kaiming_normal(w, 3 * 9, rng);
+  net->emplace<snn::SpikingConv2d>(std::move(w), Conv2dSpec{3, 16, 3, 1, 1},
+                                   snn::IfConfig{});
+  net->emplace<snn::SpikingFlatten>();
+  Tensor wl({32, 16 * 16 * 16});
+  kaiming_normal(wl, 16 * 16 * 16, rng);
+  net->emplace<snn::SpikingLinear>(std::move(wl), snn::IfConfig{}, true);
+  Tensor wr({10, 32});
+  kaiming_normal(wr, 32, rng);
+  net->emplace<snn::SpikingLinear>(std::move(wr), snn::IfConfig{}, false);
+  return net;
+}
+
+Tensor overhead_input() {
+  Rng rng(12);
+  Tensor input({2, 3, 16, 16});
+  uniform_fill(input, -1.0F, 1.0F, rng);
+  return input;
+}
+
+void BM_SnnForwardBare(benchmark::State& state) {
+  auto net = overhead_net();
+  const Tensor input = overhead_input();
+  obs::Tracer::instance().set_enabled(false);
+  for (auto _ : state) {
+    Tensor logits = net->forward(input, false);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_SnnForwardBare);
+
+void BM_SnnForwardTracerOn(benchmark::State& state) {
+  auto net = overhead_net();
+  const Tensor input = overhead_input();
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_enabled(true);
+  for (auto _ : state) {
+    Tensor logits = net->forward(input, false);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  tracer.set_enabled(false);
+  tracer.clear();
+}
+BENCHMARK(BM_SnnForwardTracerOn);
+
+void BM_SnnForwardProbed(benchmark::State& state) {
+  auto net = overhead_net();
+  const Tensor input = overhead_input();
+  obs::Tracer::instance().set_enabled(false);
+  obs::SnnRuntimeProbe::Config cfg;
+  cfg.keep_step_stats = false;  // steady-state monitoring configuration
+  obs::SnnRuntimeProbe probe(*net, cfg);
+  for (auto _ : state) {
+    Tensor logits = net->forward(input, false);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_SnnForwardProbed);
+
+void BM_SnnForwardProbedFull(benchmark::State& state) {
+  auto net = overhead_net();
+  const Tensor input = overhead_input();
+  obs::Tracer::instance().set_enabled(false);
+  obs::SnnRuntimeProbe probe(*net);  // step stats + membrane histograms
+  for (auto _ : state) {
+    Tensor logits = net->forward(input, false);
+    benchmark::DoNotOptimize(logits.data());
+    probe.reset();  // keep the step-stat buffer from growing unboundedly
+  }
+}
+BENCHMARK(BM_SnnForwardProbedFull);
+
+}  // namespace
+
+BENCHMARK_MAIN();

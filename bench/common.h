@@ -20,9 +20,18 @@
 #include <string>
 
 #include "src/core/pipeline.h"
+#include "src/obs/build_info.h"
 #include "src/util/serialize.h"
+#include "src/util/table.h"
 
 namespace ullsnn::bench {
+
+/// Write a bench table as CSV with the build-provenance stamp (compiler,
+/// flags, git hash, telemetry on/off) as leading "# " comment lines, so every
+/// result file records how the binary that produced it was built.
+inline void write_csv(const Table& table, const std::string& path) {
+  table.write_csv(path, obs::build_info_comment());
+}
 
 enum class Scale { kQuick, kDefault, kFull };
 

@@ -184,6 +184,31 @@ std::unique_ptr<snn::SnnNetwork> convert(dnn::Sequential& model,
   return net;
 }
 
+std::vector<float> per_layer_mu(snn::SnnNetwork& net, const ConversionReport& report) {
+  std::vector<float> mu(static_cast<std::size_t>(net.size()), 0.0F);
+  std::size_t site_idx = 0;
+  const auto next_mu = [&]() -> float {
+    if (site_idx >= report.sites.size()) {
+      throw std::logic_error("per_layer_mu: network has more neuron sites than report");
+    }
+    const SiteScaling& s = report.sites[site_idx++];
+    return s.alpha > 0.0F ? s.v_threshold / s.alpha : s.v_threshold;
+  };
+  for (std::int64_t i = 0; i < net.size(); ++i) {
+    snn::SpikingLayer& layer = net.layer(i);
+    if (dynamic_cast<snn::SpikingResidualBlock*>(&layer) != nullptr) {
+      next_mu();  // neuron1 (internal)
+      mu[static_cast<std::size_t>(i)] = next_mu();
+    } else if (layer.neuron_or_null() != nullptr) {
+      mu[static_cast<std::size_t>(i)] = next_mu();
+    }
+  }
+  if (site_idx != report.sites.size()) {
+    throw std::logic_error("per_layer_mu: report has more sites than the network");
+  }
+  return mu;
+}
+
 std::unique_ptr<snn::SnnNetwork> convert(dnn::Sequential& model,
                                          const data::LabeledImages& calibration,
                                          const ConversionConfig& config,

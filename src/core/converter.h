@@ -95,4 +95,12 @@ std::unique_ptr<snn::SnnNetwork> convert(dnn::Sequential& model,
                                          const ConversionConfig& config,
                                          ConversionReport* report_out = nullptr);
 
+/// Per-layer clip thresholds mu (= V_th / alpha) for a converted network,
+/// indexed by SNN layer position; 0 for layers without neurons. Walks the
+/// network in the same site order as convert() (a residual block consumes two
+/// sites and reports its second — the one governing the block's output).
+/// Feed the result to obs::SnnRuntimeProbe::set_layer_mu for live Delta
+/// tracking.
+std::vector<float> per_layer_mu(snn::SnnNetwork& net, const ConversionReport& report);
+
 }  // namespace ullsnn::core

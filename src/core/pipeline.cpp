@@ -1,9 +1,17 @@
 #include "src/core/pipeline.h"
 
-#include <cstdio>
+#include <algorithm>
+#include <cstring>
 #include <filesystem>
+#include <memory>
 #include <stdexcept>
 
+#include "src/obs/build_info.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/probe.h"
+#include "src/obs/sink.h"
+#include "src/obs/trace.h"
 #include "src/util/timer.h"
 
 namespace ullsnn::core {
@@ -33,8 +41,51 @@ std::unique_ptr<dnn::Sequential> build_model(Architecture arch,
 
 HybridPipeline::HybridPipeline(PipelineConfig config) : config_(std::move(config)) {}
 
+namespace {
+
+/// First `count` samples of `full` (a copy); the whole set when count <= 0 or
+/// exceeds the set.
+data::LabeledImages head_subset(const data::LabeledImages& full, std::int64_t count) {
+  if (count <= 0 || count >= full.size()) return full;
+  Shape shape = full.images.shape();
+  const std::int64_t per_sample = full.images.numel() / shape[0];
+  shape[0] = count;
+  data::LabeledImages subset;
+  subset.images = Tensor(shape);
+  std::memcpy(subset.images.data(), full.images.data(),
+              sizeof(float) * static_cast<std::size_t>(count * per_sample));
+  subset.labels.assign(full.labels.begin(), full.labels.begin() + count);
+  return subset;
+}
+
+}  // namespace
+
 PipelineResult HybridPipeline::run(const data::LabeledImages& train,
                                    const data::LabeledImages& test) {
+  const TelemetryOptions& tel = config_.telemetry;
+  const bool tracer_was_enabled = obs::Tracer::instance().enabled();
+  if (tel.enabled) obs::Tracer::instance().set_enabled(true);
+  // The stage work lives in run_stages() so its "pipeline.run" span closes
+  // before the trace files are written below.
+  PipelineResult result = run_stages(train, test);
+  if (tel.enabled) {
+    run_probed_inference(test, result.conversion_report);
+    if (!tel.trace_json_path.empty()) {
+      obs::Tracer::instance().write_chrome_trace(tel.trace_json_path);
+    }
+    if (!tel.trace_jsonl_path.empty()) {
+      obs::Tracer::instance().write_jsonl(tel.trace_jsonl_path);
+    }
+    obs::Tracer::instance().set_enabled(tracer_was_enabled);
+  }
+  return result;
+}
+
+PipelineResult HybridPipeline::run_stages(const data::LabeledImages& train,
+                                          const data::LabeledImages& test) {
+  ULLSNN_TRACE_SCOPE("pipeline.run");
+  ULLSNN_COUNTER_ADD("pipeline.runs", 1);
+
   PipelineResult result;
   const CheckpointConfig& ck = config_.checkpoint;
   robust::PipelineManifest manifest;
@@ -44,9 +95,10 @@ PipelineResult HybridPipeline::run(const data::LabeledImages& train,
     if (ck.resume && std::filesystem::exists(mpath)) {
       manifest = robust::load_manifest(mpath);
       if (config_.verbose && manifest.stage_completed > 0) {
-        std::printf("[pipeline] resuming: stage %lld already completed (%s)\n",
-                    static_cast<long long>(manifest.stage_completed),
-                    ck.dir.c_str());
+        obs::logf(obs::LogLevel::kInfo,
+                  "[pipeline] resuming: stage %lld already completed (%s)",
+                  static_cast<long long>(manifest.stage_completed), ck.dir.c_str());
+        ULLSNN_COUNTER_ADD("pipeline.resumes", 1);
       }
     }
   }
@@ -59,6 +111,7 @@ PipelineResult HybridPipeline::run(const data::LabeledImages& train,
     result.dnn_accuracy = manifest.dnn_accuracy;
     result.dnn_train_seconds = manifest.dnn_train_seconds;
   } else {
+    ULLSNN_TRACE_SCOPE("pipeline.stage_a.dnn_train");
     Timer timer;
     dnn::TrainConfig dnn_cfg = config_.dnn_train;
     dnn_cfg.verbose = config_.verbose;
@@ -80,19 +133,25 @@ PipelineResult HybridPipeline::run(const data::LabeledImages& train,
       if (epoch_ckpt) epoch_ckpt->remove();
     }
   }
+  ULLSNN_GAUGE_SET("pipeline.dnn_accuracy", result.dnn_accuracy);
   if (config_.verbose) {
-    std::printf("[pipeline] DNN accuracy: %.4f\n", result.dnn_accuracy);
+    obs::logf(obs::LogLevel::kInfo, "[pipeline] DNN accuracy: %.4f",
+              result.dnn_accuracy);
   }
 
   // Stage (b): conversion (calibrated on the training set). Conversion is
   // deterministic given the stage-(a) weights, so a resumed run rebuilds the
   // SNN topology and the report by re-converting, then (for stage >= 2)
   // overlays the persisted weights — identical to the uninterrupted run.
-  snn_ = convert(*dnn_, train, config_.conversion, &result.conversion_report);
+  {
+    ULLSNN_TRACE_SCOPE("pipeline.stage_b.convert");
+    snn_ = convert(*dnn_, train, config_.conversion, &result.conversion_report);
+  }
   if (ck.enabled && manifest.stage_completed >= 2) {
     robust::load_params(snn_->params(), robust::stage_weights_path(ck.dir, 2));
     result.converted_accuracy = manifest.converted_accuracy;
   } else {
+    ULLSNN_TRACE_SCOPE("pipeline.stage_b.evaluate");
     result.converted_accuracy = snn::evaluate_snn(*snn_, test);
     if (ck.enabled) {
       robust::save_params(snn_->params(), robust::stage_weights_path(ck.dir, 2));
@@ -101,10 +160,12 @@ PipelineResult HybridPipeline::run(const data::LabeledImages& train,
       robust::save_manifest(manifest, robust::manifest_path(ck.dir));
     }
   }
+  ULLSNN_GAUGE_SET("pipeline.converted_accuracy", result.converted_accuracy);
   if (config_.verbose) {
-    std::printf("[pipeline] converted SNN accuracy (T=%lld, %s): %.4f\n",
-                static_cast<long long>(config_.conversion.time_steps),
-                to_string(config_.conversion.mode), result.converted_accuracy);
+    obs::logf(obs::LogLevel::kInfo,
+              "[pipeline] converted SNN accuracy (T=%lld, %s): %.4f",
+              static_cast<long long>(config_.conversion.time_steps),
+              to_string(config_.conversion.mode), result.converted_accuracy);
   }
 
   // Stage (c): SGL fine-tuning.
@@ -113,6 +174,7 @@ PipelineResult HybridPipeline::run(const data::LabeledImages& train,
     result.sgl_accuracy = manifest.sgl_accuracy;
     result.sgl_train_seconds = manifest.sgl_train_seconds;
   } else {
+    ULLSNN_TRACE_SCOPE("pipeline.stage_c.sgl_train");
     Timer timer;
     snn::SglConfig sgl_cfg = config_.sgl;
     sgl_cfg.verbose = config_.verbose;
@@ -134,14 +196,51 @@ PipelineResult HybridPipeline::run(const data::LabeledImages& train,
       if (epoch_ckpt) epoch_ckpt->remove();
     }
   }
+  ULLSNN_GAUGE_SET("pipeline.sgl_accuracy", result.sgl_accuracy);
   if (config_.verbose) {
-    std::printf("[pipeline] SNN accuracy after SGL: %.4f\n", result.sgl_accuracy);
+    obs::logf(obs::LogLevel::kInfo, "[pipeline] SNN accuracy after SGL: %.4f",
+              result.sgl_accuracy);
   }
+
   return result;
+}
+
+void HybridPipeline::run_probed_inference(const data::LabeledImages& test,
+                                          const ConversionReport& report) {
+  ULLSNN_TRACE_SCOPE("pipeline.probe");
+  const TelemetryOptions& tel = config_.telemetry;
+  const data::LabeledImages probe_set = head_subset(test, tel.probe_samples);
+
+  obs::SnnRuntimeProbe::Config probe_cfg;
+  probe_cfg.keep_step_stats = !tel.probe_jsonl_path.empty();
+  obs::SnnRuntimeProbe probe(*snn_, probe_cfg);
+  probe.set_layer_mu(per_layer_mu(*snn_, report));
+  snn_->reset_stats();
+  snn::evaluate_snn(*snn_, probe_set);
+
+  if (!tel.probe_csv_path.empty()) {
+    obs::CsvSink csv(tel.probe_csv_path, obs::build_info_comment());
+    probe.emit_summary_records(csv);
+    csv.flush();
+  }
+  if (!tel.probe_jsonl_path.empty()) {
+    obs::JsonlSink jsonl(tel.probe_jsonl_path);
+    probe.emit_summary_records(jsonl);
+    probe.emit_step_records(jsonl);
+    jsonl.flush();
+  }
+  if (config_.verbose) {
+    obs::logf(obs::LogLevel::kInfo,
+              "[pipeline] probed %lld samples: %lld spikes across %zu layers",
+              static_cast<long long>(probe.samples()),
+              static_cast<long long>(probe.total_spikes()),
+              probe.summaries().size());
+  }
 }
 
 double HybridPipeline::run_conversion_only(const data::LabeledImages& train,
                                            const data::LabeledImages& test) {
+  ULLSNN_TRACE_SCOPE("pipeline.conversion_only");
   if (!dnn_) {
     Rng rng(config_.weight_seed);
     dnn_ = build_model(config_.arch, config_.model, rng);

@@ -45,6 +45,22 @@ struct CheckpointConfig {
   bool epoch_checkpoints = true;
 };
 
+/// Telemetry artifacts of HybridPipeline::run(). With `enabled`, tracing is
+/// switched on for the duration of run(), stage spans are recorded, and a
+/// probed inference pass runs after stage (c) to collect per-layer spike
+/// rates, membrane statistics, and the live Delta_{alpha,beta} gap. Each
+/// path is optional; empty skips that artifact. All of this is inert when
+/// the library is built with -DULLSNN_TELEMETRY=OFF.
+struct TelemetryOptions {
+  bool enabled = false;
+  std::string trace_json_path;   // chrome://tracing "traceEvents" JSON
+  std::string trace_jsonl_path;  // one trace event per line
+  std::string probe_csv_path;    // per-layer activity summary (CSV)
+  std::string probe_jsonl_path;  // per-layer per-step records (JSONL)
+  /// Test samples for the probed pass; <= 0 probes the full test set.
+  std::int64_t probe_samples = 256;
+};
+
 struct PipelineConfig {
   Architecture arch = Architecture::kVgg16;
   dnn::ModelConfig model;
@@ -52,6 +68,7 @@ struct PipelineConfig {
   ConversionConfig conversion;
   snn::SglConfig sgl;
   CheckpointConfig checkpoint;
+  TelemetryOptions telemetry;
   std::uint64_t weight_seed = 3;
   bool verbose = false;
 };
@@ -84,6 +101,15 @@ class HybridPipeline {
                              const data::LabeledImages& test);
 
  private:
+  /// Stages (a)-(c), wrapped in the "pipeline.run" trace span.
+  PipelineResult run_stages(const data::LabeledImages& train,
+                            const data::LabeledImages& test);
+
+  /// Telemetry epilogue of run(): probed inference over (a subset of) the
+  /// test set, emitting per-layer activity through the configured sinks.
+  void run_probed_inference(const data::LabeledImages& test,
+                            const ConversionReport& report);
+
   PipelineConfig config_;
   std::unique_ptr<dnn::Sequential> dnn_;
   std::unique_ptr<snn::SnnNetwork> snn_;

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace ullsnn::core {
 
 double compute_scaling_loss(const std::vector<float>& percentiles, float mu,
@@ -37,13 +40,16 @@ ScalingResult search_over_alphas(const std::vector<float>& alphas,
                                  const std::vector<float>& percentiles, float mu,
                                  std::int64_t time_steps, float beta_step) {
   if (beta_step <= 0.0F) throw std::invalid_argument("beta_step must be positive");
+  ULLSNN_TRACE_SCOPE("core.scaling_search");
   ScalingResult best;
   best.initial_loss = compute_scaling_loss(percentiles, mu, 1.0F, 1.0F, time_steps);
   best.loss = best.initial_loss;
+  std::int64_t candidates = 0;
   for (float alpha : alphas) {
     if (alpha <= 0.0F || alpha > 1.0F) continue;
     for (float beta = 0.0F; beta <= 2.0F + 1e-6F; beta += beta_step) {
       const double loss = compute_scaling_loss(percentiles, mu, alpha, beta, time_steps);
+      ++candidates;
       if (std::abs(loss) < std::abs(best.loss)) {
         best.alpha = alpha;
         best.beta = beta;
@@ -51,6 +57,8 @@ ScalingResult search_over_alphas(const std::vector<float>& alphas,
       }
     }
   }
+  ULLSNN_COUNTER_ADD("scaling_search.candidates", candidates);
+  ULLSNN_COUNTER_ADD("scaling_search.sites", 1);
   return best;
 }
 }  // namespace

@@ -1,10 +1,12 @@
 #include "src/dnn/trainer.h"
 
-#include <cstdio>
 #include <stdexcept>
 
 #include "src/dnn/activations.h"
 #include "src/dnn/loss.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/timer.h"
 
 namespace ullsnn::dnn {
@@ -19,6 +21,7 @@ DnnTrainer::DnnTrainer(Sequential& model, TrainConfig config)
 
 EpochStats DnnTrainer::train_epoch(const data::LabeledImages& train,
                                    std::int64_t epoch) {
+  ULLSNN_TRACE_SCOPE("dnn.train_epoch");
   Timer timer;
   optimizer_.set_lr(schedule_.lr_at(epoch) * lr_scale_);
   data::BatchIterator batches(train, config_.batch_size, rng_);
@@ -72,8 +75,8 @@ std::vector<EpochStats> DnnTrainer::fit(const data::LabeledImages& train,
   if (checkpointer != nullptr) {
     start = checkpointer->restore(model_->params(), optimizer_.velocity(), rng_);
     if (config_.verbose && start > 0) {
-      std::printf("  [dnn] resuming from epoch %lld (%s)\n",
-                  static_cast<long long>(start), checkpointer->path().c_str());
+      obs::logf(obs::LogLevel::kInfo, "  [dnn] resuming from epoch %lld (%s)",
+                static_cast<long long>(start), checkpointer->path().c_str());
     }
   }
   if (config_.guard.policy == robust::GuardPolicy::kRollback) {
@@ -99,11 +102,15 @@ std::vector<EpochStats> DnnTrainer::fit(const data::LabeledImages& train,
       }
     }
     if (test != nullptr) stats.test_accuracy = evaluate(*test);
+    ULLSNN_COUNTER_ADD("dnn.epochs", 1);
+    ULLSNN_GAUGE_SET("dnn.train_loss", stats.train_loss);
+    ULLSNN_GAUGE_SET("dnn.train_accuracy", stats.train_accuracy);
+    ULLSNN_HISTOGRAM_OBSERVE("dnn.epoch_seconds", stats.seconds);
     if (config_.verbose) {
-      std::printf("  [dnn] epoch %3lld  loss %.4f  train %.4f  test %.4f  (%.1fs)\n",
-                  static_cast<long long>(stats.epoch), stats.train_loss,
-                  stats.train_accuracy, stats.test_accuracy, stats.seconds);
-      std::fflush(stdout);
+      obs::logf(obs::LogLevel::kInfo,
+                "  [dnn] epoch %3lld  loss %.4f  train %.4f  test %.4f  (%.1fs)",
+                static_cast<long long>(stats.epoch), stats.train_loss,
+                stats.train_accuracy, stats.test_accuracy, stats.seconds);
     }
     history.push_back(stats);
     if (checkpointer != nullptr) {

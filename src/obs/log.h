@@ -1,0 +1,34 @@
+// Minimal leveled logger replacing the scattered std::cout / std::printf
+// diagnostics in the trainers and pipeline.
+//
+// Threshold comes from the ULLSNN_LOG_LEVEL environment variable on first
+// use: "off", "error", "warn", "info" (default), "debug" — or the numeric
+// values -1..3. Messages at or below the threshold are printed: info/debug
+// to stdout (matching the previous printf behavior the benches parse),
+// warn/error to stderr. A message is emitted with a single stdio call, so
+// concurrent lines do not interleave mid-line.
+#pragma once
+
+#include <cstdarg>
+
+namespace ullsnn::obs {
+
+enum class LogLevel : int { kOff = -1, kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current threshold (initialized from ULLSNN_LOG_LEVEL on first call).
+LogLevel log_level();
+/// Override the threshold (tests, embedding applications).
+void set_log_level(LogLevel level);
+/// Re-read ULLSNN_LOG_LEVEL; returns the resulting threshold.
+LogLevel init_log_level_from_env();
+/// Parse "off"/"error"/"warn"/"info"/"debug" or "-1".."3"; falls back to
+/// kInfo on anything unrecognized (including null).
+LogLevel parse_log_level(const char* text);
+
+bool log_enabled(LogLevel level);
+
+/// printf-style log line; a trailing newline is appended if missing.
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+void vlogf(LogLevel level, const char* fmt, std::va_list args);
+
+}  // namespace ullsnn::obs

@@ -1,0 +1,169 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace ullsnn::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: needs at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  // Linear scan: bucket counts are small and fixed, and the scan touches one
+  // cache line of bounds — cheaper than a branchy binary search at this size.
+  std::size_t bucket = bounds_.size();  // overflow
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_histogram_bounds() {
+  static const std::vector<double> bounds = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+                                             1e-1, 1.0,  1e1,  1e2,  1e3};
+  return bounds;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>& upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(upper_bounds);
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.push_back({name, c->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.push_back({name, g->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back(
+        {name, h->bounds(), h->bucket_counts(), h->count(), h->sum()});
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+std::string join_counts(const std::vector<std::int64_t>& counts) {
+  std::string s;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (i != 0) s += '|';
+    s += std::to_string(counts[i]);
+  }
+  return s;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_metrics_csv(const MetricsSnapshot& snapshot, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_metrics_csv: cannot open " + path);
+  out << "kind,name,value,count,sum,buckets\n";
+  for (const auto& c : snapshot.counters) {
+    out << "counter," << c.name << ',' << c.value << ",,,\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out << "gauge," << g.name << ',' << fmt_double(g.value) << ",,,\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out << "histogram," << h.name << ",," << h.count << ',' << fmt_double(h.sum)
+        << ',' << join_counts(h.counts) << '\n';
+  }
+  if (!out) throw std::runtime_error("write_metrics_csv: write failed for " + path);
+}
+
+void write_metrics_jsonl(const MetricsSnapshot& snapshot, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_metrics_jsonl: cannot open " + path);
+  for (const auto& c : snapshot.counters) {
+    out << R"({"kind":"counter","name":")" << c.name << R"(","value":)" << c.value
+        << "}\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out << R"({"kind":"gauge","name":")" << g.name << R"(","value":)"
+        << fmt_double(g.value) << "}\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out << R"({"kind":"histogram","name":")" << h.name << R"(","count":)" << h.count
+        << R"(,"sum":)" << fmt_double(h.sum) << R"(,"bounds":[)";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i != 0) out << ',';
+      out << fmt_double(h.bounds[i]);
+    }
+    out << R"(],"counts":[)";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) out << ',';
+      out << h.counts[i];
+    }
+    out << "]}\n";
+  }
+  if (!out) throw std::runtime_error("write_metrics_jsonl: write failed for " + path);
+}
+
+}  // namespace ullsnn::obs

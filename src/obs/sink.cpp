@@ -1,0 +1,128 @@
+#include "src/obs/sink.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace ullsnn::obs {
+
+std::string TelemetryField::rendered() const {
+  switch (type) {
+    case Type::kInt:
+      return std::to_string(int_value);
+    case Type::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.9g", double_value);
+      return buf;
+    }
+    case Type::kString:
+      return string_value;
+  }
+  return {};
+}
+
+TelemetryRecord& TelemetryRecord::add(const std::string& key, std::int64_t v) {
+  TelemetryField f;
+  f.key = key;
+  f.type = TelemetryField::Type::kInt;
+  f.int_value = v;
+  fields.push_back(std::move(f));
+  return *this;
+}
+
+TelemetryRecord& TelemetryRecord::add(const std::string& key, double v) {
+  TelemetryField f;
+  f.key = key;
+  f.type = TelemetryField::Type::kDouble;
+  f.double_value = v;
+  fields.push_back(std::move(f));
+  return *this;
+}
+
+TelemetryRecord& TelemetryRecord::add(const std::string& key, const std::string& v) {
+  TelemetryField f;
+  f.key = key;
+  f.type = TelemetryField::Type::kString;
+  f.string_value = v;
+  fields.push_back(std::move(f));
+  return *this;
+}
+
+namespace {
+
+void write_csv_cell(std::ofstream& out, const std::string& cell) {
+  const bool quote = cell.find(',') != std::string::npos;
+  if (quote) out << '"';
+  out << cell;
+  if (quote) out << '"';
+}
+
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+CsvSink::CsvSink(const std::string& path, const std::string& comment)
+    : out_(path), path_(path) {
+  if (!out_) throw std::runtime_error("CsvSink: cannot open " + path);
+  if (!comment.empty()) {
+    std::istringstream lines(comment);
+    std::string line;
+    while (std::getline(lines, line)) out_ << "# " << line << '\n';
+  }
+}
+
+void CsvSink::emit(const TelemetryRecord& record) {
+  if (header_.empty()) {
+    header_.reserve(record.fields.size());
+    for (std::size_t i = 0; i < record.fields.size(); ++i) {
+      header_.push_back(record.fields[i].key);
+      if (i != 0) out_ << ',';
+      write_csv_cell(out_, record.fields[i].key);
+    }
+    out_ << '\n';
+  } else if (record.fields.size() != header_.size()) {
+    throw std::invalid_argument("CsvSink: record arity " +
+                                std::to_string(record.fields.size()) +
+                                " != header arity " + std::to_string(header_.size()) +
+                                " in " + path_);
+  }
+  for (std::size_t i = 0; i < record.fields.size(); ++i) {
+    if (record.fields[i].key != header_[i]) {
+      throw std::invalid_argument("CsvSink: field '" + record.fields[i].key +
+                                  "' does not match header column '" + header_[i] +
+                                  "' in " + path_);
+    }
+    if (i != 0) out_ << ',';
+    write_csv_cell(out_, record.fields[i].rendered());
+  }
+  out_ << '\n';
+  if (!out_) throw std::runtime_error("CsvSink: write failed for " + path_);
+}
+
+JsonlSink::JsonlSink(const std::string& path) : out_(path), path_(path) {
+  if (!out_) throw std::runtime_error("JsonlSink: cannot open " + path);
+}
+
+void JsonlSink::emit(const TelemetryRecord& record) {
+  out_ << R"({"kind":")" << json_escaped(record.kind) << '"';
+  for (const TelemetryField& f : record.fields) {
+    out_ << ",\"" << json_escaped(f.key) << "\":";
+    if (f.type == TelemetryField::Type::kString) {
+      out_ << '"' << json_escaped(f.string_value) << '"';
+    } else {
+      out_ << f.rendered();
+    }
+  }
+  out_ << "}\n";
+  if (!out_) throw std::runtime_error("JsonlSink: write failed for " + path_);
+}
+
+}  // namespace ullsnn::obs

@@ -1,0 +1,83 @@
+// TelemetrySink: structured record output for the SNN runtime probes (and
+// any other producer of flat key/value telemetry records).
+//
+// A record is a kind tag plus ordered typed fields. Backends:
+//   CsvSink   one file, header taken from the first record's field keys;
+//             later records must present the same keys in the same order.
+//   JsonlSink one JSON object per line; heterogeneous records welcome.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ullsnn::obs {
+
+struct TelemetryField {
+  enum class Type { kInt, kDouble, kString };
+  std::string key;
+  Type type = Type::kString;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+
+  /// Value formatted for CSV cells / JSON (numbers bare, %.9g for doubles).
+  std::string rendered() const;
+};
+
+struct TelemetryRecord {
+  std::string kind;
+  std::vector<TelemetryField> fields;
+
+  TelemetryRecord& add(const std::string& key, std::int64_t v);
+  TelemetryRecord& add(const std::string& key, double v);
+  TelemetryRecord& add(const std::string& key, const std::string& v);
+};
+
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void emit(const TelemetryRecord& record) = 0;
+  virtual void flush() {}
+};
+
+/// Collects records in memory; the test-double backend.
+class MemorySink final : public TelemetrySink {
+ public:
+  void emit(const TelemetryRecord& record) override { records_.push_back(record); }
+  const std::vector<TelemetryRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TelemetryRecord> records_;
+};
+
+class CsvSink final : public TelemetrySink {
+ public:
+  /// Opens `path` for writing; optional `comment` lines (e.g. the build-info
+  /// stamp) are emitted first, each prefixed "# ". Throws on I/O failure.
+  explicit CsvSink(const std::string& path, const std::string& comment = "");
+
+  void emit(const TelemetryRecord& record) override;
+  void flush() override { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  std::vector<std::string> header_;  // fixed by the first record
+};
+
+class JsonlSink final : public TelemetrySink {
+ public:
+  explicit JsonlSink(const std::string& path);
+
+  void emit(const TelemetryRecord& record) override;
+  void flush() override { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+}  // namespace ullsnn::obs

@@ -1,0 +1,16 @@
+// Telemetry compile-time switch shared by the obs instrumentation macros.
+//
+// The build defines ULLSNN_TELEMETRY to 1 (default) or 0 via the CMake
+// option of the same name. With 0 every ULLSNN_* instrumentation macro
+// (metrics.h, trace.h) expands to nothing, so the hot paths carry no
+// telemetry code at all; the obs classes themselves are still compiled so
+// exporters and tests keep working in both configurations.
+#pragma once
+
+#ifndef ULLSNN_TELEMETRY
+#define ULLSNN_TELEMETRY 1
+#endif
+
+// Token pasting helper for macro-generated local variable names.
+#define ULLSNN_OBS_CONCAT_IMPL(a, b) a##b
+#define ULLSNN_OBS_CONCAT(a, b) ULLSNN_OBS_CONCAT_IMPL(a, b)

@@ -1,0 +1,143 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace ullsnn::obs {
+
+namespace {
+
+void copy_bounded(char* dst, std::size_t cap, const char* src) {
+  if (src == nullptr) {
+    dst[0] = '\0';
+    return;
+  }
+  std::strncpy(dst, src, cap - 1);
+  dst[cap - 1] = '\0';
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_us() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - trace_epoch())
+                                        .count());
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (!buffer) {
+    buffer = std::make_shared<ThreadBuffer>();
+    buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    buffer->events.reserve(4096);
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+void Tracer::record_complete(const char* name, std::uint64_t ts_us,
+                             std::uint64_t dur_us) {
+  if (!enabled()) return;
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  TraceEvent& e = buf.events.emplace_back();
+  copy_bounded(e.name, sizeof e.name, name);
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = buf.tid;
+  e.phase = 'X';
+}
+
+void Tracer::record_instant(const char* name, const char* args_body) {
+  if (!enabled()) return;
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  TraceEvent& e = buf.events.emplace_back();
+  copy_bounded(e.name, sizeof e.name, name);
+  copy_bounded(e.args, sizeof e.args, args_body);
+  e.ts_us = now_us();
+  e.tid = buf.tid;
+  e.phase = 'i';
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> all;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+  }
+  return all;
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t n = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+namespace {
+
+void write_event_json(std::ofstream& out, const TraceEvent& e) {
+  out << R"({"name":")" << e.name << R"(","cat":"ullsnn","ph":")" << e.phase
+      << R"(","ts":)" << e.ts_us << R"(,"pid":1,"tid":)" << e.tid;
+  if (e.phase == 'X') out << R"(,"dur":)" << e.dur_us;
+  if (e.phase == 'i') out << R"(,"s":"t")";
+  if (e.args[0] != '\0') out << R"(,"args":{)" << e.args << '}';
+  out << '}';
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  const std::vector<TraceEvent> all = events();
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Tracer::write_chrome_trace: cannot open " + path);
+  out << "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i != 0) out << ",\n";
+    write_event_json(out, all[i]);
+  }
+  out << "\n]}\n";
+  if (!out) {
+    throw std::runtime_error("Tracer::write_chrome_trace: write failed for " + path);
+  }
+}
+
+void Tracer::write_jsonl(const std::string& path) const {
+  const std::vector<TraceEvent> all = events();
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Tracer::write_jsonl: cannot open " + path);
+  for (const TraceEvent& e : all) {
+    write_event_json(out, e);
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("Tracer::write_jsonl: write failed for " + path);
+}
+
+}  // namespace ullsnn::obs

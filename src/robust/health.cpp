@@ -4,6 +4,10 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace ullsnn::robust {
 
 const char* to_string(GuardPolicy policy) {
@@ -97,28 +101,50 @@ bool HealthMonitor::restore(const std::vector<dnn::Param*>& params,
   return true;
 }
 
+namespace {
+
+/// Structured args body for the trace instant recorded on every fault.
+std::string fault_args(const HealthReport& report) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "\"nan\":%lld,\"inf\":%lld,\"exploded\":%lld,\"loss_finite\":%s",
+                static_cast<long long>(report.nan_count),
+                static_cast<long long>(report.inf_count),
+                static_cast<long long>(report.exploded_count),
+                report.loss_finite ? "true" : "false");
+  return buf;
+}
+
+}  // namespace
+
 GuardAction HealthMonitor::decide(const HealthReport& report) {
   if (config_.policy == GuardPolicy::kOff || report.healthy()) {
     return GuardAction::kProceed;
   }
+  ULLSNN_COUNTER_ADD("health.faults", 1);
+  ULLSNN_TRACE_INSTANT_ARGS("health.fault", fault_args(report).c_str());
   switch (config_.policy) {
     case GuardPolicy::kWarn:
-      std::fprintf(stderr, "[health] WARNING: %s\n", report.describe().c_str());
+      obs::logf(obs::LogLevel::kWarn, "[health] WARNING: %s", report.describe().c_str());
       return GuardAction::kProceed;
     case GuardPolicy::kThrow:
       return GuardAction::kAbort;
     case GuardPolicy::kRollback: {
       if (!has_snapshot_ || rollbacks_ >= config_.retry_budget) {
+        ULLSNN_COUNTER_ADD("health.aborts", 1);
         return GuardAction::kAbort;
       }
       ++rollbacks_;
       lr_scale_ *= config_.lr_backoff;
+      ULLSNN_COUNTER_ADD("health.rollbacks", 1);
+      ULLSNN_GAUGE_SET("health.lr_scale", lr_scale_);
+      ULLSNN_TRACE_INSTANT("health.rollback");
       if (config_.verbose) {
-        std::fprintf(stderr,
-                     "[health] rollback %lld/%lld (lr scale %.3g): %s\n",
-                     static_cast<long long>(rollbacks_),
-                     static_cast<long long>(config_.retry_budget),
-                     static_cast<double>(lr_scale_), report.describe().c_str());
+        obs::logf(obs::LogLevel::kWarn,
+                  "[health] rollback %lld/%lld (lr scale %.3g): %s",
+                  static_cast<long long>(rollbacks_),
+                  static_cast<long long>(config_.retry_budget),
+                  static_cast<double>(lr_scale_), report.describe().c_str());
       }
       return GuardAction::kRetry;
     }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/trace.h"
+
 namespace ullsnn::snn {
 
 IfNeuron::IfNeuron(const IfConfig& config)
@@ -45,6 +47,7 @@ void IfNeuron::begin_sequence(const Shape& shape, std::int64_t time_steps, bool 
 }
 
 Tensor IfNeuron::step_forward(const Tensor& current, std::int64_t t, bool train) {
+  ULLSNN_TRACE_SCOPE("snn.if.step_forward");
   if (current.shape() != membrane_.shape()) {
     throw std::invalid_argument("IfNeuron: current shape " +
                                 shape_to_string(current.shape()) +
@@ -87,6 +90,7 @@ void IfNeuron::begin_backward() {
 }
 
 Tensor IfNeuron::step_backward(const Tensor& grad_spikes, std::int64_t t) {
+  ULLSNN_TRACE_SCOPE("snn.if.step_backward");
   const Tensor& u_temp = cached_utemp_[static_cast<std::size_t>(t)];
   const Tensor& prev_u = cached_prev_u_[static_cast<std::size_t>(t)];
   const float v_th = threshold_.value[0];

@@ -77,6 +77,7 @@ class IfNeuron {
   float beta() const { return beta_; }
   void set_beta(float b) { beta_ = b; }
   float initial_membrane_fraction() const { return init_fraction_; }
+  ResetMode reset_mode() const { return reset_; }
 
   /// Spikes emitted since reset_stats() (summed over steps and batch).
   std::int64_t spikes_emitted() const { return spikes_emitted_; }

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <stdexcept>
 
 #include "src/dnn/loss.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/timer.h"
 
 namespace ullsnn::snn {
@@ -20,6 +22,7 @@ SglTrainer::SglTrainer(SnnNetwork& net, SglConfig config)
 
 dnn::EpochStats SglTrainer::train_epoch(const data::LabeledImages& train,
                                         std::int64_t epoch) {
+  ULLSNN_TRACE_SCOPE("sgl.train_epoch");
   Timer timer;
   optimizer_.set_lr(schedule_.lr_at(epoch) * lr_scale_);
   data::BatchIterator batches(train, config_.batch_size, rng_);
@@ -59,8 +62,8 @@ std::vector<dnn::EpochStats> SglTrainer::fit(const data::LabeledImages& train,
   if (checkpointer != nullptr) {
     start = checkpointer->restore(net_->params(), optimizer_.velocity(), rng_);
     if (config_.verbose && start > 0) {
-      std::printf("  [sgl] resuming from epoch %lld (%s)\n",
-                  static_cast<long long>(start), checkpointer->path().c_str());
+      obs::logf(obs::LogLevel::kInfo, "  [sgl] resuming from epoch %lld (%s)",
+                static_cast<long long>(start), checkpointer->path().c_str());
     }
   }
   if (config_.guard.policy == robust::GuardPolicy::kRollback) {
@@ -94,11 +97,15 @@ std::vector<dnn::EpochStats> SglTrainer::fit(const data::LabeledImages& train,
       }
     }
     if (test != nullptr) stats.test_accuracy = evaluate(*test);
+    ULLSNN_COUNTER_ADD("sgl.epochs", 1);
+    ULLSNN_GAUGE_SET("sgl.train_loss", stats.train_loss);
+    ULLSNN_GAUGE_SET("sgl.train_accuracy", stats.train_accuracy);
+    ULLSNN_HISTOGRAM_OBSERVE("sgl.epoch_seconds", stats.seconds);
     if (config_.verbose) {
-      std::printf("  [sgl] epoch %3lld  loss %.4f  train %.4f  test %.4f  (%.1fs)\n",
-                  static_cast<long long>(stats.epoch), stats.train_loss,
-                  stats.train_accuracy, stats.test_accuracy, stats.seconds);
-      std::fflush(stdout);
+      obs::logf(obs::LogLevel::kInfo,
+                "  [sgl] epoch %3lld  loss %.4f  train %.4f  test %.4f  (%.1fs)",
+                static_cast<long long>(stats.epoch), stats.train_loss,
+                stats.train_accuracy, stats.test_accuracy, stats.seconds);
     }
     history.push_back(stats);
     if (checkpointer != nullptr) {

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "src/dnn/loss.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace ullsnn::snn {
 
@@ -24,23 +26,35 @@ void SnnNetwork::set_encoding(Encoding encoding, std::uint64_t seed) {
 
 Tensor SnnNetwork::forward(const Tensor& images, bool train) {
   if (layers_.empty()) throw std::logic_error("SnnNetwork::forward: empty network");
+  ULLSNN_TRACE_SCOPE("snn.forward");
+  ULLSNN_COUNTER_ADD("snn.forward.sequences", 1);
   cached_input_shape_ = images.shape();
   Shape shape = images.shape();
   for (auto& layer : layers_) {
     layer->begin_sequence(shape, time_steps_, train);
     shape = layer->output_shape(shape);
   }
+  if (observer_ != nullptr) {
+    observer_->on_sequence_begin(*this, images.shape(), time_steps_, train);
+  }
   Tensor logits(shape);
   for (std::int64_t t = 0; t < time_steps_; ++t) {
     Tensor x = encode_step(images, encoding_, encoder_rng_);
-    for (auto& layer : layers_) x = layer->step_forward(x, t, train);
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      x = layers_[i]->step_forward(x, t, train);
+      if (observer_ != nullptr) {
+        observer_->on_layer_step(*this, static_cast<std::int64_t>(i), x, t);
+      }
+    }
     logits += x;
     if (step_hook_) step_hook_(*this, t);
   }
+  if (observer_ != nullptr) observer_->on_sequence_end(*this);
   return logits;
 }
 
 void SnnNetwork::backward(const Tensor& grad_logits) {
+  ULLSNN_TRACE_SCOPE("snn.backward");
   for (auto& layer : layers_) layer->begin_backward();
   for (std::int64_t t = time_steps_ - 1; t >= 0; --t) {
     Tensor g = grad_logits;

@@ -20,6 +20,22 @@
 
 namespace ullsnn::snn {
 
+class SnnNetwork;
+
+/// Per-layer, per-step observation interface for runtime telemetry
+/// (obs::SnnRuntimeProbe). The network invokes the callbacks during
+/// forward(); a null observer (the default) costs one pointer check.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_sequence_begin(SnnNetwork& net, const Shape& input_shape,
+                                 std::int64_t time_steps, bool train) = 0;
+  /// After layer `layer_index` produced `output` for step `t`.
+  virtual void on_layer_step(SnnNetwork& net, std::int64_t layer_index,
+                             const Tensor& output, std::int64_t t) = 0;
+  virtual void on_sequence_end(SnnNetwork& net) = 0;
+};
+
 class SnnNetwork {
  public:
   explicit SnnNetwork(std::int64_t time_steps);
@@ -58,6 +74,11 @@ class SnnNetwork {
   void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
   void clear_step_hook() { step_hook_ = nullptr; }
 
+  /// Attach a runtime telemetry observer (not owned; must outlive the network
+  /// or detach first). Only one observer at a time; null detaches.
+  void set_observer(StepObserver* observer) { observer_ = observer; }
+  StepObserver* observer() const { return observer_; }
+
   /// Accumulated logits over all T steps for a batch of analog images.
   Tensor forward(const Tensor& images, bool train);
 
@@ -84,6 +105,7 @@ class SnnNetwork {
   Rng dropout_rng_{123};
   Shape cached_input_shape_;
   StepHook step_hook_;
+  StepObserver* observer_ = nullptr;
 };
 
 /// Top-1 accuracy of an SNN on a labeled set (inference mode).

@@ -65,9 +65,14 @@ void Table::print(const std::string& title) const {
   hline();
 }
 
-void Table::write_csv(const std::string& path) const {
+void Table::write_csv(const std::string& path, const std::string& comment) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("Table::write_csv: cannot open " + path);
+  if (!comment.empty()) {
+    std::istringstream lines(comment);
+    std::string line;
+    while (std::getline(lines, line)) out << "# " << line << '\n';
+  }
   const auto write_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c != 0) out << ',';

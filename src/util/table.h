@@ -23,8 +23,10 @@ class Table {
   /// Render with box-drawing separators to stdout.
   void print(const std::string& title = "") const;
 
-  /// Write as CSV (headers + rows) to `path`. Throws on I/O failure.
-  void write_csv(const std::string& path) const;
+  /// Write as CSV (headers + rows) to `path`. A non-empty `comment` (possibly
+  /// multi-line, e.g. the obs::build_info_comment() provenance stamp) is
+  /// emitted first, each line prefixed "# ". Throws on I/O failure.
+  void write_csv(const std::string& path, const std::string& comment = "") const;
 
   std::size_t num_rows() const { return rows_.size(); }
 

@@ -24,7 +24,14 @@ class Timer {
 /// Accumulates durations across start/stop pairs (e.g. per-phase epoch time).
 class StopWatch {
  public:
-  void start() { running_ = true; timer_.reset(); }
+  /// Begin (or re-begin) a timed interval. Calling start() while already
+  /// running banks the in-flight elapsed time before restarting, so no
+  /// interval is ever silently discarded.
+  void start() {
+    if (running_) total_ += timer_.seconds();
+    running_ = true;
+    timer_.reset();
+  }
   void stop() {
     if (running_) {
       total_ += timer_.seconds();

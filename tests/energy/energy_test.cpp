@@ -8,6 +8,7 @@
 #include "src/energy/flops.h"
 #include "src/energy/memory_model.h"
 #include "src/energy/spike_monitor.h"
+#include "src/obs/probe.h"
 #include "src/snn/snn_network.h"
 #include "src/tensor/random.h"
 
@@ -116,6 +117,96 @@ TEST(SpikeMonitorTest, MeasuresControlledRates) {
   EXPECT_NEAR(report.layers[0].spikes_per_neuron, 4.0, 1e-9);
   EXPECT_NEAR(report.total_spikes_per_image, 4.0 * 4.0, 1e-9);
   EXPECT_NEAR(report.mean_spikes_per_neuron(), 4.0, 1e-9);
+}
+
+/// Fully hand-computable two-layer net: identity synapse into two IF neurons
+/// (V_th = 1), then a [1, 1] readout. Input [0.6, 0.3] at T = 2 gives
+/// membranes 0.6 -> 1.2 (one spike) and 0.3 -> 0.6 (none).
+std::unique_ptr<snn::SnnNetwork> hand_net() {
+  auto net = std::make_unique<snn::SnnNetwork>(2);
+  net->emplace<snn::SpikingLinear>(Tensor({2, 2}, std::vector<float>{1, 0, 0, 1}),
+                                   snn::IfConfig{}, true);
+  net->emplace<snn::SpikingLinear>(Tensor({1, 2}, std::vector<float>{1, 1}),
+                                   snn::IfConfig{}, false);
+  return net;
+}
+
+data::LabeledImages hand_dataset() {
+  data::LabeledImages dataset;
+  dataset.images = Tensor({4, 2}, std::vector<float>{0.6F, 0.3F, 0.6F, 0.3F,
+                                                     0.6F, 0.3F, 0.6F, 0.3F});
+  dataset.labels = {0, 0, 0, 0};
+  return dataset;
+}
+
+TEST(SpikeMonitorTest, HandComputedTwoLayerNetAtT2) {
+  auto net = hand_net();
+  const ActivityReport report = measure_activity(*net, hand_dataset(), 4);
+  ASSERT_EQ(report.layers.size(), 1U);  // the readout has no neurons
+  EXPECT_EQ(report.samples, 4);
+  EXPECT_EQ(report.layers[0].neurons, 2);
+  // 1 spike per image over 2 neurons.
+  EXPECT_DOUBLE_EQ(report.layers[0].spikes_per_neuron, 0.5);
+  EXPECT_DOUBLE_EQ(report.total_spikes_per_image, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_spikes_per_neuron(), 0.5);
+  // Single output class: argmax is trivially the label.
+  EXPECT_DOUBLE_EQ(report.accuracy, 1.0);
+}
+
+TEST(SnnFlopsTest, HandComputedAcsFromMeasuredRates) {
+  auto net = hand_net();
+  measure_activity(*net, hand_dataset(), 4);
+  const FlopsReport r = count_snn_flops(*net, {1, 2});
+  ASSERT_EQ(r.layers.size(), 2U);
+  // First layer is direct-encoded: 2x2 dense MACs counted once.
+  EXPECT_DOUBLE_EQ(r.layers[0].macs, 4.0);
+  EXPECT_DOUBLE_EQ(r.layers[0].acs, 0.0);
+  // Readout inputs: 1 nonzero of 4 per image (2 neurons x 2 steps), so
+  // ACs = 2 dense * 0.25 * 2 steps = 1.
+  EXPECT_DOUBLE_EQ(r.layers[1].acs, 1.0);
+  EXPECT_DOUBLE_EQ(r.total_macs, 4.0);
+  EXPECT_DOUBLE_EQ(r.total_acs, 1.0);
+}
+
+TEST(SpikeMonitorTest, AgreesWithRuntimeProbeExactly) {
+  // The runtime probe and the activity report read the same layer counters;
+  // their per-layer totals must be bit-identical, not merely close.
+  Rng rng(7);
+  auto net = std::make_unique<snn::SnnNetwork>(3);
+  Tensor w1({16, 8});
+  kaiming_normal(w1, 8, rng);
+  net->emplace<snn::SpikingLinear>(std::move(w1), snn::IfConfig{}, true);
+  Tensor w2({4, 16});
+  kaiming_normal(w2, 16, rng);
+  net->emplace<snn::SpikingLinear>(std::move(w2), snn::IfConfig{}, true);
+  Tensor wr({2, 4});
+  kaiming_normal(wr, 4, rng);
+  net->emplace<snn::SpikingLinear>(std::move(wr), snn::IfConfig{}, false);
+
+  data::LabeledImages dataset;
+  dataset.images = Tensor({10, 8});
+  uniform_fill(dataset.images, 0.0F, 1.0F, rng);
+  dataset.labels.assign(10, 0);
+
+  obs::SnnRuntimeProbe probe(*net);
+  const ActivityReport report = measure_activity(*net, dataset, 4);
+
+  const std::vector<obs::LayerSummary> summaries = probe.summaries();
+  ASSERT_EQ(summaries.size(), report.layers.size());
+  EXPECT_EQ(probe.samples(), report.samples);
+  double probe_total_per_image = 0.0;
+  for (std::size_t j = 0; j < summaries.size(); ++j) {
+    EXPECT_EQ(summaries[j].name, report.layers[j].name);
+    EXPECT_EQ(summaries[j].neurons, report.layers[j].neurons);
+    const double per_neuron =
+        static_cast<double>(summaries[j].spikes_total) /
+        (static_cast<double>(report.samples) *
+         static_cast<double>(summaries[j].neurons));
+    EXPECT_DOUBLE_EQ(per_neuron, report.layers[j].spikes_per_neuron);
+    probe_total_per_image += static_cast<double>(summaries[j].spikes_total) /
+                             static_cast<double>(report.samples);
+  }
+  EXPECT_DOUBLE_EQ(probe_total_per_image, report.total_spikes_per_image);
 }
 
 TEST(MemoryModelTest, SnnTrainingScalesWithT) {

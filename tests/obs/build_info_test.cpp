@@ -1,0 +1,49 @@
+#include "src/obs/build_info.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/obs/telemetry.h"
+
+namespace ullsnn::obs {
+namespace {
+
+TEST(BuildInfo, CompilerDetected) {
+  const BuildInfo& b = build_info();
+  EXPECT_FALSE(b.compiler.empty());
+  EXPECT_NE(b.compiler, "unknown");
+}
+
+TEST(BuildInfo, TelemetryFlagMatchesCompileTimeSwitch) {
+  EXPECT_EQ(build_info().telemetry, ULLSNN_TELEMETRY != 0);
+}
+
+TEST(BuildInfo, CommentHasOneFieldPerLineNoTrailingNewline) {
+  const std::string comment = build_info_comment();
+  ASSERT_FALSE(comment.empty());
+  EXPECT_NE(comment.back(), '\n');
+  std::istringstream lines(comment);
+  std::string line;
+  std::size_t n = 0;
+  bool has_compiler = false, has_git = false, has_telemetry = false;
+  while (std::getline(lines, line)) {
+    ++n;
+    if (line.rfind("compiler: ", 0) == 0) has_compiler = true;
+    if (line.rfind("git: ", 0) == 0) has_git = true;
+    if (line.rfind("telemetry: ", 0) == 0) has_telemetry = true;
+  }
+  EXPECT_EQ(n, 6U);
+  EXPECT_TRUE(has_compiler);
+  EXPECT_TRUE(has_git);
+  EXPECT_TRUE(has_telemetry);
+}
+
+TEST(BuildInfo, StableAcrossCalls) {
+  const BuildInfo& a = build_info();
+  const BuildInfo& b = build_info();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace ullsnn::obs

@@ -1,0 +1,80 @@
+#include "src/obs/log.h"
+
+#include <gtest/gtest.h>
+
+namespace ullsnn::obs {
+namespace {
+
+class LogLevelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+TEST_F(LogLevelTest, ParseRecognizesNames) {
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+}
+
+TEST_F(LogLevelTest, ParseRecognizesNumericLevels) {
+  EXPECT_EQ(parse_log_level("-1"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("3"), LogLevel::kDebug);
+}
+
+TEST_F(LogLevelTest, ParseFallsBackToInfo) {
+  EXPECT_EQ(parse_log_level(nullptr), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("7"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("2x"), LogLevel::kInfo);
+}
+
+TEST_F(LogLevelTest, ThresholdGatesLevels) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+}
+
+TEST_F(LogLevelTest, OffDisablesEverything) {
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  EXPECT_FALSE(log_enabled(LogLevel::kWarn));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  // Emitting while off must be a silent no-op (and must not crash).
+  logf(LogLevel::kError, "suppressed %d", 1);
+}
+
+TEST_F(LogLevelTest, KOffIsNeverAnEnabledLevel) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_FALSE(log_enabled(LogLevel::kOff));
+}
+
+TEST_F(LogLevelTest, CapturedInfoLineGoesToStdout) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStdout();
+  logf(LogLevel::kInfo, "hello %s %d", "world", 42);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(out, "hello world 42\n");
+}
+
+TEST_F(LogLevelTest, WarnGoesToStderrWithNewlineAppendedOnce) {
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  logf(LogLevel::kWarn, "already newlined\n");
+  logf(LogLevel::kError, "bare");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err, "already newlined\nbare\n");
+}
+
+}  // namespace
+}  // namespace ullsnn::obs

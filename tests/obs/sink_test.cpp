@@ -1,0 +1,126 @@
+#include "src/obs/sink.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ullsnn::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TelemetryRecord sample_record(std::int64_t layer, double rate) {
+  TelemetryRecord r;
+  r.kind = "snn.layer_activity";
+  r.add("layer", layer).add("name", std::string("conv#") + std::to_string(layer))
+      .add("rate", rate);
+  return r;
+}
+
+TEST(MemorySink, CollectsRecordsInOrder) {
+  MemorySink sink;
+  sink.emit(sample_record(0, 0.5));
+  sink.emit(sample_record(1, 0.25));
+  ASSERT_EQ(sink.records().size(), 2U);
+  EXPECT_EQ(sink.records()[0].fields[0].int_value, 0);
+  EXPECT_EQ(sink.records()[1].fields[0].int_value, 1);
+  sink.clear();
+  EXPECT_TRUE(sink.records().empty());
+}
+
+TEST(CsvSink, HeaderFromFirstRecordThenRows) {
+  const std::string path = "sink_test.csv";
+  {
+    CsvSink sink(path);
+    sink.emit(sample_record(0, 0.5));
+    sink.emit(sample_record(1, 0.125));
+    sink.flush();
+  }
+  const std::string text = read_file(path);
+  EXPECT_EQ(text, "layer,name,rate\n0,conv#0,0.5\n1,conv#1,0.125\n");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvSink, CommentLinesArePrefixed) {
+  const std::string path = "sink_test_comment.csv";
+  {
+    CsvSink sink(path, "line one\nline two");
+    sink.emit(sample_record(0, 1.0));
+    sink.flush();
+  }
+  const std::string text = read_file(path);
+  EXPECT_EQ(text.rfind("# line one\n# line two\nlayer,", 0), 0U);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvSink, CellsWithCommasAreQuoted) {
+  const std::string path = "sink_test_quote.csv";
+  {
+    CsvSink sink(path);
+    TelemetryRecord r;
+    r.kind = "t";
+    r.add("label", std::string("a,b"));
+    sink.emit(r);
+    sink.flush();
+  }
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("\"a,b\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvSink, RejectsMismatchedRecords) {
+  const std::string path = "sink_test_mismatch.csv";
+  CsvSink sink(path);
+  sink.emit(sample_record(0, 1.0));
+  TelemetryRecord wrong_arity;
+  wrong_arity.kind = "t";
+  wrong_arity.add("layer", std::int64_t{1});
+  EXPECT_THROW(sink.emit(wrong_arity), std::invalid_argument);
+  TelemetryRecord wrong_keys;
+  wrong_keys.kind = "t";
+  wrong_keys.add("layer", std::int64_t{1}).add("nome", std::string("x")).add("rate", 0.5);
+  EXPECT_THROW(sink.emit(wrong_keys), std::invalid_argument);
+  std::filesystem::remove(path);
+}
+
+TEST(JsonlSink, EmitsOneEscapedObjectPerLine) {
+  const std::string path = "sink_test.jsonl";
+  {
+    JsonlSink sink(path);
+    TelemetryRecord r;
+    r.kind = "kind\"with quote";
+    r.add("n", std::int64_t{3}).add("s", std::string("back\\slash"));
+    sink.emit(r);
+    sink.emit(sample_record(1, 0.5));
+    sink.flush();
+  }
+  const std::string text = read_file(path);
+  std::istringstream lines(text);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line,
+            R"({"kind":"kind\"with quote","n":3,"s":"back\\slash"})");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line,
+            R"({"kind":"snn.layer_activity","layer":1,"name":"conv#1","rate":0.5})");
+  std::filesystem::remove(path);
+}
+
+TEST(TelemetryField, RenderedFormatsByType) {
+  TelemetryRecord r;
+  r.add("i", std::int64_t{-7}).add("d", 0.25).add("s", std::string("x"));
+  EXPECT_EQ(r.fields[0].rendered(), "-7");
+  EXPECT_EQ(r.fields[1].rendered(), "0.25");
+  EXPECT_EQ(r.fields[2].rendered(), "x");
+}
+
+}  // namespace
+}  // namespace ullsnn::obs

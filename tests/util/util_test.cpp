@@ -36,6 +36,39 @@ TEST(StopWatchTest, AccumulatesAcrossSegments) {
   EXPECT_EQ(sw.total_seconds(), 0.0);
 }
 
+TEST(StopWatchTest, RestartWhileRunningBanksElapsedTime) {
+  // start() during a running interval must fold the in-flight time into the
+  // total instead of discarding it (the old behaviour silently dropped it).
+  StopWatch sw;
+  sw.start();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink += i;
+  sw.start();  // re-start while running: previous segment is banked
+  const double banked = sw.total_seconds();
+  EXPECT_GT(banked, 0.0);
+  for (int i = 0; i < 1000000; ++i) sink += i;
+  sw.stop();
+  EXPECT_GT(sw.total_seconds(), banked);
+  // stop() after the fold must not double-count: a fresh watch timing both
+  // loops in one segment is of the same order, not half.
+  sw.stop();  // second stop is a no-op
+  const double total = sw.total_seconds();
+  EXPECT_EQ(sw.total_seconds(), total);
+}
+
+TEST(StopWatchTest, StartAfterStopDoesNotBankStoppedGap) {
+  StopWatch sw;
+  sw.start();
+  sw.stop();
+  const double first = sw.total_seconds();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink += i;
+  sw.start();  // while stopped: nothing extra is banked at start
+  sw.stop();
+  // The gap spent stopped (the big loop) must not appear in the total.
+  EXPECT_LT(sw.total_seconds() - first, 0.05);
+}
+
 TEST(TableTest, RejectsEmptyHeaderAndBadArity) {
   EXPECT_THROW(Table({}), std::invalid_argument);
   Table t({"a", "b"});
@@ -65,6 +98,22 @@ TEST(TableTest, CsvRoundTrip) {
   EXPECT_EQ(line, "alpha,0.5");
   std::getline(in, line);
   EXPECT_EQ(line, "\"with,comma\",1");
+  std::filesystem::remove(path);
+}
+
+TEST(TableTest, CsvCommentHeaderLines) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string path = testing::TempDir() + "/ullsnn_table_comment.csv";
+  t.write_csv(path, "first line\nsecond line");
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# first line");
+  std::getline(in, line);
+  EXPECT_EQ(line, "# second line");
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
   std::filesystem::remove(path);
 }
 
