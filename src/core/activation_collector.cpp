@@ -73,7 +73,7 @@ Tensor instrumented_forward(dnn::Sequential& model, const Tensor& input,
 ActivationProfile collect_activations(dnn::Sequential& model,
                                       const data::LabeledImages& calibration,
                                       const CollectorOptions& options) {
-  if (calibration.size() == 0) {
+  if (calibration.empty()) {
     throw std::invalid_argument("collect_activations: empty calibration set");
   }
   ActivationProfile profile;

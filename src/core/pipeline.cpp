@@ -58,7 +58,41 @@ data::LabeledImages head_subset(const data::LabeledImages& full, std::int64_t co
   return subset;
 }
 
+/// Preflight options for a pipeline config: graph + conversion preconditions
+/// (plus tape rules when requested). Delta-identity violations escalate to
+/// errors when the telemetry probe would consume the live Delta estimate.
+verify::VerifyOptions preflight_options(const PipelineConfig& config) {
+  verify::VerifyOptions options;
+  options.input_shape = {2, config.model.in_channels, config.model.image_size,
+                         config.model.image_size};
+  options.conversion_config = config.conversion;
+  options.delta_identity_required = config.telemetry.enabled;
+  options.tape = config.verify.tape;
+  options.tape_backward = config.verify.tape;
+  return options;
+}
+
 }  // namespace
+
+void HybridPipeline::apply_verify_gate(const verify::VerifyReport& report,
+                                       const char* stage) {
+  for (const verify::Diagnostic& d : report.diagnostics) {
+    obs::logf(d.severity == verify::Severity::kError ? obs::LogLevel::kError
+                                                     : obs::LogLevel::kWarn,
+              "[verify/%s] %s", stage, verify::to_string(d).c_str());
+  }
+  ULLSNN_COUNTER_ADD("verify.errors", report.error_count());
+  ULLSNN_COUNTER_ADD("verify.warnings", report.warning_count());
+  if (config_.verify.mode == VerifyGateConfig::Mode::kStrict && !report.ok()) {
+    throw verify::VerifyError(report);
+  }
+}
+
+verify::VerifyReport HybridPipeline::preflight() {
+  Rng rng(config_.weight_seed);
+  auto model = build_model(config_.arch, config_.model, rng);
+  return verify::verify_model(*model, preflight_options(config_));
+}
 
 PipelineResult HybridPipeline::run(const data::LabeledImages& train,
                                    const data::LabeledImages& test) {
@@ -104,6 +138,15 @@ PipelineResult HybridPipeline::run_stages(const data::LabeledImages& train,
   }
   Rng rng(config_.weight_seed);
   dnn_ = build_model(config_.arch, config_.model, rng);
+
+  // Verification preflight: graph + conversion preconditions need no trained
+  // weights, so stages (a) and (b) are both gated here — before any training
+  // cost is paid — rather than after stage (a) completes.
+  if (config_.verify.mode != VerifyGateConfig::Mode::kOff) {
+    ULLSNN_TRACE_SCOPE("pipeline.verify.preflight");
+    apply_verify_gate(verify::verify_model(*dnn_, preflight_options(config_)),
+                      "preflight");
+  }
 
   // Stage (a): DNN training.
   if (ck.enabled && manifest.stage_completed >= 1) {
@@ -166,6 +209,17 @@ PipelineResult HybridPipeline::run_stages(const data::LabeledImages& train,
               "[pipeline] converted SNN accuracy (T=%lld, %s): %.4f",
               static_cast<long long>(config_.conversion.time_steps),
               to_string(config_.conversion.mode), result.converted_accuracy);
+  }
+
+  // Gate before stage (c): the planned scaling report now exists; validate
+  // the (alpha, beta, V_th) entries and their alignment with the model's
+  // activation sites before spending the SGL fine-tuning epochs.
+  if (config_.verify.mode != VerifyGateConfig::Mode::kOff) {
+    ULLSNN_TRACE_SCOPE("pipeline.verify.report");
+    apply_verify_gate(
+        verify::check_conversion_report(result.conversion_report, config_.conversion,
+                                        verify::count_activation_sites(*dnn_)),
+        "report");
   }
 
   // Stage (c): SGL fine-tuning.

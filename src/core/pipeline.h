@@ -22,6 +22,7 @@
 #include "src/dnn/trainer.h"
 #include "src/robust/checkpoint.h"
 #include "src/snn/sgl_trainer.h"
+#include "src/verify/verify.h"
 
 namespace ullsnn::core {
 
@@ -61,6 +62,20 @@ struct TelemetryOptions {
   std::int64_t probe_samples = 256;
 };
 
+/// Static-verification gate of HybridPipeline::run(). The graph and
+/// conversion preconditions are checked as a preflight before stage (a) —
+/// the checks need no trained weights, so misuse surfaces before any
+/// training cost is paid — and the planned ConversionReport is re-checked
+/// between stages (b) and (c). kWarn logs every diagnostic; kStrict
+/// additionally throws verify::VerifyError on error-severity findings.
+struct VerifyGateConfig {
+  enum class Mode { kOff, kWarn, kStrict };
+  Mode mode = Mode::kWarn;
+  /// Also run the autograd-tape invariant checker (structural rules plus the
+  /// synthetic forward/backward T004 pass) in the preflight.
+  bool tape = false;
+};
+
 struct PipelineConfig {
   Architecture arch = Architecture::kVgg16;
   dnn::ModelConfig model;
@@ -69,6 +84,7 @@ struct PipelineConfig {
   snn::SglConfig sgl;
   CheckpointConfig checkpoint;
   TelemetryOptions telemetry;
+  VerifyGateConfig verify;
   std::uint64_t weight_seed = 3;
   bool verbose = false;
 };
@@ -100,7 +116,14 @@ class HybridPipeline {
   double run_conversion_only(const data::LabeledImages& train,
                              const data::LabeledImages& test);
 
+  /// The static preflight on its own: builds the (untrained) model and runs
+  /// the graph + conversion-precondition checks without applying the gate
+  /// mode. Useful for dry-running a config before committing to a run.
+  verify::VerifyReport preflight();
+
  private:
+  /// Log `report` and, in strict mode, throw verify::VerifyError on errors.
+  void apply_verify_gate(const verify::VerifyReport& report, const char* stage);
   /// Stages (a)-(c), wrapped in the "pipeline.run" trace span.
   PipelineResult run_stages(const data::LabeledImages& train,
                             const data::LabeledImages& test);

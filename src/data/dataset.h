@@ -15,6 +15,7 @@ struct Batch {
   std::vector<std::int64_t> labels; // size B
 
   std::int64_t size() const { return static_cast<std::int64_t>(labels.size()); }
+  bool empty() const { return labels.empty(); }
 };
 
 /// Deterministically shuffled mini-batch iterator over a LabeledImages set.

@@ -43,6 +43,7 @@ struct LabeledImages {
   std::vector<std::int64_t> labels; // size N, values in [0, num_classes)
 
   std::int64_t size() const { return static_cast<std::int64_t>(labels.size()); }
+  bool empty() const { return labels.empty(); }
 };
 
 class SyntheticCifar {

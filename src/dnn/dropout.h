@@ -23,6 +23,10 @@ class Dropout final : public Layer {
   void clear_cache() override { mask_.clear(); }
 
   float drop_prob() const { return drop_prob_; }
+  /// Unvalidated, for annealing schedules that adjust p mid-training. The
+  /// static verifier (verify::check_graph, rule G005) flags p >= 1, where
+  /// every activation is zeroed and the downstream network goes dead.
+  void set_drop_prob(float drop_prob) { drop_prob_ = drop_prob; }
 
   /// Draw a fresh mask for `numel` elements (used by spiking wrappers that
   /// must hold the mask fixed across time steps).

@@ -60,6 +60,12 @@ class Layer {
   /// Release cached forward tensors (after an optimizer step, or to bound
   /// memory during pure inference).
   virtual void clear_cache() {}
+
+  /// Immediate sub-layers, in execution order; empty for leaf layers. The
+  /// pointers stay owned by this layer. Graph walks (verify/, introspection
+  /// tooling) use this to descend into containers without knowing their
+  /// concrete types.
+  virtual std::vector<Layer*> children() { return {}; }
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -65,4 +65,11 @@ void ResidualBlock::clear_cache() {
   act2_.clear_cache();
 }
 
+std::vector<Layer*> ResidualBlock::children() {
+  std::vector<Layer*> out{&conv1_, &act1_, &conv2_};
+  if (projection_) out.push_back(projection_.get());
+  out.push_back(&act2_);
+  return out;
+}
+
 }  // namespace ullsnn::dnn

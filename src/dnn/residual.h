@@ -28,6 +28,7 @@ class ResidualBlock final : public Layer {
   Shape output_shape(const Shape& input) const override;
   std::int64_t macs(const Shape& input) const override;
   void clear_cache() override;
+  std::vector<Layer*> children() override;
 
   Conv2d& conv1() { return conv1_; }
   Conv2d& conv2() { return conv2_; }

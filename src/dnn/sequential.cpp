@@ -55,4 +55,11 @@ void Sequential::clear_cache() {
   for (auto& layer : layers_) layer->clear_cache();
 }
 
+std::vector<Layer*> Sequential::children() {
+  std::vector<Layer*> out;
+  out.reserve(layers_.size());
+  for (auto& layer : layers_) out.push_back(layer.get());
+  return out;
+}
+
 }  // namespace ullsnn::dnn

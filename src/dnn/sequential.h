@@ -31,6 +31,7 @@ class Sequential final : public Layer {
   std::vector<LayerPtr> release_layers() { return std::move(layers_); }
 
   std::int64_t size() const { return static_cast<std::int64_t>(layers_.size()); }
+  bool empty() const { return layers_.empty(); }
   Layer& layer(std::int64_t i) { return *layers_[static_cast<std::size_t>(i)]; }
   const Layer& layer(std::int64_t i) const { return *layers_[static_cast<std::size_t>(i)]; }
 
@@ -41,6 +42,7 @@ class Sequential final : public Layer {
   Shape output_shape(const Shape& input) const override;
   std::int64_t macs(const Shape& input) const override;
   void clear_cache() override;
+  std::vector<Layer*> children() override;
 
   /// Per-layer MAC counts at the given input shape (index-aligned with the
   /// chain). Non-arithmetic layers report 0.

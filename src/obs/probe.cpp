@@ -125,7 +125,7 @@ void SnnRuntimeProbe::on_sequence_end(snn::SnnNetwork& net) {
       snn::IfNeuron* neuron = net.layer(static_cast<std::int64_t>(i)).neuron_or_null();
       if (neuron == nullptr) continue;
       // The input-reconstruction identity needs pure IF dynamics.
-      if (neuron->leak() != 1.0F || neuron->reset_mode() != snn::ResetMode::kSubtract) {
+      if (!snn::delta_identity_valid(neuron->leak(), neuron->reset_mode())) {
         state.delta_valid = false;
         continue;
       }

@@ -86,7 +86,7 @@ Tensor EventDrivenEngine::linear_scatter(const SynapticLinear& synapse,
 
 Tensor EventDrivenEngine::forward(const Tensor& images) {
   SnnNetwork& net = *net_;
-  if (net.size() == 0) throw std::logic_error("EventDrivenEngine: empty network");
+  if (net.empty()) throw std::logic_error("EventDrivenEngine: empty network");
   if (net.encoding() != Encoding::kDirect) {
     throw std::invalid_argument(
         "EventDrivenEngine: only direct encoding is supported");

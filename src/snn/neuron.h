@@ -35,6 +35,15 @@ namespace ullsnn::snn {
 /// and it is exposed for the ablation.
 enum class ResetMode { kSubtract, kZero };
 
+/// True iff the soft-reset input-reconstruction identity
+///   sum_t I(t) = U(T) - U(0) + V_th * n_spikes
+/// holds for a neuron with the given dynamics. The identity requires pure IF
+/// integration (leak == 1) with subtractive reset; obs::SnnRuntimeProbe's
+/// live Delta_{alpha,beta} estimate and verify/'s V003 rule both key off it.
+inline bool delta_identity_valid(float leak, ResetMode reset) {
+  return leak == 1.0F && reset == ResetMode::kSubtract;
+}
+
 struct IfConfig {
   float v_threshold = 1.0F;
   float leak = 1.0F;       // lambda; 1.0 => IF, <1 => LIF

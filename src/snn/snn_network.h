@@ -51,6 +51,7 @@ class SnnNetwork {
   }
 
   std::int64_t size() const { return static_cast<std::int64_t>(layers_.size()); }
+  bool empty() const { return layers_.empty(); }
   SpikingLayer& layer(std::int64_t i) { return *layers_[static_cast<std::size_t>(i)]; }
   const SpikingLayer& layer(std::int64_t i) const {
     return *layers_[static_cast<std::size_t>(i)];

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace ullsnn {
 
@@ -42,7 +43,11 @@ void ThreadPool::worker_loop() {
         if (next_index_ >= job_count_) break;
         index = next_index_++;
       }
-      (*job)(index);
+      try {
+        (*job)(index);
+      } catch (...) {
+        record_error(std::current_exception());
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -50,6 +55,12 @@ void ThreadPool::worker_loop() {
       if (active_ == 0) done_.notify_all();
     }
   }
+}
+
+void ThreadPool::record_error(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!job_error_) job_error_ = std::move(error);
+  next_index_ = job_count_;  // stop handing out further iterations
 }
 
 void ThreadPool::run(std::int64_t count, const std::function<void(std::int64_t)>& fn) {
@@ -63,6 +74,7 @@ void ThreadPool::run(std::int64_t count, const std::function<void(std::int64_t)>
     job_ = &fn;
     job_count_ = count;
     next_index_ = 0;
+    job_error_ = nullptr;
     ++generation_;
   }
   wake_.notify_all();
@@ -74,11 +86,20 @@ void ThreadPool::run(std::int64_t count, const std::function<void(std::int64_t)>
       if (next_index_ >= job_count_) break;
       index = next_index_++;
     }
-    fn(index);
+    try {
+      fn(index);
+    } catch (...) {
+      record_error(std::current_exception());
+    }
   }
   std::unique_lock<std::mutex> lock(mutex_);
   done_.wait(lock, [&] { return active_ == 0; });
   job_ = nullptr;
+  if (job_error_) {
+    std::exception_ptr error = std::exchange(job_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 namespace {

@@ -30,11 +30,20 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, count), blocking until all iterations finish.
   /// Iterations are distributed dynamically (atomic counter), so uneven
-  /// per-iteration cost balances automatically. fn must not throw.
+  /// per-iteration cost balances automatically.
+  ///
+  /// Exceptions: if any iteration throws, the FIRST exception is captured,
+  /// no further indices are handed out (in-flight iterations still finish),
+  /// and the exception is rethrown on the calling thread once every worker
+  /// has drained. The pool stays usable afterwards. Iterations past the
+  /// throwing index may or may not have run.
   void run(std::int64_t count, const std::function<void(std::int64_t)>& fn);
 
  private:
   void worker_loop();
+  /// Record the first failure and stop handing out indices (mutex held by
+  /// the caller's scope via lock on mutex_ inside).
+  void record_error(std::exception_ptr error);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -46,6 +55,7 @@ class ThreadPool {
   std::int64_t active_ = 0;
   std::uint64_t generation_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr job_error_;
 };
 
 /// Process-wide worker count for library kernels (default 1 = serial).

@@ -1,0 +1,161 @@
+#include "src/verify/diagnostic.h"
+
+#include <sstream>
+
+namespace ullsnn::verify {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Diagnostic& diagnostic) {
+  std::ostringstream out;
+  if (diagnostic.layer >= 0) {
+    out << "layer " << diagnostic.layer;
+    if (!diagnostic.layer_name.empty()) out << " (" << diagnostic.layer_name << ")";
+  } else {
+    out << "model";
+  }
+  out << ": " << to_string(diagnostic.severity) << " [" << diagnostic.rule_id << " "
+      << diagnostic.rule_name << "] " << diagnostic.message;
+  if (!diagnostic.fix_hint.empty()) out << " (fix: " << diagnostic.fix_hint << ")";
+  return out.str();
+}
+
+std::int64_t VerifyReport::count(Severity severity) const {
+  std::int64_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+bool VerifyReport::has_rule(const std::string& rule_id) const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule_id == rule_id) return true;
+  }
+  return false;
+}
+
+void VerifyReport::merge(VerifyReport other) {
+  diagnostics.insert(diagnostics.end(),
+                     std::make_move_iterator(other.diagnostics.begin()),
+                     std::make_move_iterator(other.diagnostics.end()));
+}
+
+std::string format_report(const VerifyReport& report) {
+  std::ostringstream out;
+  for (const Diagnostic& d : report.diagnostics) out << to_string(d) << "\n";
+  out << report.error_count() << " error(s), " << report.warning_count()
+      << " warning(s)\n";
+  return out.str();
+}
+
+namespace {
+std::string verify_error_message(const VerifyReport& report) {
+  std::ostringstream out;
+  out << "model verification failed with " << report.error_count() << " error(s):\n"
+      << format_report(report);
+  return out.str();
+}
+}  // namespace
+
+VerifyError::VerifyError(VerifyReport report)
+    : std::runtime_error(verify_error_message(report)), report_(std::move(report)) {}
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      // Graph rules: shape inference over the layer chain.
+      {"G001", "shape-mismatch", Severity::kError,
+       "Producer/consumer extent mismatch (channels, features) between adjacent layers."},
+      {"G002", "rank-mismatch", Severity::kError,
+       "Layer received an input rank it cannot process (e.g. Conv2d after Flatten)."},
+      {"G003", "spatial-underflow", Severity::kError,
+       "Convolution/pooling geometry collapses a spatial extent to < 1."},
+      {"G004", "empty-model", Severity::kError,
+       "The model has no layers; there is nothing to train or convert."},
+      {"G005", "dead-path", Severity::kError,
+       "A layer structurally zeroes every activation (Dropout with p >= 1), "
+       "disconnecting everything downstream from the input."},
+      // Conversion-precondition rules: what core::convert() silently assumes.
+      {"C001", "unfolded-bn", Severity::kError,
+       "BatchNorm2d present at conversion time; the converter has no spiking "
+       "equivalent and conversion would throw or mis-map sites."},
+      {"C002", "unmapped-layer", Severity::kError,
+       "Layer type core::convert() cannot map to a spiking twin."},
+      {"C003", "orphan-activation", Severity::kError,
+       "Activation with no immediately preceding Conv2d/Linear; the converter "
+       "folds each activation into the preceding synaptic layer's neuron."},
+      {"C004", "missing-scaling-site", Severity::kError,
+       "Synaptic layer without a following ThresholdReLU activation site, so "
+       "Algorithm 1 has no (alpha, beta) scaling entry for its neuron."},
+      {"C005", "site-count-mismatch", Severity::kError,
+       "ConversionReport/profile site count differs from the model's "
+       "activation-site count; thresholds would configure the wrong neurons."},
+      {"C006", "scaling-range", Severity::kError,
+       "Planned scaling out of range: V_th <= 0, alpha <= 0, beta outside "
+       "(0, 2], non-finite values, or membrane fraction outside [0, 1]."},
+      {"C007", "delta-identity", Severity::kWarning,
+       "Reset-mode/leak combination invalidates the soft-reset Delta_{alpha,beta} "
+       "identity; escalated to an error when a live Delta consumer "
+       "(obs::SnnRuntimeProbe) is configured."},
+      {"C008", "pool-placement", Severity::kError,
+       "Pooling between a synaptic layer and its activation: clipping does not "
+       "commute with average pooling (max pooling commutes but shifts the "
+       "calibration distribution; reported as a warning)."},
+      {"C009", "dead-site", Severity::kWarning,
+       "Activation site whose trained threshold mu is <= 0; the converted "
+       "neuron is clamped to a silent 1e-3 threshold."},
+      // Autograd-tape rules (debug mode): layer-local backward invariants.
+      {"T001", "aliased-grad", Severity::kError,
+       "The same Param (or gradient buffer) is registered more than once; "
+       "optimizer updates would double-apply its gradient."},
+      {"T002", "grad-shape", Severity::kError,
+       "A parameter's gradient tensor shape differs from its value shape."},
+      {"T003", "nan-constant", Severity::kError,
+       "Non-finite parameter value; one NaN weight seeds NaN gradients "
+       "through the whole tape."},
+      {"T004", "unreachable-param", Severity::kWarning,
+       "Decayed parameter whose gradient stayed identically zero after a "
+       "synthetic forward/backward pass; it cannot be learning."},
+      {"T005", "graph-cycle", Severity::kError,
+       "A layer object appears more than once in the module graph; the "
+       "backward sweep assumes an acyclic chain."},
+  };
+  return kCatalog;
+}
+
+const RuleInfo& rule_info(const std::string& rule_id) {
+  for (const RuleInfo& rule : rule_catalog()) {
+    if (rule_id == rule.id) return rule;
+  }
+  throw std::invalid_argument("verify::rule_info: unknown rule id '" + rule_id + "'");
+}
+
+Diagnostic make_diagnostic(const std::string& rule_id, std::int64_t layer,
+                           std::string layer_name, std::string message,
+                           std::string fix_hint) {
+  return make_diagnostic(rule_id, rule_info(rule_id).default_severity, layer,
+                         std::move(layer_name), std::move(message), std::move(fix_hint));
+}
+
+Diagnostic make_diagnostic(const std::string& rule_id, Severity severity,
+                           std::int64_t layer, std::string layer_name,
+                           std::string message, std::string fix_hint) {
+  Diagnostic d;
+  d.severity = severity;
+  d.rule_id = rule_id;
+  d.rule_name = rule_info(rule_id).name;
+  d.layer = layer;
+  d.layer_name = std::move(layer_name);
+  d.message = std::move(message);
+  d.fix_hint = std::move(fix_hint);
+  return d;
+}
+
+}  // namespace ullsnn::verify

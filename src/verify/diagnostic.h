@@ -1,0 +1,90 @@
+// Diagnostic model of the static verifier (ullsnn-check).
+//
+// Every finding is a structured Diagnostic tagged with a stable rule-id
+// ("G001", "C003", ...). Rule-ids never change meaning once shipped; the
+// catalog in rule_catalog() is the authoritative list (docs/static_analysis.md
+// mirrors it). Checkers live in graph_check.h / convert_check.h /
+// tape_check.h; verify.h bundles them behind one entry point.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ullsnn::verify {
+
+enum class Severity { kInfo, kWarning, kError };
+
+const char* to_string(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule_id;    // stable, e.g. "C001"
+  std::string rule_name;  // kebab-case slug, e.g. "unfolded-bn"
+  /// Top-level chain index of the offending layer; -1 for model-level
+  /// findings (empty model, site-count mismatches, config-level rules).
+  std::int64_t layer = -1;
+  std::string layer_name;  // "Conv2d", "ResidualBlock/act1", ... ; may be empty
+  std::string message;
+  std::string fix_hint;
+};
+
+/// One-line gcc-style rendering: "layer 3 (Conv2d): error [G001 shape-mismatch] ...".
+std::string to_string(const Diagnostic& diagnostic);
+
+struct VerifyReport {
+  std::vector<Diagnostic> diagnostics;
+
+  std::int64_t count(Severity severity) const;
+  std::int64_t error_count() const { return count(Severity::kError); }
+  std::int64_t warning_count() const { return count(Severity::kWarning); }
+  bool ok() const { return error_count() == 0; }
+  bool empty() const { return diagnostics.empty(); }
+
+  /// True iff some diagnostic carries this rule-id.
+  bool has_rule(const std::string& rule_id) const;
+
+  /// Append all of `other`'s diagnostics (used to combine checker outputs).
+  void merge(VerifyReport other);
+};
+
+/// Multi-line rendering of every diagnostic plus a summary line.
+std::string format_report(const VerifyReport& report);
+
+/// Thrown by strict-mode gates (core::HybridPipeline) when a verification
+/// pass reports errors; carries the full report for programmatic inspection.
+class VerifyError : public std::runtime_error {
+ public:
+  explicit VerifyError(VerifyReport report);
+  const VerifyReport& report() const { return report_; }
+
+ private:
+  VerifyReport report_;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* name;
+  Severity default_severity;
+  const char* summary;
+};
+
+/// Every rule the verifier can emit, ordered by id.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Catalog lookup; throws std::invalid_argument for unknown ids (keeps the
+/// checkers honest about registering their rules).
+const RuleInfo& rule_info(const std::string& rule_id);
+
+/// Build a Diagnostic from the catalog entry for `rule_id` (severity and
+/// rule_name filled from the catalog; severity can be overridden by rules
+/// that escalate on context, e.g. C007 when a Delta consumer is active).
+Diagnostic make_diagnostic(const std::string& rule_id, std::int64_t layer,
+                           std::string layer_name, std::string message,
+                           std::string fix_hint);
+Diagnostic make_diagnostic(const std::string& rule_id, Severity severity,
+                           std::int64_t layer, std::string layer_name,
+                           std::string message, std::string fix_hint);
+
+}  // namespace ullsnn::verify

@@ -1,0 +1,209 @@
+#include "src/verify/graph_check.h"
+
+#include <sstream>
+
+#include "src/dnn/activations.h"
+#include "src/dnn/batchnorm.h"
+#include "src/dnn/conv2d.h"
+#include "src/dnn/dropout.h"
+#include "src/dnn/linear.h"
+#include "src/dnn/pooling.h"
+#include "src/dnn/residual.h"
+
+namespace ullsnn::verify {
+
+namespace {
+
+std::string shape_str(const Shape& shape) { return shape_to_string(shape); }
+
+/// One layer's worth of inference. Returns false when the walk cannot
+/// meaningfully continue (unknown output shape).
+bool infer_layer(dnn::Layer& layer, std::int64_t index, const std::string& name_prefix,
+                 Shape& shape, VerifyReport& report) {
+  const std::string layer_name = name_prefix.empty()
+                                     ? layer.name()
+                                     : name_prefix + "/" + layer.name();
+
+  const auto conv_like = [&](const Conv2dSpec& spec, const char* what) -> bool {
+    if (shape.size() != 4) {
+      report.diagnostics.push_back(make_diagnostic(
+          "G002", index, layer_name,
+          std::string(what) + " requires a rank-4 [N, C, H, W] input but receives " +
+              shape_str(shape),
+          "place the layer before Flatten / reshape the producer"));
+      return false;
+    }
+    if (shape[1] != spec.in_channels) {
+      std::ostringstream msg;
+      msg << what << " expects " << spec.in_channels << " input channels but receives "
+          << shape[1] << " (input " << shape_str(shape) << ")";
+      report.diagnostics.push_back(make_diagnostic(
+          "G001", index, layer_name, msg.str(),
+          "match in_channels to the producing layer's output channels"));
+    }
+    const std::int64_t oh = spec.out_extent(shape[2]);
+    const std::int64_t ow = spec.out_extent(shape[3]);
+    if (oh < 1 || ow < 1) {
+      std::ostringstream msg;
+      msg << what << " geometry (kernel " << spec.kernel << ", stride " << spec.stride
+          << ", pad " << spec.pad << ") collapses spatial extent " << shape[2] << "x"
+          << shape[3] << " to " << oh << "x" << ow;
+      report.diagnostics.push_back(make_diagnostic(
+          "G003", index, layer_name, msg.str(),
+          "reduce the downsampling depth or enlarge the input image"));
+      return false;
+    }
+    shape = {shape[0], spec.out_channels, oh, ow};
+    return true;
+  };
+
+  if (auto* conv = dynamic_cast<dnn::Conv2d*>(&layer)) {
+    return conv_like(conv->spec(), "Conv2d");
+  }
+  if (auto* linear = dynamic_cast<dnn::Linear*>(&layer)) {
+    if (shape.size() != 2) {
+      report.diagnostics.push_back(make_diagnostic(
+          "G002", index, layer_name,
+          "Linear requires a rank-2 [N, features] input but receives " +
+              shape_str(shape),
+          "insert a Flatten before the classifier"));
+      return false;
+    }
+    if (shape[1] != linear->in_features()) {
+      std::ostringstream msg;
+      msg << "Linear expects " << linear->in_features() << " input features but receives "
+          << shape[1];
+      report.diagnostics.push_back(make_diagnostic(
+          "G001", index, layer_name, msg.str(),
+          "match in_features to the flattened producer extent"));
+    }
+    shape = {shape[0], linear->out_features()};
+    return true;
+  }
+  if (auto* bn = dynamic_cast<dnn::BatchNorm2d*>(&layer)) {
+    if (shape.size() != 4) {
+      report.diagnostics.push_back(make_diagnostic(
+          "G002", index, layer_name,
+          "BatchNorm2d requires a rank-4 input but receives " + shape_str(shape),
+          "normalize before flattening"));
+      return false;
+    }
+    if (shape[1] != bn->channels()) {
+      std::ostringstream msg;
+      msg << "BatchNorm2d normalizes " << bn->channels() << " channels but receives "
+          << shape[1];
+      report.diagnostics.push_back(make_diagnostic(
+          "G001", index, layer_name, msg.str(),
+          "match the channel count of the preceding convolution"));
+    }
+    return true;  // shape-preserving
+  }
+  const auto pool_like = [&](const Pool2dSpec& spec, const char* what) -> bool {
+    if (shape.size() != 4) {
+      report.diagnostics.push_back(make_diagnostic(
+          "G002", index, layer_name,
+          std::string(what) + " requires a rank-4 input but receives " + shape_str(shape),
+          "pool before flattening"));
+      return false;
+    }
+    const std::int64_t oh = spec.out_extent(shape[2]);
+    const std::int64_t ow = spec.out_extent(shape[3]);
+    if (shape[2] < spec.kernel || shape[3] < spec.kernel || oh < 1 || ow < 1) {
+      std::ostringstream msg;
+      msg << what << " kernel " << spec.kernel << " does not fit the " << shape[2] << "x"
+          << shape[3] << " input";
+      report.diagnostics.push_back(make_diagnostic(
+          "G003", index, layer_name, msg.str(),
+          "drop this pooling stage or enlarge the input image"));
+      return false;
+    }
+    shape = {shape[0], shape[1], oh, ow};
+    return true;
+  };
+  if (auto* pool = dynamic_cast<dnn::MaxPool2d*>(&layer)) {
+    return pool_like(pool->spec(), "MaxPool2d");
+  }
+  if (auto* pool = dynamic_cast<dnn::AvgPool2d*>(&layer)) {
+    return pool_like(pool->spec(), "AvgPool2d");
+  }
+  if (dynamic_cast<dnn::Flatten*>(&layer) != nullptr) {
+    if (shape.size() < 2) {
+      report.diagnostics.push_back(make_diagnostic(
+          "G002", index, layer_name,
+          "Flatten requires at least a rank-2 input but receives " + shape_str(shape),
+          "feed a batched tensor"));
+      return false;
+    }
+    std::int64_t features = 1;
+    for (std::size_t d = 1; d < shape.size(); ++d) features *= shape[d];
+    shape = {shape[0], features};
+    return true;
+  }
+  if (auto* dropout = dynamic_cast<dnn::Dropout*>(&layer)) {
+    if (dropout->drop_prob() >= 1.0F) {
+      std::ostringstream msg;
+      msg << "Dropout with p = " << dropout->drop_prob()
+          << " zeroes every activation; all downstream layers are dead";
+      report.diagnostics.push_back(make_diagnostic(
+          "G005", index, layer_name, msg.str(), "use a drop probability in [0, 1)"));
+    }
+    return true;  // shape-preserving
+  }
+  if (auto* block = dynamic_cast<dnn::ResidualBlock*>(&layer)) {
+    if (shape.size() != 4) {
+      report.diagnostics.push_back(make_diagnostic(
+          "G002", index, layer_name,
+          "ResidualBlock requires a rank-4 input but receives " + shape_str(shape),
+          "keep residual stages before the classifier head"));
+      return false;
+    }
+    // The block is conv1 -> act1 -> conv2 (+ skip) -> act2; validate the two
+    // convolutions against the propagated shape (the block's constructor
+    // guarantees internal consistency, so the join needs no extra check).
+    Shape inner = shape;
+    if (!infer_layer(block->conv1(), index, layer_name, inner, report)) return false;
+    if (!infer_layer(block->conv2(), index, layer_name, inner, report)) return false;
+    shape = inner;
+    return true;
+  }
+  if (auto* seq = dynamic_cast<dnn::Sequential*>(&layer)) {
+    for (dnn::Layer* child : seq->children()) {
+      if (!infer_layer(*child, index, layer_name, shape, report)) return false;
+    }
+    return true;
+  }
+  if (dynamic_cast<dnn::ReLU*>(&layer) != nullptr ||
+      dynamic_cast<dnn::ThresholdReLU*>(&layer) != nullptr) {
+    return true;  // shape-preserving
+  }
+  // Unknown layer type: trust its own declared output shape when it can
+  // produce one, otherwise stop the walk (conversion checks will flag it).
+  try {
+    shape = layer.output_shape(shape);
+    return true;
+  } catch (const std::exception& e) {
+    report.diagnostics.push_back(make_diagnostic(
+        "G002", index, layer_name,
+        std::string("layer rejects input ") + shape_str(shape) + ": " + e.what(),
+        "check the layer's input contract"));
+    return false;
+  }
+}
+
+}  // namespace
+
+VerifyReport check_graph(dnn::Sequential& model, const Shape& input_shape) {
+  VerifyReport report;
+  if (model.empty()) {
+    report.diagnostics.push_back(make_diagnostic(
+        "G004", -1, "", "the model contains no layers", "build the model before verifying"));
+    return report;
+  }
+  Shape shape = input_shape;
+  for (std::int64_t i = 0; i < model.size(); ++i) {
+    if (!infer_layer(model.layer(i), i, "", shape, report)) break;
+  }
+  return report;
+}
+
+}  // namespace ullsnn::verify

@@ -1,0 +1,24 @@
+// Shape inference over a dnn::Sequential without executing a forward pass.
+//
+// The engine walks the chain layer by layer, validating each layer's input
+// contract (rank, channel/feature extents, spatial geometry) against the
+// shape propagated so far and emitting G-rules on violations. All tensors in
+// this library are dense float32, so "dtype inference" degenerates to the
+// shape/rank lattice — there is nothing else to infer.
+//
+// After a recoverable mismatch (wrong channel count) inference continues
+// with the layer's declared output geometry so one bad edit does not drown
+// the report in cascading diagnostics; after an unrecoverable one (rank
+// mismatch) the walk stops.
+#pragma once
+
+#include "src/dnn/sequential.h"
+#include "src/verify/diagnostic.h"
+
+namespace ullsnn::verify {
+
+/// Check `model` against an input of `input_shape` ([N, C, H, W] for the
+/// conv architectures; N is arbitrary and preserved).
+VerifyReport check_graph(dnn::Sequential& model, const Shape& input_shape);
+
+}  // namespace ullsnn::verify

@@ -1,0 +1,132 @@
+#include "src/verify/tape_check.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ullsnn::verify {
+
+namespace {
+
+/// Depth-first walk over children(); reports T005 on the first revisited
+/// layer object and stops descending there.
+void walk_layers(dnn::Layer& layer, const std::string& path,
+                 std::unordered_set<const dnn::Layer*>& visited, VerifyReport& report) {
+  if (!visited.insert(&layer).second) {
+    report.diagnostics.push_back(make_diagnostic(
+        "T005", -1, path,
+        "layer object visited twice in the module graph; the backward sweep "
+        "would run its backward pass with stale caches",
+        "give every chain position its own layer instance"));
+    return;
+  }
+  for (dnn::Layer* child : layer.children()) {
+    // NOLINTNEXTLINE(performance-inefficient-string-concatenation): cold
+    // diagnostic-only path over a handful of tiny layer names.
+    walk_layers(*child, path.empty() ? child->name() : path + "/" + child->name(),
+                visited, report);
+  }
+}
+
+bool all_finite(const Tensor& t) {
+  const float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+bool all_zero(const Tensor& t) {
+  const float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    if (p[i] != 0.0F) return false;
+  }
+  return true;
+}
+
+std::string param_label(const dnn::Param& param, std::size_t index) {
+  return param.name.empty() ? "param " + std::to_string(index) : param.name;
+}
+
+}  // namespace
+
+VerifyReport check_tape(dnn::Sequential& model, const TapeCheckOptions& options) {
+  VerifyReport report;
+
+  // T005: the module graph must be an acyclic chain of distinct objects.
+  std::unordered_set<const dnn::Layer*> visited;
+  walk_layers(model, model.name(), visited, report);
+
+  // T001/T002/T003: parameter-registry invariants.
+  const std::vector<dnn::Param*> params = model.params();
+  std::unordered_map<const dnn::Param*, std::size_t> seen;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    dnn::Param* param = params[i];
+    const auto [it, inserted] = seen.emplace(param, i);
+    if (!inserted) {
+      std::ostringstream msg;
+      msg << param_label(*param, i) << " registered at positions " << it->second
+          << " and " << i << "; its gradient buffer would accumulate twice and "
+          << "the optimizer would apply the update twice";
+      report.diagnostics.push_back(
+          make_diagnostic("T001", -1, param_label(*param, i), msg.str(),
+                          "return each Param exactly once from params()"));
+      continue;
+    }
+    if (!param->grad.empty() && param->grad.shape() != param->value.shape()) {
+      std::ostringstream msg;
+      msg << param_label(*param, i) << ": grad shape "
+          << shape_to_string(param->grad.shape()) << " != value shape "
+          << shape_to_string(param->value.shape());
+      report.diagnostics.push_back(
+          make_diagnostic("T002", -1, param_label(*param, i), msg.str(),
+                          "allocate the gradient with the value's shape"));
+    }
+    if (!all_finite(param->value)) {
+      report.diagnostics.push_back(make_diagnostic(
+          "T003", -1, param_label(*param, i),
+          param_label(*param, i) + " contains NaN/Inf values; one non-finite "
+          "constant seeds NaN gradients through the whole tape",
+          "re-initialize the parameter (or run robust::HealthMonitor rollback)"));
+    }
+  }
+
+  // T004: synthetic-pass reachability (debug mode only).
+  if (options.run_backward && report.ok()) {
+    if (options.input_shape.size() < 2) {
+      throw std::invalid_argument(
+          "check_tape: run_backward requires a batched input_shape");
+    }
+    for (dnn::Param* param : params) {
+      if (param->grad.empty()) param->grad = Tensor(param->value.shape());
+      param->zero_grad();
+    }
+    // Deterministic, sign-alternating ramp: positive enough to pass ReLUs,
+    // varied enough that no convolution output is structurally zero.
+    Tensor input(options.input_shape);
+    float* p = input.data();
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+      p[i] = 0.05F * static_cast<float>((i % 41) - 12);
+    }
+    const Tensor output = model.forward(input, /*train=*/true);
+    model.backward(Tensor(output.shape(), 1.0F));
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      dnn::Param* param = params[i];
+      if (!param->decay) continue;  // conditional-gradient scalars are exempt
+      if (all_zero(param->grad)) {
+        report.diagnostics.push_back(make_diagnostic(
+            "T004", -1, param_label(*param, i),
+            param_label(*param, i) +
+                " received an identically-zero gradient from the synthetic "
+                "backward pass; the loss cannot reach it",
+            "check for dead paths (saturated clips, p=1 dropout) feeding this layer"));
+      }
+      param->zero_grad();
+    }
+    model.clear_cache();
+  }
+  return report;
+}
+
+}  // namespace ullsnn::verify

@@ -1,0 +1,44 @@
+// Debug-mode autograd-tape invariant checker.
+//
+// The DNN library's "tape" is the layer-local backward chain: each layer
+// caches its forward inputs and accumulates parameter gradients into
+// Param::grad. That design admits a small set of silent corruption modes,
+// checked here:
+//
+//   T001 aliased-grad       the same Param (hence the same gradient buffer)
+//                           registered twice -> double accumulation
+//   T002 grad-shape         grad tensor allocated with a different shape
+//                           than its value
+//   T003 nan-constant       non-finite values already in the parameters
+//   T005 graph-cycle        a layer object reachable twice through
+//                           children() -> the reverse sweep is not a chain
+//
+// The structural rules above execute nothing. With run_backward enabled the
+// checker additionally drives ONE tiny synthetic forward/backward pass
+// (debug mode) and reports decayed parameters whose gradient stayed
+// identically zero (T004 unreachable-param) — weights the loss cannot see.
+// Threshold/leak scalars (Param::decay == false) are exempt: their gradient
+// paths are legitimately conditional (a clip that never saturates on the
+// probe batch contributes no mu gradient).
+#pragma once
+
+#include "src/dnn/sequential.h"
+#include "src/verify/diagnostic.h"
+
+namespace ullsnn::verify {
+
+struct TapeCheckOptions {
+  /// Drive the synthetic forward/backward pass for T004. Mutates parameter
+  /// gradients and layer caches (values are untouched); leave false to keep
+  /// the check fully static. The pass executes the model, so run
+  /// check_graph first — exceptions from a structurally broken model
+  /// propagate (verify_model() sequences this automatically).
+  bool run_backward = false;
+  /// Input shape for the synthetic pass, e.g. {2, 3, 32, 32}. A batch of at
+  /// least 2 keeps BatchNorm batch statistics well-defined.
+  Shape input_shape;
+};
+
+VerifyReport check_tape(dnn::Sequential& model, const TapeCheckOptions& options = {});
+
+}  // namespace ullsnn::verify

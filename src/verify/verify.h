@@ -1,0 +1,37 @@
+// ullsnn-check: static verification of a model graph and its conversion
+// preconditions, without executing a forward pass.
+//
+// The individual checkers are usable on their own (graph_check.h,
+// convert_check.h, tape_check.h); verify_model() bundles them behind one
+// option struct. core::HybridPipeline runs this as its warn/strict preflight
+// gate, and tools/ullsnn_check exposes it on the command line.
+#pragma once
+
+#include "src/verify/convert_check.h"
+#include "src/verify/diagnostic.h"
+#include "src/verify/graph_check.h"
+#include "src/verify/tape_check.h"
+
+namespace ullsnn::verify {
+
+struct VerifyOptions {
+  /// [N, C, H, W] model input; required for the graph checks.
+  Shape input_shape;
+  bool graph = true;
+  bool conversion = true;
+  /// Tape invariants (structural rules always run when enabled; the
+  /// synthetic-pass T004 rule additionally requires tape_backward).
+  bool tape = false;
+  bool tape_backward = false;
+  core::ConversionConfig conversion_config;
+  /// Escalates C007 (delta-identity) to an error; set when a live Delta
+  /// consumer (runtime probe) is configured.
+  bool delta_identity_required = false;
+  /// When non-null, the planned report is validated against the model's
+  /// activation-site count (C005/C006).
+  const core::ConversionReport* report = nullptr;
+};
+
+VerifyReport verify_model(dnn::Sequential& model, const VerifyOptions& options);
+
+}  // namespace ullsnn::verify

@@ -77,7 +77,10 @@ TEST(DnnTrainerTest, EpochStatsArePopulated) {
   Rng rng(3);
   auto model = small_model(rng);
   const data::LabeledImages train = easy_data(64, 1);
-  DnnTrainer trainer(*model, TrainConfig{.epochs = 1, .augment = false});
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.augment = false;
+  DnnTrainer trainer(*model, tc);
   const EpochStats stats = trainer.train_epoch(train, 0);
   EXPECT_EQ(stats.epoch, 0);
   EXPECT_GT(stats.train_loss, 0.0F);

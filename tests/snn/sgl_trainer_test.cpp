@@ -79,7 +79,9 @@ TEST(SglTrainerTest, NeuronParamsStayPhysical) {
   SglTrainer sgl(*net, sc);
   sgl.fit(train);
   for (dnn::Param* p : net->params()) {
-    if (p->name == "if.threshold") EXPECT_GT(p->value[0], 0.0F);
+    if (p->name == "if.threshold") {
+      EXPECT_GT(p->value[0], 0.0F);
+    }
     if (p->name == "if.leak") {
       EXPECT_GE(p->value[0], 0.0F);
       EXPECT_LE(p->value[0], 1.0F);

@@ -1,0 +1,127 @@
+// Concurrency stress suite for the shared-state hot spots: ThreadPool /
+// parallel_for and the obs metrics registry. Runs in every build, but its
+// purpose is the -DULLSNN_SANITIZE=thread configuration (`ctest -L tsan`),
+// where ThreadSanitizer turns any data race these hammers expose into a hard
+// failure. Assertions here are deliberately coarse (totals, no crashes);
+// TSan provides the actual race detection.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/parallel.h"
+
+namespace ullsnn {
+namespace {
+
+struct SerialGuard {
+  ~SerialGuard() { set_num_threads(1); }
+};
+
+TEST(TsanStressTest, ThreadPoolRapidJobTurnover) {
+  SerialGuard guard;
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  // Many small jobs back to back: stresses the generation handshake between
+  // run() and worker_loop() (stale wakeups, job pointer publication).
+  for (int round = 0; round < 200; ++round) {
+    pool.run(16, [&](std::int64_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 200 * (15 * 16) / 2);
+}
+
+TEST(TsanStressTest, ThreadPoolExceptionUnderContention) {
+  SerialGuard guard;
+  ThreadPool pool(4);
+  // Every round one iteration throws while the rest keep claiming work:
+  // stresses the record_error path racing the index distribution.
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_THROW(pool.run(64,
+                          [&](std::int64_t i) {
+                            if (i == 32) throw std::runtime_error("stress");
+                          }),
+                 std::runtime_error);
+    std::atomic<std::int64_t> ok{0};
+    pool.run(64, [&](std::int64_t) { ++ok; });
+    EXPECT_EQ(ok.load(), 64);
+  }
+}
+
+TEST(TsanStressTest, RegistryConcurrentRegistrationAndUpdates) {
+  auto& registry = obs::Registry::instance();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Shared names: every thread races to register and update the same
+        // instruments; per-thread names: registration churn under the lock.
+        registry.counter("tsan.shared.counter").add(1);
+        registry.gauge("tsan.shared.gauge").set(static_cast<double>(i));
+        registry.histogram("tsan.shared.hist").observe(static_cast<double>(i % 7));
+        registry.counter("tsan.thread." + std::to_string(t)).add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(registry.counter("tsan.shared.counter").value(), kThreads * kIters);
+  EXPECT_EQ(registry.histogram("tsan.shared.hist").count(), kThreads * kIters);
+}
+
+TEST(TsanStressTest, RegistrySnapshotWhileWriting) {
+  auto& registry = obs::Registry::instance();
+  std::atomic<bool> stop{false};
+  // Writers hammer instruments while a reader snapshots and a third thread
+  // periodically resets values — the exporter-vs-hot-path interleaving.
+  std::thread writer([&] {
+    std::int64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      registry.counter("tsan.snap.counter").add(1);
+      registry.histogram("tsan.snap.hist").observe(static_cast<double>(i++ % 11));
+    }
+  });
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      registry.reset_values();
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    for (const auto& h : snap.histograms) {
+      std::int64_t bucket_total = 0;
+      for (const std::int64_t c : h.counts) bucket_total += c;
+      EXPECT_GE(bucket_total, 0);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  resetter.join();
+}
+
+TEST(TsanStressTest, ParallelForFeedsRegistry) {
+  SerialGuard guard;
+  set_num_threads(4);
+  obs::Registry::instance().counter("tsan.pf.counter").reset();
+  // The realistic composition: kernel-style parallel_for bodies emitting
+  // telemetry through the macro path (function-local static registration).
+  for (int round = 0; round < 20; ++round) {
+    parallel_for(64, [&](std::int64_t i) {
+      ULLSNN_COUNTER_ADD("tsan.pf.counter", 1);
+      ULLSNN_HISTOGRAM_OBSERVE("tsan.pf.hist", static_cast<double>(i));
+    });
+  }
+#if ULLSNN_TELEMETRY
+  EXPECT_EQ(obs::Registry::instance().counter("tsan.pf.counter").value(), 20 * 64);
+#endif
+}
+
+}  // namespace
+}  // namespace ullsnn

@@ -55,6 +55,52 @@ TEST(ThreadPoolTest, RejectsNegative) {
   EXPECT_THROW(ThreadPool(-1), std::invalid_argument);
 }
 
+TEST(ThreadPoolTest, ExceptionRethrownOnCallingThread) {
+  SerialGuard guard;
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run(100,
+               [&](std::int64_t i) {
+                 if (i == 13) throw std::runtime_error("iteration 13 failed");
+               }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionStopsDistributingWork) {
+  SerialGuard guard;
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> executed{0};
+  try {
+    pool.run(1'000'000, [&](std::int64_t i) {
+      ++executed;
+      if (i == 0) throw std::runtime_error("fail fast");
+    });
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fail fast");
+  }
+  // Only iterations already claimed when the failure landed may run; the
+  // vast majority of the million must have been skipped.
+  EXPECT_LT(executed.load(), 1'000'000);
+}
+
+TEST(ThreadPoolTest, PoolUsableAfterException) {
+  SerialGuard guard;
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.run(10, [](std::int64_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<std::int64_t> sum{0};
+  pool.run(50, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), (49 * 50) / 2);
+}
+
+TEST(ThreadPoolTest, SerialPoolPropagatesException) {
+  SerialGuard guard;
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.run(3, [](std::int64_t) { throw std::logic_error("inline"); }),
+               std::logic_error);
+}
+
 TEST(ParallelForTest, GlobalConfig) {
   SerialGuard guard;
   EXPECT_EQ(num_threads(), 1);

@@ -15,7 +15,7 @@ namespace {
 TEST(TimerTest, MeasuresElapsed) {
   Timer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 2000000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i * 0.5;
   EXPECT_GT(t.seconds(), 0.0);
   EXPECT_GT(t.millis(), 0.0);
 }
@@ -24,12 +24,12 @@ TEST(StopWatchTest, AccumulatesAcrossSegments) {
   StopWatch sw;
   sw.start();
   volatile double sink = 0.0;
-  for (int i = 0; i < 1000000; ++i) sink += i;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
   sw.stop();
   const double first = sw.total_seconds();
   EXPECT_GT(first, 0.0);
   sw.start();
-  for (int i = 0; i < 1000000; ++i) sink += i;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
   sw.stop();
   EXPECT_GT(sw.total_seconds(), first);
   sw.clear();
@@ -42,11 +42,11 @@ TEST(StopWatchTest, RestartWhileRunningBanksElapsedTime) {
   StopWatch sw;
   sw.start();
   volatile double sink = 0.0;
-  for (int i = 0; i < 1000000; ++i) sink += i;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
   sw.start();  // re-start while running: previous segment is banked
   const double banked = sw.total_seconds();
   EXPECT_GT(banked, 0.0);
-  for (int i = 0; i < 1000000; ++i) sink += i;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
   sw.stop();
   EXPECT_GT(sw.total_seconds(), banked);
   // stop() after the fold must not double-count: a fresh watch timing both
@@ -62,7 +62,7 @@ TEST(StopWatchTest, StartAfterStopDoesNotBankStoppedGap) {
   sw.stop();
   const double first = sw.total_seconds();
   volatile double sink = 0.0;
-  for (int i = 0; i < 1000000; ++i) sink += i;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
   sw.start();  // while stopped: nothing extra is banked at start
   sw.stop();
   // The gap spent stopped (the big loop) must not appear in the total.

@@ -1,0 +1,111 @@
+#include "src/verify/diagnostic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ullsnn::verify {
+namespace {
+
+TEST(RuleCatalogTest, StableAndOrdered) {
+  const std::vector<RuleInfo>& catalog = rule_catalog();
+  ASSERT_EQ(catalog.size(), 19U);  // G001-G005, C001-C009, T001-T005
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_TRUE(ids.insert(catalog[i].id).second) << "duplicate id " << catalog[i].id;
+    // Grouped by family (G graph, C conversion, T tape), ascending within.
+    if (i > 0 && catalog[i - 1].id[0] == catalog[i].id[0]) {
+      EXPECT_LT(std::string(catalog[i - 1].id), std::string(catalog[i].id))
+          << "catalog not ordered within family";
+    }
+    EXPECT_NE(catalog[i].name[0], '\0');
+    EXPECT_NE(catalog[i].summary[0], '\0');
+  }
+  for (const char* id : {"G001", "G005", "C001", "C009", "T001", "T005"}) {
+    EXPECT_EQ(ids.count(id), 1U) << id;
+  }
+}
+
+TEST(RuleCatalogTest, LookupThrowsOnUnknown) {
+  EXPECT_EQ(std::string(rule_info("G001").name), "shape-mismatch");
+  EXPECT_THROW(rule_info("Z999"), std::invalid_argument);
+  EXPECT_THROW(rule_info(""), std::invalid_argument);
+}
+
+TEST(DiagnosticTest, MakeFillsFromCatalog) {
+  const Diagnostic d = make_diagnostic("C001", 3, "BatchNorm2d", "msg", "hint");
+  EXPECT_EQ(d.rule_id, "C001");
+  EXPECT_EQ(d.rule_name, "unfolded-bn");
+  EXPECT_EQ(d.severity, rule_info("C001").default_severity);
+  EXPECT_EQ(d.layer, 3);
+  EXPECT_EQ(d.layer_name, "BatchNorm2d");
+  EXPECT_EQ(d.message, "msg");
+  EXPECT_EQ(d.fix_hint, "hint");
+}
+
+TEST(DiagnosticTest, SeverityOverride) {
+  // C007's default is a warning; gates escalate it when a Delta consumer runs.
+  EXPECT_EQ(rule_info("C007").default_severity, Severity::kWarning);
+  const Diagnostic d =
+      make_diagnostic("C007", Severity::kError, -1, "", "escalated", "hint");
+  EXPECT_EQ(d.severity, Severity::kError);
+}
+
+TEST(DiagnosticTest, ToStringMentionsRuleAndLayer) {
+  const Diagnostic d = make_diagnostic("G001", 2, "Conv2d", "channel mismatch", "fix");
+  const std::string s = to_string(d);
+  EXPECT_NE(s.find("G001"), std::string::npos);
+  EXPECT_NE(s.find("Conv2d"), std::string::npos);
+  EXPECT_NE(s.find("channel mismatch"), std::string::npos);
+  // Model-level diagnostics render without a layer index.
+  const std::string model_level =
+      to_string(make_diagnostic("C005", -1, "", "count off", "fix"));
+  EXPECT_EQ(model_level.find("layer -1"), std::string::npos);
+}
+
+TEST(VerifyReportTest, CountsAndRuleQueries) {
+  VerifyReport report;
+  EXPECT_TRUE(report.empty());
+  EXPECT_TRUE(report.ok());
+  report.diagnostics.push_back(make_diagnostic("G001", 0, "Conv2d", "m", "h"));
+  report.diagnostics.push_back(make_diagnostic("C007", -1, "", "m", "h"));  // warning
+  EXPECT_EQ(report.error_count(), 1);
+  EXPECT_EQ(report.warning_count(), 1);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_rule("G001"));
+  EXPECT_TRUE(report.has_rule("C007"));
+  EXPECT_FALSE(report.has_rule("T001"));
+}
+
+TEST(VerifyReportTest, MergeAppends) {
+  VerifyReport a;
+  a.diagnostics.push_back(make_diagnostic("G004", -1, "", "empty", "h"));
+  VerifyReport b;
+  b.diagnostics.push_back(make_diagnostic("C001", 1, "BatchNorm2d", "bn", "h"));
+  a.merge(std::move(b));
+  EXPECT_EQ(a.diagnostics.size(), 2U);
+  EXPECT_TRUE(a.has_rule("G004"));
+  EXPECT_TRUE(a.has_rule("C001"));
+}
+
+TEST(VerifyReportTest, FormatReportSummarizes) {
+  VerifyReport report;
+  report.diagnostics.push_back(make_diagnostic("G001", 0, "Conv2d", "m", "h"));
+  const std::string text = format_report(report);
+  EXPECT_NE(text.find("G001"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s)"), std::string::npos);
+}
+
+TEST(VerifyErrorTest, CarriesReport) {
+  VerifyReport report;
+  report.diagnostics.push_back(make_diagnostic("C005", -1, "", "count off", "h"));
+  try {
+    throw VerifyError(report);
+  } catch (const VerifyError& e) {
+    EXPECT_TRUE(e.report().has_rule("C005"));
+    EXPECT_NE(std::string(e.what()).find("1 error"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ullsnn::verify

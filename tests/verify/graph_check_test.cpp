@@ -1,0 +1,154 @@
+#include "src/verify/graph_check.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dnn/activations.h"
+#include "src/dnn/batchnorm.h"
+#include "src/dnn/conv2d.h"
+#include "src/dnn/dropout.h"
+#include "src/dnn/linear.h"
+#include "src/dnn/pooling.h"
+#include "src/dnn/residual.h"
+#include "src/dnn/sequential.h"
+
+namespace ullsnn::verify {
+namespace {
+
+const Shape kInput = {2, 3, 32, 32};
+
+TEST(GraphCheckTest, CleanChainHasNoDiagnostics) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, /*bias=*/false, rng);
+  model.emplace<dnn::ThresholdReLU>(4.0F);
+  model.emplace<dnn::MaxPool2d>(2, 2);
+  model.emplace<dnn::Conv2d>(8, 16, 3, 1, 1, false, rng);
+  model.emplace<dnn::ThresholdReLU>(4.0F);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(16 * 16 * 16, 10, false, rng);
+  EXPECT_TRUE(check_graph(model, kInput).empty());
+}
+
+TEST(GraphCheckTest, G001ConvChannelMismatch) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, false, rng);
+  model.emplace<dnn::Conv2d>(16, 8, 3, 1, 1, false, rng);  // receives 8
+  const VerifyReport report = check_graph(model, kInput);
+  EXPECT_TRUE(report.has_rule("G001"));
+  EXPECT_EQ(report.diagnostics[0].layer, 1);
+}
+
+TEST(GraphCheckTest, G001LinearFeatureMismatch) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, false, rng);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(999, 10, false, rng);  // 8*32*32 = 8192 != 999
+  EXPECT_TRUE(check_graph(model, kInput).has_rule("G001"));
+}
+
+TEST(GraphCheckTest, G001BatchNormChannelMismatch) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, false, rng);
+  model.emplace<dnn::BatchNorm2d>(4);  // receives 8 channels
+  EXPECT_TRUE(check_graph(model, kInput).has_rule("G001"));
+}
+
+TEST(GraphCheckTest, G001RecoverableInferenceContinues) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, false, rng);
+  model.emplace<dnn::Conv2d>(16, 4, 3, 1, 1, false, rng);  // G001, continues as 4ch
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(123, 10, false, rng);  // 4*32*32 != 123 -> second G001
+  const VerifyReport report = check_graph(model, kInput);
+  EXPECT_EQ(report.error_count(), 2);
+}
+
+TEST(GraphCheckTest, G002ConvAfterFlatten) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, false, rng);  // rank-2 input
+  const VerifyReport report = check_graph(model, kInput);
+  EXPECT_TRUE(report.has_rule("G002"));
+  // Rank mismatches are unrecoverable; the walk stops (no cascading noise).
+  EXPECT_EQ(report.diagnostics.size(), 1U);
+}
+
+TEST(GraphCheckTest, G002LinearWithoutFlatten) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, false, rng);
+  model.emplace<dnn::Linear>(8 * 32 * 32, 10, false, rng);  // rank-4 input
+  EXPECT_TRUE(check_graph(model, kInput).has_rule("G002"));
+}
+
+TEST(GraphCheckTest, G003PoolingUnderflow) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, false, rng);
+  // Six halvings of a 32x32 input: 32 -> ... -> 1, then the kernel no longer fits.
+  for (int i = 0; i < 6; ++i) model.emplace<dnn::MaxPool2d>(2, 2);
+  EXPECT_TRUE(check_graph(model, kInput).has_rule("G003"));
+}
+
+TEST(GraphCheckTest, G003ConvGeometryCollapse) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 8, 5, 1, 0, false, rng);  // 32 -> 28
+  const VerifyReport ok = check_graph(model, kInput);
+  EXPECT_TRUE(ok.empty());
+  dnn::Sequential bad;
+  bad.emplace<dnn::Conv2d>(3, 8, 5, 1, 0, false, rng);
+  EXPECT_TRUE(check_graph(bad, {2, 3, 4, 4}).has_rule("G003"));  // 4 < kernel 5
+}
+
+TEST(GraphCheckTest, G004EmptyModel) {
+  dnn::Sequential model;
+  const VerifyReport report = check_graph(model, kInput);
+  EXPECT_TRUE(report.has_rule("G004"));
+  EXPECT_EQ(report.diagnostics.size(), 1U);
+}
+
+TEST(GraphCheckTest, G005DeadDropout) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, false, rng);
+  // The constructor rejects p >= 1; model an annealing schedule gone wrong.
+  model.emplace<dnn::Dropout>(0.5F, rng).set_drop_prob(1.0F);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(8 * 32 * 32, 10, false, rng);
+  EXPECT_TRUE(check_graph(model, kInput).has_rule("G005"));
+  // A regular dropout rate stays clean.
+  dnn::Sequential ok;
+  ok.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, false, rng);
+  ok.emplace<dnn::Dropout>(0.2F, rng);
+  ok.emplace<dnn::Flatten>();
+  ok.emplace<dnn::Linear>(8 * 32 * 32, 10, false, rng);
+  EXPECT_TRUE(check_graph(ok, kInput).empty());
+}
+
+TEST(GraphCheckTest, ResidualBlockChannelsChecked) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, false, rng);
+  model.emplace<dnn::ThresholdReLU>(4.0F);
+  model.emplace<dnn::ResidualBlock>(16, 16, 1, 4.0F, rng);  // receives 8ch
+  const VerifyReport report = check_graph(model, kInput);
+  EXPECT_TRUE(report.has_rule("G001"));
+  EXPECT_EQ(report.diagnostics[0].layer, 2);
+
+  dnn::Sequential ok;
+  ok.emplace<dnn::Conv2d>(3, 8, 3, 1, 1, false, rng);
+  ok.emplace<dnn::ThresholdReLU>(4.0F);
+  ok.emplace<dnn::ResidualBlock>(8, 16, 2, 4.0F, rng);  // strided projection
+  ok.emplace<dnn::Flatten>();
+  ok.emplace<dnn::Linear>(16 * 16 * 16, 10, false, rng);
+  EXPECT_TRUE(check_graph(ok, kInput).empty());
+}
+
+}  // namespace
+}  // namespace ullsnn::verify

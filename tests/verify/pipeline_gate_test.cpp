@@ -1,0 +1,100 @@
+// The verify gate of core::HybridPipeline: preflight report plumbing and the
+// warn/strict modes. The strict-abort test relies on the preflight running
+// BEFORE stage (a), so the broken config fails in milliseconds instead of
+// after a training run.
+
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+
+namespace ullsnn::core {
+namespace {
+
+data::LabeledImages tiny_data(std::int64_t n, std::uint64_t salt) {
+  data::SyntheticCifarSpec spec;
+  spec.image_size = 32;
+  spec.num_classes = 3;
+  data::SyntheticCifar gen(spec);
+  data::LabeledImages d = gen.generate(n, salt);
+  data::standardize(d);
+  return d;
+}
+
+PipelineConfig tiny_config() {
+  PipelineConfig config;
+  config.arch = Architecture::kVgg11;
+  config.model.width = 0.0625F;
+  config.model.num_classes = 3;
+  config.model.image_size = 32;
+  config.dnn_train.epochs = 1;
+  config.dnn_train.batch_size = 16;
+  config.dnn_train.augment = false;
+  config.conversion.time_steps = 2;
+  config.sgl.epochs = 1;
+  config.sgl.augment = false;
+  return config;
+}
+
+TEST(PipelineGateTest, PreflightCleanOnZooModel) {
+  HybridPipeline pipeline(tiny_config());
+  const verify::VerifyReport report = pipeline.preflight();
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.empty()) << verify::format_report(report);
+}
+
+TEST(PipelineGateTest, PreflightReportsBrokenConfig) {
+  PipelineConfig config = tiny_config();
+  config.conversion.time_steps = 0;  // C006
+  config.conversion.reset = snn::ResetMode::kZero;
+  config.telemetry.enabled = true;  // Delta probe consumer -> C007 escalates
+  HybridPipeline pipeline(config);
+  const verify::VerifyReport report = pipeline.preflight();
+  EXPECT_TRUE(report.has_rule("C006"));
+  EXPECT_TRUE(report.has_rule("C007"));
+  EXPECT_GE(report.error_count(), 2);
+}
+
+TEST(PipelineGateTest, HardResetWithoutProbeIsOnlyAWarning) {
+  PipelineConfig config = tiny_config();
+  config.conversion.reset = snn::ResetMode::kZero;  // no telemetry consumer
+  HybridPipeline pipeline(config);
+  const verify::VerifyReport report = pipeline.preflight();
+  EXPECT_TRUE(report.has_rule("C007"));
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(PipelineGateTest, StrictModeAbortsBeforeTraining) {
+  PipelineConfig config = tiny_config();
+  config.verify.mode = VerifyGateConfig::Mode::kStrict;
+  config.conversion.time_steps = 0;  // C006: nothing could ever spike
+  HybridPipeline pipeline(config);
+  const data::LabeledImages train = tiny_data(32, 1);
+  const data::LabeledImages test = tiny_data(16, 2);
+  try {
+    pipeline.run(train, test);
+    FAIL() << "strict gate did not abort";
+  } catch (const verify::VerifyError& e) {
+    EXPECT_TRUE(e.report().has_rule("C006"));
+  }
+  // The abort happened at preflight: no trained stages exist.
+  EXPECT_THROW(pipeline.snn(), std::logic_error);
+}
+
+TEST(PipelineGateTest, WarnModeDoesNotThrowAtPreflight) {
+  PipelineConfig config = tiny_config();
+  config.verify.mode = VerifyGateConfig::Mode::kWarn;
+  config.conversion.reset = snn::ResetMode::kZero;  // C007 warning only
+  HybridPipeline pipeline(config);
+  EXPECT_NO_THROW(pipeline.preflight());
+}
+
+TEST(PipelineGateTest, PreflightWithTapeStaysCleanOnZooModel) {
+  PipelineConfig config = tiny_config();
+  config.verify.tape = true;
+  HybridPipeline pipeline(config);
+  const verify::VerifyReport report = pipeline.preflight();
+  EXPECT_TRUE(report.empty()) << verify::format_report(report);
+}
+
+}  // namespace
+}  // namespace ullsnn::core

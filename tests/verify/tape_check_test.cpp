@@ -1,0 +1,158 @@
+#include "src/verify/tape_check.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/dnn/activations.h"
+#include "src/dnn/conv2d.h"
+#include "src/dnn/linear.h"
+#include "src/dnn/sequential.h"
+
+namespace ullsnn::verify {
+namespace {
+
+/// T001 fixture: registers the same Param twice from params().
+class DoubleRegisterLayer final : public dnn::Layer {
+ public:
+  DoubleRegisterLayer() {
+    param_.name = "double.weight";
+    param_.value = Tensor({4}, 0.5F);
+    param_.grad = Tensor({4});
+  }
+  Tensor forward(const Tensor& input, bool) override { return input; }
+  Tensor backward(const Tensor& grad) override { return grad; }
+  std::vector<dnn::Param*> params() override { return {&param_, &param_}; }
+  std::string name() const override { return "DoubleRegisterLayer"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+
+ private:
+  dnn::Param param_;
+};
+
+/// T005 fixture: the same child object reachable twice through children().
+class AliasingContainer final : public dnn::Layer {
+ public:
+  explicit AliasingContainer(Rng& rng) : inner_(4, 4, /*bias=*/false, rng) {}
+  Tensor forward(const Tensor& input, bool train) override {
+    return inner_.forward(input, train);
+  }
+  Tensor backward(const Tensor& grad) override { return inner_.backward(grad); }
+  std::vector<dnn::Param*> params() override { return inner_.params(); }
+  std::string name() const override { return "AliasingContainer"; }
+  Shape output_shape(const Shape& input) const override {
+    return inner_.output_shape(input);
+  }
+  std::vector<dnn::Layer*> children() override { return {&inner_, &inner_}; }
+
+ private:
+  dnn::Linear inner_;
+};
+
+/// conv -> ThresholdReLU -> flatten -> readout on an 8x8 input.
+void build_clean(dnn::Sequential& model, Rng& rng) {
+  model.emplace<dnn::Conv2d>(3, 4, 3, 1, 1, /*bias=*/false, rng);
+  model.emplace<dnn::ThresholdReLU>(4.0F);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(4 * 8 * 8, 3, false, rng);
+}
+
+TEST(TapeCheckTest, CleanModelStructurallyClean) {
+  Rng rng(1);
+  dnn::Sequential model;
+  build_clean(model, rng);
+  EXPECT_TRUE(check_tape(model).empty());
+}
+
+TEST(TapeCheckTest, CleanModelSurvivesSyntheticPass) {
+  Rng rng(1);
+  dnn::Sequential model;
+  build_clean(model, rng);
+  TapeCheckOptions options;
+  options.run_backward = true;
+  options.input_shape = {2, 3, 8, 8};
+  EXPECT_TRUE(check_tape(model, options).empty());
+}
+
+TEST(TapeCheckTest, T001AliasedParam) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<DoubleRegisterLayer>();
+  const VerifyReport report = check_tape(model);
+  ASSERT_TRUE(report.has_rule("T001"));
+  EXPECT_NE(report.diagnostics[0].message.find("double.weight"), std::string::npos);
+}
+
+TEST(TapeCheckTest, T002GradShapeMismatch) {
+  Rng rng(1);
+  dnn::Sequential model;
+  build_clean(model, rng);
+  auto& conv = dynamic_cast<dnn::Conv2d&>(model.layer(0));
+  conv.weight().grad = Tensor({1, 2, 3});  // value is [4, 3, 3, 3]
+  EXPECT_TRUE(check_tape(model).has_rule("T002"));
+  // An unallocated (empty) gradient is fine: allocation is lazy.
+  conv.weight().grad = Tensor();
+  EXPECT_TRUE(check_tape(model).empty());
+}
+
+TEST(TapeCheckTest, T003NonFiniteParam) {
+  Rng rng(1);
+  dnn::Sequential model;
+  build_clean(model, rng);
+  auto& conv = dynamic_cast<dnn::Conv2d&>(model.layer(0));
+  conv.weight().value[0] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(check_tape(model).has_rule("T003"));
+  conv.weight().value[0] = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(check_tape(model).has_rule("T003"));
+}
+
+TEST(TapeCheckTest, T004UnreachableBehindDeadClip) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 4, 3, 1, 1, false, rng);
+  // mu = 0 clips everything to zero: no gradient reaches either weight.
+  model.emplace<dnn::ThresholdReLU>(4.0F).set_mu(0.0F);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(4 * 8 * 8, 3, false, rng);
+  TapeCheckOptions options;
+  options.run_backward = true;
+  options.input_shape = {2, 3, 8, 8};
+  const VerifyReport report = check_tape(model, options);
+  ASSERT_TRUE(report.has_rule("T004"));
+  EXPECT_EQ(report.error_count(), 0);  // warning severity
+  // The mu scalar itself (decay == false) is exempt from T004.
+  for (const Diagnostic& d : report.diagnostics) {
+    EXPECT_EQ(d.layer_name.find("mu"), std::string::npos) << d.layer_name;
+  }
+}
+
+TEST(TapeCheckTest, T004RequiresRunBackward) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<dnn::Conv2d>(3, 4, 3, 1, 1, false, rng);
+  model.emplace<dnn::ThresholdReLU>(4.0F).set_mu(0.0F);
+  model.emplace<dnn::Flatten>();
+  model.emplace<dnn::Linear>(4 * 8 * 8, 3, false, rng);
+  // Static-only invocation: the dead clip is invisible to the tape rules.
+  EXPECT_FALSE(check_tape(model).has_rule("T004"));
+}
+
+TEST(TapeCheckTest, T005DuplicateChild) {
+  Rng rng(1);
+  dnn::Sequential model;
+  model.emplace<AliasingContainer>(rng);
+  const VerifyReport report = check_tape(model);
+  EXPECT_TRUE(report.has_rule("T005"));
+}
+
+TEST(TapeCheckTest, RunBackwardRequiresBatchedShape) {
+  Rng rng(1);
+  dnn::Sequential model;
+  build_clean(model, rng);
+  TapeCheckOptions options;
+  options.run_backward = true;  // no input_shape
+  EXPECT_THROW(check_tape(model, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ullsnn::verify

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# clang-tidy gate: fail on NEW findings only.
+#
+# Runs clang-tidy (config: .clang-tidy) over every src/ translation unit,
+# normalizes findings to "file:check" pairs, and diffs them against the
+# checked-in .clang-tidy-baseline. Pre-existing findings stay green; anything
+# not in the baseline fails the job. After fixing findings (or consciously
+# accepting new ones with a NOLINT), refresh with --update-baseline.
+#
+# Usage:
+#   tools/check_tidy.sh [build-dir]               # gate (default build dir: build)
+#   tools/check_tidy.sh [build-dir] --update-baseline
+#
+# Requires a build dir configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-build}"
+mode="${2:-check}"
+baseline="$repo_root/.clang-tidy-baseline"
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  echo "check_tidy: $tidy_bin not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 2
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "check_tidy: $build_dir/compile_commands.json missing;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(cd "$repo_root" && find src -name '*.cpp' | sort)
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+# || true: clang-tidy exits nonzero on any finding; the gate is the diff below.
+(cd "$repo_root" && "$tidy_bin" -p "$build_dir" --quiet "${sources[@]}" 2>/dev/null || true) \
+  > "$raw"
+
+# "path/file.cpp:12:3: warning: ... [check-name]" -> "path/file.cpp check-name"
+current="$(grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error):' "$raw" \
+  | sed -E "s|^$repo_root/||" \
+  | sed -E 's|^([^:]+):[0-9]+:[0-9]+: (warning\|error): .* \[([^]]+)\]$|\1 \3|' \
+  | sort -u || true)"
+
+if [ "$mode" = "--update-baseline" ]; then
+  printf '%s\n' "$current" | sed '/^$/d' > "$baseline"
+  echo "check_tidy: baseline updated ($(grep -c . "$baseline" || true) entries)"
+  exit 0
+fi
+
+known="$(sed '/^$/d' "$baseline" 2>/dev/null | sort -u || true)"
+new_findings="$(comm -13 <(printf '%s\n' "$known") <(printf '%s\n' "$current" | sed '/^$/d') || true)"
+
+if [ -n "$new_findings" ]; then
+  echo "check_tidy: NEW findings not in .clang-tidy-baseline:" >&2
+  printf '%s\n' "$new_findings" >&2
+  echo "Fix them, add a NOLINT(check) with a reason, or refresh the baseline." >&2
+  exit 1
+fi
+echo "check_tidy: clean (no findings outside the baseline)"
