@@ -1,17 +1,32 @@
-// Kernel microbenchmarks: GEMM, im2col convolution, IF-neuron stepping.
-// Supporting evidence for the simulation-time analysis (Fig. 3); not a paper
-// table by itself.
+// Kernel microbenchmarks and the perf-regression baseline.
+//
+// Covers the full hot-kernel surface: blocked vs naive GEMM (all three
+// transpose variants), batched conv forward/backward, the linear layer,
+// pooling, the sparse-vs-dense spike-GEMM density sweep, IF-neuron stepping,
+// and dense vs event-driven inference.
+//
+// Regression workflow: tools/bench_to_json.sh runs this binary with JSON
+// output and stamps it with build provenance; the checked-in
+// bench/BENCH_kernels.json is the baseline, and CI's perf-smoke job compares
+// a fresh run against it with tools/compare_bench.py (normalized by
+// BM_MatmulNaive/256 so AVX-512 dev boxes and AVX2 CI runners are
+// comparable). Refresh the baseline whenever a kernel change lands (see
+// docs/performance.md).
 #include <benchmark/benchmark.h>
 
+#include "src/obs/build_info.h"
 #include "src/snn/event_driven.h"
 #include "src/snn/neuron.h"
 #include "src/snn/snn_network.h"
+#include "src/tensor/gemm.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/random.h"
 
 namespace {
 
 using namespace ullsnn;
+
+// ---- GEMM ----
 
 void BM_Matmul(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -29,6 +44,43 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
 
+/// The retained pre-blocking kernel. Doubles as the cross-machine calibration
+/// anchor for the CI regression gate: its ratio to every other benchmark is
+/// far more stable across ISAs than absolute nanoseconds.
+void BM_MatmulNaive(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n});
+  Tensor b({n, n});
+  Tensor c({n, n});
+  uniform_fill(a, -1.0F, 1.0F, rng);
+  uniform_fill(b, -1.0F, 1.0F, rng);
+  for (auto _ : state) {
+    matmul_naive(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulNaive)->Arg(64)->Arg(256);
+
+void BM_MatmulBt(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n});
+  Tensor b({n, n});
+  Tensor c({n, n});
+  uniform_fill(a, -1.0F, 1.0F, rng);
+  uniform_fill(b, -1.0F, 1.0F, rng);
+  for (auto _ : state) {
+    matmul_bt(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulBt)->Arg(256);
+
+// ---- convolution ----
+
 void BM_Conv2dForward(benchmark::State& state) {
   const std::int64_t channels = state.range(0);
   Rng rng(2);
@@ -40,14 +92,155 @@ void BM_Conv2dForward(benchmark::State& state) {
   Tensor output({1, channels, 32, 32});
   uniform_fill(input, -1.0F, 1.0F, rng);
   uniform_fill(weight, -0.1F, 0.1F, rng);
-  std::vector<float> scratch;
   for (auto _ : state) {
-    conv2d_forward(input, weight, Tensor(), output, spec, scratch);
+    conv2d_forward(input, weight, Tensor(), output, spec);
     benchmark::DoNotOptimize(output.data());
   }
   state.SetItemsProcessed(state.iterations() * output.numel());
 }
 BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(32)->Arg(64);
+
+/// Batched forward: the packed weight panels are reused across the 8 samples.
+void BM_Conv2dForwardBatched(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  Rng rng(2);
+  Conv2dSpec spec;
+  spec.in_channels = channels;
+  spec.out_channels = channels;
+  Tensor input({8, channels, 32, 32});
+  Tensor weight({channels, channels, 3, 3});
+  Tensor output({8, channels, 32, 32});
+  uniform_fill(input, -1.0F, 1.0F, rng);
+  uniform_fill(weight, -0.1F, 0.1F, rng);
+  for (auto _ : state) {
+    conv2d_forward(input, weight, Tensor(), output, spec);
+    benchmark::DoNotOptimize(output.data());
+  }
+  state.SetItemsProcessed(state.iterations() * output.numel());
+}
+BENCHMARK(BM_Conv2dForwardBatched)->Arg(16)->Arg(32);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  Rng rng(3);
+  Conv2dSpec spec;
+  spec.in_channels = channels;
+  spec.out_channels = channels;
+  Tensor input({8, channels, 32, 32});
+  Tensor weight({channels, channels, 3, 3});
+  Tensor grad_output({8, channels, 32, 32});
+  uniform_fill(input, -1.0F, 1.0F, rng);
+  uniform_fill(weight, -0.1F, 0.1F, rng);
+  uniform_fill(grad_output, -1.0F, 1.0F, rng);
+  Tensor grad_input(input.shape());
+  Tensor grad_weight(weight.shape());
+  for (auto _ : state) {
+    grad_weight.fill(0.0F);
+    conv2d_backward(input, weight, grad_output, &grad_input, grad_weight,
+                    nullptr, spec);
+    benchmark::DoNotOptimize(grad_weight.data());
+  }
+  state.SetItemsProcessed(state.iterations() * input.numel());
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(16)->Arg(32);
+
+// ---- linear ----
+
+void BM_LinearForward(benchmark::State& state) {
+  const std::int64_t features = state.range(0);
+  Rng rng(4);
+  Tensor input({32, features});
+  Tensor weight({features, features});
+  Tensor output({32, features});
+  uniform_fill(input, -1.0F, 1.0F, rng);
+  uniform_fill(weight, -0.1F, 0.1F, rng);
+  for (auto _ : state) {
+    matmul_bt(input.data(), weight.data(), output.data(), 32, features, features);
+    benchmark::DoNotOptimize(output.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * features * features);
+}
+BENCHMARK(BM_LinearForward)->Arg(256)->Arg(1024);
+
+// ---- pooling ----
+
+void BM_MaxPool(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  Rng rng(5);
+  Pool2dSpec spec;  // 2x2 stride 2
+  Tensor input({8, channels, 32, 32});
+  Tensor output({8, channels, 16, 16});
+  uniform_fill(input, -1.0F, 1.0F, rng);
+  std::vector<std::int64_t> argmax;
+  for (auto _ : state) {
+    maxpool2d_forward(input, output, argmax, spec);
+    benchmark::DoNotOptimize(output.data());
+  }
+  state.SetItemsProcessed(state.iterations() * input.numel());
+}
+BENCHMARK(BM_MaxPool)->Arg(64);
+
+void BM_AvgPool(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  Rng rng(5);
+  Pool2dSpec spec;
+  Tensor input({8, channels, 32, 32});
+  Tensor output({8, channels, 16, 16});
+  uniform_fill(input, -1.0F, 1.0F, rng);
+  for (auto _ : state) {
+    avgpool2d_forward(input, output, spec);
+    benchmark::DoNotOptimize(output.data());
+  }
+  state.SetItemsProcessed(state.iterations() * input.numel());
+}
+BENCHMARK(BM_AvgPool)->Arg(64);
+
+// ---- sparse vs dense spike GEMM (density sweep) ----
+//
+// Arg is density per mille. The crossover between these two curves is what
+// kDefaultSpikeDensityThreshold encodes; refresh it from this sweep when the
+// kernels change (docs/performance.md).
+
+Tensor spike_matrix(std::int64_t m, std::int64_t k, std::int64_t per_mille, Rng& rng) {
+  Tensor a({m, k});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (rng.uniform_int(1000) < per_mille) a[i] = 1.0F;
+  }
+  return a;
+}
+
+void BM_SpikeGemmSparse(benchmark::State& state) {
+  constexpr std::int64_t kM = 256, kK = 1024, kN = 256;
+  Rng rng(6);
+  const Tensor a = spike_matrix(kM, kK, state.range(0), rng);
+  Tensor b({kK, kN});
+  uniform_fill(b, -0.1F, 0.1F, rng);
+  Tensor c({kM, kN});
+  for (auto _ : state) {
+    spmm_row_compressed(a.data(), b.data(), c.data(), kM, kK, kN,
+                        /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kM * kK * kN);
+}
+BENCHMARK(BM_SpikeGemmSparse)->Arg(10)->Arg(50)->Arg(100)->Arg(250)->Arg(500);
+
+void BM_SpikeGemmDense(benchmark::State& state) {
+  constexpr std::int64_t kM = 256, kK = 1024, kN = 256;
+  Rng rng(6);
+  const Tensor a = spike_matrix(kM, kK, state.range(0), rng);
+  Tensor b({kK, kN});
+  uniform_fill(b, -0.1F, 0.1F, rng);
+  Tensor c({kM, kN});
+  for (auto _ : state) {
+    matmul(a.data(), b.data(), c.data(), kM, kK, kN);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kM * kK * kN);
+}
+BENCHMARK(BM_SpikeGemmDense)->Arg(10)->Arg(50)->Arg(100)->Arg(250)->Arg(500);
+
+// ---- IF neuron ----
 
 void BM_IfNeuronStep(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -117,4 +310,19 @@ BENCHMARK(BM_EventDrivenInference)->Arg(1000)->Arg(100)->Arg(10);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the JSON/console output carries the build provenance stamp
+// (compiler, flags, git hash, telemetry) in its context block — a result file
+// is then traceable to the exact build that produced it.
+int main(int argc, char** argv) {
+  const ullsnn::obs::BuildInfo& info = ullsnn::obs::build_info();
+  benchmark::AddCustomContext("compiler", info.compiler);
+  benchmark::AddCustomContext("build_type", info.build_type);
+  benchmark::AddCustomContext("cxx_flags", info.flags);
+  benchmark::AddCustomContext("git_hash", info.git_hash);
+  benchmark::AddCustomContext("telemetry", info.telemetry ? "on" : "off");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -44,7 +44,7 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   ULLSNN_TRACE_SCOPE("dnn.conv2d.forward");
   if (input.rank() != 4) throw std::invalid_argument("Conv2d: input must be NCHW");
   Tensor out(output_shape(input.shape()));
-  conv2d_forward(input, weight_.value, bias_.value, out, spec_, scratch_);
+  conv2d_forward(input, weight_.value, bias_.value, out, spec_);
   if (train) cached_input_ = input;
   return out;
 }
@@ -56,7 +56,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   }
   Tensor grad_input(cached_input_.shape());
   conv2d_backward(cached_input_, weight_.value, grad_output, &grad_input,
-                  weight_.grad, has_bias() ? &bias_.grad : nullptr, spec_, scratch_);
+                  weight_.grad, has_bias() ? &bias_.grad : nullptr, spec_);
   return grad_input;
 }
 

@@ -36,7 +36,6 @@ class Conv2d final : public Layer {
   Param weight_;  // [Cout, Cin, K, K]
   Param bias_;    // [Cout] or empty
   Tensor cached_input_;
-  std::vector<float> scratch_;
 };
 
 }  // namespace ullsnn::dnn

@@ -11,6 +11,7 @@ MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride) {
 }
 
 Tensor MaxPool2d::forward(const Tensor& input, bool train) {
+  validate_pool_geometry(spec_, input.dim(2), input.dim(3));
   Tensor out(output_shape(input.shape()));
   maxpool2d_forward(input, out, argmax_, spec_);
   if (train) cached_input_shape_ = input.shape();
@@ -37,6 +38,7 @@ AvgPool2d::AvgPool2d(std::int64_t kernel, std::int64_t stride) {
 }
 
 Tensor AvgPool2d::forward(const Tensor& input, bool train) {
+  validate_pool_geometry(spec_, input.dim(2), input.dim(3));
   Tensor out(output_shape(input.shape()));
   avgpool2d_forward(input, out, spec_);
   if (train) cached_input_shape_ = input.shape();

@@ -5,12 +5,6 @@
 namespace ullsnn::snn {
 
 namespace {
-std::int64_t count_nonzeros(const Tensor& t) {
-  std::int64_t n = 0;
-  for (std::int64_t i = 0; i < t.numel(); ++i) n += (t[i] != 0.0F) ? 1 : 0;
-  return n;
-}
-
 double nonzero_rate(std::int64_t nonzeros, std::int64_t elements) {
   return elements > 0 ? static_cast<double>(nonzeros) / static_cast<double>(elements)
                       : 0.0;
@@ -36,13 +30,15 @@ SynapticConv::SynapticConv(Tensor weight, Conv2dSpec spec) : spec_(spec) {
 void SynapticConv::begin_sequence(std::int64_t time_steps, bool train) {
   cached_inputs_.clear();
   if (train) cached_inputs_.resize(static_cast<std::size_t>(time_steps));
+  wt_cache_.clear();  // weights may have changed since the last sequence
 }
 
 Tensor SynapticConv::forward(const Tensor& input, std::int64_t t, bool train) {
-  input_nonzeros_ += count_nonzeros(input);
-  input_elements_ += input.numel();
   Tensor out(output_shape(input.shape()));
-  conv2d_forward(input, weight_.value, Tensor(), out, spec_, scratch_);
+  // Density dispatch (sparse spike kernel vs blocked GEMM); the dispatch scan
+  // also produces the exact nonzero tally for the activity accounting.
+  conv2d_forward_spiking(input, weight_.value, out, spec_,
+                         kDefaultSpikeDensityThreshold, wt_cache_, stats_);
   if (train) cached_inputs_[static_cast<std::size_t>(t)] = input;
   return out;
 }
@@ -52,7 +48,7 @@ Tensor SynapticConv::backward(const Tensor& grad_current, std::int64_t t) {
   if (input.empty()) throw std::logic_error("SynapticConv::backward without forward");
   Tensor grad_input(input.shape());
   conv2d_backward(input, weight_.value, grad_current, &grad_input, weight_.grad,
-                  nullptr, spec_, scratch_);
+                  nullptr, spec_);
   return grad_input;
 }
 
@@ -83,6 +79,7 @@ SynapticLinear::SynapticLinear(Tensor weight) {
 void SynapticLinear::begin_sequence(std::int64_t time_steps, bool train) {
   cached_inputs_.clear();
   if (train) cached_inputs_.resize(static_cast<std::size_t>(time_steps));
+  wt_cache_.clear();  // weights may have changed since the last sequence
 }
 
 Tensor SynapticLinear::forward(const Tensor& input, std::int64_t t, bool train) {
@@ -90,12 +87,10 @@ Tensor SynapticLinear::forward(const Tensor& input, std::int64_t t, bool train) 
     throw std::invalid_argument("SynapticLinear: bad input shape " +
                                 shape_to_string(input.shape()));
   }
-  input_nonzeros_ += count_nonzeros(input);
-  input_elements_ += input.numel();
   const std::int64_t n = input.dim(0);
   Tensor out({n, out_features()});
-  matmul_bt(input.data(), weight_.value.data(), out.data(), n, in_features(),
-            out_features());
+  linear_forward_spiking(input, weight_.value, out, kDefaultSpikeDensityThreshold,
+                         wt_cache_, stats_);
   if (train) cached_inputs_[static_cast<std::size_t>(t)] = input;
   return out;
 }
@@ -216,6 +211,7 @@ SpikingMaxPool::SpikingMaxPool(Pool2dSpec spec) : spec_(spec) {}
 
 void SpikingMaxPool::begin_sequence(const Shape& input_shape, std::int64_t time_steps,
                                     bool train) {
+  validate_pool_geometry(spec_, input_shape[2], input_shape[3]);
   input_shape_ = input_shape;
   argmax_per_step_.clear();
   if (train) argmax_per_step_.resize(static_cast<std::size_t>(time_steps));
@@ -251,6 +247,7 @@ void SpikingAvgPool::begin_sequence(const Shape& input_shape, std::int64_t time_
                                     bool train) {
   (void)time_steps;
   (void)train;
+  validate_pool_geometry(spec_, input_shape[2], input_shape[3]);
   input_shape_ = input_shape;
 }
 

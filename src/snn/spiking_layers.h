@@ -10,9 +10,12 @@
 // residual blocks can sum currents into a shared post-neuron, exactly like
 // the DNN residual join converts (DESIGN.md).
 //
-// Every synaptic op counts its input non-zeros; IF neurons count emitted
-// spikes. These counters feed the Sec. VI spiking-activity / FLOPs / energy
-// accounting without any extra instrumentation passes.
+// Synaptic weight ops route through the sparsity-aware kernels in
+// tensor/ops.h: each time step's input density decides between the dense
+// blocked GEMM and the row-compressed spike kernel, and the exact nonzero
+// tally that dispatch scan produces feeds the Sec. VI spiking-activity /
+// FLOPs / energy accounting — there is no separate counting pass. IF neurons
+// count emitted spikes.
 #pragma once
 
 #include <cstdint>
@@ -48,17 +51,19 @@ class SynapticConv {
   Shape output_shape(const Shape& input) const;
   std::int64_t macs(const Shape& input) const;
 
-  std::int64_t input_nonzeros() const { return input_nonzeros_; }
-  std::int64_t input_elements() const { return input_elements_; }
-  void reset_stats() { input_nonzeros_ = 0; input_elements_ = 0; }
+  std::int64_t input_nonzeros() const { return stats_.nonzeros; }
+  std::int64_t input_elements() const { return stats_.elements; }
+  const SpikeKernelStats& kernel_stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
 
  private:
   Param weight_;
   Conv2dSpec spec_;
   std::vector<Tensor> cached_inputs_;
-  std::vector<float> scratch_;
-  std::int64_t input_nonzeros_ = 0;
-  std::int64_t input_elements_ = 0;
+  // Transposed-weight cache for the spiking kernels; invalidated each
+  // begin_sequence (weights only change between sequences).
+  std::vector<float> wt_cache_;
+  SpikeKernelStats stats_;
 };
 
 class SynapticLinear {
@@ -75,15 +80,16 @@ class SynapticLinear {
   std::int64_t out_features() const { return weight_.value.dim(0); }
   std::int64_t macs() const { return in_features() * out_features(); }
 
-  std::int64_t input_nonzeros() const { return input_nonzeros_; }
-  std::int64_t input_elements() const { return input_elements_; }
-  void reset_stats() { input_nonzeros_ = 0; input_elements_ = 0; }
+  std::int64_t input_nonzeros() const { return stats_.nonzeros; }
+  std::int64_t input_elements() const { return stats_.elements; }
+  const SpikeKernelStats& kernel_stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
 
  private:
   Param weight_;
   std::vector<Tensor> cached_inputs_;
-  std::int64_t input_nonzeros_ = 0;
-  std::int64_t input_elements_ = 0;
+  std::vector<float> wt_cache_;  // [in, out] W^T; invalidated per sequence
+  SpikeKernelStats stats_;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,85 @@
+#include "src/tensor/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ullsnn {
+
+namespace {
+constexpr std::size_t kAlignment = 64;  // cache line / widest SIMD vector
+constexpr std::size_t kMinChunkBytes = std::size_t{1} << 20;  // 1 MiB
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+std::byte* Arena::alloc_bytes(std::size_t bytes) {
+  bytes = round_up(bytes, kAlignment);
+  // Advance past chunks that cannot satisfy the request. Chunks before
+  // `active_` stay untouched so their live allocations remain valid.
+  while (active_ < chunks_.size() &&
+         chunks_[active_].used + bytes > chunks_[active_].size) {
+    ++active_;
+  }
+  if (active_ == chunks_.size()) {
+    // Geometric growth keeps the chunk count logarithmic in total demand.
+    std::size_t size = kMinChunkBytes;
+    if (!chunks_.empty()) size = chunks_.back().size * 2;
+    size = std::max(size, round_up(bytes, kAlignment));
+    Chunk chunk;
+    // operator new[] on std::byte gives kAlignment-friendly storage on all
+    // mainstream allocators for sizes this large; assert the invariant.
+    chunk.data = std::make_unique<std::byte[]>(size + kAlignment);
+    chunk.size = size;
+    chunks_.push_back(std::move(chunk));
+  }
+  Chunk& chunk = chunks_[active_];
+  // Align the base lazily per allocation (the chunk base may not be aligned).
+  auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+  const std::size_t skew = round_up(base, kAlignment) - base;
+  std::byte* out = chunk.data.get() + skew + chunk.used;
+  chunk.used += bytes;
+  return out;
+}
+
+float* Arena::alloc_floats(std::size_t count) {
+  return reinterpret_cast<float*>(alloc_bytes(count * sizeof(float)));
+}
+
+std::int64_t* Arena::alloc_indices(std::size_t count) {
+  return reinterpret_cast<std::int64_t*>(alloc_bytes(count * sizeof(std::int64_t)));
+}
+
+float* Arena::alloc_floats_zeroed(std::size_t count) {
+  float* out = alloc_floats(count);
+  std::memset(out, 0, count * sizeof(float));
+  return out;
+}
+
+void Arena::reset() {
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+  active_ = 0;
+}
+
+std::size_t Arena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.size;
+  return total;
+}
+
+Arena::Mark Arena::mark() const { return {active_, chunks_.empty() ? 0 : chunks_[active_].used}; }
+
+void Arena::release(Mark m) {
+  if (chunks_.empty()) return;
+  for (std::size_t i = m.chunk + 1; i < chunks_.size(); ++i) chunks_[i].used = 0;
+  chunks_[m.chunk].used = m.used;
+  active_ = m.chunk;
+}
+
+Arena& thread_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace ullsnn

@@ -1,0 +1,180 @@
+#include "src/tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ullsnn {
+
+namespace {
+
+// Micro-tile geometry. MR x NR accumulators must fit the register file:
+// with AVX-512 (32 zmm) a 6x32 tile uses 12 accumulator registers; with
+// AVX2/SSE (16 ymm) 6x16 uses 12 ymm — the classic SGEMM shapes for each ISA.
+// The compiler auto-vectorizes the constant-bound loops below into
+// broadcast-FMA sequences; no intrinsics needed.
+constexpr std::int64_t kMR = 6;
+#if defined(__AVX512F__)
+constexpr std::int64_t kNR = 32;
+#else
+constexpr std::int64_t kNR = 16;
+#endif
+
+// Cache blocking. The packed B panel (KC x NR strips) streams through L2;
+// the packed A block (MC x KC) is reused across every NR strip of the
+// current B block; C micro-tiles live in registers for the whole KC loop.
+constexpr std::int64_t kMC = 96;    // multiple of kMR
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 1024;  // multiple of kNR
+
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+/// kc iterations of the rank-1 update on an MR x NR register tile.
+/// ap: packed A panel [kc x MR] (column of MR values per k step).
+/// bp: packed B panel [kc x NR] (row of NR values per k step).
+/// Adds the tile into C; edge tiles pass rows < kMR / cols < kNR and only
+/// the valid region is written back (the padded lanes compute on zeros).
+void micro_kernel(const float* __restrict ap, const float* __restrict bp,
+                  float* __restrict c, std::int64_t kc, std::int64_t ldc,
+                  std::int64_t rows, std::int64_t cols) {
+  float acc[kMR][kNR] = {};
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* a = ap + kk * kMR;
+    const float* b = bp + kk * kNR;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const float av = a[i];
+      for (std::int64_t j = 0; j < kNR; ++j) acc[i][j] += av * b[j];
+    }
+  }
+  if (rows == kMR && cols == kNR) {
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      float* ci = c + i * ldc;
+      for (std::int64_t j = 0; j < kNR; ++j) ci[j] += acc[i][j];
+    }
+  } else {
+    for (std::int64_t i = 0; i < rows; ++i) {
+      float* ci = c + i * ldc;
+      for (std::int64_t j = 0; j < cols; ++j) ci[j] += acc[i][j];
+    }
+  }
+}
+
+/// Pack rows [ic, ic+mc) x cols [pc, pc+kc) of A into ceil(mc/MR) panels of
+/// [kc x MR] each, zero-padding the ragged last panel.
+float* pack_a_block(MatView a, std::int64_t ic, std::int64_t mc, std::int64_t pc,
+                    std::int64_t kc, Arena& arena) {
+  const std::int64_t panels = ceil_div(mc, kMR);
+  float* packed = arena.alloc_floats(static_cast<std::size_t>(panels * kc * kMR));
+  for (std::int64_t i0 = 0; i0 < mc; i0 += kMR) {
+    float* dst = packed + (i0 / kMR) * kc * kMR;
+    const std::int64_t ir = std::min(kMR, mc - i0);
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+      const float* src = a.data + (ic + i0) * a.rs + (pc + kk) * a.cs;
+      std::int64_t i = 0;
+      for (; i < ir; ++i) dst[kk * kMR + i] = src[i * a.rs];
+      for (; i < kMR; ++i) dst[kk * kMR + i] = 0.0F;
+    }
+  }
+  return packed;
+}
+
+}  // namespace
+
+void PackedB::pack(MatView b, std::int64_t k, std::int64_t n, Arena& arena) {
+  k_ = k;
+  n_ = n;
+  blocks_.clear();
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nc = std::min(kNC, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+      const std::int64_t kc = std::min(kKC, k - pc);
+      const std::int64_t panels = ceil_div(nc, kNR);
+      float* data = arena.alloc_floats(static_cast<std::size_t>(panels * kc * kNR));
+      for (std::int64_t j0 = 0; j0 < nc; j0 += kNR) {
+        float* dst = data + (j0 / kNR) * kc * kNR;
+        const std::int64_t jr = std::min(kNR, nc - j0);
+        if (b.cs == 1) {
+          // Contiguous source rows: bulk copy + zero pad.
+          for (std::int64_t kk = 0; kk < kc; ++kk) {
+            const float* src = b.data + (pc + kk) * b.rs + (jc + j0);
+            std::memcpy(dst + kk * kNR, src, static_cast<std::size_t>(jr) * sizeof(float));
+            for (std::int64_t j = jr; j < kNR; ++j) dst[kk * kNR + j] = 0.0F;
+          }
+        } else {
+          for (std::int64_t kk = 0; kk < kc; ++kk) {
+            const float* src = b.data + (pc + kk) * b.rs + (jc + j0) * b.cs;
+            std::int64_t j = 0;
+            for (; j < jr; ++j) dst[kk * kNR + j] = src[j * b.cs];
+            for (; j < kNR; ++j) dst[kk * kNR + j] = 0.0F;
+          }
+        }
+      }
+      blocks_.push_back({data, pc, kc, jc, nc});
+    }
+  }
+}
+
+void gemm_packed(MatView a, const PackedB& b, float* c, std::int64_t m,
+                 bool accumulate) {
+  const std::int64_t n = b.n_;
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  }
+  if (m == 0 || n == 0) return;
+  Arena& arena = thread_arena();
+  for (const PackedB::Block& block : b.blocks_) {
+    for (std::int64_t ic = 0; ic < m; ic += kMC) {
+      const std::int64_t mc = std::min(kMC, m - ic);
+      ArenaScope scope(arena);
+      const float* ap = pack_a_block(a, ic, mc, block.pc, block.kc, arena);
+      for (std::int64_t j0 = 0; j0 < block.nc; j0 += kNR) {
+        const float* bp = block.data + (j0 / kNR) * block.kc * kNR;
+        const std::int64_t cols = std::min(kNR, block.nc - j0);
+        for (std::int64_t i0 = 0; i0 < mc; i0 += kMR) {
+          micro_kernel(ap + (i0 / kMR) * block.kc * kMR, bp,
+                       c + (ic + i0) * n + block.jc + j0, block.kc, n,
+                       std::min(kMR, mc - i0), cols);
+        }
+      }
+    }
+  }
+}
+
+void gemm(MatView a, MatView b, float* c, std::int64_t m, std::int64_t k,
+          std::int64_t n, bool accumulate) {
+  Arena& arena = thread_arena();
+  ArenaScope scope(arena);
+  PackedB packed;
+  packed.pack(b, k, n, arena);
+  gemm_packed(a, packed, c, m, accumulate);
+}
+
+std::int64_t spmm_row_compressed(const float* a, const float* b, float* c,
+                                 std::int64_t m, std::int64_t k, std::int64_t n,
+                                 bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  }
+  Arena& arena = thread_arena();
+  ArenaScope scope(arena);
+  std::int64_t* idx = arena.alloc_indices(static_cast<std::size_t>(k));
+  std::int64_t total_nonzeros = 0;
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    // Row compression: one branchy pass gathers the spike positions, then the
+    // accumulation loop below runs branch-free and vectorized over N.
+    std::int64_t count = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      if (ai[kk] != 0.0F) idx[count++] = kk;
+    }
+    total_nonzeros += count;
+    float* ci = c + i * n;
+    for (std::int64_t t = 0; t < count; ++t) {
+      const float v = ai[idx[t]];
+      const float* bk = b + idx[t] * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += v * bk[j];
+    }
+  }
+  return total_nonzeros;
+}
+
+}  // namespace ullsnn

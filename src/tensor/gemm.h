@@ -1,0 +1,95 @@
+// Cache-blocked, panel-packed SGEMM and the sparsity-aware spike GEMM.
+//
+// One register-tiled micro-kernel (MR x NR accumulators held in registers
+// across the K loop, written so GCC/Clang auto-vectorize it with broadcasted
+// FMAs) sits under a classic three-level blocking scheme:
+//
+//   for jc in N step Nc:          B column block    (streams through L3)
+//     for pc in K step Kc:        packed B panel    (lives in L2)
+//       for ic in M step Mc:      packed A panel    (lives in L1)
+//         MR x NR micro-tiles accumulate in registers
+//
+// Both operands are packed: B into [Kc x NR] column panels, A into [Kc x MR]
+// row panels, with edge tiles zero-padded so the micro-kernel never branches
+// on geometry. Transposed operands cost nothing extra — packing reads through
+// a strided MatView, so matmul_at / matmul_bt share the single kernel.
+//
+// PackedB lets a caller pack a reused right-hand operand once (conv weights
+// across the batch-sample loop; linear weights across time steps) and run
+// many GEMMs against it. All scratch comes from the per-thread Arena — no
+// heap traffic in steady state.
+//
+// spmm_row_compressed is the spike path: A rows are compressed to their
+// nonzero (index, value) pairs on the fly, and C accumulates value-scaled
+// rows of B. Work drops from M*K*N to nnz(A)*N, which beats the dense kernel
+// once input density falls below roughly 10% (see docs/performance.md).
+#pragma once
+
+#include <cstdint>
+
+#include "src/tensor/arena.h"
+
+namespace ullsnn {
+
+/// Read-only strided matrix view: element (r, c) = data[r*rs + c*cs].
+struct MatView {
+  const float* data = nullptr;
+  std::int64_t rs = 0;  // row stride
+  std::int64_t cs = 0;  // column stride
+};
+
+/// Row-major [rows, ld] matrix.
+inline MatView row_major(const float* data, std::int64_t ld) {
+  return {data, ld, 1};
+}
+
+/// Transpose of a row-major [rows, ld] matrix: view (r, c) = data[c*ld + r].
+inline MatView transposed(const float* data, std::int64_t ld) {
+  return {data, 1, ld};
+}
+
+/// Right-hand operand packed once into micro-kernel panel layout, reusable
+/// across any number of gemm_packed calls. Panels live in the arena passed to
+/// pack(), so the PackedB must not outlive that arena's enclosing ArenaScope.
+class PackedB {
+ public:
+  /// Pack the [k, n] matrix viewed by `b` into panels allocated from `arena`.
+  void pack(MatView b, std::int64_t k, std::int64_t n, Arena& arena);
+
+  std::int64_t k() const { return k_; }
+  std::int64_t n() const { return n_; }
+
+ private:
+  friend void gemm_packed(MatView a, const PackedB& b, float* c, std::int64_t m,
+                          bool accumulate);
+  /// Panel block for one (pc, jc) tile of B; `data` holds ceil(nc/NR) panels
+  /// of kc x NR floats each, consecutive panels covering consecutive NR-wide
+  /// column strips.
+  struct Block {
+    const float* data;
+    std::int64_t pc, kc;  // K-range [pc, pc+kc)
+    std::int64_t jc, nc;  // N-range [jc, jc+nc)
+  };
+  std::vector<Block> blocks_;
+  std::int64_t k_ = 0;
+  std::int64_t n_ = 0;
+};
+
+/// C[m, n()] (+)= A[m, k()] * B. C is row-major contiguous with ld = n().
+void gemm_packed(MatView a, const PackedB& b, float* c, std::int64_t m,
+                 bool accumulate);
+
+/// C[m, n] (+)= A[m, k] * B[k, n], both operands through strided views,
+/// C row-major contiguous. Packs B into the thread arena internally.
+void gemm(MatView a, MatView b, float* c, std::int64_t m, std::int64_t k,
+          std::int64_t n, bool accumulate);
+
+/// Sparse spike GEMM: C[m, n] (+)= A[m, k] * B[k, n] with A row-compressed on
+/// the fly (per row, gather nonzero column indices, then accumulate scaled
+/// rows of B). A and B row-major contiguous. Returns nnz(A), which the SNN
+/// layers reuse for spiking-activity accounting.
+std::int64_t spmm_row_compressed(const float* a, const float* b, float* c,
+                                 std::int64_t m, std::int64_t k, std::int64_t n,
+                                 bool accumulate);
+
+}  // namespace ullsnn

@@ -4,13 +4,23 @@
 #include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
+#include "src/obs/metrics.h"
+#include "src/tensor/arena.h"
+#include "src/tensor/gemm.h"
 #include "src/util/parallel.h"
 
 namespace ullsnn {
 
-void matmul(const float* a, const float* b, float* c, std::int64_t m,
-            std::int64_t k, std::int64_t n, bool accumulate) {
+// ---------------------------------------------------------------------------
+// Reference naive kernels (retained as equivalence-test ground truth and as
+// the small-shape fast path — below the cutoff, panel packing costs more
+// than it saves).
+// ---------------------------------------------------------------------------
+
+void matmul_naive(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t k, std::int64_t n, bool accumulate) {
   if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
   // i-k-j order: the inner loop streams both B's row and C's row, which
   // vectorizes cleanly and keeps B in cache across consecutive i.
@@ -26,8 +36,8 @@ void matmul(const float* a, const float* b, float* c, std::int64_t m,
   }
 }
 
-void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
-               std::int64_t k, std::int64_t n, bool accumulate) {
+void matmul_at_naive(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n, bool accumulate) {
   if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
   // A stored [K,M]: element A^T(i,kk) = a[kk*m + i].
   for (std::int64_t kk = 0; kk < k; ++kk) {
@@ -42,8 +52,8 @@ void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
   }
 }
 
-void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
-               std::int64_t k, std::int64_t n, bool accumulate) {
+void matmul_bt_naive(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n, bool accumulate) {
   if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
   // B stored [N,K]: dot products of contiguous rows — already cache-friendly.
   for (std::int64_t i = 0; i < m; ++i) {
@@ -58,6 +68,45 @@ void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Blocked GEMM routing. A very narrow result (n below one micro-tile) leaves
+// most of each register tile computing on padding, so those shapes also take
+// the naive kernels.
+// ---------------------------------------------------------------------------
+
+namespace {
+bool use_naive(std::int64_t m, std::int64_t k, std::int64_t n) {
+  return n < 8 || m * k * n <= kNaiveGemmCutoff;
+}
+}  // namespace
+
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t k, std::int64_t n, bool accumulate) {
+  if (use_naive(m, k, n)) {
+    matmul_naive(a, b, c, m, k, n, accumulate);
+    return;
+  }
+  gemm(row_major(a, k), row_major(b, n), c, m, k, n, accumulate);
+}
+
+void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate) {
+  if (use_naive(m, k, n)) {
+    matmul_at_naive(a, b, c, m, k, n, accumulate);
+    return;
+  }
+  gemm(transposed(a, m), row_major(b, n), c, m, k, n, accumulate);
+}
+
+void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate) {
+  if (use_naive(m, k, n)) {
+    matmul_bt_naive(a, b, c, m, k, n, accumulate);
+    return;
+  }
+  gemm(row_major(a, k), transposed(b, k), c, m, k, n, accumulate);
+}
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
     throw std::invalid_argument("matmul: incompatible shapes " +
@@ -68,6 +117,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   matmul(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
   return c;
 }
+
+// ---------------------------------------------------------------------------
+// im2col / im2row and their inverses.
+// ---------------------------------------------------------------------------
 
 void im2col(const float* img, float* cols, std::int64_t channels,
             std::int64_t height, std::int64_t width, const Conv2dSpec& spec) {
@@ -124,85 +177,393 @@ void col2im(const float* cols, float* img, std::int64_t channels,
   }
 }
 
+void im2row(const float* img, float* rows, std::int64_t channels,
+            std::int64_t height, std::int64_t width, const Conv2dSpec& spec) {
+  const std::int64_t oh = spec.out_extent(height);
+  const std::int64_t ow = spec.out_extent(width);
+  const std::int64_t k = spec.kernel;
+  const std::int64_t patch = channels * k * k;
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+      float* dst = rows + (oy * ow + ox) * patch;
+      for (std::int64_t c = 0; c < channels; ++c) {
+        const float* ch = img + c * height * width;
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          const std::int64_t iy = oy * spec.stride + ky - spec.pad;
+          if (iy < 0 || iy >= height) {
+            for (std::int64_t kx = 0; kx < k; ++kx) *dst++ = 0.0F;
+            continue;
+          }
+          const float* src_row = ch + iy * width;
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t ix = ox * spec.stride + kx - spec.pad;
+            *dst++ = (ix >= 0 && ix < width) ? src_row[ix] : 0.0F;
+          }
+        }
+      }
+    }
+  }
+}
+
+void row2im(const float* rows, float* img, std::int64_t channels,
+            std::int64_t height, std::int64_t width, const Conv2dSpec& spec) {
+  const std::int64_t oh = spec.out_extent(height);
+  const std::int64_t ow = spec.out_extent(width);
+  const std::int64_t k = spec.kernel;
+  const std::int64_t patch = channels * k * k;
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+      const float* src = rows + (oy * ow + ox) * patch;
+      for (std::int64_t c = 0; c < channels; ++c) {
+        float* ch = img + c * height * width;
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          const std::int64_t iy = oy * spec.stride + ky - spec.pad;
+          if (iy < 0 || iy >= height) {
+            src += k;
+            continue;
+          }
+          float* dst_row = ch + iy * width;
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t ix = ox * spec.stride + kx - spec.pad;
+            if (ix >= 0 && ix < width) dst_row[ix] += src[kx];
+          }
+          src += k;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Convolution.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// out[Cout, OHW] = out_t[OHW, Cout]^T (+ bias), tiled over the pixel axis so
+/// both streams stay cache-resident.
+void transpose_to_nchw(const float* out_t, float* out, const float* bias,
+                       std::int64_t cout, std::int64_t ohw) {
+  constexpr std::int64_t kTile = 64;
+  for (std::int64_t p0 = 0; p0 < ohw; p0 += kTile) {
+    const std::int64_t pn = std::min(kTile, ohw - p0);
+    for (std::int64_t co = 0; co < cout; ++co) {
+      const float b = bias != nullptr ? bias[co] : 0.0F;
+      const float* src = out_t + p0 * cout + co;
+      float* dst = out + co * ohw + p0;
+      for (std::int64_t p = 0; p < pn; ++p) dst[p] = src[p * cout] + b;
+    }
+  }
+}
+
+void check_conv_input(const Tensor& input, const Conv2dSpec& spec,
+                      const char* who) {
+  if (input.dim(1) != spec.in_channels) {
+    throw std::invalid_argument(std::string(who) + ": input channels " +
+                                std::to_string(input.dim(1)) + " != spec " +
+                                std::to_string(spec.in_channels));
+  }
+}
+
+}  // namespace
+
 void conv2d_forward(const Tensor& input, const Tensor& weight,
-                    const Tensor& bias, Tensor& output, const Conv2dSpec& spec,
-                    std::vector<float>& scratch) {
+                    const Tensor& bias, Tensor& output, const Conv2dSpec& spec) {
   const std::int64_t batch = input.dim(0);
   const std::int64_t height = input.dim(2);
   const std::int64_t width = input.dim(3);
   const std::int64_t oh = spec.out_extent(height);
   const std::int64_t ow = spec.out_extent(width);
+  const std::int64_t ohw = oh * ow;
   const std::int64_t patch = spec.in_channels * spec.kernel * spec.kernel;
-  if (input.dim(1) != spec.in_channels) {
-    throw std::invalid_argument("conv2d_forward: input channels " +
-                                std::to_string(input.dim(1)) + " != spec " +
-                                std::to_string(spec.in_channels));
-  }
-  const auto run_sample = [&](std::int64_t nImg, std::vector<float>& cols) {
-    cols.resize(static_cast<std::size_t>(patch * oh * ow));
-    const float* img = input.data() + nImg * spec.in_channels * height * width;
-    im2col(img, cols.data(), spec.in_channels, height, width, spec);
-    float* out = output.data() + nImg * spec.out_channels * oh * ow;
-    matmul(weight.data(), cols.data(), out, spec.out_channels, patch, oh * ow);
-    if (!bias.empty()) {
-      for (std::int64_t c = 0; c < spec.out_channels; ++c) {
-        const float b = bias[c];
-        float* oc = out + c * oh * ow;
-        for (std::int64_t i = 0; i < oh * ow; ++i) oc[i] += b;
-      }
-    }
+  check_conv_input(input, spec, "conv2d_forward");
+  // The weight is the GEMM's right-hand operand ([patch, Cout] = W^T), so its
+  // panels are packed exactly once here and reused across the batch loop.
+  Arena& arena = thread_arena();
+  ArenaScope scope(arena);
+  PackedB wt_packed;
+  wt_packed.pack(transposed(weight.data(), patch), patch, spec.out_channels, arena);
+  const float* bias_data = bias.empty() ? nullptr : bias.data();
+  const auto run_sample = [&](std::int64_t n) {
+    Arena& local = thread_arena();
+    ArenaScope sample_scope(local);
+    const float* img = input.data() + n * spec.in_channels * height * width;
+    float* rows = local.alloc_floats(static_cast<std::size_t>(ohw * patch));
+    im2row(img, rows, spec.in_channels, height, width, spec);
+    float* out_t = local.alloc_floats(static_cast<std::size_t>(ohw * spec.out_channels));
+    gemm_packed(row_major(rows, patch), wt_packed, out_t, ohw, /*accumulate=*/false);
+    transpose_to_nchw(out_t, output.data() + n * spec.out_channels * ohw, bias_data,
+                      spec.out_channels, ohw);
   };
   if (num_threads() > 1 && batch > 1) {
     // Samples write disjoint output slices, so batch-level parallelism needs
-    // no synchronization; each worker keeps its own im2col buffer.
-    parallel_for(batch, [&](std::int64_t nImg) {
-      thread_local std::vector<float> local_cols;
-      run_sample(nImg, local_cols);
-    });
+    // no synchronization; each worker scratches in its own arena.
+    parallel_for(batch, run_sample);
   } else {
-    for (std::int64_t nImg = 0; nImg < batch; ++nImg) run_sample(nImg, scratch);
+    for (std::int64_t n = 0; n < batch; ++n) run_sample(n);
   }
 }
 
 void conv2d_backward(const Tensor& input, const Tensor& weight,
                      const Tensor& grad_output, Tensor* grad_input,
                      Tensor& grad_weight, Tensor* grad_bias,
-                     const Conv2dSpec& spec, std::vector<float>& scratch) {
+                     const Conv2dSpec& spec) {
   const std::int64_t batch = input.dim(0);
   const std::int64_t height = input.dim(2);
   const std::int64_t width = input.dim(3);
   const std::int64_t oh = spec.out_extent(height);
   const std::int64_t ow = spec.out_extent(width);
+  const std::int64_t ohw = oh * ow;
+  const std::int64_t cout = spec.out_channels;
   const std::int64_t patch = spec.in_channels * spec.kernel * spec.kernel;
-  const std::int64_t cols_size = patch * oh * ow;
-  // scratch layout: [cols | dcols]
-  scratch.resize(static_cast<std::size_t>(2 * cols_size));
-  float* cols = scratch.data();
-  float* dcols = scratch.data() + cols_size;
+  check_conv_input(input, spec, "conv2d_backward");
   if (grad_input != nullptr) grad_input->fill(0.0F);
-  for (std::int64_t nImg = 0; nImg < batch; ++nImg) {
-    const float* img = input.data() + nImg * spec.in_channels * height * width;
-    const float* gout = grad_output.data() + nImg * spec.out_channels * oh * ow;
-    im2col(img, cols, spec.in_channels, height, width, spec);
-    // dW[Cout,patch] += gout[Cout,OHW] * cols^T[OHW,patch]
-    matmul_bt(gout, cols, grad_weight.data(), spec.out_channels, oh * ow, patch,
-              /*accumulate=*/true);
-    if (grad_bias != nullptr) {
-      for (std::int64_t c = 0; c < spec.out_channels; ++c) {
-        const float* gc = gout + c * oh * ow;
+  Arena& arena = thread_arena();
+  ArenaScope scope(arena);
+  // Each sample computes its weight/bias gradient into a private partial;
+  // the reduction below adds them in sample order, so the result is bitwise
+  // identical whether 1 or N threads ran the batch loop.
+  float* dw_partials =
+      arena.alloc_floats(static_cast<std::size_t>(batch * cout * patch));
+  float* db_partials =
+      grad_bias != nullptr ? arena.alloc_floats(static_cast<std::size_t>(batch * cout))
+                           : nullptr;
+  // The weight is the shared right-hand operand of every sample's grad-input
+  // GEMM — packed once, reused across the batch loop.
+  PackedB w_packed;
+  if (grad_input != nullptr) {
+    w_packed.pack(row_major(weight.data(), patch), cout, patch, arena);
+  }
+  const auto run_sample = [&](std::int64_t n) {
+    Arena& local = thread_arena();
+    ArenaScope sample_scope(local);
+    const float* img = input.data() + n * spec.in_channels * height * width;
+    const float* gout = grad_output.data() + n * cout * ohw;
+    float* rows = local.alloc_floats(static_cast<std::size_t>(ohw * patch));
+    im2row(img, rows, spec.in_channels, height, width, spec);
+    // dW_n[Cout, patch] = gout[Cout, OHW] * rows[OHW, patch]
+    gemm(row_major(gout, ohw), row_major(rows, patch), dw_partials + n * cout * patch,
+         cout, ohw, patch, /*accumulate=*/false);
+    if (db_partials != nullptr) {
+      float* db = db_partials + n * cout;
+      for (std::int64_t c = 0; c < cout; ++c) {
+        const float* gc = gout + c * ohw;
         float acc = 0.0F;
-        for (std::int64_t i = 0; i < oh * ow; ++i) acc += gc[i];
-        (*grad_bias)[c] += acc;
+        for (std::int64_t i = 0; i < ohw; ++i) acc += gc[i];
+        db[c] = acc;
       }
     }
     if (grad_input != nullptr) {
-      // dcols[patch,OHW] = W^T[patch,Cout] * gout[Cout,OHW]
-      matmul_at(weight.data(), gout, dcols, patch, spec.out_channels, oh * ow);
-      col2im(dcols, grad_input->data() + nImg * spec.in_channels * height * width,
+      // drows[OHW, patch] = gout^T[OHW, Cout] * W[Cout, patch]
+      float* drows = local.alloc_floats(static_cast<std::size_t>(ohw * patch));
+      gemm_packed(transposed(gout, ohw), w_packed, drows, ohw, /*accumulate=*/false);
+      row2im(drows, grad_input->data() + n * spec.in_channels * height * width,
              spec.in_channels, height, width, spec);
+    }
+  };
+  if (num_threads() > 1 && batch > 1) {
+    parallel_for(batch, run_sample);
+  } else {
+    for (std::int64_t n = 0; n < batch; ++n) run_sample(n);
+  }
+  // Fixed-order reduction (sample 0, 1, 2, ...) — deterministic at any
+  // thread count.
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* dw = dw_partials + n * cout * patch;
+    float* gw = grad_weight.data();
+    for (std::int64_t i = 0; i < cout * patch; ++i) gw[i] += dw[i];
+    if (db_partials != nullptr) {
+      const float* db = db_partials + n * cout;
+      for (std::int64_t c = 0; c < cout; ++c) (*grad_bias)[c] += db[c];
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Sparsity-aware spike dispatch.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::int64_t count_nonzeros_raw(const float* data, std::int64_t n) {
+  std::int64_t count = 0;
+  for (std::int64_t i = 0; i < n; ++i) count += (data[i] != 0.0F) ? 1 : 0;
+  return count;
+}
+
+/// Event-style sparse convolution of one sample: every nonzero input pixel
+/// scatters its weight column into the [OHW, Cout] output. `wt` is the
+/// transposed weight [Cin*K*K, Cout]; `out_t` must be zeroed.
+void conv_sample_sparse(const float* img, const float* wt, float* out_t,
+                        const Conv2dSpec& spec, std::int64_t height,
+                        std::int64_t width) {
+  const std::int64_t oh = spec.out_extent(height);
+  const std::int64_t ow = spec.out_extent(width);
+  const std::int64_t k = spec.kernel;
+  const std::int64_t cout = spec.out_channels;
+  for (std::int64_t ci = 0; ci < spec.in_channels; ++ci) {
+    const float* ch = img + ci * height * width;
+    for (std::int64_t y = 0; y < height; ++y) {
+      for (std::int64_t x = 0; x < width; ++x) {
+        const float v = ch[y * width + x];
+        if (v == 0.0F) continue;
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          const std::int64_t ty = y + spec.pad - ky;
+          if (ty < 0) break;  // ty only decreases with ky
+          if (ty % spec.stride != 0) continue;
+          const std::int64_t oy = ty / spec.stride;
+          if (oy >= oh) continue;
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t tx = x + spec.pad - kx;
+            if (tx < 0) break;
+            if (tx % spec.stride != 0) continue;
+            const std::int64_t ox = tx / spec.stride;
+            if (ox >= ow) continue;
+            float* dst = out_t + (oy * ow + ox) * cout;
+            const float* wrow = wt + ((ci * k + ky) * k + kx) * cout;
+            for (std::int64_t co = 0; co < cout; ++co) dst[co] += v * wrow[co];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void conv2d_forward_spiking(const Tensor& input, const Tensor& weight,
+                            Tensor& output, const Conv2dSpec& spec,
+                            float density_threshold,
+                            std::vector<float>& wt_cache,
+                            SpikeKernelStats& stats) {
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t height = input.dim(2);
+  const std::int64_t width = input.dim(3);
+  const std::int64_t ohw = spec.out_extent(height) * spec.out_extent(width);
+  const std::int64_t cout = spec.out_channels;
+  const std::int64_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  const std::int64_t chw = spec.in_channels * height * width;
+  check_conv_input(input, spec, "conv2d_forward_spiking");
+  if (wt_cache.empty()) {
+    // [Cout, patch] -> [patch, Cout]; rebuilt only after begin_sequence
+    // invalidates it, so the transpose amortizes over the T time steps.
+    wt_cache.resize(static_cast<std::size_t>(patch * cout));
+    const float* w = weight.data();
+    for (std::int64_t co = 0; co < cout; ++co) {
+      for (std::int64_t p = 0; p < patch; ++p) {
+        wt_cache[static_cast<std::size_t>(p * cout + co)] = w[co * patch + p];
+      }
+    }
+  }
+  Arena& arena = thread_arena();
+  ArenaScope scope(arena);
+  PackedB wt_packed;
+  wt_packed.pack(row_major(wt_cache.data(), cout), patch, cout, arena);
+  std::int64_t* nnz = arena.alloc_indices(static_cast<std::size_t>(batch));
+  const auto run_sample = [&](std::int64_t n) {
+    Arena& local = thread_arena();
+    ArenaScope sample_scope(local);
+    const float* img = input.data() + n * chw;
+    // The dispatch scan doubles as the activity count: data is streamed once
+    // and the exact nonzero tally comes out for free.
+    const std::int64_t sample_nnz = count_nonzeros_raw(img, chw);
+    nnz[n] = sample_nnz;
+    const bool sparse = static_cast<double>(sample_nnz) <=
+                        static_cast<double>(density_threshold) * static_cast<double>(chw);
+    float* out_t = local.alloc_floats(static_cast<std::size_t>(ohw * cout));
+    if (sparse) {
+      std::memset(out_t, 0, static_cast<std::size_t>(ohw * cout) * sizeof(float));
+      conv_sample_sparse(img, wt_cache.data(), out_t, spec, height, width);
+    } else {
+      float* rows = local.alloc_floats(static_cast<std::size_t>(ohw * patch));
+      im2row(img, rows, spec.in_channels, height, width, spec);
+      gemm_packed(row_major(rows, patch), wt_packed, out_t, ohw, /*accumulate=*/false);
+    }
+    transpose_to_nchw(out_t, output.data() + n * cout * ohw, nullptr, cout, ohw);
+  };
+  if (num_threads() > 1 && batch > 1) {
+    parallel_for(batch, run_sample);
+  } else {
+    for (std::int64_t n = 0; n < batch; ++n) run_sample(n);
+  }
+  const double threshold = static_cast<double>(density_threshold);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    stats.nonzeros += nnz[n];
+    const bool sparse =
+        static_cast<double>(nnz[n]) <= threshold * static_cast<double>(chw);
+    if (sparse) {
+      ++stats.sparse_samples;
+    } else {
+      ++stats.dense_samples;
+    }
+  }
+  stats.elements += batch * chw;
+  ULLSNN_COUNTER_ADD("kernel.conv.spike_dispatch", batch);
+}
+
+void linear_forward_spiking(const Tensor& input, const Tensor& weight,
+                            Tensor& output, float density_threshold,
+                            std::vector<float>& wt_cache,
+                            SpikeKernelStats& stats) {
+  const std::int64_t m = input.dim(0);
+  const std::int64_t in = weight.dim(1);
+  const std::int64_t out = weight.dim(0);
+  // The dispatch scan doubles as the activity count (see conv above).
+  const std::int64_t nnz = count_nonzeros_raw(input.data(), m * in);
+  stats.nonzeros += nnz;
+  stats.elements += m * in;
+  const bool sparse = static_cast<double>(nnz) <=
+                      static_cast<double>(density_threshold) *
+                          static_cast<double>(m * in);
+  if (sparse) {
+    if (wt_cache.empty()) {
+      wt_cache.resize(static_cast<std::size_t>(in * out));
+      const float* w = weight.data();
+      for (std::int64_t o = 0; o < out; ++o) {
+        for (std::int64_t i = 0; i < in; ++i) {
+          wt_cache[static_cast<std::size_t>(i * out + o)] = w[o * in + i];
+        }
+      }
+    }
+    spmm_row_compressed(input.data(), wt_cache.data(), output.data(), m, in, out,
+                        /*accumulate=*/false);
+    stats.sparse_samples += m;
+  } else {
+    matmul_bt(input.data(), weight.data(), output.data(), m, in, out);
+    stats.dense_samples += m;
+  }
+  ULLSNN_COUNTER_ADD("kernel.linear.spike_dispatch", m);
+}
+
+// ---------------------------------------------------------------------------
+// Pooling. Each [H,W] plane is independent, so the kernels parallelize over
+// batch*channels planes; outputs (and argmax/grad slices) are disjoint, which
+// keeps every thread-count bitwise deterministic.
+// ---------------------------------------------------------------------------
+
+void validate_pool_geometry(const Pool2dSpec& spec, std::int64_t height,
+                            std::int64_t width) {
+  const bool ok = spec.kernel > 0 && spec.stride > 0 && spec.kernel <= height &&
+                  spec.kernel <= width && (height - spec.kernel) % spec.stride == 0 &&
+                  (width - spec.kernel) % spec.stride == 0;
+  if (!ok) {
+    throw std::invalid_argument(
+        "pool geometry k=" + std::to_string(spec.kernel) + " s=" +
+        std::to_string(spec.stride) + " does not tile " + std::to_string(height) +
+        "x" + std::to_string(width) + " exactly (trailing rows/cols would be "
+        "silently dropped)");
+  }
+}
+
+namespace {
+void for_each_plane(std::int64_t planes, const std::function<void(std::int64_t)>& fn) {
+  if (num_threads() > 1 && planes > 1) {
+    parallel_for(planes, fn);
+  } else {
+    for (std::int64_t nc = 0; nc < planes; ++nc) fn(nc);
+  }
+}
+}  // namespace
 
 void maxpool2d_forward(const Tensor& input, Tensor& output,
                        std::vector<std::int64_t>& argmax, const Pool2dSpec& spec) {
@@ -213,22 +574,23 @@ void maxpool2d_forward(const Tensor& input, Tensor& output,
   const std::int64_t oh = spec.out_extent(height);
   const std::int64_t ow = spec.out_extent(width);
   argmax.resize(static_cast<std::size_t>(batch * channels * oh * ow));
-  std::int64_t out_idx = 0;
-  for (std::int64_t nc = 0; nc < batch * channels; ++nc) {
+  for_each_plane(batch * channels, [&](std::int64_t nc) {
     const float* plane = input.data() + nc * height * width;
     const std::int64_t plane_base = nc * height * width;
+    std::int64_t out_idx = nc * oh * ow;
     for (std::int64_t oy = 0; oy < oh; ++oy) {
       for (std::int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
         float best = -std::numeric_limits<float>::infinity();
         std::int64_t best_idx = -1;
         for (std::int64_t ky = 0; ky < spec.kernel; ++ky) {
           const std::int64_t iy = oy * spec.stride + ky;
+          const float* row = plane + iy * width + ox * spec.stride;
+          const std::int64_t row_base = plane_base + iy * width + ox * spec.stride;
           for (std::int64_t kx = 0; kx < spec.kernel; ++kx) {
-            const std::int64_t ix = ox * spec.stride + kx;
-            const float v = plane[iy * width + ix];
+            const float v = row[kx];
             if (v > best) {
               best = v;
-              best_idx = plane_base + iy * width + ix;
+              best_idx = row_base + kx;
             }
           }
         }
@@ -236,16 +598,22 @@ void maxpool2d_forward(const Tensor& input, Tensor& output,
         argmax[static_cast<std::size_t>(out_idx)] = best_idx;
       }
     }
-  }
+  });
 }
 
 void maxpool2d_backward(const Tensor& grad_output,
                         const std::vector<std::int64_t>& argmax,
                         Tensor& grad_input) {
   grad_input.fill(0.0F);
-  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
-    grad_input[argmax[static_cast<std::size_t>(i)]] += grad_output[i];
-  }
+  const std::int64_t planes = grad_output.dim(0) * grad_output.dim(1);
+  const std::int64_t out_plane = grad_output.dim(2) * grad_output.dim(3);
+  // Argmax targets recorded by the forward pass stay inside their own input
+  // plane, so the plane-parallel scatter writes disjoint regions.
+  for_each_plane(planes, [&](std::int64_t nc) {
+    for (std::int64_t i = nc * out_plane; i < (nc + 1) * out_plane; ++i) {
+      grad_input[argmax[static_cast<std::size_t>(i)]] += grad_output[i];
+    }
+  });
 }
 
 void avgpool2d_forward(const Tensor& input, Tensor& output, const Pool2dSpec& spec) {
@@ -256,22 +624,21 @@ void avgpool2d_forward(const Tensor& input, Tensor& output, const Pool2dSpec& sp
   const std::int64_t oh = spec.out_extent(height);
   const std::int64_t ow = spec.out_extent(width);
   const float inv = 1.0F / static_cast<float>(spec.kernel * spec.kernel);
-  std::int64_t out_idx = 0;
-  for (std::int64_t nc = 0; nc < batch * channels; ++nc) {
+  for_each_plane(batch * channels, [&](std::int64_t nc) {
     const float* plane = input.data() + nc * height * width;
+    std::int64_t out_idx = nc * oh * ow;
     for (std::int64_t oy = 0; oy < oh; ++oy) {
       for (std::int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
         float acc = 0.0F;
         for (std::int64_t ky = 0; ky < spec.kernel; ++ky) {
-          const std::int64_t iy = oy * spec.stride + ky;
-          for (std::int64_t kx = 0; kx < spec.kernel; ++kx) {
-            acc += plane[iy * width + ox * spec.stride + kx];
-          }
+          const float* row =
+              plane + (oy * spec.stride + ky) * width + ox * spec.stride;
+          for (std::int64_t kx = 0; kx < spec.kernel; ++kx) acc += row[kx];
         }
         output[out_idx] = acc * inv;
       }
     }
-  }
+  });
 }
 
 void avgpool2d_backward(const Tensor& grad_output, Tensor& grad_input,
@@ -284,21 +651,19 @@ void avgpool2d_backward(const Tensor& grad_output, Tensor& grad_input,
   const std::int64_t height = grad_input.dim(2);
   const std::int64_t width = grad_input.dim(3);
   const float inv = 1.0F / static_cast<float>(spec.kernel * spec.kernel);
-  std::int64_t out_idx = 0;
-  for (std::int64_t nc = 0; nc < batch * channels; ++nc) {
+  for_each_plane(batch * channels, [&](std::int64_t nc) {
     float* plane = grad_input.data() + nc * height * width;
+    std::int64_t out_idx = nc * oh * ow;
     for (std::int64_t oy = 0; oy < oh; ++oy) {
       for (std::int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
         const float g = grad_output[out_idx] * inv;
         for (std::int64_t ky = 0; ky < spec.kernel; ++ky) {
-          const std::int64_t iy = oy * spec.stride + ky;
-          for (std::int64_t kx = 0; kx < spec.kernel; ++kx) {
-            plane[iy * width + ox * spec.stride + kx] += g;
-          }
+          float* row = plane + (oy * spec.stride + ky) * width + ox * spec.stride;
+          for (std::int64_t kx = 0; kx < spec.kernel; ++kx) row[kx] += g;
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace ullsnn

@@ -1,9 +1,25 @@
-// Hot numeric kernels: GEMM, im2col convolution (forward + both backward
-// passes), and pooling. Everything is NCHW, float32, single-threaded but
-// cache-blocked — this repo runs on one core by design (see DESIGN.md).
+// Hot numeric kernels: GEMM, im2row convolution (forward + both backward
+// passes), pooling, and the sparsity-aware spike dispatch. Everything is
+// NCHW, float32.
+//
+// The dense paths route through the cache-blocked, panel-packed GEMM in
+// gemm.h (tiny shapes fall back to the retained naive kernels). Convolution
+// packs the weight operand's panels once per call and reuses them across the
+// batch-sample loop. Batch-level parallelism via the process-wide ThreadPool
+// (util/parallel.h) is bitwise-deterministic at any thread count: samples
+// write disjoint slices, and conv2d_backward reduces per-sample gradient
+// partials in fixed index order. Scratch comes from the per-thread Arena
+// (arena.h) — steady-state calls perform no heap allocation.
+//
+// The *_spiking entry points add a density-based dispatch for SNN inference:
+// inputs below the density threshold take a row-compressed sparse kernel
+// whose cost scales with the spike count, and the nonzero tally the dispatch
+// scan produces is returned so layers get their activity accounting for free
+// (no separate counting pass; see docs/performance.md).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "src/tensor/tensor.h"
 
@@ -20,6 +36,19 @@ void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
 /// C[M,N] = A[M,K] * B^T[K,N] where B is stored [N,K].
 void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
                std::int64_t k, std::int64_t n, bool accumulate = false);
+
+// Reference scalar kernels (the pre-blocking implementations), retained as
+// the ground truth for the `ctest -L kernels` equivalence suite and as the
+// small-shape fast path: below kNaiveGemmCutoff elements of work, packing
+// overhead exceeds the blocked kernel's gain.
+void matmul_naive(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t k, std::int64_t n, bool accumulate = false);
+void matmul_at_naive(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n, bool accumulate = false);
+void matmul_bt_naive(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n, bool accumulate = false);
+
+constexpr std::int64_t kNaiveGemmCutoff = 32 * 32 * 32;  // m*k*n MACs
 
 /// Tensor-level GEMM convenience: a is [M,K], b is [K,N], result [M,N].
 Tensor matmul(const Tensor& a, const Tensor& b);
@@ -45,20 +74,72 @@ void im2col(const float* img, float* cols, std::int64_t channels,
 void col2im(const float* cols, float* img, std::int64_t channels,
             std::int64_t height, std::int64_t width, const Conv2dSpec& spec);
 
+/// im2col's transpose: unpack one sample's [C,H,W] image into rows
+/// [OH*OW, C*K*K] — one receptive field per row. This is the layout the
+/// blocked conv path uses (GEMM against the packed [C*K*K, Cout] weight).
+void im2row(const float* img, float* rows, std::int64_t channels,
+            std::int64_t height, std::int64_t width, const Conv2dSpec& spec);
+
+/// Inverse of im2row: accumulate rows back into the [C,H,W] image buffer.
+/// The image buffer must be zeroed by the caller.
+void row2im(const float* rows, float* img, std::int64_t channels,
+            std::int64_t height, std::int64_t width, const Conv2dSpec& spec);
+
 /// Forward convolution. input [N,Cin,H,W], weight [Cout,Cin,K,K],
 /// bias [Cout] (may be empty), output [N,Cout,OH,OW].
-/// `scratch` must hold at least Cin*K*K*OH*OW floats.
 void conv2d_forward(const Tensor& input, const Tensor& weight,
-                    const Tensor& bias, Tensor& output, const Conv2dSpec& spec,
-                    std::vector<float>& scratch);
+                    const Tensor& bias, Tensor& output, const Conv2dSpec& spec);
 
 /// Gradients of conv2d. grad_output [N,Cout,OH,OW].
 /// Accumulates into grad_weight/grad_bias; overwrites grad_input.
 /// Pass nullptr grad_input to skip the input gradient (first layer).
+/// Per-sample gradient partials are reduced in fixed index order, so the
+/// result is bitwise identical at any thread count.
 void conv2d_backward(const Tensor& input, const Tensor& weight,
                      const Tensor& grad_output, Tensor* grad_input,
                      Tensor& grad_weight, Tensor* grad_bias,
-                     const Conv2dSpec& spec, std::vector<float>& scratch);
+                     const Conv2dSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Sparsity-aware spike dispatch (SNN inference path).
+// ---------------------------------------------------------------------------
+
+/// Inputs at or below this nonzero fraction take the sparse kernel. The
+/// crossover sits near 10-15% density on current hardware (bench_kernels'
+/// density sweep); 10% is the conservative default.
+constexpr float kDefaultSpikeDensityThreshold = 0.10F;
+
+struct SpikeKernelStats {
+  std::int64_t nonzeros = 0;        // exact nnz of every input seen
+  std::int64_t elements = 0;        // total input elements seen
+  std::int64_t sparse_samples = 0;  // samples dispatched to the sparse kernel
+  std::int64_t dense_samples = 0;   // samples dispatched to the dense kernel
+};
+
+/// Forward convolution with per-sample density dispatch: samples whose input
+/// density is <= `density_threshold` run an event-style scatter over the
+/// nonzero pixels (cost ~ nnz * K^2 * Cout); the rest run the blocked dense
+/// path. `wt_cache` caches the [Cin*K*K, Cout] transposed weight — the caller
+/// owns it and must clear() it whenever the weight changes (layers do this in
+/// begin_sequence). The dispatch scan counts nonzeros exactly and accumulates
+/// them into `stats`, which replaces the layers' standalone counting pass.
+void conv2d_forward_spiking(const Tensor& input, const Tensor& weight,
+                            Tensor& output, const Conv2dSpec& spec,
+                            float density_threshold,
+                            std::vector<float>& wt_cache,
+                            SpikeKernelStats& stats);
+
+/// Fully-connected forward (out[N,out] = input[N,in] * W^T) with the same
+/// density dispatch: sparse inputs take the row-compressed spike GEMM against
+/// the cached [in, out] transposed weight. Same `wt_cache` contract as above.
+void linear_forward_spiking(const Tensor& input, const Tensor& weight,
+                            Tensor& output, float density_threshold,
+                            std::vector<float>& wt_cache,
+                            SpikeKernelStats& stats);
+
+// ---------------------------------------------------------------------------
+// Pooling.
+// ---------------------------------------------------------------------------
 
 struct Pool2dSpec {
   std::int64_t kernel = 2;
@@ -69,12 +150,23 @@ struct Pool2dSpec {
   }
 };
 
+/// Throws std::invalid_argument unless the pooling window tiles the input
+/// exactly ((extent - kernel) % stride == 0 in both dimensions). Layers call
+/// this at forward/begin_sequence time so a silently-truncating geometry is
+/// rejected instead of dropping the trailing rows/columns.
+void validate_pool_geometry(const Pool2dSpec& spec, std::int64_t height,
+                            std::int64_t width);
+
 /// Max pooling; records the flat input index of each output's argmax in
-/// `argmax` (same shape as output) for the backward pass.
+/// `argmax` (same shape as output) for the backward pass. Plane-parallel
+/// (each [H,W] plane is independent) when the pool has threads.
 void maxpool2d_forward(const Tensor& input, Tensor& output,
                        std::vector<std::int64_t>& argmax, const Pool2dSpec& spec);
 
-/// Scatter grad_output to the recorded argmax positions. Overwrites grad_input.
+/// Scatter grad_output to the recorded argmax positions. Overwrites
+/// grad_input. Argmax indices must come from maxpool2d_forward on the same
+/// geometry (each output's argmax lies in its own input plane), which keeps
+/// the plane-parallel scatter race-free.
 void maxpool2d_backward(const Tensor& grad_output,
                         const std::vector<std::int64_t>& argmax,
                         Tensor& grad_input);

@@ -24,8 +24,7 @@ TEST(SynapticConvTest, ForwardMatchesDenseConv) {
   uniform_fill(input, -1.0F, 1.0F, rng);
   const Tensor out = synapse.forward(input, 0, false);
   Tensor expected({1, 2, 4, 4});
-  std::vector<float> scratch;
-  conv2d_forward(input, weight, Tensor(), expected, spec, scratch);
+  conv2d_forward(input, weight, Tensor(), expected, spec);
   EXPECT_TRUE(out.allclose(expected, 1e-5F));
 }
 

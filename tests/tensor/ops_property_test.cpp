@@ -12,8 +12,7 @@ namespace {
 Tensor conv(const Tensor& x, const Tensor& w, const Conv2dSpec& spec) {
   Tensor out({x.dim(0), spec.out_channels, spec.out_extent(x.dim(2)),
               spec.out_extent(x.dim(3))});
-  std::vector<float> scratch;
-  conv2d_forward(x, w, Tensor(), out, spec, scratch);
+  conv2d_forward(x, w, Tensor(), out, spec);
   return out;
 }
 

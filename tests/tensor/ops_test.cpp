@@ -166,8 +166,7 @@ TEST_P(ConvTest, ForwardMatchesNaive) {
   Tensor expected({cc.batch, cc.cout, o, o});
   naive_conv(input, weight, expected, spec);
   Tensor actual({cc.batch, cc.cout, o, o});
-  std::vector<float> scratch;
-  conv2d_forward(input, weight, Tensor(), actual, spec, scratch);
+  conv2d_forward(input, weight, Tensor(), actual, spec);
   EXPECT_TRUE(actual.allclose(expected, 1e-4F));
 }
 
@@ -181,7 +180,6 @@ TEST_P(ConvTest, BackwardMatchesFiniteDifference) {
   uniform_fill(weight, -0.5F, 0.5F, rng);
   const std::int64_t o = spec.out_extent(cc.size);
   Tensor out({cc.batch, cc.cout, o, o});
-  std::vector<float> scratch;
 
   // Scalar objective: L = sum(conv(x, w) * g) for a fixed random g, so
   // dL/dout = g exactly.
@@ -190,12 +188,11 @@ TEST_P(ConvTest, BackwardMatchesFiniteDifference) {
 
   Tensor grad_input(input.shape());
   Tensor grad_weight(weight.shape());
-  conv2d_backward(input, weight, g, &grad_input, grad_weight, nullptr, spec, scratch);
+  conv2d_backward(input, weight, g, &grad_input, grad_weight, nullptr, spec);
 
   const auto loss = [&](const Tensor& x, const Tensor& w) {
     Tensor y(out.shape());
-    std::vector<float> s;
-    conv2d_forward(x, w, Tensor(), y, spec, s);
+    conv2d_forward(x, w, Tensor(), y, spec);
     double acc = 0.0;
     for (std::int64_t i = 0; i < y.numel(); ++i) {
       acc += static_cast<double>(y[i]) * g[i];
@@ -235,8 +232,7 @@ TEST(ConvTest, BiasAddsPerChannel) {
   Tensor weight({2, 1, 1, 1}, 0.0F);
   Tensor bias = Tensor::of({1.5F, -2.0F});
   Tensor out({1, 2, 2, 2});
-  std::vector<float> scratch;
-  conv2d_forward(input, weight, bias, out, spec, scratch);
+  conv2d_forward(input, weight, bias, out, spec);
   EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 1.5F);
   EXPECT_FLOAT_EQ(out.at(0, 1, 0, 0), -2.0F);
 }

@@ -120,12 +120,11 @@ TEST(ParallelForTest, ConvForwardMatchesSerial) {
   Tensor weight({8, 3, 3, 3});
   uniform_fill(input, -1.0F, 1.0F, rng);
   uniform_fill(weight, -0.5F, 0.5F, rng);
-  std::vector<float> scratch;
   Tensor serial({6, 8, 12, 12});
-  conv2d_forward(input, weight, Tensor(), serial, spec, scratch);
+  conv2d_forward(input, weight, Tensor(), serial, spec);
   set_num_threads(4);
   Tensor parallel({6, 8, 12, 12});
-  conv2d_forward(input, weight, Tensor(), parallel, spec, scratch);
+  conv2d_forward(input, weight, Tensor(), parallel, spec);
   // Per-sample partition => bitwise identical results.
   for (std::int64_t i = 0; i < serial.numel(); ++i) {
     EXPECT_EQ(serial[i], parallel[i]);

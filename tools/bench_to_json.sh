@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs the kernel micro-benchmarks and writes a JSON snapshot suitable for
+# checking in as the perf baseline (bench/BENCH_kernels.json) or for
+# comparing against it with tools/compare_bench.py.
+#
+# Usage: tools/bench_to_json.sh [BUILD_DIR] [OUT_JSON]
+#
+# Environment:
+#   ULLSNN_BENCH_REPS      repetitions per benchmark (default 3); the
+#                          comparator takes the min, so more reps = less noise
+#   ULLSNN_BENCH_FILTER    --benchmark_filter regex (default: everything)
+#   ULLSNN_BENCH_MIN_TIME  --benchmark_min_time seconds per repetition, as a
+#                          plain double (e.g. 0.1); unset = library default
+#
+# The build-info stamp (compiler, flags, git hash, telemetry) is embedded in
+# the JSON "context" object by bench_kernels itself.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_kernels.json}"
+REPS="${ULLSNN_BENCH_REPS:-3}"
+FILTER="${ULLSNN_BENCH_FILTER:-}"
+MIN_TIME="${ULLSNN_BENCH_MIN_TIME:-}"
+
+BIN="$BUILD_DIR/bench/bench_kernels"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found or not executable (build the bench_kernels target first)" >&2
+  exit 1
+fi
+
+args=(
+  --benchmark_format=json
+  --benchmark_repetitions="$REPS"
+  --benchmark_report_aggregates_only=false
+)
+[[ -n "$FILTER" ]] && args+=(--benchmark_filter="$FILTER")
+[[ -n "$MIN_TIME" ]] && args+=(--benchmark_min_time="$MIN_TIME")
+
+"$BIN" "${args[@]}" > "$OUT"
+echo "wrote $OUT ($(grep -c '"run_name"' "$OUT" || true) run entries)" >&2

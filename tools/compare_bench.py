@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare a bench_kernels JSON run against the checked-in baseline.
+
+Usage: tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 2.0]
+
+Noise strategy — this gate has to hold on shared CI runners, which are both
+slower and noisier than the dev boxes that produce baselines:
+
+  * min over repetitions: each benchmark's best time out of N repetitions is
+    used, discarding scheduler hiccups and cold caches;
+  * calibration anchor: every time is divided by BM_MatmulNaive/256 from the
+    SAME file. The naive kernel is deliberately untouched scalar code, so it
+    measures raw machine speed; normalizing by it makes an AVX-512 dev-box
+    baseline comparable with an AVX2 CI runner;
+  * wide threshold: only a >threshold x (default 2x) normalized slowdown
+    fails. The gate catches "someone accidentally reverted the blocked
+    GEMM", not 10% drift.
+
+Exit status: 0 = no regression, 1 = regression, 2 = usage/format error.
+"""
+
+import argparse
+import json
+import sys
+
+ANCHOR = "BM_MatmulNaive/256"
+
+
+def load_min_times(path):
+    """Return {benchmark name: min real_time in ns} over repetitions."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) when repetitions are on;
+        # plain runs have no run_type field.
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("run_name") or b.get("name")
+        t = b.get("real_time")
+        if name is None or t is None:
+            continue
+        if name not in times or t < times[name]:
+            times[name] = t
+    if not times:
+        print(f"error: no benchmark entries in {path}", file=sys.stderr)
+        sys.exit(2)
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="fail when normalized time exceeds baseline by this "
+                         "factor (default 2.0)")
+    args = ap.parse_args()
+
+    base = load_min_times(args.baseline)
+    cur = load_min_times(args.current)
+
+    if ANCHOR not in base or ANCHOR not in cur:
+        print(f"error: calibration anchor {ANCHOR} missing "
+              f"(baseline: {ANCHOR in base}, current: {ANCHOR in cur})",
+              file=sys.stderr)
+        sys.exit(2)
+
+    base_anchor = base[ANCHOR]
+    cur_anchor = cur[ANCHOR]
+    print(f"anchor {ANCHOR}: baseline {base_anchor:,.0f} ns, "
+          f"current {cur_anchor:,.0f} ns "
+          f"(machine speed ratio {cur_anchor / base_anchor:.2f}x)")
+
+    shared = sorted(set(base) & set(cur) - {ANCHOR})
+    skipped = sorted((set(base) ^ set(cur)) - {ANCHOR})
+    if skipped:
+        print(f"note: {len(skipped)} benchmark(s) present in only one file "
+              f"are skipped: {', '.join(skipped[:8])}"
+              + (" ..." if len(skipped) > 8 else ""))
+    if not shared:
+        print("error: no shared benchmarks to compare", file=sys.stderr)
+        sys.exit(2)
+
+    regressions = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'base(ns)':>12}  {'cur(ns)':>12}  "
+          f"{'norm-ratio':>10}")
+    for name in shared:
+        ratio = (cur[name] / cur_anchor) / (base[name] / base_anchor)
+        flag = "  << REGRESSION" if ratio > args.threshold else ""
+        print(f"{name:<{width}}  {base[name]:>12,.0f}  {cur[name]:>12,.0f}  "
+              f"{ratio:>10.2f}{flag}")
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold}x (normalized):", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nOK: no benchmark regressed more than {args.threshold}x "
+          f"(normalized) across {len(shared)} comparisons")
+
+
+if __name__ == "__main__":
+    main()
