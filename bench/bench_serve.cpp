@@ -1,0 +1,394 @@
+// Serving chaos/soak bench: the resilient inference engine under load and
+// injected faults, plus the accuracy-vs-T curve behind the degradation
+// ladder.
+//
+// Modes (combinable; with no flags both run at a short default):
+//
+//   --soak       drive the ServeEngine with the synthetic test set for
+//                --seconds wall-clock, injecting a transient fault into
+//                --faults of all requests (deterministic id-keyed schedule).
+//                Reports throughput, latency percentiles, retry/breaker
+//                counters, and FAILS (exit 1) if fewer than 99% of accepted
+//                in-deadline requests complete non-error or if the
+//                admission ledger does not balance.
+//   --accuracy   measure the ladder's accuracy cost: one SNN converted at
+//                T=3 evaluated at T=3/2/1 (what the breaker actually does),
+//                next to a fresh conversion at each T (the fair baseline).
+//
+// Options: --seconds N, --faults R, --workers N, --json PATH.
+//
+// The JSON snapshot (tools/bench_to_json.sh serve) is the checked-in
+// bench/BENCH_serve.json serving baseline.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/serve/engine.h"
+#include "src/util/timer.h"
+
+using namespace ullsnn;
+
+namespace {
+
+struct Options {
+  bool soak = false;
+  bool accuracy = false;
+  double seconds = 5.0;
+  double fault_rate = 0.05;
+  std::int64_t workers = 2;
+  std::string json_path;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value after " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--soak") {
+      opt.soak = true;
+    } else if (arg == "--accuracy") {
+      opt.accuracy = true;
+    } else if (arg == "--seconds") {
+      opt.seconds = std::stod(next());
+    } else if (arg == "--faults") {
+      opt.fault_rate = std::stod(next());
+    } else if (arg == "--workers") {
+      opt.workers = std::stoll(next());
+    } else if (arg == "--json") {
+      opt.json_path = next();
+    } else {
+      throw std::invalid_argument("unknown argument: " + arg);
+    }
+  }
+  if (!opt.soak && !opt.accuracy) {
+    opt.soak = true;
+    opt.accuracy = true;
+  }
+  if (opt.fault_rate < 0.0 || opt.fault_rate > 1.0) {
+    throw std::invalid_argument("--faults must be in [0, 1]");
+  }
+  return opt;
+}
+
+/// Deterministic per-request fault schedule: whether request `id` suffers a
+/// transient fault on its first forward attempt. Keyed by a hash of the id,
+/// not submission timing, so the faulted set is identical across runs and
+/// thread interleavings.
+bool fault_scheduled(std::int64_t id, double rate) {
+  const auto h = static_cast<std::uint64_t>(id) * 1315423911ULL;
+  return static_cast<double>(h % 10000ULL) < rate * 10000.0;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct SoakResult {
+  serve::ServeStats stats;
+  std::int64_t queue_peak = 0;
+  std::int64_t trips = 0;
+  std::int64_t recoveries = 0;
+  std::int64_t correct = 0;
+  std::int64_t successes = 0;
+  std::int64_t faults_fired = 0;
+  double elapsed_s = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double completion_rate = 0.0;
+  bool passed = false;
+};
+
+SoakResult run_soak(const Options& opt, const bench::BenchData& data,
+                    const serve::NetworkFactory& factory) {
+  std::printf("\n== Soak: %.0fs, fault rate %.1f%%, %lld worker(s) ==\n",
+              opt.seconds, 100.0 * opt.fault_rate,
+              static_cast<long long>(opt.workers));
+  serve::ServeConfig config;
+  config.workers = opt.workers;
+  config.queue_capacity = 128;
+  config.batcher.max_batch = 8;
+  config.default_deadline = std::chrono::milliseconds(5000);
+  config.request_timeout = std::chrono::milliseconds(20000);
+  config.max_attempts = 3;
+  config.retry_backoff = std::chrono::microseconds(50);
+  const Tensor& images = data.test.images;
+  const std::int64_t samples = data.test.size();
+  const std::int64_t sample_numel = images.numel() / samples;
+  config.input_shape = Shape(images.shape().begin() + 1, images.shape().end());
+
+  std::atomic<std::int64_t> faults_fired{0};
+  const double rate = opt.fault_rate;
+  config.before_forward_hook = [rate, &faults_fired](
+                                   const std::vector<std::int64_t>& ids,
+                                   std::int64_t attempt, snn::SnnNetwork&) {
+    if (attempt > 0) return;  // transient: retries run clean
+    for (const std::int64_t id : ids) {
+      if (fault_scheduled(id, rate)) {
+        faults_fired.fetch_add(1);
+        throw std::runtime_error("soak: injected transient fault");
+      }
+    }
+  };
+
+  serve::ServeEngine engine(config, factory);
+  engine.start();
+
+  SoakResult result;
+  std::vector<double> latencies;
+  Timer wall;
+  std::int64_t cursor = 0;
+  constexpr std::int64_t kWave = 32;
+  while (wall.seconds() < opt.seconds) {
+    std::vector<serve::ResponseFuture> futures;
+    std::vector<std::int64_t> labels;
+    futures.reserve(kWave);
+    labels.reserve(kWave);
+    for (std::int64_t k = 0; k < kWave; ++k) {
+      const std::int64_t sample = cursor++ % samples;
+      Tensor image(config.input_shape);
+      std::memcpy(image.data(), images.data() + sample * sample_numel,
+                  static_cast<std::size_t>(sample_numel) * sizeof(float));
+      serve::SubmitResult submitted = engine.submit(std::move(image));
+      if (!submitted.accepted) continue;  // counted by the engine ledger
+      futures.push_back(std::move(submitted.future));
+      labels.push_back(data.test.labels[static_cast<std::size_t>(sample)]);
+    }
+    for (std::size_t k = 0; k < futures.size(); ++k) {
+      const serve::InferResponse response = futures[k].get();
+      if (serve::is_success(response.status)) {
+        ++result.successes;
+        latencies.push_back(response.total_ms);
+        if (response.predicted == labels[k]) ++result.correct;
+      }
+    }
+  }
+  result.elapsed_s = wall.seconds();
+  engine.stop();
+
+  result.stats = engine.stats();
+  result.queue_peak = engine.queue_peak_depth();
+  result.trips = engine.breaker().trips();
+  result.recoveries = engine.breaker().recoveries();
+  result.faults_fired = faults_fired.load();
+  std::sort(latencies.begin(), latencies.end());
+  result.p50 = percentile(latencies, 0.50);
+  result.p95 = percentile(latencies, 0.95);
+  result.p99 = percentile(latencies, 0.99);
+  const serve::ServeStats& s = result.stats;
+  result.completion_rate =
+      s.accepted > 0
+          ? static_cast<double>(result.successes) / static_cast<double>(s.accepted)
+          : 0.0;
+
+  Table table({"Metric", "Value"});
+  table.add_row({"elapsed s", Table::fmt(result.elapsed_s)});
+  table.add_row({"submitted", std::to_string(s.submitted)});
+  table.add_row({"accepted", std::to_string(s.accepted)});
+  table.add_row({"rejected", std::to_string(s.rejected)});
+  table.add_row({"ok", std::to_string(s.completed_ok)});
+  table.add_row({"degraded", std::to_string(s.completed_degraded)});
+  table.add_row({"errors", std::to_string(s.errors)});
+  table.add_row({"timeouts", std::to_string(s.timeouts)});
+  table.add_row({"shed (deadline)", std::to_string(s.shed_deadline)});
+  table.add_row({"unavailable", std::to_string(s.unavailable)});
+  table.add_row({"retries", std::to_string(s.retries)});
+  table.add_row({"faults fired", std::to_string(result.faults_fired)});
+  table.add_row({"batches", std::to_string(s.batches)});
+  table.add_row({"queue peak depth", std::to_string(result.queue_peak)});
+  table.add_row({"breaker trips", std::to_string(result.trips)});
+  table.add_row({"breaker recoveries", std::to_string(result.recoveries)});
+  table.add_row({"completion rate", Table::fmt(result.completion_rate, 4)});
+  table.add_row({"soak accuracy %",
+                 Table::fmt(result.successes > 0
+                                ? 100.0 * static_cast<double>(result.correct) /
+                                      static_cast<double>(result.successes)
+                                : 0.0)});
+  table.add_row({"latency p50 ms", Table::fmt(result.p50)});
+  table.add_row({"latency p95 ms", Table::fmt(result.p95)});
+  table.add_row({"latency p99 ms", Table::fmt(result.p99)});
+  table.print("Serving soak");
+  bench::write_csv(table, "serve_soak.csv");
+
+  // Hard gates — the CI serve-soak job keys off this exit status.
+  result.passed = true;
+  if (s.accepted + s.rejected != s.submitted) {
+    std::printf("FAIL: admission ledger imbalance (accepted %lld + rejected "
+                "%lld != submitted %lld)\n",
+                static_cast<long long>(s.accepted),
+                static_cast<long long>(s.rejected),
+                static_cast<long long>(s.submitted));
+    result.passed = false;
+  }
+  if (result.queue_peak > config.queue_capacity) {
+    std::printf("FAIL: queue peak depth %lld exceeded capacity %lld\n",
+                static_cast<long long>(result.queue_peak),
+                static_cast<long long>(config.queue_capacity));
+    result.passed = false;
+  }
+  if (result.completion_rate < 0.99) {
+    std::printf("FAIL: completion rate %.4f < 0.99\n", result.completion_rate);
+    result.passed = false;
+  }
+  if (result.passed) {
+    std::printf("soak PASS: %.2f%% of accepted requests completed non-error\n",
+                100.0 * result.completion_rate);
+  }
+  return result;
+}
+
+struct AccuracyRow {
+  std::int64_t t = 0;
+  double ladder_acc = 0.0;       // T=3-converted net run at this T
+  double reconverted_acc = 0.0;  // net converted specifically for this T
+};
+
+std::vector<AccuracyRow> run_accuracy(const bench::BenchData& data,
+                                      const bench::BenchSetup& setup,
+                                      dnn::Sequential& model,
+                                      const core::ActivationProfile& profile) {
+  std::printf("\n== Accuracy vs T (the degradation ladder's cost) ==\n");
+  core::ConversionConfig cc3;
+  cc3.time_steps = 3;
+  auto ladder_net = core::convert(model, profile, cc3, nullptr);
+  std::vector<AccuracyRow> rows;
+  Table table({"T", "Ladder accuracy %", "Reconverted accuracy %"});
+  for (const std::int64_t t : {3LL, 2LL, 1LL}) {
+    AccuracyRow row;
+    row.t = t;
+    // What the breaker does at runtime: same weights/thresholds (converted
+    // for T=3), just fewer steps.
+    ladder_net->set_time_steps(t);
+    ladder_net->reset_state();
+    row.ladder_acc = snn::evaluate_snn(*ladder_net, data.test, setup.batch_size);
+    // The fair baseline: a conversion tuned for this T.
+    core::ConversionConfig cc;
+    cc.time_steps = t;
+    auto tuned = core::convert(model, profile, cc, nullptr);
+    row.reconverted_acc = snn::evaluate_snn(*tuned, data.test, setup.batch_size);
+    table.add_row({std::to_string(t), Table::fmt(100.0 * row.ladder_acc),
+                   Table::fmt(100.0 * row.reconverted_acc)});
+    std::printf("[serve] T=%lld ladder %.2f%%  reconverted %.2f%%\n",
+                static_cast<long long>(t), 100.0 * row.ladder_acc,
+                100.0 * row.reconverted_acc);
+    rows.push_back(row);
+  }
+  table.print("Accuracy vs T");
+  bench::write_csv(table, "serve_accuracy.csv");
+  return rows;
+}
+
+void write_json(const std::string& path, const Options& opt,
+                const bench::Scale scale, const SoakResult* soak,
+                const std::vector<AccuracyRow>& accuracy) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot write " + path);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve\",\n  \"scale\": \"%s\"",
+               bench::scale_name(scale));
+  if (soak != nullptr) {
+    const serve::ServeStats& s = soak->stats;
+    std::fprintf(
+        f,
+        ",\n  \"soak\": {\n"
+        "    \"seconds\": %.3f,\n    \"fault_rate\": %.4f,\n"
+        "    \"workers\": %lld,\n    \"submitted\": %lld,\n"
+        "    \"accepted\": %lld,\n    \"rejected\": %lld,\n"
+        "    \"ok\": %lld,\n    \"degraded\": %lld,\n    \"errors\": %lld,\n"
+        "    \"timeouts\": %lld,\n    \"shed_deadline\": %lld,\n"
+        "    \"unavailable\": %lld,\n    \"retries\": %lld,\n"
+        "    \"faults_fired\": %lld,\n    \"batches\": %lld,\n"
+        "    \"queue_peak_depth\": %lld,\n    \"breaker_trips\": %lld,\n"
+        "    \"breaker_recoveries\": %lld,\n"
+        "    \"completion_rate\": %.6f,\n"
+        "    \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f},\n"
+        "    \"passed\": %s\n  }",
+        soak->elapsed_s, opt.fault_rate, static_cast<long long>(opt.workers),
+        static_cast<long long>(s.submitted), static_cast<long long>(s.accepted),
+        static_cast<long long>(s.rejected),
+        static_cast<long long>(s.completed_ok),
+        static_cast<long long>(s.completed_degraded),
+        static_cast<long long>(s.errors), static_cast<long long>(s.timeouts),
+        static_cast<long long>(s.shed_deadline),
+        static_cast<long long>(s.unavailable),
+        static_cast<long long>(s.retries),
+        static_cast<long long>(soak->faults_fired),
+        static_cast<long long>(s.batches),
+        static_cast<long long>(soak->queue_peak),
+        static_cast<long long>(soak->trips),
+        static_cast<long long>(soak->recoveries), soak->completion_rate,
+        soak->p50, soak->p95, soak->p99, soak->passed ? "true" : "false");
+  }
+  if (!accuracy.empty()) {
+    std::fprintf(f, ",\n  \"accuracy_vs_t\": [");
+    for (std::size_t i = 0; i < accuracy.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"T\": %lld, \"ladder_acc\": %.4f, "
+                   "\"reconverted_acc\": %.4f}",
+                   i == 0 ? "" : ",", static_cast<long long>(accuracy[i].t),
+                   accuracy[i].ladder_acc, accuracy[i].reconverted_acc);
+    }
+    std::fprintf(f, "\n  ]");
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_options(argc, argv);
+    const bench::Scale scale = bench::read_scale();
+    const bench::BenchSetup setup = bench::setup_for(scale);
+    std::printf("== Serving bench (scale: %s) ==\n", bench::scale_name(scale));
+
+    const core::Architecture arch = core::Architecture::kVgg11;
+    const bench::BenchData data = bench::make_data(10, setup);
+    double dnn_acc = 0.0;
+    auto model = bench::trained_dnn(arch, 10, setup, data, &dnn_acc);
+    const core::ActivationProfile profile =
+        core::collect_activations(*model, data.train);
+    std::printf("[serve] DNN accuracy: %.2f%%\n", 100.0 * dnn_acc);
+
+    SoakResult soak;
+    bool have_soak = false;
+    std::vector<AccuracyRow> accuracy;
+    if (opt.soak) {
+      // Each worker replica is a fresh conversion from the shared trained
+      // DNN: same weights, private runtime state.
+      core::ConversionConfig cc;
+      cc.time_steps = 3;
+      serve::NetworkFactory factory = [&model, &profile, cc] {
+        return core::convert(*model, profile, cc, nullptr);
+      };
+      soak = run_soak(opt, data, factory);
+      have_soak = true;
+    }
+    if (opt.accuracy) {
+      accuracy = run_accuracy(data, setup, *model, profile);
+    }
+    if (!opt.json_path.empty()) {
+      write_json(opt.json_path, opt, scale, have_soak ? &soak : nullptr,
+                 accuracy);
+    }
+    return have_soak && !soak.passed ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_serve: %s\n", e.what());
+    return 1;
+  }
+}

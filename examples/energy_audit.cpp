@@ -5,6 +5,7 @@
 //
 // Usage: energy_audit [timesteps] [dnn_epochs] [train_size]
 #include <cstdio>
+#include <exception>
 #include <cstdlib>
 
 #include "src/core/pipeline.h"
@@ -16,7 +17,7 @@
 
 using namespace ullsnn;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const std::int64_t time_steps = argc > 1 ? std::atoll(argv[1]) : 2;
   const std::int64_t epochs = argc > 2 ? std::atoll(argv[2]) : 12;
   const std::int64_t train_n = argc > 3 ? std::atoll(argv[3]) : 768;
@@ -91,4 +92,13 @@ int main(int argc, char** argv) {
   std::printf("training memory @batch 32: DNN %.1f MiB, SNN %.1f MiB\n",
               dnn_mem.total_mib(), snn_mem.total_mib());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "energy_audit: %s\n", e.what());
+    return 1;
+  }
 }

@@ -6,6 +6,7 @@
 //
 // Usage: event_driven_inference [dnn_epochs] [train_size]
 #include <cstdio>
+#include <exception>
 #include <cstdlib>
 
 #include "src/core/pipeline.h"
@@ -14,7 +15,7 @@
 
 using namespace ullsnn;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const std::int64_t epochs = argc > 1 ? std::atoll(argv[1]) : 12;
   const std::int64_t train_n = argc > 2 ? std::atoll(argv[2]) : 768;
 
@@ -85,4 +86,13 @@ int main(int argc, char** argv) {
                   static_cast<double>(s.dense_equivalent_ops));
   std::printf("events processed: %lld\n", static_cast<long long>(s.events_processed));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "event_driven_inference: %s\n", e.what());
+    return 1;
+  }
 }

@@ -11,6 +11,7 @@
 // Prints the Table I columns for the chosen configuration and, with --save,
 // writes the trained DNN weights for reuse by energy_audit.
 #include <cstdio>
+#include <exception>
 #include <cstring>
 #include <map>
 #include <string>
@@ -41,7 +42,7 @@ core::ConversionMode parse_mode(const std::string& s) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   std::map<std::string, std::string> args;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
@@ -108,4 +109,13 @@ int main(int argc, char** argv) {
     std::printf("\nsaved trained DNN weights to %s\n", save_path.c_str());
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hybrid_training: %s\n", e.what());
+    return 1;
+  }
 }

@@ -4,6 +4,7 @@
 //
 // Usage: latency_sweep [dnn_epochs] [train_size] [max_T]
 #include <cstdio>
+#include <exception>
 #include <cstdlib>
 
 #include "src/core/converter.h"
@@ -13,7 +14,7 @@
 
 using namespace ullsnn;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const std::int64_t epochs = argc > 1 ? std::atoll(argv[1]) : 15;
   const std::int64_t train_n = argc > 2 ? std::atoll(argv[2]) : 1024;
   const std::int64_t max_t = argc > 3 ? std::atoll(argv[3]) : 16;
@@ -60,4 +61,13 @@ int main(int argc, char** argv) {
   table.print("conversion-only accuracy vs T (DNN = " +
               Table::fmt(100.0 * dnn_acc) + "%)");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "latency_sweep: %s\n", e.what());
+    return 1;
+  }
 }

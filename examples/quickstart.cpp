@@ -7,6 +7,7 @@
 //
 // Usage: quickstart [epochs] [train_size]
 #include <cstdio>
+#include <exception>
 #include <cstdlib>
 
 #include "src/core/pipeline.h"
@@ -15,7 +16,7 @@
 
 using namespace ullsnn;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const std::int64_t epochs = argc > 1 ? std::atoll(argv[1]) : 6;
   const std::int64_t train_size = argc > 2 ? std::atoll(argv[2]) : 1024;
 
@@ -63,4 +64,13 @@ int main(int argc, char** argv) {
               snn_flops.total_acs, snn_pj);
   std::printf("Compute-energy reduction vs DNN: %.1fx\n", dnn_pj / snn_pj);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "quickstart: %s\n", e.what());
+    return 1;
+  }
 }

@@ -12,6 +12,7 @@
 // completed epoch with bitwise-identical results to an uninterrupted run.
 // --fresh 1 wipes the checkpoint directory first.
 #include <cstdio>
+#include <exception>
 #include <cstring>
 #include <filesystem>
 #include <map>
@@ -34,7 +35,7 @@ robust::GuardPolicy parse_guard(const std::string& s) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   std::map<std::string, std::string> args;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
@@ -115,4 +116,13 @@ int main(int argc, char** argv) {
               "--fresh 1) to retrain from scratch.\n",
               config.checkpoint.dir.c_str());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "resilient_training: %s\n", e.what());
+    return 1;
+  }
 }

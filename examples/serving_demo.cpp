@@ -1,0 +1,185 @@
+// Resilient serving demo: the degradation ladder end to end.
+//
+// Trains a small VGG-11 on SyntheticCIFAR-10, converts it to a T=3 SNN, and
+// serves it through the ServeEngine in three acts:
+//
+//   1. healthy traffic    — requests served at the full T=3 budget
+//   2. numeric distress   — a fault hook poisons the logits with NaN; the
+//                           circuit breaker walks the ladder T=3 -> 2 -> 1,
+//                           then opens and answers kUnavailable
+//   3. recovery           — the fault clears; a half-open probe succeeds and
+//                           the breaker climbs back to full T
+//
+// The breaker's transition history is printed at the end — the same arc the
+// `ctest -L serve` suite asserts exactly.
+//
+// Usage: serving_demo [epochs] [train_size]
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/serve/engine.h"
+
+using namespace ullsnn;
+
+namespace {
+
+/// Send `n` requests one at a time and tally their statuses.
+void drive(serve::ServeEngine& engine, const data::LabeledImages& dataset,
+           std::int64_t n, std::int64_t* cursor, const char* act) {
+  std::int64_t ok = 0, degraded = 0, unavailable = 0, error = 0, other = 0;
+  const std::int64_t samples = dataset.size();
+  const std::int64_t numel = dataset.images.numel() / samples;
+  const Shape shape(dataset.images.shape().begin() + 1,
+                    dataset.images.shape().end());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t s = (*cursor)++ % samples;
+    Tensor image(shape);
+    std::copy(dataset.images.data() + s * numel,
+              dataset.images.data() + (s + 1) * numel, image.data());
+    serve::SubmitResult r = engine.submit(std::move(image));
+    if (!r.accepted) {
+      ++other;
+      continue;
+    }
+    const serve::InferResponse resp = r.future.get();
+    switch (resp.status) {
+      case serve::ResponseStatus::kOk: ++ok; break;
+      case serve::ResponseStatus::kDegraded: ++degraded; break;
+      case serve::ResponseStatus::kUnavailable: ++unavailable; break;
+      case serve::ResponseStatus::kError: ++error; break;
+      default: ++other; break;
+    }
+  }
+  std::printf("[%s] %lld requests: ok=%lld degraded=%lld unavailable=%lld "
+              "error=%lld other=%lld (breaker: %s at T=%lld)\n",
+              act, static_cast<long long>(n), static_cast<long long>(ok),
+              static_cast<long long>(degraded),
+              static_cast<long long>(unavailable),
+              static_cast<long long>(error), static_cast<long long>(other),
+              serve::to_string(engine.breaker().state()),
+              static_cast<long long>(engine.breaker().time_steps()));
+}
+
+int run(int argc, char** argv) {
+  const std::int64_t epochs = argc > 1 ? std::atoll(argv[1]) : 6;
+  const std::int64_t train_size = argc > 2 ? std::atoll(argv[2]) : 512;
+
+  // Stage 1: train + convert (the usual pipeline, kept small).
+  data::SyntheticCifarSpec spec;
+  data::SyntheticCifar gen(spec);
+  data::LabeledImages train = gen.generate(train_size, 1);
+  data::LabeledImages test = gen.generate(train_size / 4, 2);
+  const data::ChannelStats stats = data::standardize(train);
+  data::apply_standardize(test, stats);
+
+  dnn::ModelConfig mc;
+  mc.width = 0.125F;
+  mc.num_classes = spec.num_classes;
+  Rng rng(3);
+  auto model_ptr = core::build_model(core::Architecture::kVgg11, mc, rng);
+  dnn::Sequential& model = *model_ptr;
+  std::printf("== serving demo: training VGG-11 (%lld epochs) ==\n",
+              static_cast<long long>(epochs));
+  dnn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.augment = false;
+  dnn::DnnTrainer trainer(model, tc);
+  trainer.fit(train);
+  std::printf("DNN accuracy: %.2f%%\n",
+              100.0 * dnn::evaluate_model(model, test, 32));
+  const core::ActivationProfile profile =
+      core::collect_activations(model, train);
+
+  // Stage 2: a serving engine whose breaker reacts quickly, so the three
+  // acts fit in seconds. Production configs would use larger thresholds.
+  serve::ServeConfig sc;
+  sc.workers = 1;
+  sc.batcher.max_batch = 1;  // one request per batch: readable transitions
+  sc.breaker.ladder = {3, 2, 1};
+  sc.breaker.failure_threshold = 2;
+  sc.breaker.recovery_threshold = 2;
+  sc.breaker.open_cooldown = 3;
+  sc.max_attempts = 1;  // the fault is persistent; retries would not help
+  sc.default_deadline = std::chrono::milliseconds(10000);
+  sc.request_timeout = std::chrono::milliseconds(30000);
+  sc.input_shape = Shape(test.images.shape().begin() + 1,
+                         test.images.shape().end());
+
+  std::atomic<bool> poison{false};
+  sc.after_forward_hook = [&poison](const std::vector<std::int64_t>&,
+                                    Tensor& logits) {
+    if (poison.load(std::memory_order_relaxed)) {
+      logits.data()[0] = std::numeric_limits<float>::quiet_NaN();
+    }
+  };
+
+  core::ConversionConfig cc;
+  cc.time_steps = 3;
+  serve::ServeEngine engine(
+      sc, [&model, &profile, cc] {
+        return core::convert(model, profile, cc, nullptr);
+      });
+  engine.start();
+  std::int64_t cursor = 0;
+
+  // Act 1: healthy traffic at full T.
+  drive(engine, test, 20, &cursor, "act 1: healthy");
+
+  // Act 2: poison the logits — watch the ladder descend, then the circuit
+  // open.
+  poison.store(true);
+  drive(engine, test, 12, &cursor, "act 2: distress");
+
+  // Act 3: the fault clears; cooldown, half-open probe, then climb back up.
+  poison.store(false);
+  drive(engine, test, 16, &cursor, "act 3: recovery");
+
+  engine.stop();
+
+  std::printf("\nBreaker transition history:\n");
+  for (const serve::CircuitBreaker::Transition& t :
+       engine.breaker().history()) {
+    std::printf("  batch %4lld: %-9s T=%lld  (%s)\n",
+                static_cast<long long>(t.batch), serve::to_string(t.state),
+                static_cast<long long>(t.time_steps), t.cause.c_str());
+  }
+  const serve::ServeStats s = engine.stats();
+  std::printf("\nTotals: submitted=%lld ok=%lld degraded=%lld "
+              "unavailable=%lld errors=%lld trips=%lld recoveries=%lld\n",
+              static_cast<long long>(s.submitted),
+              static_cast<long long>(s.completed_ok),
+              static_cast<long long>(s.completed_degraded),
+              static_cast<long long>(s.unavailable),
+              static_cast<long long>(s.errors),
+              static_cast<long long>(engine.breaker().trips()),
+              static_cast<long long>(engine.breaker().recoveries()));
+
+  // The demo's contract: the breaker must have tripped during act 2 and
+  // recovered during act 3; anything else means the arc did not happen.
+  if (engine.breaker().trips() < 1 || engine.breaker().recoveries() < 1) {
+    std::fprintf(stderr, "serving_demo: breaker never completed the "
+                         "trip/recover arc\n");
+    return 1;
+  }
+  std::printf("\nThe breaker walked healthy -> degraded -> open -> probe -> "
+              "recovered.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serving_demo: %s\n", e.what());
+    return 1;
+  }
+}

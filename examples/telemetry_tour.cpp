@@ -14,6 +14,7 @@
 //
 // Set ULLSNN_LOG_LEVEL=debug|info|warn|error|off to control console output.
 #include <cstdio>
+#include <exception>
 #include <cstring>
 #include <filesystem>
 #include <map>
@@ -26,7 +27,7 @@
 
 using namespace ullsnn;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   std::map<std::string, std::string> args;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
@@ -85,4 +86,13 @@ int main(int argc, char** argv) {
             "trace.jsonl, probe.csv, probe.jsonl, metrics.csv",
             out_dir.c_str());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "telemetry_tour: %s\n", e.what());
+    return 1;
+  }
 }

@@ -23,7 +23,8 @@ FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec), rng_(spec.seed) {
   validate_rate(spec_.membrane_bitflip_rate, "membrane_bitflip_rate");
 }
 
-std::int64_t FaultInjector::inject_tensor(Tensor& t, double rate, bool sign_only) {
+std::int64_t FaultInjector::inject_tensor_impl(Tensor& t, double rate,
+                                               bool sign_only) {
   if (rate <= 0.0) return 0;
   const auto p = static_cast<float>(rate);
   std::int64_t flips = 0;
@@ -36,16 +37,22 @@ std::int64_t FaultInjector::inject_tensor(Tensor& t, double rate, bool sign_only
     std::memcpy(&t[i], &bits, sizeof bits);
     ++flips;
   }
-  faults_ += flips;
+  faults_.fetch_add(flips, std::memory_order_relaxed);
   return flips;
 }
 
+std::int64_t FaultInjector::inject_tensor(Tensor& t, double rate, bool sign_only) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inject_tensor_impl(t, rate, sign_only);
+}
+
 std::int64_t FaultInjector::inject(const std::vector<dnn::Param*>& params) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::int64_t injected = 0;
   for (dnn::Param* param : params) {
     Tensor& w = param->value;
-    injected += inject_tensor(w, spec_.weight_bitflip_rate, /*sign_only=*/false);
-    injected += inject_tensor(w, spec_.weight_signflip_rate, /*sign_only=*/true);
+    injected += inject_tensor_impl(w, spec_.weight_bitflip_rate, /*sign_only=*/false);
+    injected += inject_tensor_impl(w, spec_.weight_signflip_rate, /*sign_only=*/true);
     // Stuck-at-zero: a dead output unit is its weight row forced to zero.
     // Scalars and vectors (thresholds, leaks, biases) have no row structure.
     if (spec_.stuck_at_zero_rate > 0.0 && w.rank() >= 2 && w.dim(0) > 0) {
@@ -106,11 +113,16 @@ std::uint64_t FaultInjector::corrupt_random_byte(const std::string& path) {
   if (size == 0) {
     throw std::runtime_error("FaultInjector::corrupt_random_byte: empty file " + path);
   }
-  const auto offset = static_cast<std::uint64_t>(
-      rng_.uniform_int(static_cast<std::int64_t>(size)));
-  const auto mask = static_cast<unsigned char>(1U << rng_.uniform_int(8));
+  std::uint64_t offset = 0;
+  unsigned char mask = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    offset = static_cast<std::uint64_t>(
+        rng_.uniform_int(static_cast<std::int64_t>(size)));
+    mask = static_cast<unsigned char>(1U << rng_.uniform_int(8));
+  }
   corrupt_byte(path, offset, mask);
-  ++faults_;
+  faults_.fetch_add(1, std::memory_order_relaxed);
   return offset;
 }
 

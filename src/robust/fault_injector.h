@@ -19,9 +19,18 @@
 // All injection is driven by a private xoshiro stream: the same spec + seed
 // reproduces the same faults, so degradation curves (bench_faults) and tests
 // are deterministic.
+//
+// Thread safety: all mutating entry points serialize on an internal mutex and
+// the fault counter is atomic, so one injector may be shared across serving
+// workers (each drawing chaos faults concurrently). The *sequence* of faults
+// is still deterministic per injector; which caller receives which draw
+// depends on interleaving, so multi-threaded tests must assert totals, not
+// per-thread attributions.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -62,7 +71,9 @@ class FaultInjector {
   void attach_membrane_faults(snn::SnnNetwork& net);
 
   /// Total faults injected since construction (all kinds).
-  std::int64_t faults_injected() const { return faults_; }
+  std::int64_t faults_injected() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
 
   const FaultSpec& spec() const { return spec_; }
 
@@ -76,9 +87,13 @@ class FaultInjector {
   std::uint64_t corrupt_random_byte(const std::string& path);
 
  private:
+  /// Unlocked body of inject_tensor; callers must hold mu_.
+  std::int64_t inject_tensor_impl(Tensor& t, double rate, bool sign_only);
+
   FaultSpec spec_;
+  mutable std::mutex mu_;  // guards rng_ (xoshiro state is not atomic)
   Rng rng_;
-  std::int64_t faults_ = 0;
+  std::atomic<std::int64_t> faults_{0};
 };
 
 }  // namespace ullsnn::robust

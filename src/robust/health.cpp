@@ -77,17 +77,19 @@ HealthReport HealthMonitor::check(const std::vector<dnn::Param*>& params,
 
 void HealthMonitor::snapshot(const std::vector<dnn::Param*>& params,
                              const std::vector<Tensor>& velocity, const Rng& rng) {
+  std::lock_guard<std::mutex> lock(mu_);
   saved_values_.clear();
   saved_values_.reserve(params.size());
   for (const dnn::Param* p : params) saved_values_.push_back(p->value);
   saved_velocity_ = velocity;
   saved_rng_ = rng.state();
-  has_snapshot_ = true;
+  has_snapshot_.store(true, std::memory_order_release);
 }
 
 bool HealthMonitor::restore(const std::vector<dnn::Param*>& params,
                             std::vector<Tensor>& velocity, Rng& rng) const {
-  if (!has_snapshot_) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_snapshot_.load(std::memory_order_acquire)) return false;
   if (params.size() != saved_values_.size() ||
       velocity.size() != saved_velocity_.size()) {
     throw std::logic_error("HealthMonitor::restore: parameter set changed size");
@@ -130,21 +132,26 @@ GuardAction HealthMonitor::decide(const HealthReport& report) {
     case GuardPolicy::kThrow:
       return GuardAction::kAbort;
     case GuardPolicy::kRollback: {
-      if (!has_snapshot_ || rollbacks_ >= config_.retry_budget) {
+      std::lock_guard<std::mutex> lock(mu_);
+      const std::int64_t done = rollbacks_.load(std::memory_order_relaxed);
+      if (!has_snapshot_.load(std::memory_order_acquire) ||
+          done >= config_.retry_budget) {
         ULLSNN_COUNTER_ADD("health.aborts", 1);
         return GuardAction::kAbort;
       }
-      ++rollbacks_;
-      lr_scale_ *= config_.lr_backoff;
+      rollbacks_.store(done + 1, std::memory_order_relaxed);
+      const float scale =
+          lr_scale_.load(std::memory_order_relaxed) * config_.lr_backoff;
+      lr_scale_.store(scale, std::memory_order_relaxed);
       ULLSNN_COUNTER_ADD("health.rollbacks", 1);
-      ULLSNN_GAUGE_SET("health.lr_scale", lr_scale_);
+      ULLSNN_GAUGE_SET("health.lr_scale", scale);
       ULLSNN_TRACE_INSTANT("health.rollback");
       if (config_.verbose) {
         obs::logf(obs::LogLevel::kWarn,
                   "[health] rollback %lld/%lld (lr scale %.3g): %s",
-                  static_cast<long long>(rollbacks_),
+                  static_cast<long long>(done + 1),
                   static_cast<long long>(config_.retry_budget),
-                  static_cast<double>(lr_scale_), report.describe().c_str());
+                  static_cast<double>(scale), report.describe().c_str());
       }
       return GuardAction::kRetry;
     }

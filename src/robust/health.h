@@ -16,9 +16,18 @@
 // The snapshot includes the trainer's RNG state so a retried epoch replays
 // the same shuffle/augmentation stream: a rollback is bitwise-deterministic,
 // not merely "approximately resumed".
+//
+// Thread safety: scan_tensor/check are const and touch only immutable config,
+// so concurrent scans from serving workers need no coordination. The mutating
+// trio — snapshot/restore/decide — serializes on an internal mutex, and the
+// lr_scale/rollbacks counters are atomic, so one monitor may be shared across
+// threads (the serving circuit breaker feeds per-batch check() reports from
+// every worker into the same instance).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -77,7 +86,9 @@ class HealthMonitor {
   /// Record a known-good state to roll back to. Tensors are deep-copied.
   void snapshot(const std::vector<dnn::Param*>& params,
                 const std::vector<Tensor>& velocity, const Rng& rng);
-  bool has_snapshot() const { return has_snapshot_; }
+  bool has_snapshot() const {
+    return has_snapshot_.load(std::memory_order_acquire);
+  }
 
   /// Restore the last snapshot into `params`/`velocity`/`rng`.
   /// Returns false (and leaves everything untouched) if none was taken.
@@ -90,17 +101,20 @@ class HealthMonitor {
   GuardAction decide(const HealthReport& report);
 
   /// Compounded learning-rate backoff factor (1.0 until a rollback happens).
-  float lr_scale() const { return lr_scale_; }
-  std::int64_t rollbacks() const { return rollbacks_; }
+  float lr_scale() const { return lr_scale_.load(std::memory_order_relaxed); }
+  std::int64_t rollbacks() const {
+    return rollbacks_.load(std::memory_order_relaxed);
+  }
 
  private:
   GuardConfig config_;
+  mutable std::mutex mu_;  // guards the snapshot buffers and decide()
   std::vector<Tensor> saved_values_;
   std::vector<Tensor> saved_velocity_;
   RngState saved_rng_;
-  bool has_snapshot_ = false;
-  std::int64_t rollbacks_ = 0;
-  float lr_scale_ = 1.0F;
+  std::atomic<bool> has_snapshot_{false};
+  std::atomic<std::int64_t> rollbacks_{0};
+  std::atomic<float> lr_scale_{1.0F};
 };
 
 }  // namespace ullsnn::robust

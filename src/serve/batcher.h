@@ -1,0 +1,75 @@
+// Deadline-aware micro-batcher.
+//
+// Coalesces queued requests into one forward pass: a batch closes when it
+// reaches max_batch, when the oldest member has waited max_batch_delay, or
+// when the queue runs dry. Requests whose deadline already passed are shed
+// here (fulfilled with kExpired) instead of wasting a slot in the batch —
+// under overload, work that can no longer meet its deadline is the cheapest
+// work to drop.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "src/serve/bounded_queue.h"
+#include "src/serve/request.h"
+
+namespace ullsnn::serve {
+
+struct BatcherConfig {
+  std::int64_t max_batch = 8;
+  /// Oldest-request age at which a partial batch is flushed.
+  std::chrono::milliseconds max_batch_delay{2};
+  /// How long collect() blocks waiting for the first request before giving
+  /// up and returning an empty batch (lets workers poll for shutdown).
+  std::chrono::milliseconds poll_timeout{20};
+};
+
+struct MicroBatch {
+  std::vector<PendingRequest> requests;  // in-deadline, ready to run
+  std::vector<PendingRequest> expired;   // deadline already passed; shed
+  bool empty() const { return requests.empty() && expired.empty(); }
+};
+
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(BatcherConfig config) : config_(config) {}
+
+  const BatcherConfig& config() const { return config_; }
+
+  /// Pull the next micro-batch from `queue`. Blocks up to poll_timeout for
+  /// the first request; then drains greedily until the batch is full, the
+  /// age limit trips, or the queue is momentarily empty. Expired requests
+  /// are separated out and do not count toward max_batch.
+  MicroBatch collect(BoundedQueue<PendingRequest>& queue) {
+    MicroBatch batch;
+    PendingRequest first;
+    if (!queue.pop(&first, config_.poll_timeout)) return batch;
+    admit(std::move(first), batch);
+    while (static_cast<std::int64_t>(batch.requests.size()) < config_.max_batch) {
+      if (!batch.requests.empty() &&
+          Clock::now() - batch.requests.front().slot->enqueue_time() >=
+              config_.max_batch_delay) {
+        break;  // oldest member has waited long enough; flush what we have
+      }
+      PendingRequest next;
+      if (!queue.try_pop(&next)) break;
+      admit(std::move(next), batch);
+    }
+    return batch;
+  }
+
+ private:
+  static void admit(PendingRequest&& request, MicroBatch& batch) {
+    if (Clock::now() >= request.slot->deadline()) {
+      batch.expired.push_back(std::move(request));
+    } else {
+      batch.requests.push_back(std::move(request));
+    }
+  }
+
+  BatcherConfig config_;
+};
+
+}  // namespace ullsnn::serve

@@ -1,0 +1,117 @@
+// Bounded MPMC queue with explicit admission control.
+//
+// The serving engine's first line of defense against overload: try_push never
+// blocks and never grows the queue past its capacity — a full queue yields an
+// immediate, reasoned rejection instead of unbounded memory or a client stuck
+// in a blocking push. Consumers block with a timeout so worker threads can
+// periodically re-check for shutdown without spinning.
+//
+// Peak-depth tracking is exact (updated under the same mutex as the deque),
+// giving tests and the soak harness a precise bound to assert against.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace ullsnn::serve {
+
+/// Why try_push refused an item.
+enum class AdmitError { kNone, kFull, kClosed };
+
+inline const char* to_string(AdmitError e) {
+  switch (e) {
+    case AdmitError::kNone: return "admitted";
+    case AdmitError::kFull: return "queue full";
+    case AdmitError::kClosed: return "queue closed";
+  }
+  return "unknown";
+}
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::int64_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking admission. Returns kNone and takes ownership on success;
+  /// on kFull/kClosed the item is left untouched in the caller's hands.
+  AdmitError try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return AdmitError::kClosed;
+      if (static_cast<std::int64_t>(items_.size()) >= capacity_) {
+        return AdmitError::kFull;
+      }
+      items_.push_back(std::move(item));
+      const auto depth = static_cast<std::int64_t>(items_.size());
+      if (depth > peak_depth_) peak_depth_ = depth;
+    }
+    ready_.notify_one();
+    return AdmitError::kNone;
+  }
+
+  /// Blocking pop with timeout. Returns true and fills `out` when an item
+  /// arrives; false on timeout or when the queue is closed and drained.
+  bool pop(T* out, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!ready_.wait_for(lock, timeout,
+                         [this] { return closed_ || !items_.empty(); })) {
+      return false;
+    }
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking pop; used by the batcher to drain coalescable requests
+  /// after the first blocking pop succeeded.
+  bool try_pop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Reject all future pushes and wake every blocked consumer. Items already
+  /// queued remain poppable (the engine drains and fails them on stop).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::int64_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::int64_t>(items_.size());
+  }
+
+  /// Highest depth ever observed (exact; tracked under the queue mutex).
+  std::int64_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_depth_;
+  }
+
+  std::int64_t capacity() const { return capacity_; }
+
+ private:
+  const std::int64_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  std::int64_t peak_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ullsnn::serve

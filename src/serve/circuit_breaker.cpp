@@ -1,0 +1,159 @@
+#include "src/serve/circuit_breaker.h"
+
+#include <stdexcept>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace ullsnn::serve {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kDegraded: return "degraded";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(std::move(config)) {
+  if (config_.ladder.empty()) {
+    throw std::invalid_argument("CircuitBreaker: ladder must be non-empty");
+  }
+  for (std::size_t i = 0; i < config_.ladder.size(); ++i) {
+    if (config_.ladder[i] <= 0) {
+      throw std::invalid_argument("CircuitBreaker: ladder time steps must be positive");
+    }
+    if (i > 0 && config_.ladder[i] >= config_.ladder[i - 1]) {
+      throw std::invalid_argument("CircuitBreaker: ladder must be strictly decreasing");
+    }
+  }
+  if (config_.failure_threshold <= 0 || config_.recovery_threshold <= 0 ||
+      config_.open_cooldown <= 0) {
+    throw std::invalid_argument("CircuitBreaker: thresholds must be positive");
+  }
+  ULLSNN_GAUGE_SET("serve.breaker.state", 0.0);
+  ULLSNN_GAUGE_SET("serve.breaker.time_steps",
+                   static_cast<double>(config_.ladder[0]));
+}
+
+void CircuitBreaker::note(BreakerState state, const char* cause) {
+  state_ = state;
+  const std::int64_t t = state == BreakerState::kOpen ? 0 : current_t_locked();
+  history_.push_back({sequence_, state, t, cause});
+  // Numeric state encoding for the exported gauge: closed 0, degraded 1,
+  // open 2, half-open 3.
+  ULLSNN_GAUGE_SET("serve.breaker.state", static_cast<double>(static_cast<int>(state)));
+  ULLSNN_GAUGE_SET("serve.breaker.time_steps", static_cast<double>(t));
+  ULLSNN_TRACE_INSTANT("serve.breaker.transition");
+  obs::logf(obs::LogLevel::kInfo, "[serve] breaker -> %s (T=%lld): %s",
+            to_string(state), static_cast<long long>(t), cause);
+}
+
+CircuitBreaker::Decision CircuitBreaker::admit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sequence_;
+  switch (state_) {
+    case BreakerState::kClosed:
+    case BreakerState::kDegraded:
+      return {true, current_t_locked(), false};
+    case BreakerState::kOpen:
+      if (--cooldown_remaining_ <= 0) {
+        note(BreakerState::kHalfOpen, "cooldown elapsed");
+        probe_in_flight_ = true;
+        ULLSNN_COUNTER_ADD("serve.breaker.probes", 1);
+        return {true, current_t_locked(), true};
+      }
+      return {false, 0, false};
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) {
+        // Another worker's probe is outstanding; stay unavailable until its
+        // verdict lands.
+        return {false, 0, false};
+      }
+      probe_in_flight_ = true;
+      ULLSNN_COUNTER_ADD("serve.breaker.probes", 1);
+      return {true, current_t_locked(), true};
+  }
+  return {true, current_t_locked(), false};
+}
+
+void CircuitBreaker::record(bool healthy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sequence_;
+  if (state_ == BreakerState::kHalfOpen) {
+    probe_in_flight_ = false;
+    if (healthy) {
+      consecutive_failures_ = 0;
+      consecutive_successes_ = 0;
+      note(rung_ == 0 ? BreakerState::kClosed : BreakerState::kDegraded,
+           "probe succeeded");
+    } else {
+      cooldown_remaining_ = config_.open_cooldown;
+      note(BreakerState::kOpen, "probe failed");
+    }
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // refused batches report nothing
+  if (healthy) {
+    consecutive_failures_ = 0;
+    if (++consecutive_successes_ >= config_.recovery_threshold && rung_ > 0) {
+      consecutive_successes_ = 0;
+      --rung_;
+      if (rung_ == 0) {
+        ++recoveries_;
+        ULLSNN_COUNTER_ADD("serve.breaker.recoveries", 1);
+        note(BreakerState::kClosed, "recovered to full T");
+      } else {
+        note(BreakerState::kDegraded, "climbed one rung");
+      }
+    }
+    return;
+  }
+  consecutive_successes_ = 0;
+  if (++consecutive_failures_ < config_.failure_threshold) return;
+  consecutive_failures_ = 0;
+  if (rung_ + 1 < static_cast<std::int64_t>(config_.ladder.size())) {
+    ++rung_;
+    note(BreakerState::kDegraded, "descended one rung");
+  } else {
+    ++trips_;
+    cooldown_remaining_ = config_.open_cooldown;
+    ULLSNN_COUNTER_ADD("serve.breaker.trips", 1);
+    note(BreakerState::kOpen, "last rung exhausted");
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::int64_t CircuitBreaker::rung() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rung_;
+}
+
+std::int64_t CircuitBreaker::time_steps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_t_locked();
+}
+
+std::vector<CircuitBreaker::Transition> CircuitBreaker::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+std::int64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+std::int64_t CircuitBreaker::recoveries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recoveries_;
+}
+
+}  // namespace ullsnn::serve

@@ -1,0 +1,112 @@
+// Circuit breaker with a T-degradation ladder.
+//
+// The paper's central result — accuracy holds down to T = 2-3 when per-layer
+// (alpha, beta) scaling is used — gives a converted SNN a degradation axis
+// that conventional DNN serving lacks: under numeric distress the engine can
+// shed *time steps* instead of requests. The ladder descends
+//
+//     T = ladder[0] (healthy) -> ladder[1] -> ... -> ladder.back() -> OPEN
+//
+// one rung per `failure_threshold` consecutive unhealthy batches (NaN/Inf/
+// exploded logits, or exhausted forward retries), and climbs back one rung
+// per `recovery_threshold` consecutive healthy batches. Falling off the last
+// rung opens the circuit: requests get a static kUnavailable response without
+// touching the network. After `open_cooldown` refused batches the breaker
+// half-opens and lets a single probe batch through at the lowest rung;
+// success re-enters the ladder, failure re-opens.
+//
+// All bookkeeping is request-count-based rather than wall-clock-based, so a
+// fixed fault schedule drives a bit-identical transition sequence — the chaos
+// tests assert the exact healthy -> degraded -> open -> half-open -> healthy
+// path. Thread-safe: all state sits behind one mutex (worker threads share
+// one breaker; decisions are far off the per-element hot path).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ullsnn::serve {
+
+enum class BreakerState {
+  kClosed,    // top rung: full time-step budget
+  kDegraded,  // on a lower rung: serving at reduced T
+  kOpen,      // circuit open: static unavailable responses
+  kHalfOpen,  // cooldown elapsed: next batch is a probe
+};
+
+const char* to_string(BreakerState state);
+
+struct BreakerConfig {
+  /// Time-step budgets from healthy to most-degraded. Must be non-empty and
+  /// strictly decreasing (e.g. {3, 2, 1}).
+  std::vector<std::int64_t> ladder = {3, 2, 1};
+  /// Consecutive unhealthy batches before descending one rung (or opening
+  /// when already on the last rung).
+  std::int64_t failure_threshold = 3;
+  /// Consecutive healthy batches before ascending one rung.
+  std::int64_t recovery_threshold = 8;
+  /// Batches refused while open before half-opening for a probe.
+  std::int64_t open_cooldown = 16;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig config);
+
+  /// Per-batch gate. allow == false => respond kUnavailable without running
+  /// the network. When allowed, run at `time_steps`; `probe` marks the
+  /// single half-open trial batch.
+  struct Decision {
+    bool allow = true;
+    std::int64_t time_steps = 0;
+    bool probe = false;
+  };
+  Decision admit();
+
+  /// Report the numeric verdict of an admitted batch. Drives all ladder and
+  /// open/half-open transitions.
+  void record(bool healthy);
+
+  BreakerState state() const;
+  /// Current ladder rung (0 = healthy top rung); clamped to the last rung
+  /// while open/half-open.
+  std::int64_t rung() const;
+  std::int64_t time_steps() const;
+
+  /// One entry per state-or-rung change, in order. `batch` is the admit()/
+  /// record() sequence number at which the transition happened.
+  struct Transition {
+    std::int64_t batch = 0;
+    BreakerState state = BreakerState::kClosed;
+    std::int64_t time_steps = 0;
+    std::string cause;
+  };
+  std::vector<Transition> history() const;
+
+  std::int64_t trips() const;       // times the circuit opened
+  std::int64_t recoveries() const;  // times it returned to the top rung
+
+ private:
+  /// Record a transition and export breaker gauges. Caller holds mu_.
+  void note(BreakerState state, const char* cause);
+  std::int64_t current_t_locked() const {
+    return config_.ladder[static_cast<std::size_t>(rung_)];
+  }
+
+  BreakerConfig config_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::int64_t rung_ = 0;
+  std::int64_t consecutive_failures_ = 0;
+  std::int64_t consecutive_successes_ = 0;
+  std::int64_t cooldown_remaining_ = 0;
+  bool probe_in_flight_ = false;
+  std::int64_t sequence_ = 0;  // admit()+record() event counter
+  std::int64_t trips_ = 0;
+  std::int64_t recoveries_ = 0;
+  std::vector<Transition> history_;
+};
+
+}  // namespace ullsnn::serve

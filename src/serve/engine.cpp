@@ -1,0 +1,371 @@
+#include "src/serve/engine.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/timer.h"
+
+namespace ullsnn::serve {
+
+namespace {
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+robust::GuardConfig monitor_config(float explosion_threshold) {
+  robust::GuardConfig gc;
+  gc.policy = robust::GuardPolicy::kOff;  // engine only uses the scan, not the policy
+  gc.explosion_threshold = explosion_threshold;
+  return gc;
+}
+
+}  // namespace
+
+const char* to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kDegraded: return "degraded";
+    case ResponseStatus::kRejected: return "rejected";
+    case ResponseStatus::kExpired: return "expired";
+    case ResponseStatus::kTimeout: return "timeout";
+    case ResponseStatus::kUnavailable: return "unavailable";
+    case ResponseStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+ServeEngine::ServeEngine(ServeConfig config, NetworkFactory factory)
+    : config_(std::move(config)),
+      factory_(std::move(factory)),
+      queue_(config_.queue_capacity),
+      batcher_(config_.batcher),
+      breaker_(std::make_unique<CircuitBreaker>(config_.breaker)),
+      monitor_(monitor_config(config_.explosion_threshold)) {
+  if (config_.queue_capacity <= 0) {
+    throw std::invalid_argument("ServeEngine: queue_capacity must be positive");
+  }
+  if (config_.workers <= 0) {
+    throw std::invalid_argument("ServeEngine: workers must be positive");
+  }
+  if (config_.max_attempts <= 0) {
+    throw std::invalid_argument("ServeEngine: max_attempts must be positive");
+  }
+  if (config_.input_shape.empty()) {
+    throw std::invalid_argument("ServeEngine: input_shape must be set");
+  }
+  if (!factory_) {
+    throw std::invalid_argument("ServeEngine: network factory must be set");
+  }
+}
+
+ServeEngine::~ServeEngine() { stop(); }
+
+void ServeEngine::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  stopping_.store(false, std::memory_order_release);
+  // Build every replica up front so a broken factory fails loudly here
+  // rather than inside a worker thread.
+  std::vector<std::unique_ptr<snn::SnnNetwork>> replicas;
+  replicas.reserve(static_cast<std::size_t>(config_.workers));
+  for (std::int64_t w = 0; w < config_.workers; ++w) {
+    auto net = factory_();
+    if (net == nullptr || net->empty()) {
+      throw std::runtime_error("ServeEngine: factory produced an empty network");
+    }
+    replicas.push_back(std::move(net));
+  }
+  running_.store(true, std::memory_order_release);
+  for (std::int64_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back(
+        [this, w, net = std::shared_ptr<snn::SnnNetwork>(std::move(
+                    replicas[static_cast<std::size_t>(w)]))]() mutable {
+          ULLSNN_TRACE_SCOPE("serve.worker");
+          while (!stopping_.load(std::memory_order_acquire)) {
+            MicroBatch batch = batcher_.collect(queue_);
+            if (batch.empty()) continue;
+            run_batch(*net, std::move(batch));
+          }
+          (void)w;
+        });
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+  obs::logf(obs::LogLevel::kInfo,
+            "[serve] engine started: %lld worker(s), queue capacity %lld",
+            static_cast<long long>(config_.workers),
+            static_cast<long long>(config_.queue_capacity));
+}
+
+void ServeEngine::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  // Fail whatever the workers never picked up.
+  PendingRequest leftover;
+  while (queue_.try_pop(&leftover)) {
+    InferResponse r;
+    r.status = ResponseStatus::kUnavailable;
+    r.reason = "engine stopped before execution";
+    stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
+    ULLSNN_COUNTER_ADD("serve.unavailable", 1);
+    fulfill(leftover.slot, std::move(r));
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.clear();
+  }
+  obs::logf(obs::LogLevel::kInfo, "[serve] engine stopped");
+}
+
+SubmitResult ServeEngine::submit(Tensor image, std::chrono::milliseconds deadline) {
+  SubmitResult result;
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  ULLSNN_COUNTER_ADD("serve.submitted", 1);
+  const auto reject = [&](const std::string& reason) {
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    ULLSNN_COUNTER_ADD("serve.rejected", 1);
+    result.accepted = false;
+    result.response.status = ResponseStatus::kRejected;
+    result.response.reason = reason;
+    return result;
+  };
+  if (!running_.load(std::memory_order_acquire)) {
+    return reject("engine not running");
+  }
+  if (image.shape() != config_.input_shape) {
+    return reject("input shape " + shape_to_string(image.shape()) +
+                  " != expected " + shape_to_string(config_.input_shape));
+  }
+  if (deadline.count() < 0) deadline = config_.default_deadline;
+  const auto now = Clock::now();
+  auto slot = std::make_shared<ResponseSlot>(
+      next_id_.fetch_add(1, std::memory_order_relaxed), now, now + deadline);
+  PendingRequest pending{slot, std::move(image)};
+  const AdmitError err = queue_.try_push(std::move(pending));
+  if (err != AdmitError::kNone) {
+    return reject(to_string(err));
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.push_back(slot);
+  }
+  stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+  ULLSNN_COUNTER_ADD("serve.accepted", 1);
+  ULLSNN_GAUGE_SET("serve.queue.depth", static_cast<double>(queue_.depth()));
+  result.accepted = true;
+  result.future = ResponseFuture(slot);
+  return result;
+}
+
+void ServeEngine::fulfill(const SlotPtr& slot, InferResponse&& response) {
+  response.total_ms = ms_between(slot->enqueue_time(), Clock::now());
+  if (slot->fulfill(std::move(response))) {
+    ULLSNN_HISTOGRAM_OBSERVE("serve.latency.total_ms",
+                             ms_between(slot->enqueue_time(), Clock::now()));
+  }
+}
+
+bool ServeEngine::logits_healthy(const Tensor& logits) const {
+  robust::HealthReport report;
+  monitor_.scan_tensor("serve.logits", logits, report);
+  return report.healthy();
+}
+
+void ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
+  ULLSNN_TRACE_SCOPE("serve.batch");
+  const auto picked_up = Clock::now();
+  for (auto& expired : batch.expired) {
+    InferResponse r;
+    r.status = ResponseStatus::kExpired;
+    r.reason = "deadline passed before execution";
+    stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+    ULLSNN_COUNTER_ADD("serve.shed.deadline", 1);
+    fulfill(expired.slot, std::move(r));
+  }
+  if (batch.requests.empty()) return;
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  ULLSNN_COUNTER_ADD("serve.batches", 1);
+  ULLSNN_HISTOGRAM_OBSERVE("serve.batch.size",
+                           static_cast<double>(batch.requests.size()));
+
+  const CircuitBreaker::Decision decision = breaker_->admit();
+  if (!decision.allow) {
+    for (auto& request : batch.requests) {
+      InferResponse r;
+      r.status = ResponseStatus::kUnavailable;
+      r.reason = "circuit open";
+      stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
+      ULLSNN_COUNTER_ADD("serve.unavailable", 1);
+      fulfill(request.slot, std::move(r));
+    }
+    return;
+  }
+
+  // Assemble [B, C, H, W] from the per-request [C, H, W] inputs.
+  const std::int64_t batch_size = static_cast<std::int64_t>(batch.requests.size());
+  Shape batch_shape;
+  batch_shape.reserve(config_.input_shape.size() + 1);
+  batch_shape.push_back(batch_size);
+  for (const std::int64_t d : config_.input_shape) batch_shape.push_back(d);
+  Tensor inputs(batch_shape);
+  const std::int64_t sample_numel = shape_numel(config_.input_shape);
+  std::vector<std::int64_t> ids;
+  ids.reserve(static_cast<std::size_t>(batch_size));
+  for (std::int64_t i = 0; i < batch_size; ++i) {
+    const PendingRequest& request = batch.requests[static_cast<std::size_t>(i)];
+    std::memcpy(inputs.data() + i * sample_numel, request.image.data(),
+                static_cast<std::size_t>(sample_numel) * sizeof(float));
+    ids.push_back(request.slot->id());
+  }
+
+  // Forward with retry: an exception from the network (or a chaos hook) and
+  // numerically corrupt logits both count as a failed attempt. reset_state()
+  // makes every attempt start from pristine membranes, so a transient fault
+  // does not poison the retry.
+  Tensor logits;
+  bool success = false;
+  std::int64_t retries_used = 0;
+  std::string last_error = "numeric fault in logits";
+  Timer infer_timer;
+  double infer_ms = 0.0;
+  for (std::int64_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_used;
+      stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      ULLSNN_COUNTER_ADD("serve.retries", 1);
+      if (config_.retry_backoff.count() > 0) {
+        std::this_thread::sleep_for(config_.retry_backoff * (1LL << (attempt - 1)));
+      }
+    }
+    try {
+      ULLSNN_TRACE_SCOPE("serve.forward");
+      infer_timer.reset();
+      if (config_.before_forward_hook) {
+        config_.before_forward_hook(ids, attempt, net);
+      }
+      net.set_time_steps(decision.time_steps);
+      net.reset_state();
+      Tensor out = net.forward(inputs, /*train=*/false);
+      if (config_.after_forward_hook) config_.after_forward_hook(ids, out);
+      infer_ms = infer_timer.millis();
+      if (!logits_healthy(out)) {
+        last_error = "numeric fault in logits";
+        continue;
+      }
+      logits = std::move(out);
+      success = true;
+      break;
+    } catch (const std::exception& e) {
+      infer_ms = infer_timer.millis();
+      last_error = e.what();
+    }
+  }
+  breaker_->record(success);
+
+  if (!success) {
+    for (auto& request : batch.requests) {
+      InferResponse r;
+      r.status = ResponseStatus::kError;
+      r.reason = "all " + std::to_string(config_.max_attempts) +
+                 " attempts failed: " + last_error;
+      r.retries = retries_used;
+      r.time_steps = decision.time_steps;
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      ULLSNN_COUNTER_ADD("serve.errors", 1);
+      fulfill(request.slot, std::move(r));
+    }
+    return;
+  }
+
+  const bool degraded =
+      decision.time_steps != config_.breaker.ladder.front() || decision.probe;
+  const std::int64_t classes = logits.numel() / batch_size;
+  const auto finished = Clock::now();
+  for (std::int64_t i = 0; i < batch_size; ++i) {
+    const PendingRequest& request = batch.requests[static_cast<std::size_t>(i)];
+    InferResponse r;
+    r.retries = retries_used;
+    r.time_steps = decision.time_steps;
+    r.queue_ms = ms_between(request.slot->enqueue_time(), picked_up);
+    r.infer_ms = infer_ms;
+    if (finished >= request.slot->deadline()) {
+      r.status = ResponseStatus::kExpired;
+      r.reason = "completed after deadline";
+      stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      ULLSNN_COUNTER_ADD("serve.shed.deadline", 1);
+    } else {
+      r.status = degraded ? ResponseStatus::kDegraded : ResponseStatus::kOk;
+      if (degraded) r.reason = "served at reduced T";
+      r.logits = Tensor({classes});
+      std::memcpy(r.logits.data(), logits.data() + i * classes,
+                  static_cast<std::size_t>(classes) * sizeof(float));
+      r.predicted = r.logits.argmax();
+      if (degraded) {
+        stats_.completed_degraded.fetch_add(1, std::memory_order_relaxed);
+        ULLSNN_COUNTER_ADD("serve.completed.degraded", 1);
+      } else {
+        stats_.completed_ok.fetch_add(1, std::memory_order_relaxed);
+        ULLSNN_COUNTER_ADD("serve.completed.ok", 1);
+      }
+      ULLSNN_HISTOGRAM_OBSERVE("serve.latency.queue_ms", r.queue_ms);
+      ULLSNN_HISTOGRAM_OBSERVE("serve.latency.infer_ms", r.infer_ms);
+    }
+    fulfill(request.slot, std::move(r));
+  }
+}
+
+void ServeEngine::watchdog_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(config_.watchdog_period);
+    const auto now = Clock::now();
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      const SlotPtr& slot = *it;
+      if (slot->done()) {
+        it = inflight_.erase(it);
+        continue;
+      }
+      if (now - slot->enqueue_time() >= config_.request_timeout) {
+        InferResponse r;
+        r.status = ResponseStatus::kTimeout;
+        r.reason = "request exceeded hard timeout";
+        r.total_ms = ms_between(slot->enqueue_time(), now);
+        if (slot->fulfill(std::move(r))) {
+          stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+          ULLSNN_COUNTER_ADD("serve.timeouts", 1);
+        }
+        it = inflight_.erase(it);
+        continue;
+      }
+      ++it;
+    }
+    ULLSNN_GAUGE_SET("serve.queue.depth", static_cast<double>(queue_.depth()));
+  }
+}
+
+ServeStats ServeEngine::stats() const {
+  ServeStats s;
+  s.submitted = stats_.submitted.load(std::memory_order_relaxed);
+  s.accepted = stats_.accepted.load(std::memory_order_relaxed);
+  s.rejected = stats_.rejected.load(std::memory_order_relaxed);
+  s.shed_deadline = stats_.shed_deadline.load(std::memory_order_relaxed);
+  s.completed_ok = stats_.completed_ok.load(std::memory_order_relaxed);
+  s.completed_degraded = stats_.completed_degraded.load(std::memory_order_relaxed);
+  s.unavailable = stats_.unavailable.load(std::memory_order_relaxed);
+  s.timeouts = stats_.timeouts.load(std::memory_order_relaxed);
+  s.errors = stats_.errors.load(std::memory_order_relaxed);
+  s.retries = stats_.retries.load(std::memory_order_relaxed);
+  s.batches = stats_.batches.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ullsnn::serve

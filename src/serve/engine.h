@@ -1,0 +1,171 @@
+// Resilient SNN inference engine: bounded admission, deadline-aware
+// micro-batching, per-request watchdog, retry-with-backoff, and a circuit
+// breaker that degrades the time-step budget before degrading availability.
+//
+// Request lifecycle:
+//
+//   submit() --admission--> BoundedQueue --MicroBatcher--> worker
+//     |  kRejected (full/stopped/bad input)     |  kExpired (deadline shed)
+//     |                                         v
+//     |                              CircuitBreaker.admit()
+//     |                                |            |  kUnavailable (open)
+//     |                                v
+//     |                    forward at ladder T, retrying transient
+//     |                    failures with exponential backoff
+//     |                                |
+//     |                    numeric scan of logits (NaN/Inf/explosion)
+//     |                                |--> breaker.record(healthy)
+//     |                                v
+//     |                     kOk / kDegraded / kError / kExpired
+//     |
+//   watchdog thread: fulfills kTimeout on any slot past its hard timeout,
+//   bounding client waits even if a worker wedges mid-forward.
+//
+// Threading model: SnnNetwork carries mutable per-sequence state, so each
+// worker owns a private replica built by the NetworkFactory; the queue,
+// breaker, health monitor, and fault hooks are shared (all thread-safe).
+// reset_state() is called before every batch, making each batch a pure
+// function of (weights, inputs, T) — see the SnnNetwork isolation contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/robust/health.h"
+#include "src/serve/batcher.h"
+#include "src/serve/bounded_queue.h"
+#include "src/serve/circuit_breaker.h"
+#include "src/serve/request.h"
+#include "src/snn/snn_network.h"
+
+namespace ullsnn::serve {
+
+/// Builds one network replica per worker. Replicas must share weights'
+/// values (same conversion) but own their runtime state.
+using NetworkFactory = std::function<std::unique_ptr<snn::SnnNetwork>()>;
+
+struct ServeConfig {
+  std::int64_t queue_capacity = 256;
+  std::int64_t workers = 1;
+  BatcherConfig batcher;
+  BreakerConfig breaker;
+  /// Default per-request deadline when submit() is not given one.
+  std::chrono::milliseconds default_deadline{250};
+  /// Hard per-request timeout enforced by the watchdog, measured from
+  /// admission. Must be >= any deadline for deadlines to be meaningful.
+  std::chrono::milliseconds request_timeout{1000};
+  std::chrono::milliseconds watchdog_period{10};
+  /// Forward attempts per batch (1 = no retry).
+  std::int64_t max_attempts = 3;
+  /// Initial retry backoff; doubles per attempt (0 disables sleeping, which
+  /// keeps chaos tests fast while preserving the retry path).
+  std::chrono::microseconds retry_backoff{200};
+  /// |logit| above this counts as numeric distress (matches
+  /// robust::GuardConfig::explosion_threshold semantics).
+  float explosion_threshold = 1e6F;
+  /// Expected single-request input shape, e.g. {3, 32, 32}. Mismatching
+  /// submissions are rejected at admission.
+  Shape input_shape;
+
+  // ---- chaos hooks (tests / bench_serve; null in production) ----
+  /// Called before each forward attempt with the batch's request ids and the
+  /// attempt index. Throwing simulates a transiently failing step; pair with
+  /// robust::FaultInjector to corrupt real state.
+  std::function<void(const std::vector<std::int64_t>& ids, std::int64_t attempt,
+                     snn::SnnNetwork& net)>
+      before_forward_hook;
+  /// Called after a successful forward; may corrupt `logits` (e.g. via
+  /// FaultInjector::inject_tensor) to exercise the breaker's numeric checks.
+  std::function<void(const std::vector<std::int64_t>& ids, Tensor& logits)>
+      after_forward_hook;
+};
+
+/// Result of an admission attempt. On rejection `future` is invalid and
+/// `response` already holds the terminal kRejected answer.
+struct SubmitResult {
+  bool accepted = false;
+  ResponseFuture future;
+  InferResponse response;  // filled only when !accepted
+};
+
+/// Engine-owned counters, independent of the telemetry build flag so tests
+/// can assert exact totals in every configuration.
+struct ServeStats {
+  std::int64_t submitted = 0;
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;       // all admission rejections
+  std::int64_t shed_deadline = 0;  // kExpired (pre-run or post-run)
+  std::int64_t completed_ok = 0;
+  std::int64_t completed_degraded = 0;
+  std::int64_t unavailable = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t errors = 0;
+  std::int64_t retries = 0;
+  std::int64_t batches = 0;
+};
+
+class ServeEngine {
+ public:
+  ServeEngine(ServeConfig config, NetworkFactory factory);
+  ~ServeEngine();
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Spawn worker + watchdog threads. Idempotent.
+  void start();
+  /// Stop accepting, drain the queue as kRejected("engine stopped"), join
+  /// all threads. Idempotent; also run by the destructor.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Admission-controlled, non-blocking submit. `image` must match
+  /// config.input_shape. A negative deadline means "use the default".
+  SubmitResult submit(Tensor image,
+                      std::chrono::milliseconds deadline = std::chrono::milliseconds(-1));
+
+  ServeStats stats() const;
+  const CircuitBreaker& breaker() const { return *breaker_; }
+  std::int64_t queue_depth() const { return queue_.depth(); }
+  std::int64_t queue_peak_depth() const { return queue_.peak_depth(); }
+
+ private:
+  void worker_loop(std::int64_t worker_index);
+  void watchdog_loop();
+  void run_batch(snn::SnnNetwork& net, MicroBatch&& batch);
+  void fulfill(const SlotPtr& slot, InferResponse&& response);
+  /// NaN/Inf/explosion scan of a batch's logits via the shared monitor.
+  bool logits_healthy(const Tensor& logits) const;
+
+  ServeConfig config_;
+  NetworkFactory factory_;
+  BoundedQueue<PendingRequest> queue_;
+  MicroBatcher batcher_;
+  std::unique_ptr<CircuitBreaker> breaker_;
+  robust::HealthMonitor monitor_;
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::int64_t> next_id_{0};
+
+  // Outstanding slots for the watchdog scan (pruned lazily as slots finish).
+  mutable std::mutex inflight_mu_;
+  std::list<SlotPtr> inflight_;
+
+  // Engine-owned stats (see ServeStats).
+  struct AtomicStats {
+    std::atomic<std::int64_t> submitted{0}, accepted{0}, rejected{0},
+        shed_deadline{0}, completed_ok{0}, completed_degraded{0},
+        unavailable{0}, timeouts{0}, errors{0}, retries{0}, batches{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace ullsnn::serve

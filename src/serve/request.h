@@ -1,0 +1,137 @@
+// Request/response types for the resilient SNN inference engine.
+//
+// A submitted request is represented by a shared ResponseSlot that exactly
+// one party fulfills: the worker that ran it, the batcher that shed it, or
+// the watchdog that timed it out. fulfill() is first-wins, so a watchdog
+// firing while a stuck worker eventually finishes never double-completes or
+// deadlocks a client — the late result is simply discarded.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/tensor/tensor.h"
+
+namespace ullsnn::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// Terminal outcome of a request. Degraded responses carry valid logits
+/// computed at a reduced T; everything from kRejected down carries none.
+enum class ResponseStatus {
+  kOk,           // served at the full (healthy-rung) time-step budget
+  kDegraded,     // served at a reduced T — the degradation ladder in action
+  kRejected,     // refused at admission (queue full / engine stopped / bad input)
+  kExpired,      // deadline passed before or during execution; result dropped
+  kTimeout,      // watchdog fired: the request exceeded its hard timeout
+  kUnavailable,  // circuit open: static fallback response, network not run
+  kError,        // all forward attempts failed (non-transient fault)
+};
+
+const char* to_string(ResponseStatus status);
+
+/// True for outcomes that returned usable logits.
+inline bool is_success(ResponseStatus s) {
+  return s == ResponseStatus::kOk || s == ResponseStatus::kDegraded;
+}
+
+struct InferResponse {
+  ResponseStatus status = ResponseStatus::kError;
+  std::string reason;          // human-readable cause for non-kOk outcomes
+  Tensor logits;               // populated iff is_success(status)
+  std::int64_t predicted = -1; // argmax of logits, -1 otherwise
+  std::int64_t time_steps = 0; // T the network actually ran (0 if it didn't)
+  std::int64_t retries = 0;    // transient-failure retries consumed
+  double queue_ms = 0.0;       // admission -> picked up by a worker
+  double infer_ms = 0.0;       // forward time (final attempt)
+  double total_ms = 0.0;       // admission -> fulfillment
+};
+
+/// Shared completion state between the client-held ResponseFuture and the
+/// engine. All members are guarded by mu (the atomics allow cheap lock-free
+/// peeking from the watchdog scan).
+class ResponseSlot {
+ public:
+  ResponseSlot(std::int64_t id, Clock::time_point enqueue,
+               Clock::time_point deadline)
+      : id_(id), enqueue_(enqueue), deadline_(deadline) {}
+
+  std::int64_t id() const { return id_; }
+  Clock::time_point enqueue_time() const { return enqueue_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  bool done() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_;
+  }
+
+  /// First fulfillment wins and wakes waiters; later calls return false and
+  /// leave the stored response untouched.
+  bool fulfill(InferResponse response) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (done_) return false;
+      response_ = std::move(response);
+      done_ = true;
+    }
+    cv_.notify_all();
+    return true;
+  }
+
+  /// Block until fulfilled, then copy the response out.
+  InferResponse wait() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return done_; });
+    return response_;
+  }
+
+  /// Block up to `timeout`; returns false (and no response) on timeout.
+  bool wait_for(std::chrono::milliseconds timeout, InferResponse* out) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [this] { return done_; })) return false;
+    if (out != nullptr) *out = response_;
+    return true;
+  }
+
+ private:
+  const std::int64_t id_;
+  const Clock::time_point enqueue_;
+  const Clock::time_point deadline_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  InferResponse response_;
+};
+
+using SlotPtr = std::shared_ptr<ResponseSlot>;
+
+/// Client-side handle to an accepted request.
+class ResponseFuture {
+ public:
+  ResponseFuture() = default;
+  explicit ResponseFuture(SlotPtr slot) : slot_(std::move(slot)) {}
+
+  bool valid() const { return slot_ != nullptr; }
+  bool ready() const { return slot_ != nullptr && slot_->done(); }
+  std::int64_t id() const { return slot_ ? slot_->id() : -1; }
+
+  /// Blocks until the engine (worker, batcher, or watchdog) fulfills the
+  /// request. Every accepted request is guaranteed to be fulfilled: the
+  /// watchdog bounds the wait even if a worker wedges.
+  InferResponse get() const { return slot_->wait(); }
+
+ private:
+  SlotPtr slot_;
+};
+
+/// What travels through the queue: the input plus the completion slot.
+struct PendingRequest {
+  SlotPtr slot;
+  Tensor image;  // [C, H, W]
+};
+
+}  // namespace ullsnn::serve

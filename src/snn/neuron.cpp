@@ -46,6 +46,13 @@ void IfNeuron::begin_sequence(const Shape& shape, std::int64_t time_steps, bool 
   }
 }
 
+void IfNeuron::clear_state() {
+  membrane_ = Tensor();
+  grad_membrane_ = Tensor();
+  cached_utemp_.clear();
+  cached_prev_u_.clear();
+}
+
 Tensor IfNeuron::step_forward(const Tensor& current, std::int64_t t, bool train) {
   ULLSNN_TRACE_SCOPE("snn.if.step_forward");
   if (current.shape() != membrane_.shape()) {

@@ -66,6 +66,11 @@ class IfNeuron {
   /// sequence of the given activation shape.
   void begin_sequence(const Shape& shape, std::int64_t time_steps, bool train);
 
+  /// Drop all runtime state (membrane, BPTT caches, carried gradient)
+  /// without needing a shape. Part of the SnnNetwork::reset_state()
+  /// isolation contract; parameters (threshold, leak) are untouched.
+  void clear_state();
+
   /// Advance one step: integrate `current`, emit spikes (0 or beta*V_th).
   /// `t` must advance 0, 1, ..., T-1.
   Tensor step_forward(const Tensor& current, std::int64_t t, bool train);

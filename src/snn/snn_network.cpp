@@ -21,7 +21,14 @@ void SnnNetwork::set_time_steps(std::int64_t t) {
 
 void SnnNetwork::set_encoding(Encoding encoding, std::uint64_t seed) {
   encoding_ = encoding;
+  encoder_seed_ = seed;
   encoder_rng_ = Rng(seed);
+}
+
+void SnnNetwork::reset_state() {
+  for (auto& layer : layers_) layer->reset_runtime_state();
+  encoder_rng_ = Rng(encoder_seed_);
+  cached_input_shape_ = Shape{};
 }
 
 Tensor SnnNetwork::forward(const Tensor& images, bool train) {

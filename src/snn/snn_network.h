@@ -8,6 +8,19 @@
 // Backward (SGL): logits = sum_t out_t, so each step receives the same
 // d(loss)/d(logits); the network sweeps t from T-1 down to 0 calling each
 // layer's step_backward in reverse chain order (full BPTT).
+//
+// State-isolation contract (serving depends on this): every forward() call
+// re-initializes all per-sequence runtime state — membranes, BPTT caches,
+// pooling argmax, dropout masks — via begin_sequence before the first time
+// step, so no membrane charge, cached input, or fault-injected corruption
+// from a previous call can leak into the next one. The ONLY state that
+// persists across calls is (a) trainable parameters, (b) accumulated
+// activity counters (reset_stats), and (c) the encoder and dropout RNG
+// stream positions. Direct encoding draws nothing from the encoder stream,
+// so for an inference-mode direct-encoded network two identical inputs
+// produce bitwise-identical logits regardless of what ran in between
+// (regression-tested in snn_network_test.cpp). For Poisson encoding, call
+// reset_state() to rewind the encoder stream and restore that guarantee.
 #pragma once
 
 #include <cstdint>
@@ -80,6 +93,17 @@ class SnnNetwork {
   void set_observer(StepObserver* observer) { observer_ = observer; }
   StepObserver* observer() const { return observer_; }
 
+  /// Hard-reset all per-sequence runtime state on every layer (membranes,
+  /// BPTT caches, pooling argmax, dropout masks) and rewind the encoder RNG
+  /// to its seed. After this call the next forward() is a pure function of
+  /// (parameters, input, T): bitwise-identical inputs give bitwise-identical
+  /// logits under ANY encoding, regardless of what ran before. forward()
+  /// already re-initializes the per-sequence state by itself (see the
+  /// contract above); reset_state() additionally pins the RNG streams and
+  /// frees the retained buffers, which is what a serving engine wants
+  /// between unrelated requests.
+  void reset_state();
+
   /// Accumulated logits over all T steps for a batch of analog images.
   Tensor forward(const Tensor& images, bool train);
 
@@ -102,6 +126,7 @@ class SnnNetwork {
   std::vector<SpikingLayerPtr> layers_;
   std::int64_t time_steps_;
   Encoding encoding_ = Encoding::kDirect;
+  std::uint64_t encoder_seed_ = 99;
   Rng encoder_rng_{99};
   Rng dropout_rng_{123};
   Shape cached_input_shape_;

@@ -55,6 +55,8 @@ class SynapticConv {
   std::int64_t input_elements() const { return stats_.elements; }
   const SpikeKernelStats& kernel_stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+  /// Drop cached inputs and the transposed-weight cache (isolation contract).
+  void clear_runtime_state() { cached_inputs_.clear(); wt_cache_.clear(); }
 
  private:
   Param weight_;
@@ -84,6 +86,8 @@ class SynapticLinear {
   std::int64_t input_elements() const { return stats_.elements; }
   const SpikeKernelStats& kernel_stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+  /// Drop cached inputs and the transposed-weight cache (isolation contract).
+  void clear_runtime_state() { cached_inputs_.clear(); wt_cache_.clear(); }
 
  private:
   Param weight_;
@@ -134,6 +138,14 @@ class SpikingLayer {
   virtual std::int64_t input_elements() const { return 0; }
   virtual void reset_stats() {}
 
+  /// Drop ALL per-sequence runtime state (membranes, BPTT caches, cached
+  /// inputs, pooling argmax, dropout masks) so the next begin_sequence /
+  /// step_forward runs as if the layer were freshly constructed. Parameters
+  /// and activity counters are untouched. Weightless shape-only layers have
+  /// nothing to drop. Part of the SnnNetwork::reset_state() isolation
+  /// contract (see snn_network.h).
+  virtual void reset_runtime_state() {}
+
   /// Primary IF neuron of this layer, or nullptr for weight/shape-only layers.
   virtual IfNeuron* neuron_or_null() { return nullptr; }
 };
@@ -166,6 +178,10 @@ class SpikingConv2d final : public SpikingLayer {
   std::int64_t input_nonzeros() const override { return synapse_.input_nonzeros(); }
   std::int64_t input_elements() const override { return synapse_.input_elements(); }
   void reset_stats() override { neuron_.reset_stats(); synapse_.reset_stats(); }
+  void reset_runtime_state() override {
+    neuron_.clear_state();
+    synapse_.clear_runtime_state();
+  }
   IfNeuron* neuron_or_null() override { return &neuron_; }
 
   SynapticConv& synapse() { return synapse_; }
@@ -202,6 +218,10 @@ class SpikingLinear final : public SpikingLayer {
   std::int64_t input_nonzeros() const override { return synapse_.input_nonzeros(); }
   std::int64_t input_elements() const override { return synapse_.input_elements(); }
   void reset_stats() override;
+  void reset_runtime_state() override {
+    if (neuron_) neuron_->clear_state();
+    synapse_.clear_runtime_state();
+  }
   IfNeuron* neuron_or_null() override { return neuron_.get(); }
 
   SynapticLinear& synapse() { return synapse_; }
@@ -224,6 +244,7 @@ class SpikingMaxPool final : public SpikingLayer {
   Tensor step_backward(const Tensor& grad_output, std::int64_t t) override;
   Shape output_shape(const Shape& input) const override;
   std::string name() const override { return "SpikingMaxPool"; }
+  void reset_runtime_state() override { argmax_per_step_.clear(); }
 
  private:
   Pool2dSpec spec_;
@@ -262,6 +283,10 @@ class SpikingDropout final : public SpikingLayer {
   Tensor step_backward(const Tensor& grad_output, std::int64_t t) override;
   Shape output_shape(const Shape& input) const override { return input; }
   std::string name() const override { return "SpikingDropout"; }
+  /// Drops the mask. The layer's private RNG stream is NOT rewound: masks
+  /// are only drawn in training mode, and rewinding would silently repeat
+  /// dropout patterns across epochs.
+  void reset_runtime_state() override { mask_.clear(); active_ = false; }
 
  private:
   float drop_prob_;
@@ -310,6 +335,13 @@ class SpikingResidualBlock final : public SpikingLayer {
   std::int64_t input_nonzeros() const override { return conv1_.input_nonzeros(); }
   std::int64_t input_elements() const override { return conv1_.input_elements(); }
   void reset_stats() override;
+  void reset_runtime_state() override {
+    neuron1_.clear_state();
+    neuron2_.clear_state();
+    conv1_.clear_runtime_state();
+    conv2_.clear_runtime_state();
+    if (projection_) projection_->clear_runtime_state();
+  }
   IfNeuron* neuron_or_null() override { return &neuron2_; }
 
   IfNeuron& neuron1() { return neuron1_; }

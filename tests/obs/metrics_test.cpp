@@ -109,6 +109,49 @@ TEST(Registry, ConcurrentAddsAreLossless) {
   EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kAdds);
 }
 
+TEST(Registry, ConcurrentRegistrationAndUpdatesAreExact) {
+  // Hammer the registry the way the serving engine does: every thread
+  // resolves instruments BY NAME on every iteration (registration mutex and
+  // instrument update racing together), spread across several counters, a
+  // shared gauge, and a histogram. Totals must come out exact — lock-free
+  // updates may not lose a single increment.
+  Registry& reg = Registry::instance();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  constexpr int kCounters = 4;
+  for (int k = 0; k < kCounters; ++k) {
+    reg.counter("test.hammer.c" + std::to_string(k)).reset();
+  }
+  Histogram& hist = reg.histogram("test.hammer.hist");
+  hist.reset();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int k = (t + i) % kCounters;
+        reg.counter("test.hammer.c" + std::to_string(k)).add(1);
+        reg.histogram("test.hammer.hist").observe(static_cast<double>(i % 7));
+        reg.gauge("test.hammer.gauge").set(static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::int64_t counter_total = 0;
+  for (int k = 0; k < kCounters; ++k) {
+    counter_total += reg.counter("test.hammer.c" + std::to_string(k)).value();
+  }
+  EXPECT_EQ(counter_total, static_cast<std::int64_t>(kThreads) * kIters);
+  EXPECT_EQ(hist.count(), static_cast<std::int64_t>(kThreads) * kIters);
+  std::int64_t bucket_total = 0;
+  for (const std::int64_t b : hist.bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, hist.count());
+  // The gauge holds some thread's last write, not garbage.
+  const double g = reg.gauge("test.hammer.gauge").value();
+  EXPECT_GE(g, 0.0);
+  EXPECT_LT(g, static_cast<double>(kThreads));
+}
+
 TEST(MetricsMacros, CompileAndUpdateWhenEnabled) {
   // With ULLSNN_TELEMETRY=0 the macros are no-ops and the value stays 0;
   // both behaviors are valid — the test asserts consistency with the build.

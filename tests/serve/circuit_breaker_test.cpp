@@ -1,0 +1,181 @@
+#include "src/serve/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace ullsnn::serve {
+namespace {
+
+BreakerConfig fast_config() {
+  BreakerConfig c;
+  c.ladder = {3, 2, 1};
+  c.failure_threshold = 2;
+  c.recovery_threshold = 3;
+  c.open_cooldown = 4;
+  return c;
+}
+
+/// admit() + record() for one batch; returns the admitted T (0 if refused).
+std::int64_t run_batch(CircuitBreaker& breaker, bool healthy) {
+  const CircuitBreaker::Decision d = breaker.admit();
+  if (!d.allow) return 0;
+  breaker.record(healthy);
+  return d.time_steps;
+}
+
+TEST(CircuitBreakerTest, ValidatesConfig) {
+  BreakerConfig empty;
+  empty.ladder = {};
+  EXPECT_THROW(CircuitBreaker{empty}, std::invalid_argument);
+  BreakerConfig increasing;
+  increasing.ladder = {2, 3};
+  EXPECT_THROW(CircuitBreaker{increasing}, std::invalid_argument);
+  BreakerConfig zero_t;
+  zero_t.ladder = {2, 0};
+  EXPECT_THROW(CircuitBreaker{zero_t}, std::invalid_argument);
+  BreakerConfig bad_threshold = fast_config();
+  bad_threshold.failure_threshold = 0;
+  EXPECT_THROW(CircuitBreaker{bad_threshold}, std::invalid_argument);
+}
+
+TEST(CircuitBreakerTest, StartsClosedAtFullTimeSteps) {
+  CircuitBreaker breaker(fast_config());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.rung(), 0);
+  EXPECT_EQ(breaker.time_steps(), 3);
+  const CircuitBreaker::Decision d = breaker.admit();
+  EXPECT_TRUE(d.allow);
+  EXPECT_EQ(d.time_steps, 3);
+  EXPECT_FALSE(d.probe);
+}
+
+TEST(CircuitBreakerTest, ConsecutiveFailuresDescendTheLadder) {
+  CircuitBreaker breaker(fast_config());
+  // failure_threshold = 2: two unhealthy batches per rung.
+  run_batch(breaker, false);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);  // 1 failure: no move yet
+  run_batch(breaker, false);
+  EXPECT_EQ(breaker.state(), BreakerState::kDegraded);
+  EXPECT_EQ(breaker.time_steps(), 2);
+  run_batch(breaker, false);
+  run_batch(breaker, false);
+  EXPECT_EQ(breaker.time_steps(), 1);
+  run_batch(breaker, false);
+  run_batch(breaker, false);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(CircuitBreakerTest, InterleavedSuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker(fast_config());
+  // fail, heal, fail, heal, ... never reaches failure_threshold = 2 in a row.
+  for (int i = 0; i < 10; ++i) {
+    run_batch(breaker, false);
+    run_batch(breaker, true);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.time_steps(), 3);
+  EXPECT_EQ(breaker.trips(), 0);
+}
+
+TEST(CircuitBreakerTest, OpenRefusesUntilCooldownThenProbes) {
+  CircuitBreaker breaker(fast_config());
+  for (int i = 0; i < 6; ++i) run_batch(breaker, false);  // drive to open
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  // open_cooldown = 4: three refusals, then the fourth admit is the probe.
+  for (int i = 0; i < 3; ++i) {
+    const CircuitBreaker::Decision d = breaker.admit();
+    EXPECT_FALSE(d.allow) << "refusal " << i;
+  }
+  const CircuitBreaker::Decision probe = breaker.admit();
+  EXPECT_TRUE(probe.allow);
+  EXPECT_TRUE(probe.probe);
+  EXPECT_EQ(probe.time_steps, 1);  // probes run at the most conservative rung
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  // While the probe is in flight, other workers stay refused.
+  EXPECT_FALSE(breaker.admit().allow);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  CircuitBreaker breaker(fast_config());
+  for (int i = 0; i < 6; ++i) run_batch(breaker, false);
+  for (int i = 0; i < 3; ++i) breaker.admit();
+  ASSERT_TRUE(breaker.admit().probe);
+  breaker.record(false);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  // The cooldown restarts in full.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(breaker.admit().allow);
+  EXPECT_TRUE(breaker.admit().probe);
+}
+
+TEST(CircuitBreakerTest, FullTripAndRecoveryPath) {
+  CircuitBreaker breaker(fast_config());
+  // Descend: closed -> degraded(T=2) -> degraded(T=1) -> open.
+  for (int i = 0; i < 6; ++i) run_batch(breaker, false);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  // Cooldown, then a successful probe re-enters the ladder at the last rung.
+  for (int i = 0; i < 3; ++i) breaker.admit();
+  ASSERT_TRUE(breaker.admit().probe);
+  breaker.record(true);
+  EXPECT_EQ(breaker.state(), BreakerState::kDegraded);
+  EXPECT_EQ(breaker.time_steps(), 1);
+  // recovery_threshold = 3 healthy batches per rung: 1 -> 2 -> 3.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(run_batch(breaker, true), 1);
+  EXPECT_EQ(breaker.time_steps(), 2);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(run_batch(breaker, true), 2);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.time_steps(), 3);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_EQ(breaker.recoveries(), 1);
+
+  // The transition history captures the whole arc in order.
+  const auto history = breaker.history();
+  std::vector<BreakerState> states;
+  states.reserve(history.size());
+  for (const auto& t : history) states.push_back(t.state);
+  const std::vector<BreakerState> expected = {
+      BreakerState::kDegraded,  // T=2
+      BreakerState::kDegraded,  // T=1
+      BreakerState::kOpen,      // tripped
+      BreakerState::kHalfOpen,  // cooldown elapsed
+      BreakerState::kDegraded,  // probe succeeded, back on last rung
+      BreakerState::kDegraded,  // climbed to T=2
+      BreakerState::kClosed,    // recovered to full T
+  };
+  EXPECT_EQ(states, expected);
+  // Batch sequence numbers are strictly increasing (event-ordered history).
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_GT(history[i].batch, history[i - 1].batch);
+  }
+}
+
+TEST(CircuitBreakerTest, DeterministicAcrossIdenticalRuns) {
+  // Same verdict schedule => bit-identical transition history; this is the
+  // property the chaos tests lean on.
+  const auto drive = [](CircuitBreaker& b) {
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < 6; ++i) run_batch(b, false);
+      for (int i = 0; i < 3; ++i) b.admit();
+      b.admit();
+      b.record(true);
+      for (int i = 0; i < 9; ++i) run_batch(b, true);
+    }
+  };
+  CircuitBreaker a(fast_config());
+  CircuitBreaker b(fast_config());
+  drive(a);
+  drive(b);
+  const auto ha = a.history();
+  const auto hb = b.history();
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t i = 0; i < ha.size(); ++i) {
+    EXPECT_EQ(ha[i].batch, hb[i].batch);
+    EXPECT_EQ(ha[i].state, hb[i].state);
+    EXPECT_EQ(ha[i].time_steps, hb[i].time_steps);
+    EXPECT_EQ(ha[i].cause, hb[i].cause);
+  }
+  EXPECT_EQ(a.trips(), 3);
+  EXPECT_EQ(a.recoveries(), 3);
+}
+
+}  // namespace
+}  // namespace ullsnn::serve

@@ -120,5 +120,56 @@ TEST(SnnNetworkTest, SpikesPerNeuronValidatesSamples) {
   EXPECT_THROW(net->spikes_per_neuron(0), std::invalid_argument);
 }
 
+// Regression test for the serving isolation contract: repeating an input
+// must reproduce the logits bit for bit, no matter what ran in between —
+// no membrane charge, cache, or RNG drift may leak across forward calls.
+TEST(SnnNetworkTest, ResetStateMakesRepeatedForwardsBitwiseIdentical) {
+  auto net = tiny_net(4, 1.0F);
+  Tensor probe({1, 4});
+  probe[0] = 1.3F;
+  probe[1] = 0.4F;
+  probe[2] = 0.9F;
+  probe[3] = 1.7F;
+  net->reset_state();
+  const Tensor first = net->forward(probe, false);
+  // Interleave unrelated work: different input, different batch size.
+  net->forward(Tensor({3, 4}, 0.8F), false);
+  net->reset_state();
+  const Tensor repeat = net->forward(probe, false);
+  ASSERT_EQ(first.shape(), repeat.shape());
+  for (std::int64_t i = 0; i < first.numel(); ++i) {
+    EXPECT_EQ(first[i], repeat[i]) << "logit " << i << " drifted across calls";
+  }
+}
+
+TEST(SnnNetworkTest, ResetStateRewindsThePoissonEncoderStream) {
+  // Poisson encoding draws from the encoder RNG every step, so without
+  // reset_state() a second forward sees a different spike train. With it,
+  // the stream rewinds to the seed and the logits repeat exactly.
+  auto net = tiny_net(16, 1.0F);
+  net->set_encoding(Encoding::kPoisson, /*seed=*/7);
+  Tensor probe({1, 4}, 0.6F);
+  const Tensor first = net->forward(probe, false);
+  net->reset_state();
+  const Tensor rewound = net->forward(probe, false);
+  ASSERT_EQ(first.shape(), rewound.shape());
+  for (std::int64_t i = 0; i < first.numel(); ++i) {
+    EXPECT_EQ(first[i], rewound[i]) << "Poisson logit " << i;
+  }
+}
+
+TEST(SnnNetworkTest, ResetStateClearsLayerRuntimeState) {
+  auto net = tiny_net(4, 1.0F);
+  net->forward(Tensor({1, 4}, 1.5F), false);
+  // A training forward leaves BPTT caches behind; reset_state drops them.
+  net->forward(Tensor({1, 4}, 1.5F), true);
+  net->reset_state();
+  // After reset, backward must fail loudly (no stale tape to consume).
+  EXPECT_THROW(net->backward(Tensor({1, 2}, 1.0F)), std::exception);
+  // And a fresh inference forward still works.
+  const Tensor logits = net->forward(Tensor({1, 4}, 1.5F), false);
+  EXPECT_EQ(logits.shape(), Shape({1, 2}));
+}
+
 }  // namespace
 }  // namespace ullsnn::snn

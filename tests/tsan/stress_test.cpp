@@ -1,19 +1,23 @@
 // Concurrency stress suite for the shared-state hot spots: ThreadPool /
-// parallel_for and the obs metrics registry. Runs in every build, but its
-// purpose is the -DULLSNN_SANITIZE=thread configuration (`ctest -L tsan`),
-// where ThreadSanitizer turns any data race these hammers expose into a hard
-// failure. Assertions here are deliberately coarse (totals, no crashes);
-// TSan provides the actual race detection.
+// parallel_for, the obs metrics registry, and the robust:: primitives the
+// serving engine shares across workers (FaultInjector, HealthMonitor). Runs
+// in every build, but its purpose is the -DULLSNN_SANITIZE=thread
+// configuration (`ctest -L tsan`), where ThreadSanitizer turns any data race
+// these hammers expose into a hard failure. Assertions here are deliberately
+// coarse (totals, no crashes); TSan provides the actual race detection.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/robust/fault_injector.h"
+#include "src/robust/health.h"
 #include "src/util/parallel.h"
 
 namespace ullsnn {
@@ -121,6 +125,112 @@ TEST(TsanStressTest, ParallelForFeedsRegistry) {
 #if ULLSNN_TELEMETRY
   EXPECT_EQ(obs::Registry::instance().counter("tsan.pf.counter").value(), 20 * 64);
 #endif
+}
+
+TEST(TsanStressTest, FaultInjectorSharedAcrossThreads) {
+  // One injector shared by many "workers", each corrupting its own private
+  // tensor: the RNG stream and the fault counter are the contended state.
+  robust::FaultSpec spec;
+  spec.weight_bitflip_rate = 0.5;
+  robust::FaultInjector injector(spec);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::int64_t> per_thread(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&injector, &per_thread, t] {
+      Tensor mine({16}, 1.0F);
+      std::int64_t flips = 0;
+      for (int i = 0; i < kIters; ++i) {
+        flips += injector.inject_tensor(mine, 0.5);
+      }
+      per_thread[static_cast<std::size_t>(t)] = flips;
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::int64_t reported = 0;
+  for (const std::int64_t f : per_thread) reported += f;
+  // Which thread received which draw depends on interleaving, but the
+  // injector-wide total must match what the callers saw, exactly.
+  EXPECT_EQ(injector.faults_injected(), reported);
+  EXPECT_GT(reported, 0);
+}
+
+TEST(TsanStressTest, FaultInjectorParamInjectionRacesTensorInjection) {
+  robust::FaultSpec spec;
+  spec.weight_bitflip_rate = 0.1;
+  spec.stuck_at_zero_rate = 0.05;
+  robust::FaultInjector injector(spec);
+  dnn::Param param{"tsan.weights", Tensor({8, 8}, 0.5F), Tensor({8, 8}), true};
+  std::atomic<bool> stop{false};
+  // inject() (multi-param path, internal lock held across the sweep) racing
+  // inject_tensor() (single-tensor path) on a *different* tensor.
+  std::thread param_thread([&] {
+    std::vector<dnn::Param*> params{&param};
+    while (!stop.load(std::memory_order_relaxed)) injector.inject(params);
+  });
+  Tensor scratch({32}, 1.0F);
+  for (int i = 0; i < 500; ++i) injector.inject_tensor(scratch, 0.2);
+  stop.store(true, std::memory_order_relaxed);
+  param_thread.join();
+  EXPECT_GT(injector.faults_injected(), 0);
+}
+
+TEST(TsanStressTest, HealthMonitorSharedScanSnapshotRestoreDecide) {
+  // The serving composition: many threads scan (const path) while others
+  // snapshot/restore and run decide() — every mutating entry point racing
+  // the read-only ones.
+  robust::GuardConfig config;
+  config.policy = robust::GuardPolicy::kRollback;
+  config.retry_budget = 1000000;  // never aborts during the stress window
+  robust::HealthMonitor monitor(config);
+  dnn::Param param{"tsan.health", Tensor({64}, 0.1F), Tensor({64}), true};
+  std::vector<dnn::Param*> params{&param};
+  std::vector<Tensor> velocity{Tensor({64})};
+  Rng rng(7);
+  monitor.snapshot(params, velocity, rng);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> scans{0};
+  std::vector<std::thread> scanners;
+  for (int t = 0; t < 4; ++t) {
+    scanners.emplace_back([&] {
+      Tensor bad({8}, std::numeric_limits<float>::quiet_NaN());
+      Tensor good({8}, 0.5F);
+      while (!stop.load(std::memory_order_relaxed)) {
+        robust::HealthReport report;
+        monitor.scan_tensor("good", good, report);
+        EXPECT_TRUE(report.healthy());
+        monitor.scan_tensor("bad", bad, report);
+        EXPECT_FALSE(report.healthy());
+        scans.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread snapshotter([&] {
+    std::vector<Tensor> local_velocity{Tensor({64})};
+    Rng local_rng(9);
+    while (!stop.load(std::memory_order_relaxed)) {
+      monitor.snapshot(params, local_velocity, local_rng);
+      monitor.restore(params, local_velocity, local_rng);
+    }
+  });
+  robust::HealthReport unhealthy;
+  unhealthy.nan_count = 1;
+  for (int i = 0; i < 500; ++i) {
+    monitor.decide(unhealthy);
+    (void)monitor.lr_scale();
+    (void)monitor.rollbacks();
+  }
+  // Keep the mutators alive until every scanner has demonstrably overlapped
+  // with them at least once (the decide loop alone can finish in < 1ms).
+  while (scans.load(std::memory_order_relaxed) < 4) std::this_thread::yield();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : scanners) th.join();
+  snapshotter.join();
+  EXPECT_GT(scans.load(), 0);
+  EXPECT_EQ(monitor.rollbacks(), 500);
 }
 
 }  // namespace

@@ -1,22 +1,62 @@
 #!/usr/bin/env bash
-# Runs the kernel micro-benchmarks and writes a JSON snapshot suitable for
-# checking in as the perf baseline (bench/BENCH_kernels.json) or for
-# comparing against it with tools/compare_bench.py.
+# Runs a benchmark binary and writes a JSON snapshot suitable for checking in
+# as a baseline (bench/BENCH_<mode>.json) or for comparing against one.
 #
-# Usage: tools/bench_to_json.sh [BUILD_DIR] [OUT_JSON]
+# Usage: tools/bench_to_json.sh [MODE] [BUILD_DIR] [OUT_JSON]
 #
-# Environment:
+# Modes:
+#   kernels (default)  google-benchmark kernel microbenches -> compare with
+#                      tools/compare_bench.py against bench/BENCH_kernels.json
+#   serve              resilient-serving soak + accuracy-vs-T via bench_serve
+#                      (latency percentiles, completion rate, breaker
+#                      counters) -> bench/BENCH_serve.json
+#
+# MODE may be omitted; a first argument that is not a known mode is taken as
+# BUILD_DIR for backward compatibility.
+#
+# Environment (kernels mode):
 #   ULLSNN_BENCH_REPS      repetitions per benchmark (default 3); the
 #                          comparator takes the min, so more reps = less noise
 #   ULLSNN_BENCH_FILTER    --benchmark_filter regex (default: everything)
 #   ULLSNN_BENCH_MIN_TIME  --benchmark_min_time seconds per repetition, as a
 #                          plain double (e.g. 0.1); unset = library default
 #
+# Environment (serve mode):
+#   ULLSNN_BENCH_SCALE     quick|default|full data/model scale (bench/common.h)
+#   ULLSNN_SERVE_SECONDS   soak duration in seconds (default 10)
+#   ULLSNN_SERVE_FAULTS    injected transient-fault rate in [0,1] (default 0.05)
+#
 # The build-info stamp (compiler, flags, git hash, telemetry) is embedded in
-# the JSON "context" object by bench_kernels itself.
+# the kernels JSON "context" object by bench_kernels itself.
 set -euo pipefail
 
+MODE="kernels"
+case "${1:-}" in
+  kernels|serve)
+    MODE="$1"
+    shift
+    ;;
+esac
+
 BUILD_DIR="${1:-build}"
+
+if [[ "$MODE" == "serve" ]]; then
+  OUT="${2:-BENCH_serve.json}"
+  BIN="$BUILD_DIR/bench/bench_serve"
+  if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not found or not executable (build the bench_serve target first)" >&2
+    exit 1
+  fi
+  # bench_serve exits non-zero if the soak misses its completion-rate or
+  # admission-conservation gates, failing this script with it.
+  "$BIN" --soak --accuracy \
+    --seconds "${ULLSNN_SERVE_SECONDS:-10}" \
+    --faults "${ULLSNN_SERVE_FAULTS:-0.05}" \
+    --json "$OUT"
+  echo "wrote $OUT (serving soak + accuracy-vs-T snapshot)" >&2
+  exit 0
+fi
+
 OUT="${2:-BENCH_kernels.json}"
 REPS="${ULLSNN_BENCH_REPS:-3}"
 FILTER="${ULLSNN_BENCH_FILTER:-}"
