@@ -1,0 +1,95 @@
+// On-disk layout of the ULLSNN model artifact (.ullsnn-art), the crash-safe
+// zero-copy deployment unit for converted SNNs.
+//
+// A checkpoint (util/serialize.h) is a *training* format: parsed and copied
+// into freshly allocated tensors on every load. An artifact is a *serving*
+// format: a flat, 64-byte-aligned, little-endian file that is mmap'd
+// read-only and shared by every worker in every process on the host. The
+// split the conversion guarantees — immutable weights, mutable state only in
+// membranes and RNG streams (the reset_state() isolation contract) — is
+// exactly what makes the read-only sharing sound.
+//
+// Layout (all offsets absolute, all integers little-endian):
+//
+//   [0, 64)    ArtifactHeader: magic "ULSNARTF", format version, CRC of the
+//              header itself, total file size, arch fingerprint, section
+//              count.
+//   [64, ...)  Section table: `section_count` entries of 32 bytes each
+//              { kind, offset, size, crc32(payload) }.
+//   payloads   Each section payload starts on a 64-byte boundary. Tensor
+//              data inside kWeights is additionally 64-byte aligned per
+//              tensor, so borrowed views sit on cache-line boundaries.
+//   [size-16, size)  ArtifactFooter: magic "ULFT", crc32 of every byte
+//              before the footer, and the file size again.
+//
+// Every structure is guarded: the header carries its own CRC, every section
+// carries a payload CRC, and the footer checksums the whole file. A torn
+// write, a truncation at any offset, or a flipped bit anywhere is rejected
+// at load with a typed ArtifactError (proven byte-by-byte by the corruption
+// matrix in tests/artifact/). Writers produce the file with
+// write-to-temp + fsync + atomic-rename, so a crash mid-write can never
+// leave a half-written file under the real name.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ullsnn::artifact {
+
+inline constexpr char kArtifactMagic[8] = {'U', 'L', 'S', 'N', 'A', 'R', 'T', 'F'};
+inline constexpr char kFooterMagic[4] = {'U', 'L', 'F', 'T'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint64_t kAlignment = 64;
+inline constexpr std::uint64_t kHeaderBytes = 64;
+inline constexpr std::uint64_t kSectionEntryBytes = 32;
+inline constexpr std::uint64_t kFooterBytes = 16;
+
+// Sanity bounds: a corrupt count field must fail fast, not drive a huge loop
+// or allocation before the mismatch is noticed.
+inline constexpr std::uint32_t kMaxSections = 64;
+inline constexpr std::uint32_t kMaxLayers = 4096;
+inline constexpr std::uint32_t kMaxTensors = 65536;
+inline constexpr std::uint32_t kMaxNameLen = 4096;
+inline constexpr std::uint32_t kMaxRank = 8;
+
+/// Section payload kinds. Exactly one of each required kind per file.
+enum class SectionKind : std::uint32_t {
+  kArch = 1,         // layer descriptors + temporal metadata (required)
+  kTensorIndex = 2,  // name/shape/offset table into kWeights (required)
+  kWeights = 3,      // raw f32 tensor payloads, 64-byte aligned (required)
+  kProbe = 4,        // canary probe batch + bit-exact expected logits (required)
+};
+
+const char* to_string(SectionKind kind);
+
+/// Why a load or deploy was refused. Every rejection path maps to exactly
+/// one code so callers (registry, tools, tests) can branch without parsing
+/// message strings.
+enum class ArtifactErrorCode {
+  kIo,              // open/stat/mmap/write failure
+  kTruncated,       // file shorter than its structures claim
+  kBadMagic,        // not an artifact file
+  kBadVersion,      // format version from the future (or zero)
+  kHeaderCorrupt,   // header CRC mismatch or nonsense header fields
+  kSectionCorrupt,  // a section payload fails its CRC or its table entry is out of bounds
+  kFooterCorrupt,   // footer magic/CRC/size mismatch
+  kMalformed,       // structurally invalid content inside an intact section
+  kArchMismatch,    // fingerprint differs from what the caller required
+};
+
+const char* to_string(ArtifactErrorCode code);
+
+/// Typed load/validation error. what() always names the file and the reason;
+/// code() says which guard fired.
+class ArtifactError : public std::runtime_error {
+ public:
+  ArtifactError(ArtifactErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ArtifactErrorCode code() const { return code_; }
+
+ private:
+  ArtifactErrorCode code_;
+};
+
+}  // namespace ullsnn::artifact

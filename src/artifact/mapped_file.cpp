@@ -1,0 +1,77 @@
+#include "src/artifact/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/artifact/artifact_format.h"
+
+namespace ullsnn::artifact {
+
+namespace {
+[[noreturn]] void raise_io(const std::string& op, const std::string& path) {
+  throw ArtifactError(ArtifactErrorCode::kIo,
+                      "MappedFile: " + op + " failed for " + path + ": " +
+                          std::strerror(errno));
+}
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) raise_io("open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    raise_io("fstat", path);
+  }
+  size_ = static_cast<std::uint64_t>(st.st_size);
+  if (size_ > 0) {
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      raise_io("mmap", path);
+    }
+    data_ = static_cast<const unsigned char*>(p);
+    // The loader validates the whole file (CRCs) immediately after mapping;
+    // tell the kernel the first pass is sequential.
+    ::madvise(const_cast<unsigned char*>(data_), size_, MADV_SEQUENTIAL);
+  }
+  // The mapping keeps its own reference to the file; the descriptor is no
+  // longer needed (and workers must not inherit it).
+  ::close(fd);
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace ullsnn::artifact

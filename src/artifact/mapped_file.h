@@ -1,0 +1,38 @@
+// Read-only memory mapping with RAII unmap. The mapping is PROT_READ, so a
+// stray write through a borrowed pointer faults instead of silently
+// corrupting the artifact every worker shares — the kernel enforces the
+// immutability the conversion only promises.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ullsnn::artifact {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  /// Map `path` read-only. Throws ArtifactError(kIo) on open/stat/mmap
+  /// failure; an empty file maps successfully with size() == 0.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  const unsigned char* data() const { return data_; }
+  std::uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void reset() noexcept;
+
+  const unsigned char* data_ = nullptr;
+  std::uint64_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace ullsnn::artifact

@@ -26,6 +26,7 @@ FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec), rng_(spec.seed) {
 std::int64_t FaultInjector::inject_tensor_impl(Tensor& t, double rate,
                                                bool sign_only) {
   if (rate <= 0.0) return 0;
+  t.detach();  // t[i] below mutates in place; artifact-borrowed weights must own first
   const auto p = static_cast<float>(rate);
   std::int64_t flips = 0;
   for (std::int64_t i = 0; i < t.numel(); ++i) {
@@ -124,6 +125,22 @@ std::uint64_t FaultInjector::corrupt_random_byte(const std::string& path) {
   corrupt_byte(path, offset, mask);
   faults_.fetch_add(1, std::memory_order_relaxed);
   return offset;
+}
+
+void FaultInjector::truncate_file(const std::string& path, std::uint64_t new_size) {
+  const auto size = std::filesystem::file_size(path);
+  if (new_size >= size) {
+    throw std::invalid_argument("FaultInjector::truncate_file: new size " +
+                                std::to_string(new_size) +
+                                " does not shrink file of " +
+                                std::to_string(size) + " bytes");
+  }
+  std::error_code ec;
+  std::filesystem::resize_file(path, new_size, ec);
+  if (ec) {
+    throw std::runtime_error("FaultInjector::truncate_file: resize failed for " +
+                             path + ": " + ec.message());
+  }
 }
 
 }  // namespace ullsnn::robust

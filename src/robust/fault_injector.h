@@ -86,6 +86,11 @@ class FaultInjector {
   /// Corrupt one uniformly random byte of `path`; returns the offset chosen.
   std::uint64_t corrupt_random_byte(const std::string& path);
 
+  /// Truncate `path` to exactly `new_size` bytes, simulating a torn write or
+  /// partial copy. `new_size` must be strictly smaller than the current file
+  /// size (anything else is not a truncation). Throws on I/O errors.
+  static void truncate_file(const std::string& path, std::uint64_t new_size);
+
  private:
   /// Unlocked body of inject_tensor; callers must hold mu_.
   std::int64_t inject_tensor_impl(Tensor& t, double rate, bool sign_only);

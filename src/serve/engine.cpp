@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/artifact/model_registry.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -42,6 +43,8 @@ const char* to_string(ResponseStatus status) {
 ServeEngine::ServeEngine(ServeConfig config, NetworkFactory factory)
     : config_(std::move(config)),
       factory_(std::move(factory)),
+      worker_versions_(static_cast<std::size_t>(
+          config_.workers > 0 ? config_.workers : 0)),
       queue_(config_.queue_capacity),
       batcher_(config_.batcher),
       breaker_(std::make_unique<CircuitBreaker>(config_.breaker)),
@@ -63,35 +66,90 @@ ServeEngine::ServeEngine(ServeConfig config, NetworkFactory factory)
   }
 }
 
+ServeEngine::ServeEngine(ServeConfig config,
+                         std::shared_ptr<artifact::ModelRegistry> registry)
+    : ServeEngine(
+          [&config, &registry]() -> ServeConfig {
+            if (registry == nullptr) {
+              throw std::invalid_argument("ServeEngine: registry must be set");
+            }
+            if (!registry->has_active()) {
+              throw std::invalid_argument(
+                  "ServeEngine: registry has no active version; deploy first");
+            }
+            if (config.input_shape.empty()) {
+              config.input_shape = registry->active().artifact->input_shape();
+            }
+            return std::move(config);
+          }(),
+          // Placeholder factory so the delegated ctor's validation passes;
+          // registry-mode workers build replicas from snapshots instead.
+          NetworkFactory([] { return std::unique_ptr<snn::SnnNetwork>(); })) {
+  registry_ = std::move(registry);
+  factory_ = nullptr;
+}
+
 ServeEngine::~ServeEngine() { stop(); }
 
 void ServeEngine::start() {
   if (running_.load(std::memory_order_acquire)) return;
   stopping_.store(false, std::memory_order_release);
-  // Build every replica up front so a broken factory fails loudly here
-  // rather than inside a worker thread.
+  // Build every replica up front so a broken factory (or an empty registry)
+  // fails loudly here rather than inside a worker thread.
   std::vector<std::unique_ptr<snn::SnnNetwork>> replicas;
-  replicas.reserve(static_cast<std::size_t>(config_.workers));
-  for (std::int64_t w = 0; w < config_.workers; ++w) {
-    auto net = factory_();
-    if (net == nullptr || net->empty()) {
-      throw std::runtime_error("ServeEngine: factory produced an empty network");
+  if (registry_ == nullptr) {
+    replicas.reserve(static_cast<std::size_t>(config_.workers));
+    for (std::int64_t w = 0; w < config_.workers; ++w) {
+      auto net = factory_();
+      if (net == nullptr || net->empty()) {
+        throw std::runtime_error("ServeEngine: factory produced an empty network");
+      }
+      replicas.push_back(std::move(net));
     }
-    replicas.push_back(std::move(net));
+  } else if (registry_->active().artifact == nullptr) {
+    throw std::runtime_error("ServeEngine: registry has no active artifact");
   }
   running_.store(true, std::memory_order_release);
   for (std::int64_t w = 0; w < config_.workers; ++w) {
-    workers_.emplace_back(
-        [this, w, net = std::shared_ptr<snn::SnnNetwork>(std::move(
-                    replicas[static_cast<std::size_t>(w)]))]() mutable {
-          ULLSNN_TRACE_SCOPE("serve.worker");
-          while (!stopping_.load(std::memory_order_acquire)) {
-            MicroBatch batch = batcher_.collect(queue_);
-            if (batch.empty()) continue;
-            run_batch(*net, std::move(batch));
-          }
-          (void)w;
-        });
+    std::shared_ptr<snn::SnnNetwork> prebuilt;
+    if (registry_ == nullptr) {
+      prebuilt = std::shared_ptr<snn::SnnNetwork>(
+          std::move(replicas[static_cast<std::size_t>(w)]));
+    }
+    workers_.emplace_back([this, w, net = std::move(prebuilt)]() mutable {
+      ULLSNN_TRACE_SCOPE("serve.worker");
+      // Registry mode: `pinned` keeps the mmap alive for exactly as long as
+      // this worker's replica borrows weights from it.
+      std::shared_ptr<const artifact::UllsnnArtifact> pinned;
+      std::uint64_t version = 0;
+      if (registry_ != nullptr) {
+        const auto snap = registry_->active();
+        pinned = snap.artifact;
+        version = snap.version;
+        net = pinned->make_network();
+        worker_versions_[static_cast<std::size_t>(w)].store(
+            version, std::memory_order_release);
+      }
+      while (!stopping_.load(std::memory_order_acquire)) {
+        if (registry_ != nullptr && registry_->version() != version) {
+          // Hot swap. The previous batch already completed on the old
+          // replica (drain — no request is lost); rebuild zero-copy from
+          // the new snapshot, then release the old mapping.
+          const auto snap = registry_->active();
+          pinned = snap.artifact;
+          version = snap.version;
+          net = pinned->make_network();
+          worker_versions_[static_cast<std::size_t>(w)].store(
+              version, std::memory_order_release);
+          stats_.swaps.fetch_add(1, std::memory_order_relaxed);
+          ULLSNN_COUNTER_ADD("serve.swaps", 1);
+        }
+        MicroBatch batch = batcher_.collect(queue_);
+        if (batch.empty()) continue;
+        const bool healthy = run_batch(*net, std::move(batch));
+        if (registry_ != nullptr) registry_->record_batch_health(version, healthy);
+      }
+    });
   }
   watchdog_ = std::thread([this] { watchdog_loop(); });
   obs::logf(obs::LogLevel::kInfo,
@@ -180,7 +238,7 @@ bool ServeEngine::logits_healthy(const Tensor& logits) const {
   return report.healthy();
 }
 
-void ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
+bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
   ULLSNN_TRACE_SCOPE("serve.batch");
   const auto picked_up = Clock::now();
   for (auto& expired : batch.expired) {
@@ -191,7 +249,7 @@ void ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
     ULLSNN_COUNTER_ADD("serve.shed.deadline", 1);
     fulfill(expired.slot, std::move(r));
   }
-  if (batch.requests.empty()) return;
+  if (batch.requests.empty()) return true;
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
   ULLSNN_COUNTER_ADD("serve.batches", 1);
   ULLSNN_HISTOGRAM_OBSERVE("serve.batch.size",
@@ -207,7 +265,8 @@ void ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
       ULLSNN_COUNTER_ADD("serve.unavailable", 1);
       fulfill(request.slot, std::move(r));
     }
-    return;
+    // A refused batch never touched the network: no verdict on the model.
+    return true;
   }
 
   // Assemble [B, C, H, W] from the per-request [C, H, W] inputs.
@@ -283,7 +342,7 @@ void ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
       ULLSNN_COUNTER_ADD("serve.errors", 1);
       fulfill(request.slot, std::move(r));
     }
-    return;
+    return false;
   }
 
   const bool degraded =
@@ -321,6 +380,7 @@ void ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
     }
     fulfill(request.slot, std::move(r));
   }
+  return true;
 }
 
 void ServeEngine::watchdog_loop() {
@@ -365,7 +425,18 @@ ServeStats ServeEngine::stats() const {
   s.errors = stats_.errors.load(std::memory_order_relaxed);
   s.retries = stats_.retries.load(std::memory_order_relaxed);
   s.batches = stats_.batches.load(std::memory_order_relaxed);
+  s.swaps = stats_.swaps.load(std::memory_order_relaxed);
   return s;
+}
+
+std::int64_t ServeEngine::workers_on_active() const {
+  if (registry_ == nullptr) return 0;
+  const std::uint64_t v = registry_->version();
+  std::int64_t n = 0;
+  for (const auto& wv : worker_versions_) {
+    if (wv.load(std::memory_order_acquire) == v) ++n;
+  }
+  return n;
 }
 
 }  // namespace ullsnn::serve

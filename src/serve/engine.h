@@ -44,6 +44,10 @@
 #include "src/serve/request.h"
 #include "src/snn/snn_network.h"
 
+namespace ullsnn::artifact {
+class ModelRegistry;
+}  // namespace ullsnn::artifact
+
 namespace ullsnn::serve {
 
 /// Builds one network replica per worker. Replicas must share weights'
@@ -108,11 +112,21 @@ struct ServeStats {
   std::int64_t errors = 0;
   std::int64_t retries = 0;
   std::int64_t batches = 0;
+  std::int64_t swaps = 0;  // worker replica rebuilds after a registry flip
 };
 
 class ServeEngine {
  public:
   ServeEngine(ServeConfig config, NetworkFactory factory);
+  /// Registry mode: workers build zero-copy replicas from the registry's
+  /// active artifact and poll `registry->version()` between batches. When it
+  /// changes, the in-flight batch finishes on the old replica (drain — no
+  /// request is ever dropped by a swap) and the worker rebuilds from the new
+  /// snapshot. Each batch's health verdict is fed back via
+  /// record_batch_health, which is what arms the registry's auto-rollback.
+  /// The registry must already have an active version; if
+  /// config.input_shape is empty it is taken from the active artifact.
+  ServeEngine(ServeConfig config, std::shared_ptr<artifact::ModelRegistry> registry);
   ~ServeEngine();
   ServeEngine(const ServeEngine&) = delete;
   ServeEngine& operator=(const ServeEngine&) = delete;
@@ -134,16 +148,29 @@ class ServeEngine {
   std::int64_t queue_depth() const { return queue_.depth(); }
   std::int64_t queue_peak_depth() const { return queue_.peak_depth(); }
 
+  /// Registry mode only: how many workers currently serve the registry's
+  /// active version (== config.workers once a swap has fully propagated).
+  std::int64_t workers_on_active() const;
+  const std::shared_ptr<artifact::ModelRegistry>& registry() const {
+    return registry_;
+  }
+
  private:
   void worker_loop(std::int64_t worker_index);
   void watchdog_loop();
-  void run_batch(snn::SnnNetwork& net, MicroBatch&& batch);
+  /// Returns the batch's health verdict (false = all forward attempts failed
+  /// or the logits failed the numeric scan). Refused/empty batches are not
+  /// evidence of model damage and return true.
+  bool run_batch(snn::SnnNetwork& net, MicroBatch&& batch);
   void fulfill(const SlotPtr& slot, InferResponse&& response);
   /// NaN/Inf/explosion scan of a batch's logits via the shared monitor.
   bool logits_healthy(const Tensor& logits) const;
 
   ServeConfig config_;
-  NetworkFactory factory_;
+  NetworkFactory factory_;                              // null in registry mode
+  std::shared_ptr<artifact::ModelRegistry> registry_;   // null in factory mode
+  /// Version each worker is serving (registry mode; 0 before start()).
+  std::vector<std::atomic<std::uint64_t>> worker_versions_;
   BoundedQueue<PendingRequest> queue_;
   MicroBatcher batcher_;
   std::unique_ptr<CircuitBreaker> breaker_;
@@ -163,7 +190,8 @@ class ServeEngine {
   struct AtomicStats {
     std::atomic<std::int64_t> submitted{0}, accepted{0}, rejected{0},
         shed_deadline{0}, completed_ok{0}, completed_degraded{0},
-        unavailable{0}, timeouts{0}, errors{0}, retries{0}, batches{0};
+        unavailable{0}, timeouts{0}, errors{0}, retries{0}, batches{0},
+        swaps{0};
   };
   mutable AtomicStats stats_;
 };

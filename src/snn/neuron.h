@@ -92,6 +92,22 @@ class IfNeuron {
   void set_beta(float b) { beta_ = b; }
   float initial_membrane_fraction() const { return init_fraction_; }
   ResetMode reset_mode() const { return reset_; }
+  bool train_threshold() const { return train_threshold_; }
+  bool train_leak() const { return train_leak_; }
+
+  /// This neuron's dynamics re-packed as a config (used by the artifact
+  /// describer to round-trip a live network into a self-contained file).
+  IfConfig config() const {
+    IfConfig c;
+    c.v_threshold = threshold();
+    c.leak = leak();
+    c.beta = beta_;
+    c.initial_membrane_fraction = init_fraction_;
+    c.reset = reset_;
+    c.train_threshold = train_threshold_;
+    c.train_leak = train_leak_;
+    return c;
+  }
 
   /// Spikes emitted since reset_stats() (summed over steps and batch).
   std::int64_t spikes_emitted() const { return spikes_emitted_; }

@@ -75,6 +75,7 @@ class SnnNetwork {
 
   Encoding encoding() const { return encoding_; }
   void set_encoding(Encoding encoding, std::uint64_t seed = 99);
+  std::uint64_t encoder_seed() const { return encoder_seed_; }
 
   /// Shared RNG for SpikingDropout layers built into this network (the
   /// network outlives its layers' Rng* references by construction).

@@ -24,7 +24,10 @@ SynapticConv::SynapticConv(Tensor weight, Conv2dSpec spec) : spec_(spec) {
   }
   weight_.name = "synaptic_conv.weight";
   weight_.value = std::move(weight);
-  weight_.grad = Tensor(weight_.value.shape());
+  // Borrowed (artifact-shared) weights are inference-only until someone
+  // trains them; defer the full-size grad allocation so replica spin-up
+  // stays O(page-fault) instead of O(parameters).
+  if (!weight_.value.borrowed()) weight_.grad = Tensor(weight_.value.shape());
 }
 
 void SynapticConv::begin_sequence(std::int64_t time_steps, bool train) {
@@ -46,6 +49,12 @@ Tensor SynapticConv::forward(const Tensor& input, std::int64_t t, bool train) {
 Tensor SynapticConv::backward(const Tensor& grad_current, std::int64_t t) {
   const Tensor& input = cached_inputs_.at(static_cast<std::size_t>(t));
   if (input.empty()) throw std::logic_error("SynapticConv::backward without forward");
+  if (weight_.grad.empty()) {
+    // First backward on artifact-borrowed weights: own them now so the
+    // optimizer's per-element update never writes through the mapping.
+    weight_.value.detach();
+    weight_.grad = Tensor(weight_.value.shape());
+  }
   Tensor grad_input(input.shape());
   conv2d_backward(input, weight_.value, grad_current, &grad_input, weight_.grad,
                   nullptr, spec_);
@@ -73,7 +82,7 @@ SynapticLinear::SynapticLinear(Tensor weight) {
   }
   weight_.name = "synaptic_linear.weight";
   weight_.value = std::move(weight);
-  weight_.grad = Tensor(weight_.value.shape());
+  if (!weight_.value.borrowed()) weight_.grad = Tensor(weight_.value.shape());
 }
 
 void SynapticLinear::begin_sequence(std::int64_t time_steps, bool train) {
@@ -98,6 +107,10 @@ Tensor SynapticLinear::forward(const Tensor& input, std::int64_t t, bool train) 
 Tensor SynapticLinear::backward(const Tensor& grad_current, std::int64_t t) {
   const Tensor& input = cached_inputs_.at(static_cast<std::size_t>(t));
   if (input.empty()) throw std::logic_error("SynapticLinear::backward without forward");
+  if (weight_.grad.empty()) {
+    weight_.value.detach();
+    weight_.grad = Tensor(weight_.value.shape());
+  }
   const std::int64_t n = input.dim(0);
   matmul_at(grad_current.data(), input.data(), weight_.grad.data(), out_features(),
             n, in_features(), /*accumulate=*/true);

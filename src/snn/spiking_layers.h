@@ -245,6 +245,7 @@ class SpikingMaxPool final : public SpikingLayer {
   Shape output_shape(const Shape& input) const override;
   std::string name() const override { return "SpikingMaxPool"; }
   void reset_runtime_state() override { argmax_per_step_.clear(); }
+  const Pool2dSpec& spec() const { return spec_; }
 
  private:
   Pool2dSpec spec_;
@@ -263,6 +264,7 @@ class SpikingAvgPool final : public SpikingLayer {
   Tensor step_backward(const Tensor& grad_output, std::int64_t t) override;
   Shape output_shape(const Shape& input) const override;
   std::string name() const override { return "SpikingAvgPool"; }
+  const Pool2dSpec& spec() const { return spec_; }
 
  private:
   Pool2dSpec spec_;
@@ -287,6 +289,8 @@ class SpikingDropout final : public SpikingLayer {
   /// are only drawn in training mode, and rewinding would silently repeat
   /// dropout patterns across epochs.
   void reset_runtime_state() override { mask_.clear(); active_ = false; }
+
+  float drop_prob() const { return drop_prob_; }
 
  private:
   float drop_prob_;

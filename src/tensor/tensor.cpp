@@ -50,6 +50,33 @@ Tensor Tensor::of(std::initializer_list<float> values) {
                 std::vector<float>(values));
 }
 
+Tensor Tensor::borrow(Shape shape, const float* data) {
+  const std::int64_t n = shape_numel(shape);
+  if (data == nullptr && n > 0) {
+    throw std::invalid_argument("Tensor::borrow: null data for non-empty shape " +
+                                shape_to_string(shape));
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.borrow_ = data;
+  t.borrow_numel_ = n;
+  return t;
+}
+
+void Tensor::detach() {
+  if (borrow_ == nullptr) return;
+  data_.assign(borrow_, borrow_ + static_cast<std::size_t>(borrow_numel_));
+  borrow_ = nullptr;
+  borrow_numel_ = 0;
+}
+
+const std::vector<float>& Tensor::vec() const {
+  if (borrow_ != nullptr) {
+    throw std::logic_error("Tensor::vec() const on a borrowed tensor; detach first");
+  }
+  return data_;
+}
+
 std::int64_t Tensor::dim(std::int64_t d) const {
   const std::int64_t r = rank();
   if (d < 0) d += r;
@@ -100,9 +127,13 @@ Tensor Tensor::reshape(Shape new_shape) && {
   return std::move(*this);
 }
 
-void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+void Tensor::fill(float value) {
+  if (borrow_ != nullptr) detach();
+  std::fill(data_.begin(), data_.end(), value);
+}
 
 void Tensor::apply(const std::function<float(float)>& f) {
+  if (borrow_ != nullptr) detach();
   for (float& x : data_) x = f(x);
 }
 
@@ -119,78 +150,96 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
 Tensor& Tensor::operator+=(const Tensor& rhs) {
   check_same_shape(*this, rhs, "operator+=");
   const float* r = rhs.data();
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += r[i];
+  float* d = data();
+  const std::size_t n = static_cast<std::size_t>(numel());
+  for (std::size_t i = 0; i < n; ++i) d[i] += r[i];
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& rhs) {
   check_same_shape(*this, rhs, "operator-=");
   const float* r = rhs.data();
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= r[i];
+  float* d = data();
+  const std::size_t n = static_cast<std::size_t>(numel());
+  for (std::size_t i = 0; i < n; ++i) d[i] -= r[i];
   return *this;
 }
 
 Tensor& Tensor::operator*=(const Tensor& rhs) {
   check_same_shape(*this, rhs, "operator*=");
   const float* r = rhs.data();
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= r[i];
+  float* d = data();
+  const std::size_t n = static_cast<std::size_t>(numel());
+  for (std::size_t i = 0; i < n; ++i) d[i] *= r[i];
   return *this;
 }
 
 Tensor& Tensor::operator+=(float rhs) {
-  for (float& x : data_) x += rhs;
+  for (float& x : vec()) x += rhs;
   return *this;
 }
 
 Tensor& Tensor::operator*=(float rhs) {
-  for (float& x : data_) x *= rhs;
+  for (float& x : vec()) x *= rhs;
   return *this;
 }
 
 float Tensor::sum() const {
   double acc = 0.0;
-  for (float x : data_) acc += x;
+  const float* d = data();
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += d[i];
   return static_cast<float>(acc);
 }
 
 float Tensor::mean() const {
-  if (data_.empty()) return 0.0F;
-  return sum() / static_cast<float>(data_.size());
+  if (empty()) return 0.0F;
+  return sum() / static_cast<float>(numel());
 }
 
 float Tensor::min() const {
-  if (data_.empty()) throw std::logic_error("Tensor::min on empty tensor");
-  return *std::min_element(data_.begin(), data_.end());
+  if (empty()) throw std::logic_error("Tensor::min on empty tensor");
+  const float* d = data();
+  return *std::min_element(d, d + numel());
 }
 
 float Tensor::max() const {
-  if (data_.empty()) throw std::logic_error("Tensor::max on empty tensor");
-  return *std::max_element(data_.begin(), data_.end());
+  if (empty()) throw std::logic_error("Tensor::max on empty tensor");
+  const float* d = data();
+  return *std::max_element(d, d + numel());
 }
 
 std::int64_t Tensor::argmax() const {
-  if (data_.empty()) throw std::logic_error("Tensor::argmax on empty tensor");
+  if (empty()) throw std::logic_error("Tensor::argmax on empty tensor");
+  const float* d = data();
   return static_cast<std::int64_t>(
-      std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+      std::distance(d, std::max_element(d, d + numel())));
 }
 
 float Tensor::rms() const {
-  if (data_.empty()) return 0.0F;
+  if (empty()) return 0.0F;
   double acc = 0.0;
-  for (float x : data_) acc += static_cast<double>(x) * x;
-  return static_cast<float>(std::sqrt(acc / static_cast<double>(data_.size())));
+  const float* d = data();
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += static_cast<double>(d[i]) * d[i];
+  return static_cast<float>(std::sqrt(acc / static_cast<double>(n)));
 }
 
 std::int64_t Tensor::count(const std::function<bool(float)>& pred) const {
   std::int64_t n = 0;
-  for (float x : data_) n += pred(x) ? 1 : 0;
+  const float* d = data();
+  const std::int64_t total = numel();
+  for (std::int64_t i = 0; i < total; ++i) n += pred(d[i]) ? 1 : 0;
   return n;
 }
 
 bool Tensor::allclose(const Tensor& other, float tol) const {
   if (shape_ != other.shape_) return false;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  const float* a = data();
+  const float* b = other.data();
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
   }
   return true;
 }

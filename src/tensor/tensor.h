@@ -5,6 +5,21 @@
 // strided views; reshape is O(1) metadata-only, everything else copies.
 // This keeps aliasing trivially correct, which matters far more here than
 // saving copies: all hot loops (conv, matmul) run on raw pointers anyway.
+//
+// Borrowed tensors: Tensor::borrow wraps external immutable memory (an
+// mmap'd model artifact) without copying. A borrowed tensor reads through
+// the external pointer; mutable access via data()/vec() or any bulk mutator
+// (fill, apply, compound assignment) first detaches — copies the data into
+// owned storage — so value semantics are preserved and shared artifact
+// pages can never be written through a Tensor. The per-element mutable
+// accessors (at, operator[]) are the one exception: they index owned
+// storage directly to keep the training inner loops branch-free, so code
+// mutating a possibly-borrowed tensor element-wise must detach first (see
+// the accessor comment below). Copying a borrowed tensor copies only the
+// pointer (still borrowed), which is what makes per-worker replica
+// construction O(layers) instead of O(parameters). The borrowed memory must
+// outlive every borrowing tensor; the artifact layer enforces this by
+// pinning the mapping with shared_ptr ownership.
 #pragma once
 
 #include <cstdint>
@@ -45,24 +60,48 @@ class Tensor {
   /// 1-D tensor from an initializer list; convenient in tests.
   static Tensor of(std::initializer_list<float> values);
 
+  /// Non-owning view over external immutable memory (shape_numel(shape)
+  /// floats at `data`). The memory must outlive the tensor and every copy of
+  /// it; reads go straight through the pointer, mutation detaches first.
+  static Tensor borrow(Shape shape, const float* data);
+
+  /// True while this tensor reads through an external borrowed pointer.
+  bool borrowed() const { return borrow_ != nullptr; }
+  /// Copy borrowed data into owned storage; no-op when already owned.
+  void detach();
+
   const Shape& shape() const { return shape_; }
   std::int64_t rank() const { return static_cast<std::int64_t>(shape_.size()); }
-  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  std::int64_t numel() const {
+    return borrow_ != nullptr ? borrow_numel_
+                              : static_cast<std::int64_t>(data_.size());
+  }
+  bool empty() const { return numel() == 0; }
 
   /// Extent of dimension `dim` (supports negative Python-style indices).
   std::int64_t dim(std::int64_t d) const;
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  float* data() {
+    if (borrow_ != nullptr) detach();
+    return data_.data();
+  }
+  const float* data() const { return borrow_ != nullptr ? borrow_ : data_.data(); }
+  std::vector<float>& vec() {
+    if (borrow_ != nullptr) detach();
+    return data_;
+  }
+  const std::vector<float>& vec() const;  // owned tensors only (throws if borrowed)
 
   float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
-  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data()[static_cast<std::size_t>(i)]; }
 
   /// Multi-dimensional accessors (bounds-checked in debug builds only on the
-  /// flat index; shape agreement is the caller's responsibility).
+  /// flat index; shape agreement is the caller's responsibility). The
+  /// mutable overloads index owned storage directly — they sit inside the
+  /// per-element training loops (optimizer updates, neuron steps), where a
+  /// borrow check measurably perturbs codegen — so callers mutating a
+  /// possibly-borrowed tensor must detach first via data()/vec()/detach();
+  /// every bulk mutator (fill, apply, operator+= ...) already does.
   float& at(std::int64_t i0) { return data_[static_cast<std::size_t>(i0)]; }
   float& at(std::int64_t i0, std::int64_t i1) {
     return data_[static_cast<std::size_t>(i0 * shape_[1] + i1)];
@@ -74,15 +113,15 @@ class Tensor {
     return data_[static_cast<std::size_t>(
         ((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3)];
   }
-  float at(std::int64_t i0) const { return data_[static_cast<std::size_t>(i0)]; }
+  float at(std::int64_t i0) const { return data()[static_cast<std::size_t>(i0)]; }
   float at(std::int64_t i0, std::int64_t i1) const {
-    return data_[static_cast<std::size_t>(i0 * shape_[1] + i1)];
+    return data()[static_cast<std::size_t>(i0 * shape_[1] + i1)];
   }
   float at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const {
-    return data_[static_cast<std::size_t>((i0 * shape_[1] + i1) * shape_[2] + i2)];
+    return data()[static_cast<std::size_t>((i0 * shape_[1] + i1) * shape_[2] + i2)];
   }
   float at(std::int64_t i0, std::int64_t i1, std::int64_t i2, std::int64_t i3) const {
-    return data_[static_cast<std::size_t>(
+    return data()[static_cast<std::size_t>(
         ((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3)];
   }
 
@@ -127,6 +166,10 @@ class Tensor {
  private:
   Shape shape_;
   std::vector<float> data_;
+  // Borrowed mode: non-null while reading through external memory. data_ is
+  // empty until the first mutable access detaches.
+  const float* borrow_ = nullptr;
+  std::int64_t borrow_numel_ = 0;
 };
 
 std::ostream& operator<<(std::ostream& os, const Tensor& t);

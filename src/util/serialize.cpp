@@ -1,6 +1,10 @@
 #include "src/util/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -123,19 +127,55 @@ std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
 }
 
 void atomic_write_file(const std::string& path, const void* data, std::size_t n) {
+  // write-to-temp + fsync + rename (+ directory fsync): after a crash at any
+  // instant, `path` holds either the complete old bytes or the complete new
+  // bytes — never a prefix. The fsync before rename is what makes the rename
+  // a commit point instead of a reordering hazard.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw std::runtime_error("atomic_write_file: cannot open " + tmp);
-    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
-    out.flush();
-    if (!out) throw std::runtime_error("atomic_write_file: write failed for " + tmp);
+  const auto raise = [&tmp](const std::string& op) {
+    const int err = errno;
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("atomic_write_file: " + op + " failed for " + tmp +
+                             ": " + std::strerror(err));
+  };
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("atomic_write_file: cannot open " + tmp + ": " +
+                             std::strerror(errno));
   }
+  const char* p = static_cast<const char*>(data);
+  std::size_t left = n;
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd, p, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      raise("write");
+    }
+    p += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    raise("fsync");
+  }
+  if (::close(fd) != 0) raise("close");
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     std::filesystem::remove(tmp, ec);
     throw std::runtime_error("atomic_write_file: rename to " + path + " failed");
+  }
+  // Persist the rename itself: fsync the containing directory (best-effort —
+  // some filesystems refuse O_RDONLY directory fsync; the data is safe either
+  // way, only the name change could be replayed).
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
 }
 
@@ -177,8 +217,13 @@ TensorDict load_tensors(const std::string& path) {
   }
   const auto version = cur.read_pod<std::uint32_t>();
   if (version == 1) {
-    // Pre-CRC format: parse directly (still bounds-checked).
-    return parse_entries(cur);
+    // v1 predates the payload CRC, so a silently corrupt v1 checkpoint can
+    // deserialize into plausible garbage. Serving artifacts made that risk
+    // unacceptable: re-save with save_tensors (any >= v2 build) to upgrade.
+    throw std::runtime_error(
+        "load_tensors: " + path +
+        " is a deprecated v1 (pre-CRC) checkpoint and can no longer be "
+        "loaded; re-save it with a v2-capable build to add integrity checks");
   }
   if (version != kVersion) {
     throw std::runtime_error("load_tensors: unsupported version " +

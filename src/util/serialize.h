@@ -8,11 +8,15 @@
 //   payload: u64 count |
 //            count x { u32 name_len | name bytes | u32 rank | i64 dims... |
 //                      f32 data... }
-// v1 files (no crc/payload_size header fields) are still readable.
+// v1 files (no crc/payload_size header fields) are REJECTED with a clear
+// deprecation error: without a CRC, silent corruption can deserialize into
+// plausible garbage, which serving cannot tolerate. Re-save with any v2
+// build to upgrade.
 //
-// Writes are atomic: data goes to "<path>.tmp" and is renamed over `path`
-// only after a successful flush, so a crash mid-write never leaves a
-// truncated checkpoint under the real name. Loads verify the CRC (v2) and
+// Writes are atomic AND durable: data goes to "<path>.tmp", is fsync'd, and
+// only then renamed over `path` (followed by a directory fsync), so a crash
+// at any instant leaves either the complete old file or the complete new
+// one — never a truncated checkpoint under the real name. Loads verify the CRC (v2) and
 // sanity-bound every header field before allocating, so any corrupt or
 // truncated file is rejected with std::runtime_error instead of crashing or
 // returning garbage.
@@ -33,15 +37,16 @@ using TensorDict = std::map<std::string, Tensor>;
 /// Throws std::runtime_error on I/O failure.
 void save_tensors(const TensorDict& tensors, const std::string& path);
 
-/// Read a checkpoint written by save_tensors (v2) or a pre-CRC v1 file.
-/// Throws std::runtime_error on any malformed, truncated, or corrupt input.
+/// Read a checkpoint written by save_tensors (v2). Throws std::runtime_error
+/// on any malformed, truncated, corrupt, or deprecated-v1 input.
 TensorDict load_tensors(const std::string& path);
 
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `n` bytes. Pass a previous
 /// return value as `seed` to checksum incrementally; 0 starts a new sum.
 std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
 
-/// Write `n` bytes to `path` via "<path>.tmp" + rename (all-or-nothing).
+/// Write `n` bytes to `path` via "<path>.tmp" + fsync + rename + directory
+/// fsync (all-or-nothing, durable at the rename commit point).
 void atomic_write_file(const std::string& path, const void* data, std::size_t n);
 
 }  // namespace ullsnn

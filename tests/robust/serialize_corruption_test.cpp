@@ -92,7 +92,7 @@ TEST(SerializeCorruptionTest, RandomByteCorruptionViaInjectorIsRejected) {
   std::filesystem::remove(path);
 }
 
-// ---- hand-crafted v1 files: compatibility and hardened field bounds ----
+// ---- hand-crafted files: v1 deprecation and hardened field bounds ----
 
 template <typename T>
 void append_pod(std::vector<char>& buf, const T& v) {
@@ -100,73 +100,90 @@ void append_pod(std::vector<char>& buf, const T& v) {
   buf.insert(buf.end(), p, p + sizeof v);
 }
 
-std::vector<char> v1_header(std::uint64_t count) {
+/// Wrap a (possibly malformed) payload in a valid v2 envelope: correct magic,
+/// version, CRC, and payload size. The CRC gate passes, so the payload bounds
+/// checks themselves are what must reject the file.
+std::vector<char> v2_file(const std::vector<char>& payload) {
   std::vector<char> buf = {'U', 'L', 'S', 'N'};
-  append_pod(buf, std::uint32_t{1});
-  append_pod(buf, count);
+  append_pod(buf, std::uint32_t{2});
+  append_pod(buf, crc32(payload.data(), payload.size()));
+  append_pod(buf, static_cast<std::uint64_t>(payload.size()));
+  buf.insert(buf.end(), payload.begin(), payload.end());
   return buf;
 }
 
-TEST(SerializeCorruptionTest, V1FilesStillLoad) {
-  std::vector<char> buf = v1_header(1);
+TEST(SerializeCorruptionTest, V1FilesAreRejectedAsDeprecated) {
+  // A well-formed v1 file (magic, version 1, one valid tensor, no CRC): the
+  // loader must refuse it with a message that says how to upgrade, because a
+  // CRC-less checkpoint can hide silent corruption.
+  std::vector<char> buf = {'U', 'L', 'S', 'N'};
+  append_pod(buf, std::uint32_t{1});
+  append_pod(buf, std::uint64_t{1});  // count
   append_pod(buf, std::uint32_t{1});  // name_len
   buf.push_back('w');
   append_pod(buf, std::uint32_t{2});  // rank
   append_pod(buf, std::int64_t{1});
   append_pod(buf, std::int64_t{3});
   for (float v : {1.0F, 2.0F, 3.0F}) append_pod(buf, v);
-  const std::string path = temp_path("ullsnn_v1_compat.bin");
+  const std::string path = temp_path("ullsnn_v1_deprecated.bin");
   write_file(path, buf);
-  const TensorDict dict = load_tensors(path);
-  ASSERT_EQ(dict.size(), 1U);
-  EXPECT_EQ(dict.at("w").shape(), Shape({1, 3}));
-  EXPECT_FLOAT_EQ(dict.at("w")[2], 3.0F);
+  try {
+    load_tensors(path);
+    FAIL() << "deprecated v1 checkpoint was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("deprecated"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("v1"), std::string::npos);
+  }
   std::filesystem::remove(path);
 }
 
 TEST(SerializeCorruptionTest, OversizedNameLenIsRejected) {
-  std::vector<char> buf = v1_header(1);
-  append_pod(buf, std::uint32_t{0xFFFFFFFF});  // absurd name_len
-  const std::string path = temp_path("ullsnn_v1_badname.bin");
-  write_file(path, buf);
+  std::vector<char> payload;
+  append_pod(payload, std::uint64_t{1});
+  append_pod(payload, std::uint32_t{0xFFFFFFFF});  // absurd name_len
+  const std::string path = temp_path("ullsnn_v2_badname.bin");
+  write_file(path, v2_file(payload));
   EXPECT_THROW(load_tensors(path), std::runtime_error);
   std::filesystem::remove(path);
 }
 
 TEST(SerializeCorruptionTest, OversizedRankIsRejected) {
-  std::vector<char> buf = v1_header(1);
-  append_pod(buf, std::uint32_t{1});
-  buf.push_back('w');
-  append_pod(buf, std::uint32_t{1000000});  // absurd rank
-  const std::string path = temp_path("ullsnn_v1_badrank.bin");
-  write_file(path, buf);
+  std::vector<char> payload;
+  append_pod(payload, std::uint64_t{1});
+  append_pod(payload, std::uint32_t{1});
+  payload.push_back('w');
+  append_pod(payload, std::uint32_t{1000000});  // absurd rank
+  const std::string path = temp_path("ullsnn_v2_badrank.bin");
+  write_file(path, v2_file(payload));
   EXPECT_THROW(load_tensors(path), std::runtime_error);
   std::filesystem::remove(path);
 }
 
 TEST(SerializeCorruptionTest, NegativeDimIsRejected) {
-  std::vector<char> buf = v1_header(1);
-  append_pod(buf, std::uint32_t{1});
-  buf.push_back('w');
-  append_pod(buf, std::uint32_t{1});
-  append_pod(buf, std::int64_t{-4});
-  const std::string path = temp_path("ullsnn_v1_negdim.bin");
-  write_file(path, buf);
+  std::vector<char> payload;
+  append_pod(payload, std::uint64_t{1});
+  append_pod(payload, std::uint32_t{1});
+  payload.push_back('w');
+  append_pod(payload, std::uint32_t{1});
+  append_pod(payload, std::int64_t{-4});
+  const std::string path = temp_path("ullsnn_v2_negdim.bin");
+  write_file(path, v2_file(payload));
   EXPECT_THROW(load_tensors(path), std::runtime_error);
   std::filesystem::remove(path);
 }
 
 TEST(SerializeCorruptionTest, HugeElementCountIsRejectedBeforeAllocating) {
-  // Claims a ~4 exabyte tensor in a 60-byte file: must throw a runtime_error
+  // Claims a ~4 exabyte tensor in a tiny file: must throw a runtime_error
   // from the bounds check, not bad_alloc from attempting the allocation.
-  std::vector<char> buf = v1_header(1);
-  append_pod(buf, std::uint32_t{1});
-  buf.push_back('w');
-  append_pod(buf, std::uint32_t{2});
-  append_pod(buf, std::int64_t{1LL << 30});
-  append_pod(buf, std::int64_t{1LL << 30});
-  const std::string path = temp_path("ullsnn_v1_hugedim.bin");
-  write_file(path, buf);
+  std::vector<char> payload;
+  append_pod(payload, std::uint64_t{1});
+  append_pod(payload, std::uint32_t{1});
+  payload.push_back('w');
+  append_pod(payload, std::uint32_t{2});
+  append_pod(payload, std::int64_t{1LL << 30});
+  append_pod(payload, std::int64_t{1LL << 30});
+  const std::string path = temp_path("ullsnn_v2_hugedim.bin");
+  write_file(path, v2_file(payload));
   EXPECT_THROW(load_tensors(path), std::runtime_error);
   std::filesystem::remove(path);
 }

@@ -10,6 +10,10 @@
 #   serve              resilient-serving soak + accuracy-vs-T via bench_serve
 #                      (latency percentiles, completion rate, breaker
 #                      counters) -> bench/BENCH_serve.json
+#   artifact           artifact spin-up timings + swap-under-load soak via
+#                      bench_artifact (cold load vs mmap, zero-copy vs
+#                      deep-copy replicas, swap-drain latency, rollback
+#                      gates) -> bench/BENCH_artifact.json
 #
 # MODE may be omitted; a first argument that is not a known mode is taken as
 # BUILD_DIR for backward compatibility.
@@ -26,19 +30,41 @@
 #   ULLSNN_SERVE_SECONDS   soak duration in seconds (default 10)
 #   ULLSNN_SERVE_FAULTS    injected transient-fault rate in [0,1] (default 0.05)
 #
+# Environment (artifact mode):
+#   ULLSNN_BENCH_SCALE         quick|default|full (bench/common.h)
+#   ULLSNN_ARTIFACT_SECONDS    soak duration in seconds (default 8)
+#   ULLSNN_ARTIFACT_SWAP_EVERY hot-swap every N accepted requests (default 100)
+#
 # The build-info stamp (compiler, flags, git hash, telemetry) is embedded in
 # the kernels JSON "context" object by bench_kernels itself.
 set -euo pipefail
 
 MODE="kernels"
 case "${1:-}" in
-  kernels|serve)
+  kernels|serve|artifact)
     MODE="$1"
     shift
     ;;
 esac
 
 BUILD_DIR="${1:-build}"
+
+if [[ "$MODE" == "artifact" ]]; then
+  OUT="${2:-BENCH_artifact.json}"
+  BIN="$BUILD_DIR/bench/bench_artifact"
+  if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not found or not executable (build the bench_artifact target first)" >&2
+    exit 1
+  fi
+  # bench_artifact exits non-zero if the swap-under-load soak loses a
+  # request, activates a corrupt artifact, or never auto-rolls back.
+  "$BIN" --spinup --soak \
+    --seconds "${ULLSNN_ARTIFACT_SECONDS:-8}" \
+    --swap-every "${ULLSNN_ARTIFACT_SWAP_EVERY:-100}" \
+    --json "$OUT"
+  echo "wrote $OUT (artifact spin-up + swap-under-load snapshot)" >&2
+  exit 0
+fi
 
 if [[ "$MODE" == "serve" ]]; then
   OUT="${2:-BENCH_serve.json}"

@@ -1,0 +1,206 @@
+// ullsnn_pack: convert a trained v2 checkpoint into a crash-safe serving
+// artifact, and inspect/verify existing artifacts.
+//
+//   ullsnn_pack pack --out model.art [--arch vgg11] [--width 0.125]
+//                    [--classes 10] [--T 3] [--checkpoint ckpt.bin]
+//                    [--calib 256] [--seed 7]
+//       Build the architecture from the model zoo, optionally restore DNN
+//       weights from a v2 checkpoint (robust::save_params layout, "p<i>"
+//       keys), collect activations on seeded synthetic calibration data,
+//       convert to an SNN at T, and pack. The freshly written artifact is
+//       immediately reloaded and its canary replayed — the tool only exits 0
+//       if the round trip reproduces the recorded logits bit-for-bit.
+//
+//   ullsnn_pack verify model.art
+//       Full paranoid load (header/footer/section CRCs, bounds, fingerprint
+//       cross-check) plus a canary replay on a fresh replica. Exit 0 iff the
+//       artifact would pass a ModelRegistry deploy gate.
+//
+//   ullsnn_pack info model.art
+//       Print header fields, section layout, and the tensor table.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "src/artifact/artifact.h"
+#include "src/artifact/model_registry.h"
+#include "src/core/pipeline.h"
+#include "src/data/dataset.h"
+#include "src/data/synthetic_cifar.h"
+#include "src/robust/checkpoint.h"
+
+using namespace ullsnn;
+
+namespace {
+
+struct PackArgs {
+  std::string out;
+  std::string checkpoint;
+  std::string arch = "vgg11";
+  float width = 0.125F;
+  std::int64_t classes = 10;
+  std::int64_t time_steps = 3;
+  std::int64_t calib = 256;
+  std::uint64_t seed = 7;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ullsnn_pack pack --out <path> [--arch vgg11|vgg13|vgg16|"
+               "resnet20|resnet32]\n"
+               "                        [--width F] [--classes N] [--T N]\n"
+               "                        [--checkpoint ckpt.bin] [--calib N] "
+               "[--seed N]\n"
+               "       ullsnn_pack verify <path>\n"
+               "       ullsnn_pack info <path>\n");
+  return 2;
+}
+
+core::Architecture parse_arch(const std::string& name) {
+  if (name == "vgg11") return core::Architecture::kVgg11;
+  if (name == "vgg13") return core::Architecture::kVgg13;
+  if (name == "vgg16") return core::Architecture::kVgg16;
+  if (name == "resnet20") return core::Architecture::kResNet20;
+  if (name == "resnet32") return core::Architecture::kResNet32;
+  throw std::invalid_argument("unknown --arch '" + name + "'");
+}
+
+int run_pack(const PackArgs& args) {
+  if (args.out.empty()) return usage();
+
+  dnn::ModelConfig mc;
+  mc.width = args.width;
+  mc.num_classes = args.classes;
+  Rng rng(args.seed);
+  auto model = core::build_model(parse_arch(args.arch), mc, rng);
+  if (!args.checkpoint.empty()) {
+    robust::load_params(model->params(), args.checkpoint);
+    std::printf("[pack] restored %zu parameter tensors from %s\n",
+                model->params().size(), args.checkpoint.c_str());
+  } else {
+    std::printf("[pack] no --checkpoint given: packing freshly initialized "
+                "weights (smoke-test artifact)\n");
+  }
+
+  data::SyntheticCifarSpec spec;
+  spec.num_classes = args.classes;
+  data::SyntheticCifar gen(spec);
+  data::LabeledImages calib = gen.generate(args.calib, /*seed=*/1);
+  data::standardize(calib);
+  const core::ActivationProfile profile =
+      core::collect_activations(*model, calib);
+
+  core::ConversionConfig cc;
+  cc.time_steps = args.time_steps;
+  auto net = core::convert(*model, profile, cc, nullptr);
+
+  artifact::PackOptions opt;
+  opt.input_shape = Shape(calib.images.shape().begin() + 1,
+                          calib.images.shape().end());
+  const std::uint64_t bytes = artifact::pack_network(*net, args.out, opt);
+  std::printf("[pack] wrote %llu bytes -> %s\n",
+              static_cast<unsigned long long>(bytes), args.out.c_str());
+
+  // Round-trip gate: the artifact must survive the same load + canary a
+  // ModelRegistry deploy would run before this tool reports success.
+  artifact::ModelRegistry gate;
+  gate.deploy(args.out);
+  std::printf("[pack] round-trip verified: canary logits reproduced "
+              "bit-for-bit (fingerprint %016llx)\n",
+              static_cast<unsigned long long>(
+                  gate.active().artifact->fingerprint()));
+  return 0;
+}
+
+int run_verify(const std::string& path) {
+  artifact::ModelRegistry gate;
+  gate.deploy(path);  // load + arch parse + canary replay; throws on failure
+  const auto art = gate.active().artifact;
+  std::printf("[verify] %s: OK\n", path.c_str());
+  std::printf("  file size    %llu bytes\n",
+              static_cast<unsigned long long>(art->file_size()));
+  std::printf("  fingerprint  %016llx\n",
+              static_cast<unsigned long long>(art->fingerprint()));
+  std::printf("  layers       %zu, tensors %lld, T=%lld\n",
+              art->arch().layers.size(),
+              static_cast<long long>(art->tensor_count()),
+              static_cast<long long>(art->time_steps()));
+  std::printf("  canary       replayed bit-exact at T=%lld\n",
+              static_cast<long long>(art->probe_time_steps()));
+  return 0;
+}
+
+int run_info(const std::string& path) {
+  const auto art = artifact::UllsnnArtifact::load(path);
+  std::printf("artifact %s\n", path.c_str());
+  std::printf("  file size    %llu bytes\n",
+              static_cast<unsigned long long>(art->file_size()));
+  std::printf("  fingerprint  %016llx\n",
+              static_cast<unsigned long long>(art->fingerprint()));
+  std::printf("  time steps   %lld  encoding %u  encoder seed %llu\n",
+              static_cast<long long>(art->arch().time_steps),
+              art->arch().encoding,
+              static_cast<unsigned long long>(art->arch().encoder_seed));
+  std::printf("  layers (%zu):\n", art->arch().layers.size());
+  for (std::size_t i = 0; i < art->arch().layers.size(); ++i) {
+    std::printf("    [%zu] kind=%u\n", i,
+                static_cast<unsigned>(art->arch().layers[i].kind));
+  }
+  std::printf("  tensors (%lld):\n",
+              static_cast<long long>(art->tensor_count()));
+  for (const artifact::TensorEntry& t : art->tensors()) {
+    std::string dims;
+    for (std::size_t d = 0; d < t.shape.size(); ++d) {
+      if (d > 0) dims += 'x';
+      dims += std::to_string(t.shape[d]);
+    }
+    std::printf("    %-16s %-12s @ %llu\n", t.name.c_str(), dims.c_str(),
+                static_cast<unsigned long long>(t.offset));
+  }
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "verify" && argc == 3) return run_verify(argv[2]);
+  if (cmd == "info" && argc == 3) return run_info(argv[2]);
+  if (cmd != "pack") return usage();
+
+  PackArgs args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::invalid_argument(flag + " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--out") args.out = value();
+    else if (flag == "--checkpoint") args.checkpoint = value();
+    else if (flag == "--arch") args.arch = value();
+    else if (flag == "--width") args.width = std::strtof(value(), nullptr);
+    else if (flag == "--classes") args.classes = std::atoll(value());
+    else if (flag == "--T") args.time_steps = std::atoll(value());
+    else if (flag == "--calib") args.calib = std::atoll(value());
+    else if (flag == "--seed") args.seed = std::strtoull(value(), nullptr, 10);
+    else return usage();
+  }
+  return run_pack(args);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const artifact::ArtifactError& e) {
+    std::fprintf(stderr, "ullsnn_pack: [%s] %s\n", to_string(e.code()),
+                 e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ullsnn_pack: %s\n", e.what());
+    return 1;
+  }
+}
