@@ -36,6 +36,7 @@
 #include "src/artifact/artifact.h"
 #include "src/artifact/model_registry.h"
 #include "src/core/pipeline.h"
+#include "src/obs/flight_recorder.h"
 #include "src/robust/fault_injector.h"
 #include "src/serve/engine.h"
 
@@ -125,6 +126,15 @@ int run(int argc, char** argv) {
   sc.input_shape = Shape(test.images.shape().begin() + 1,
                          test.images.shape().end());
 
+  // Live operations: serve /metrics, /healthz, and /flight while the acts
+  // run, and auto-dump the flight recorder on anomalies — the act-2 circuit
+  // open will write one.
+  const std::string flight_path =
+      (std::filesystem::temp_directory_path() / "ullsnn_serving_demo_flight.jsonl")
+          .string();
+  sc.obs.endpoint = true;
+  sc.obs.flight_dump_path = flight_path;
+
   std::atomic<bool> poison{false};
   sc.after_forward_hook = [&poison](const std::vector<std::int64_t>&,
                                     Tensor& logits) {
@@ -140,6 +150,11 @@ int run(int argc, char** argv) {
         return core::convert(model, profile, cc, nullptr);
       });
   engine.start();
+  std::printf("live endpoint up: curl -s 127.0.0.1:%d/metrics | grep ^serve_\n"
+              "                  curl -s 127.0.0.1:%d/healthz   "
+              "(503 while the circuit is open)\n"
+              "                  curl -s 127.0.0.1:%d/flight\n",
+              engine.http_port(), engine.http_port(), engine.http_port());
   std::int64_t cursor = 0;
 
   // Act 1: healthy traffic at full T.
@@ -173,6 +188,16 @@ int run(int argc, char** argv) {
               static_cast<long long>(s.errors),
               static_cast<long long>(engine.breaker().trips()),
               static_cast<long long>(engine.breaker().recoveries()));
+
+  // The act-2 breaker open was an anomaly: the flight recorder dumped the
+  // recent request/event rings (with per-stage timings) for forensics.
+  obs::FlightRecorder& flight = obs::FlightRecorder::instance();
+  std::printf("flight recorder: %llu requests seen, %lld anomalies, "
+              "%lld dump(s) -> %s\n",
+              static_cast<unsigned long long>(flight.requests_recorded()),
+              static_cast<long long>(flight.anomalies()),
+              static_cast<long long>(flight.dumps_written()),
+              flight_path.c_str());
 
   // The demo's contract: the breaker must have tripped during act 2 and
   // recovered during act 3; anything else means the arc did not happen.

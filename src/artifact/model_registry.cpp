@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/log.h"
 #include "src/robust/health.h"
 
@@ -56,6 +57,20 @@ void ModelRegistry::note(const char* event, std::string detail) {
   t.version = version_;
   t.event = event;
   t.detail = std::move(detail);
+  // Mirror every registry transition into the flight recorder's event ring.
+  // An auto-rollback (or a regression with no rollback target) is an anomaly
+  // and additionally triggers a rate-limited dump.
+  const bool anomaly = std::strcmp(event, "auto-rollback") == 0 ||
+                       std::strcmp(event, "health-regression") == 0;
+  if (anomaly) {
+    obs::FlightRecorder::instance().note_anomaly(
+        "registry", "%s v%llu: %s", event,
+        static_cast<unsigned long long>(version_), t.detail.c_str());
+  } else {
+    obs::FlightRecorder::instance().record_event(
+        "registry", "%s v%llu: %s", event,
+        static_cast<unsigned long long>(version_), t.detail.c_str());
+  }
   history_.push_back(std::move(t));
 }
 

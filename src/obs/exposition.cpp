@@ -1,0 +1,179 @@
+#include "src/obs/exposition.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ullsnn::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void append_labels(std::string& out, const ExpositionLabels& labels,
+                   const char* extra_key = nullptr,
+                   const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += escape_label_value(extra_value);
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_type(std::string& out, const std::string& name, const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot,
+                              const ExpositionLabels& labels) {
+  std::string out;
+  out.reserve(256 * (snapshot.counters.size() + snapshot.gauges.size()) +
+              1024 * snapshot.histograms.size());
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = prometheus_metric_name(c.name);
+    append_type(out, name, "counter");
+    out += name;
+    append_labels(out, labels);
+    out += ' ';
+    out += std::to_string(c.value);
+    out += '\n';
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = prometheus_metric_name(g.name);
+    append_type(out, name, "gauge");
+    out += name;
+    append_labels(out, labels);
+    out += ' ';
+    out += fmt_double(g.value);
+    out += '\n';
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = prometheus_metric_name(h.name);
+    append_type(out, name, "histogram");
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      out += name;
+      out += "_bucket";
+      append_labels(out, labels, "le", fmt_double(h.bounds[i]));
+      out += ' ';
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += name;
+    out += "_bucket";
+    append_labels(out, labels, "le", "+Inf");
+    out += ' ';
+    out += std::to_string(h.count);
+    out += '\n';
+    out += name;
+    out += "_sum";
+    append_labels(out, labels);
+    out += ' ';
+    out += fmt_double(h.sum);
+    out += '\n';
+    out += name;
+    out += "_count";
+    append_labels(out, labels);
+    out += ' ';
+    out += std::to_string(h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+double histogram_quantile(const HistogramSample& h, double q) {
+  if (h.count <= 0 || h.bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(h.count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < h.bounds.size() && i < h.counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(h.counts[i]);
+    if (cumulative + in_bucket >= rank && in_bucket > 0.0) {
+      const double lower = i == 0 ? 0.0 : h.bounds[i - 1];
+      const double upper = h.bounds[i];
+      const double fraction = (rank - cumulative) / in_bucket;
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  // Overflow bucket: the histogram cannot resolve beyond its last bound.
+  return h.bounds.back();
+}
+
+double histogram_count_above(const HistogramSample& h, double threshold) {
+  if (h.count <= 0 || h.bounds.empty()) return 0.0;
+  double above = 0.0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(h.counts[i]);
+    if (in_bucket <= 0.0) continue;
+    if (i >= h.bounds.size()) {
+      // Overflow bucket: every sample exceeds the largest finite bound, so
+      // it always counts against a threshold the histogram can resolve.
+      above += in_bucket;
+      continue;
+    }
+    const double lower = i == 0 ? 0.0 : h.bounds[i - 1];
+    const double upper = h.bounds[i];
+    if (threshold <= lower) {
+      above += in_bucket;
+    } else if (threshold < upper) {
+      above += in_bucket * (upper - threshold) / (upper - lower);
+    }
+  }
+  return above;
+}
+
+}  // namespace ullsnn::obs

@@ -1,0 +1,197 @@
+#include "src/obs/http_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/obs/log.h"
+
+namespace ullsnn::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+/// Blocking send of the whole buffer; gives up on error/timeout.
+bool send_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR)) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_response(int fd, const HttpResponse& response) {
+  std::string head;
+  head.reserve(160);
+  head += "HTTP/1.1 ";
+  head += std::to_string(response.status);
+  head += ' ';
+  head += status_text(response.status);
+  head += "\r\nContent-Type: ";
+  head += response.content_type;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(response.body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  if (send_all(fd, head.data(), head.size())) {
+    send_all(fd, response.body.data(), response.body.size());
+  }
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(Config config) : config_(std::move(config)) {}
+
+HttpEndpoint::~HttpEndpoint() { stop(); }
+
+void HttpEndpoint::route(const std::string& path, HttpHandler handler) {
+  if (running()) {
+    throw std::logic_error("HttpEndpoint: routes must be registered before start()");
+  }
+  routes_[path] = std::move(handler);
+}
+
+void HttpEndpoint::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("HttpEndpoint: socket(): ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("HttpEndpoint: bad bind address " +
+                             config_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, config_.backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("HttpEndpoint: cannot listen on " +
+                             config_.bind_address + ":" +
+                             std::to_string(config_.port) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_.store(static_cast<int>(ntohs(bound.sin_port)),
+                std::memory_order_release);
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  logf(LogLevel::kInfo, "[http] endpoint listening on %s:%d",
+       config_.bind_address.c_str(), port());
+}
+
+void HttpEndpoint::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+  logf(LogLevel::kInfo, "[http] endpoint stopped");
+}
+
+void HttpEndpoint::accept_loop() {
+  const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout (re-check stop flag) or EINTR
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    const timeval tv{
+        static_cast<time_t>(config_.io_timeout.count() / 1000),
+        static_cast<suseconds_t>((config_.io_timeout.count() % 1000) * 1000)};
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    serve_connection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpEndpoint::serve_connection(int fd) {
+  // Read until the end of the request head (or 4 KiB — these are GETs).
+  std::string request;
+  char buf[1024];
+  while (request.size() < 4096 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) {
+    write_response(fd, {400, "text/plain", "malformed request\n"});
+    return;
+  }
+  const std::string line = request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                   : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    write_response(fd, {400, "text/plain", "malformed request line\n"});
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    write_response(fd, {405, "text/plain", "only GET is supported\n"});
+    return;
+  }
+  std::string query;
+  const std::size_t qpos = target.find('?');
+  if (qpos != std::string::npos) {
+    query = target.substr(qpos + 1);
+    target.resize(qpos);
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  const auto it = routes_.find(target);
+  if (it == routes_.end()) {
+    std::string known = "not found; routes:";
+    for (const auto& [path, handler] : routes_) {
+      known += ' ';
+      known += path;
+    }
+    known += '\n';
+    write_response(fd, {404, "text/plain", std::move(known)});
+    return;
+  }
+  try {
+    write_response(fd, it->second(target, query));
+  } catch (const std::exception& e) {
+    write_response(fd, {500, "text/plain", std::string("handler error: ") +
+                                               e.what() + "\n"});
+  }
+}
+
+}  // namespace ullsnn::obs

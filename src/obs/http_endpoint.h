@@ -1,0 +1,87 @@
+// Minimal embedded HTTP/1.1 endpoint for live operational telemetry.
+//
+// Deliberately tiny: blocking POSIX sockets, one accept thread, one
+// connection served at a time, exact-match GET routes, Connection: close.
+// That is exactly enough for a Prometheus scraper, a load balancer health
+// check, and a human with curl — and nothing more. No dependencies, no TLS,
+// no keep-alive, no request bodies. Bind it to loopback (the default) and
+// put a real proxy in front if the network is hostile.
+//
+// Routes are registered before start(); each handler runs on the accept
+// thread, so keep them snapshot-cheap (the /metrics render is a string
+// build over an already-consistent snapshot). A handler that throws yields
+// a 500 with the exception text rather than killing the thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace ullsnn::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+};
+
+/// Exact-match route handler; receives the request path (query string, if
+/// any, stripped and passed separately).
+using HttpHandler =
+    std::function<HttpResponse(const std::string& path, const std::string& query)>;
+
+class HttpEndpoint {
+ public:
+  struct Config {
+    std::string bind_address = "127.0.0.1";
+    /// 0 binds an ephemeral port; read the actual one from port().
+    int port = 0;
+    int backlog = 16;
+    /// Per-connection read/write timeout (a stuck scraper cannot wedge the
+    /// accept thread forever).
+    std::chrono::milliseconds io_timeout{2000};
+  };
+
+  explicit HttpEndpoint(Config config);
+  ~HttpEndpoint();
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// Register an exact-match GET route ("/metrics"). Must precede start().
+  void route(const std::string& path, HttpHandler handler);
+
+  /// Bind + listen + spawn the accept thread. Throws std::runtime_error on
+  /// bind/listen failure (port taken, bad address). Idempotent.
+  void start();
+  /// Close the listener and join the accept thread. Idempotent; also run by
+  /// the destructor.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Actual bound port (resolves an ephemeral request); 0 before start().
+  int port() const { return port_.load(std::memory_order_acquire); }
+  const std::string& bind_address() const { return config_.bind_address; }
+
+  std::int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Config config_;
+  std::map<std::string, HttpHandler> routes_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<int> port_{0};
+  std::atomic<std::int64_t> requests_served_{0};
+};
+
+}  // namespace ullsnn::obs

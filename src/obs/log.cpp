@@ -14,7 +14,13 @@ std::atomic<int>& level_storage() {
   return level;
 }
 
+thread_local std::int64_t t_request_id = -1;
+
 }  // namespace
+
+void set_log_request_id(std::int64_t id) { t_request_id = id; }
+
+std::int64_t log_request_id() { return t_request_id; }
 
 LogLevel parse_log_level(const char* text) {
   if (text == nullptr || text[0] == '\0') return LogLevel::kInfo;
@@ -65,7 +71,14 @@ void vlogf(LogLevel level, const char* fmt, std::va_list args) {
   std::FILE* stream = static_cast<int>(level) <= static_cast<int>(LogLevel::kWarn)
                           ? stderr
                           : stdout;
-  std::fprintf(stream, needs_newline ? "%s\n" : "%s", buf);
+  // One stdio call per line so concurrent writers never interleave mid-line;
+  // the rid tag joins this line to traces and flight-recorder records.
+  if (t_request_id >= 0) {
+    std::fprintf(stream, needs_newline ? "[rid=%lld] %s\n" : "[rid=%lld] %s",
+                 static_cast<long long>(t_request_id), buf);
+  } else {
+    std::fprintf(stream, needs_newline ? "%s\n" : "%s", buf);
+  }
   std::fflush(stream);
 }
 

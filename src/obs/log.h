@@ -7,9 +7,15 @@
 // to stdout (matching the previous printf behavior the benches parse),
 // warn/error to stderr. A message is emitted with a single stdio call, so
 // concurrent lines do not interleave mid-line.
+// Request-id tagging: the serving engine marks the request (batch) a worker
+// thread is handling via set_log_request_id / LogRequestScope; every log
+// line emitted by that thread is then prefixed with "[rid=N]", making logs
+// joinable against trace events and flight-recorder records during incident
+// forensics. The id is thread-local; -1 (the default) disables the prefix.
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 
 namespace ullsnn::obs {
 
@@ -30,5 +36,24 @@ bool log_enabled(LogLevel level);
 /// printf-style log line; a trailing newline is appended if missing.
 void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 void vlogf(LogLevel level, const char* fmt, std::va_list args);
+
+/// Active request id for this thread (tags subsequent log lines); -1 clears.
+void set_log_request_id(std::int64_t id);
+std::int64_t log_request_id();
+
+/// RAII request-id tag: restores the previous id on scope exit, so nested
+/// scopes (worker batch -> per-request fulfillment) unwind correctly.
+class LogRequestScope {
+ public:
+  explicit LogRequestScope(std::int64_t id) : previous_(log_request_id()) {
+    set_log_request_id(id);
+  }
+  ~LogRequestScope() { set_log_request_id(previous_); }
+  LogRequestScope(const LogRequestScope&) = delete;
+  LogRequestScope& operator=(const LogRequestScope&) = delete;
+
+ private:
+  std::int64_t previous_;
+};
 
 }  // namespace ullsnn::obs

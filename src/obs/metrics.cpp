@@ -30,7 +30,7 @@ void Histogram::observe(double v) noexcept {
   }
   counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
 }
 
 std::vector<std::int64_t> Histogram::bucket_counts() const {

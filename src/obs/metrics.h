@@ -21,6 +21,18 @@
 
 namespace ullsnn::obs {
 
+/// Relaxed atomic add for doubles via a CAS loop.
+/// std::atomic<double>::fetch_add is a C++20 library addition that several
+/// otherwise-supported toolchains (older libc++, some cross compilers) still
+/// lack; the CAS loop compiles everywhere and costs the same on x86.
+inline void atomic_add_double(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
 /// Monotonically increasing integer metric.
 class Counter {
  public:
@@ -38,7 +50,7 @@ class Counter {
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
-  void add(double delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void add(double delta) noexcept { atomic_add_double(value_, delta); }
   double value() const noexcept { return value_.load(std::memory_order_relaxed); }
   void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
 

@@ -1,0 +1,96 @@
+// Fixed-capacity concurrent ring buffer — the storage behind the flight
+// recorder. Writers never block each other except on the (rare) wrap
+// collision where two producers land on the same slot capacity apart; a
+// per-slot spin flag serializes just that pair, so the steady-state push
+// cost is one atomic increment, one uncontended test_and_set, and a copy.
+//
+// snapshot() is best-effort by design: it walks the last `capacity` tickets
+// and returns every slot whose ticket still matches — a record overwritten
+// mid-walk is simply skipped, never returned torn. The recorder dumps on
+// anomalies, not on the hot path, so losing a handful of in-flight records
+// to an overwrite race is the intended trade against hot-path cost.
+//
+// T must be default-constructible and copy-assignable; keep it flat (no
+// heap-owning members) so a copy under the slot flag stays cheap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ullsnn::obs {
+
+template <typename T>
+class Ring {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit Ring(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Total records ever pushed (including those already overwritten).
+  std::uint64_t total_pushed() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  void push(const T& value) noexcept {
+    const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[ticket & mask_];
+    while (slot.busy.test_and_set(std::memory_order_acquire)) {
+      // Another producer (one full lap ahead/behind) or a snapshot holds the
+      // slot; both release within a copy's worth of work.
+    }
+    slot.value = value;
+    slot.ticket.store(ticket + 1, std::memory_order_release);
+    slot.busy.clear(std::memory_order_release);
+  }
+
+  /// Copy of the retained records, oldest first. Records overwritten while
+  /// the walk is in progress are skipped, never returned torn.
+  std::vector<T> snapshot() const {
+    const std::uint64_t end = head_.load(std::memory_order_acquire);
+    const std::uint64_t start = end > capacity_ ? end - capacity_ : 0;
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(end - start));
+    for (std::uint64_t ticket = start; ticket < end; ++ticket) {
+      Slot& slot = slots_[ticket & mask_];
+      while (slot.busy.test_and_set(std::memory_order_acquire)) {
+      }
+      if (slot.ticket.load(std::memory_order_relaxed) == ticket + 1) {
+        out.push_back(slot.value);
+      }
+      slot.busy.clear(std::memory_order_release);
+    }
+    return out;
+  }
+
+  /// Forget all retained records (tests). Not safe against concurrent push.
+  void clear() {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      slots_[i].ticket.store(0, std::memory_order_relaxed);
+    }
+    head_.store(0, std::memory_order_release);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> ticket{0};  // 0 = never written; else index+1
+    std::atomic_flag busy = ATOMIC_FLAG_INIT;
+    T value{};
+  };
+
+  std::size_t capacity_ = 0;
+  std::uint64_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  // mutable: snapshot() takes the per-slot flag (logically const).
+  mutable std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace ullsnn::obs

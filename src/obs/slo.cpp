@@ -1,0 +1,75 @@
+#include "src/obs/slo.h"
+
+#include <stdexcept>
+
+#include "src/obs/exposition.h"
+
+namespace ullsnn::obs {
+
+SloTracker::SloTracker(SloConfig config) : config_(std::move(config)) {
+  if (config_.target <= 0.0 || config_.target >= 1.0) {
+    throw std::invalid_argument("SloTracker: target must be in (0, 1)");
+  }
+  if (config_.objective_ms <= 0.0) {
+    throw std::invalid_argument("SloTracker: objective_ms must be positive");
+  }
+}
+
+SloTracker::Report SloTracker::update() {
+  // The histogram reference is stable for the process lifetime; taking it
+  // here (rather than caching) keeps the tracker usable before the serving
+  // engine has observed anything.
+  Histogram& hist = Registry::instance().histogram(config_.histogram);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<std::int64_t> counts = hist.bucket_counts();
+  if (prev_counts_.size() != counts.size()) {
+    prev_counts_.assign(counts.size(), 0);
+  }
+  // Interval histogram = cumulative now - cumulative at the last update.
+  HistogramSample interval;
+  interval.name = config_.histogram;
+  interval.bounds = hist.bounds();
+  interval.counts.resize(counts.size());
+  std::int64_t window_count = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    interval.counts[i] = counts[i] - prev_counts_[i];
+    window_count += interval.counts[i];
+  }
+  interval.count = window_count;
+
+  Report report;
+  report.window_count = window_count;
+  if (window_count > 0) {
+    report.p50_ms = histogram_quantile(interval, 0.50);
+    report.p95_ms = histogram_quantile(interval, 0.95);
+    report.p99_ms = histogram_quantile(interval, 0.99);
+    report.window_violations =
+        histogram_count_above(interval, config_.objective_ms);
+    report.compliance =
+        1.0 - report.window_violations / static_cast<double>(window_count);
+    report.burn = (report.window_violations / static_cast<double>(window_count)) /
+                  (1.0 - config_.target);
+  }
+
+  prev_counts_ = counts;
+  prev_count_ = hist.count();
+  last_report_ = report;
+
+  Registry& registry = Registry::instance();
+  registry.gauge(config_.gauge_prefix + ".p50_ms").set(report.p50_ms);
+  registry.gauge(config_.gauge_prefix + ".p95_ms").set(report.p95_ms);
+  registry.gauge(config_.gauge_prefix + ".p99_ms").set(report.p99_ms);
+  registry.gauge(config_.gauge_prefix + ".compliance").set(report.compliance);
+  registry.gauge(config_.gauge_prefix + ".burn").set(report.burn);
+  registry.gauge(config_.gauge_prefix + ".window_requests")
+      .set(static_cast<double>(report.window_count));
+  return report;
+}
+
+SloTracker::Report SloTracker::last() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_report_;
+}
+
+}  // namespace ullsnn::obs

@@ -1,0 +1,72 @@
+// SloTracker: rolling latency percentiles + error-budget burn over a
+// registry histogram.
+//
+// The tracker snapshots its latency histogram on every update() and works on
+// the *delta* since the previous update, so each report describes the
+// interval between two scrapes (the natural window for a Prometheus-style
+// pull model) rather than the whole process lifetime. From the interval it
+// estimates p50/p95/p99 (bucket interpolation, see
+// obs::histogram_quantile), SLO compliance against a latency objective, and
+// the error-budget burn rate:
+//
+//   burn = (fraction of interval requests over the objective) / (1 - target)
+//
+// burn == 1 means the service spends its budget exactly as fast as the SLO
+// allows; burn > 1 means an incident in progress. Each update also publishes
+// slo.* gauges into the registry so the /metrics endpoint exports them.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace ullsnn::obs {
+
+struct SloConfig {
+  /// Registry histogram holding per-request latencies (observed in ms).
+  std::string histogram = "serve.latency.total_ms";
+  /// Latency objective: a request over this is an SLO violation.
+  double objective_ms = 250.0;
+  /// Target fraction of requests that must meet the objective (e.g. 0.99 ->
+  /// 1% error budget). Must be in (0, 1).
+  double target = 0.99;
+  /// Gauge-name prefix for the published slo.* gauges.
+  std::string gauge_prefix = "serve.slo";
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig config);
+
+  struct Report {
+    std::int64_t window_count = 0;   // requests observed in the interval
+    double window_violations = 0.0;  // estimated requests over the objective
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double compliance = 1.0;  // fraction within the objective (1 when idle)
+    double burn = 0.0;        // error-budget burn rate (see header comment)
+  };
+
+  /// Compute the report for the interval since the previous update (process
+  /// start for the first call), publish the slo.* gauges, and retain the
+  /// report for last(). Thread-safe; concurrent scrapes serialize.
+  Report update();
+
+  /// Most recent update() report without advancing the window.
+  Report last() const;
+
+  const SloConfig& config() const { return config_; }
+
+ private:
+  SloConfig config_;
+  mutable std::mutex mu_;
+  Report last_report_;
+  std::vector<std::int64_t> prev_counts_;  // per-bucket cumulative baseline
+  std::int64_t prev_count_ = 0;
+};
+
+}  // namespace ullsnn::obs

@@ -62,7 +62,9 @@ class MicroBatcher {
 
  private:
   static void admit(PendingRequest&& request, MicroBatch& batch) {
-    if (Clock::now() >= request.slot->deadline()) {
+    const auto now = Clock::now();
+    request.popped = now;  // queue-wait ends here; formation wait begins
+    if (now >= request.slot->deadline()) {
       batch.expired.push_back(std::move(request));
     } else {
       batch.requests.push_back(std::move(request));

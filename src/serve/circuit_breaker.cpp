@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -48,6 +49,16 @@ void CircuitBreaker::note(BreakerState state, const char* cause) {
   ULLSNN_GAUGE_SET("serve.breaker.state", static_cast<double>(static_cast<int>(state)));
   ULLSNN_GAUGE_SET("serve.breaker.time_steps", static_cast<double>(t));
   ULLSNN_TRACE_INSTANT("serve.breaker.transition");
+  // Every transition lands in the flight recorder's event ring; an open
+  // circuit is an anomaly and additionally triggers a (rate-limited) dump.
+  if (state == BreakerState::kOpen) {
+    obs::FlightRecorder::instance().note_anomaly(
+        "breaker_open", "circuit opened: %s", cause);
+  } else {
+    obs::FlightRecorder::instance().record_event(
+        "breaker", "-> %s (T=%lld): %s", to_string(state),
+        static_cast<long long>(t), cause);
+  }
   obs::logf(obs::LogLevel::kInfo, "[serve] breaker -> %s (T=%lld): %s",
             to_string(state), static_cast<long long>(t), cause);
 }

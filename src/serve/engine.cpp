@@ -1,10 +1,14 @@
 #include "src/serve/engine.h"
 
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
 #include "src/artifact/model_registry.h"
+#include "src/obs/exposition.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/http_endpoint.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -25,6 +29,22 @@ robust::GuardConfig monitor_config(float explosion_threshold) {
   return gc;
 }
 
+/// Millisecond-scale latency buckets for the serve.latency.* histograms:
+/// fine enough that the SLO tracker's within-bucket interpolation keeps
+/// percentile error small around typical objectives (tens to hundreds of
+/// milliseconds), bounded at 10 s (beyond that the watchdog owns the story).
+const std::vector<double>& serve_latency_bounds() {
+  static const std::vector<double> bounds = {
+      0.05, 0.1, 0.25, 0.5, 1.0,  2.5,   5.0,   10.0,   25.0,
+      50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+  return bounds;
+}
+
+const std::vector<double>& batch_size_bounds() {
+  static const std::vector<double> bounds = {1, 2, 4, 8, 16, 32, 64};
+  return bounds;
+}
+
 }  // namespace
 
 const char* to_string(ResponseStatus status) {
@@ -40,6 +60,31 @@ const char* to_string(ResponseStatus status) {
   return "unknown";
 }
 
+ServeEngine::ServeMetrics ServeEngine::ServeMetrics::bind() {
+  obs::Registry& r = obs::Registry::instance();
+  return ServeMetrics{
+      r.counter("serve.submitted"),
+      r.counter("serve.accepted"),
+      r.counter("serve.rejected"),
+      r.counter("serve.shed.deadline"),
+      r.counter("serve.completed.ok"),
+      r.counter("serve.completed.degraded"),
+      r.counter("serve.unavailable"),
+      r.counter("serve.timeouts"),
+      r.counter("serve.errors"),
+      r.counter("serve.retries"),
+      r.counter("serve.batches"),
+      r.counter("serve.swaps"),
+      r.gauge("serve.queue.depth"),
+      r.histogram("serve.batch.size", batch_size_bounds()),
+      r.histogram("serve.latency.total_ms", serve_latency_bounds()),
+      r.histogram("serve.latency.queue_ms", serve_latency_bounds()),
+      r.histogram("serve.latency.batch_ms", serve_latency_bounds()),
+      r.histogram("serve.latency.infer_ms", serve_latency_bounds()),
+      r.histogram("serve.latency.step_ms", serve_latency_bounds()),
+  };
+}
+
 ServeEngine::ServeEngine(ServeConfig config, NetworkFactory factory)
     : config_(std::move(config)),
       factory_(std::move(factory)),
@@ -48,7 +93,9 @@ ServeEngine::ServeEngine(ServeConfig config, NetworkFactory factory)
       queue_(config_.queue_capacity),
       batcher_(config_.batcher),
       breaker_(std::make_unique<CircuitBreaker>(config_.breaker)),
-      monitor_(monitor_config(config_.explosion_threshold)) {
+      monitor_(monitor_config(config_.explosion_threshold)),
+      metrics_(ServeMetrics::bind()),
+      slo_(config_.obs.slo) {
   if (config_.queue_capacity <= 0) {
     throw std::invalid_argument("ServeEngine: queue_capacity must be positive");
   }
@@ -109,6 +156,11 @@ void ServeEngine::start() {
   } else if (registry_->active().artifact == nullptr) {
     throw std::runtime_error("ServeEngine: registry has no active artifact");
   }
+  if (!config_.obs.flight_dump_path.empty()) {
+    obs::FlightRecorder::instance().set_dump_path(config_.obs.flight_dump_path);
+    obs::FlightRecorder::install_terminate_handler();
+  }
+  start_endpoint();  // before workers: scrapes see the engine from its first batch
   running_.store(true, std::memory_order_release);
   for (std::int64_t w = 0; w < config_.workers; ++w) {
     std::shared_ptr<snn::SnnNetwork> prebuilt;
@@ -142,11 +194,11 @@ void ServeEngine::start() {
           worker_versions_[static_cast<std::size_t>(w)].store(
               version, std::memory_order_release);
           stats_.swaps.fetch_add(1, std::memory_order_relaxed);
-          ULLSNN_COUNTER_ADD("serve.swaps", 1);
+          metrics_.swaps.add(1);
         }
         MicroBatch batch = batcher_.collect(queue_);
         if (batch.empty()) continue;
-        const bool healthy = run_batch(*net, std::move(batch));
+        const bool healthy = run_batch(*net, std::move(batch), w);
         if (registry_ != nullptr) registry_->record_batch_health(version, healthy);
       }
     });
@@ -156,6 +208,76 @@ void ServeEngine::start() {
             "[serve] engine started: %lld worker(s), queue capacity %lld",
             static_cast<long long>(config_.workers),
             static_cast<long long>(config_.queue_capacity));
+}
+
+void ServeEngine::start_endpoint() {
+  if (!config_.obs.endpoint) return;
+  obs::HttpEndpoint::Config http;
+  http.bind_address = config_.obs.bind_address;
+  http.port = config_.obs.port;
+  endpoint_ = std::make_unique<obs::HttpEndpoint>(http);
+  endpoint_->route("/metrics", [this](const std::string&, const std::string&) {
+    // Refreshing the SLO window on scrape makes each exposition describe the
+    // interval between two scrapes — the natural pull-model window.
+    slo_.update();
+    obs::HttpResponse response;
+    response.body = obs::render_prometheus(obs::Registry::instance().snapshot());
+    return response;
+  });
+  endpoint_->route("/healthz", [this](const std::string&, const std::string&) {
+    return handle_healthz();
+  });
+  endpoint_->route("/flight", [](const std::string&, const std::string&) {
+    obs::HttpResponse response;
+    response.content_type = "application/x-ndjson";
+    response.body = obs::FlightRecorder::instance().render_jsonl();
+    return response;
+  });
+  endpoint_->start();
+}
+
+obs::HttpResponse ServeEngine::handle_healthz() const {
+  const BreakerState state = breaker_->state();
+  const char* verdict = "ok";
+  if (state == BreakerState::kOpen || state == BreakerState::kHalfOpen) {
+    verdict = "unavailable";
+  } else if (state == BreakerState::kDegraded) {
+    verdict = "degraded";
+  }
+  std::string body;
+  body.reserve(256);
+  body += R"({"status":")";
+  body += verdict;
+  body += R"(","breaker":")";
+  body += to_string(state);
+  body += R"(","time_steps":)";
+  body += std::to_string(state == BreakerState::kOpen ? 0 : breaker_->time_steps());
+  body += R"(,"queue_depth":)";
+  body += std::to_string(queue_.depth());
+  body += R"(,"queue_capacity":)";
+  body += std::to_string(queue_.capacity());
+  body += R"(,"workers":)";
+  body += std::to_string(config_.workers);
+  if (registry_ != nullptr) {
+    body += R"(,"registry_version":)";
+    body += std::to_string(registry_->version());
+    body += R"(,"workers_on_active":)";
+    body += std::to_string(workers_on_active());
+  }
+  body += "}\n";
+  obs::HttpResponse response;
+  // A load balancer keeps routing to a degraded engine (it still answers,
+  // just at reduced T) but drains one whose circuit is open.
+  response.status =
+      (state == BreakerState::kOpen || state == BreakerState::kHalfOpen) ? 503
+                                                                         : 200;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+int ServeEngine::http_port() const {
+  return endpoint_ != nullptr ? endpoint_->port() : 0;
 }
 
 void ServeEngine::stop() {
@@ -169,11 +291,12 @@ void ServeEngine::stop() {
   // Fail whatever the workers never picked up.
   PendingRequest leftover;
   while (queue_.try_pop(&leftover)) {
+    leftover.popped = Clock::now();  // never reached the batcher
     InferResponse r;
     r.status = ResponseStatus::kUnavailable;
     r.reason = "engine stopped before execution";
     stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
-    ULLSNN_COUNTER_ADD("serve.unavailable", 1);
+    metrics_.unavailable.add(1);
     fulfill(leftover.slot, std::move(r));
   }
   if (watchdog_.joinable()) watchdog_.join();
@@ -181,16 +304,20 @@ void ServeEngine::stop() {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     inflight_.clear();
   }
+  if (endpoint_ != nullptr) {
+    endpoint_->stop();
+    endpoint_.reset();
+  }
   obs::logf(obs::LogLevel::kInfo, "[serve] engine stopped");
 }
 
 SubmitResult ServeEngine::submit(Tensor image, std::chrono::milliseconds deadline) {
   SubmitResult result;
   stats_.submitted.fetch_add(1, std::memory_order_relaxed);
-  ULLSNN_COUNTER_ADD("serve.submitted", 1);
+  metrics_.submitted.add(1);
   const auto reject = [&](const std::string& reason) {
     stats_.rejected.fetch_add(1, std::memory_order_relaxed);
-    ULLSNN_COUNTER_ADD("serve.rejected", 1);
+    metrics_.rejected.add(1);
     result.accepted = false;
     result.response.status = ResponseStatus::kRejected;
     result.response.reason = reason;
@@ -207,7 +334,7 @@ SubmitResult ServeEngine::submit(Tensor image, std::chrono::milliseconds deadlin
   const auto now = Clock::now();
   auto slot = std::make_shared<ResponseSlot>(
       next_id_.fetch_add(1, std::memory_order_relaxed), now, now + deadline);
-  PendingRequest pending{slot, std::move(image)};
+  PendingRequest pending{slot, std::move(image), now};
   const AdmitError err = queue_.try_push(std::move(pending));
   if (err != AdmitError::kNone) {
     return reject(to_string(err));
@@ -217,19 +344,58 @@ SubmitResult ServeEngine::submit(Tensor image, std::chrono::milliseconds deadlin
     inflight_.push_back(slot);
   }
   stats_.accepted.fetch_add(1, std::memory_order_relaxed);
-  ULLSNN_COUNTER_ADD("serve.accepted", 1);
-  ULLSNN_GAUGE_SET("serve.queue.depth", static_cast<double>(queue_.depth()));
+  metrics_.accepted.add(1);
+  metrics_.queue_depth.set(static_cast<double>(queue_.depth()));
   result.accepted = true;
   result.future = ResponseFuture(slot);
   return result;
 }
 
-void ServeEngine::fulfill(const SlotPtr& slot, InferResponse&& response) {
+bool ServeEngine::fulfill(const SlotPtr& slot, InferResponse&& response,
+                          std::int64_t batch_size, std::int64_t worker_index,
+                          const std::function<void()>& on_win) {
+  response.id = slot->id();
   response.total_ms = ms_between(slot->enqueue_time(), Clock::now());
-  if (slot->fulfill(std::move(response))) {
-    ULLSNN_HISTOGRAM_OBSERVE("serve.latency.total_ms",
-                             ms_between(slot->enqueue_time(), Clock::now()));
+  const double total_ms = response.total_ms;
+  // Copy the flat trace fields out before fulfill() moves the response to
+  // the client: the recorder and sink must never touch client-owned memory.
+  obs::RequestRecord record;
+  record.id = response.id;
+  std::snprintf(record.status, sizeof record.status, "%s",
+                to_string(response.status));
+  record.time_steps = response.time_steps;
+  record.retries = response.retries;
+  record.batch_size = batch_size;
+  record.worker = worker_index;
+  record.queue_ms = response.queue_ms;
+  record.batch_ms = response.batch_ms;
+  record.infer_ms = response.infer_ms;
+  record.total_ms = total_ms;
+  record.steps = static_cast<std::int32_t>(
+      std::min<std::size_t>(response.step_ms.size(),
+                            obs::RequestRecord::kMaxSteps));
+  for (std::int32_t s = 0; s < record.steps; ++s) {
+    record.step_ms[s] = response.step_ms[static_cast<std::size_t>(s)];
   }
+  record.ts_us = obs::Tracer::now_us();
+  const ResponseStatus status = response.status;
+  const bool won = slot->fulfill(std::move(response), [&] {
+    if (on_win) on_win();
+    obs::FlightRecorder::instance().record_request(record);
+    metrics_.latency_total_ms.observe(total_ms);
+  });
+  if (!won) return false;
+  const std::int64_t sample_every = config_.obs.trace_sample_every;
+  if (sample_every > 0 && record.id % sample_every == 0 &&
+      obs::Tracer::instance().enabled()) {
+    char args[80];
+    std::snprintf(args, sizeof args,
+                  "\"id\":%lld,\"status\":\"%s\",\"total_ms\":%.3f",
+                  static_cast<long long>(record.id), to_string(status),
+                  total_ms);
+    obs::Tracer::instance().record_instant("serve.request", args);
+  }
+  return true;
 }
 
 bool ServeEngine::logits_healthy(const Tensor& logits) const {
@@ -238,22 +404,32 @@ bool ServeEngine::logits_healthy(const Tensor& logits) const {
   return report.healthy();
 }
 
-bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
+bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch,
+                            std::int64_t worker_index) {
   ULLSNN_TRACE_SCOPE("serve.batch");
+  // Tag every log line from this batch with its lead request id so logs
+  // join against traces and flight-recorder records.
+  const std::int64_t lead_id = !batch.requests.empty()
+                                   ? batch.requests.front().slot->id()
+                                   : (!batch.expired.empty()
+                                          ? batch.expired.front().slot->id()
+                                          : -1);
+  obs::LogRequestScope rid_scope(lead_id);
   const auto picked_up = Clock::now();
   for (auto& expired : batch.expired) {
     InferResponse r;
     r.status = ResponseStatus::kExpired;
     r.reason = "deadline passed before execution";
+    r.queue_ms = ms_between(expired.slot->enqueue_time(), expired.popped);
+    r.batch_ms = ms_between(expired.popped, picked_up);
     stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
-    ULLSNN_COUNTER_ADD("serve.shed.deadline", 1);
-    fulfill(expired.slot, std::move(r));
+    metrics_.shed_deadline.add(1);
+    fulfill(expired.slot, std::move(r), 0, worker_index);
   }
   if (batch.requests.empty()) return true;
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
-  ULLSNN_COUNTER_ADD("serve.batches", 1);
-  ULLSNN_HISTOGRAM_OBSERVE("serve.batch.size",
-                           static_cast<double>(batch.requests.size()));
+  metrics_.batches.add(1);
+  metrics_.batch_size.observe(static_cast<double>(batch.requests.size()));
 
   const CircuitBreaker::Decision decision = breaker_->admit();
   if (!decision.allow) {
@@ -261,9 +437,12 @@ bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
       InferResponse r;
       r.status = ResponseStatus::kUnavailable;
       r.reason = "circuit open";
+      r.queue_ms = ms_between(request.slot->enqueue_time(), request.popped);
+      r.batch_ms = ms_between(request.popped, picked_up);
       stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
-      ULLSNN_COUNTER_ADD("serve.unavailable", 1);
-      fulfill(request.slot, std::move(r));
+      metrics_.unavailable.add(1);
+      fulfill(request.slot, std::move(r),
+              static_cast<std::int64_t>(batch.requests.size()), worker_index);
     }
     // A refused batch never touched the network: no verdict on the model.
     return true;
@@ -296,11 +475,13 @@ bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
   std::string last_error = "numeric fault in logits";
   Timer infer_timer;
   double infer_ms = 0.0;
+  std::vector<double> step_ms;          // per-time-step durations (final attempt)
+  std::vector<double> attempt_step_ms;  // scratch for the attempt in flight
   for (std::int64_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++retries_used;
       stats_.retries.fetch_add(1, std::memory_order_relaxed);
-      ULLSNN_COUNTER_ADD("serve.retries", 1);
+      metrics_.retries.add(1);
       if (config_.retry_backoff.count() > 0) {
         std::this_thread::sleep_for(config_.retry_backoff * (1LL << (attempt - 1)));
       }
@@ -313,9 +494,30 @@ bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
       }
       net.set_time_steps(decision.time_steps);
       net.reset_state();
-      Tensor out = net.forward(inputs, /*train=*/false);
+      // Per-time-step timing: wrap (not clobber) any step hook a chaos test
+      // installed, so fault injection and timing compose. The wrapped hook
+      // is restored before the attempt resolves either way.
+      const snn::SnnNetwork::StepHook chained = net.step_hook();
+      attempt_step_ms.clear();
+      auto step_start = Clock::now();
+      net.set_step_hook([&chained, &attempt_step_ms, &step_start](
+                            snn::SnnNetwork& n, std::int64_t t) {
+        if (chained) chained(n, t);
+        const auto now = Clock::now();
+        attempt_step_ms.push_back(ms_between(step_start, now));
+        step_start = now;
+      });
+      Tensor out;
+      try {
+        out = net.forward(inputs, /*train=*/false);
+      } catch (...) {
+        net.set_step_hook(chained);
+        throw;
+      }
+      net.set_step_hook(chained);
       if (config_.after_forward_hook) config_.after_forward_hook(ids, out);
       infer_ms = infer_timer.millis();
+      step_ms = attempt_step_ms;
       if (!logits_healthy(out)) {
         last_error = "numeric fault in logits";
         continue;
@@ -329,6 +531,7 @@ bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
     }
   }
   breaker_->record(success);
+  for (const double s : step_ms) metrics_.latency_step_ms.observe(s);
 
   if (!success) {
     for (auto& request : batch.requests) {
@@ -338,9 +541,13 @@ bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
                  " attempts failed: " + last_error;
       r.retries = retries_used;
       r.time_steps = decision.time_steps;
+      r.queue_ms = ms_between(request.slot->enqueue_time(), request.popped);
+      r.batch_ms = ms_between(request.popped, picked_up);
+      r.infer_ms = infer_ms;
+      r.step_ms = step_ms;
       stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      ULLSNN_COUNTER_ADD("serve.errors", 1);
-      fulfill(request.slot, std::move(r));
+      metrics_.errors.add(1);
+      fulfill(request.slot, std::move(r), batch_size, worker_index);
     }
     return false;
   }
@@ -354,13 +561,15 @@ bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
     InferResponse r;
     r.retries = retries_used;
     r.time_steps = decision.time_steps;
-    r.queue_ms = ms_between(request.slot->enqueue_time(), picked_up);
+    r.queue_ms = ms_between(request.slot->enqueue_time(), request.popped);
+    r.batch_ms = ms_between(request.popped, picked_up);
     r.infer_ms = infer_ms;
+    r.step_ms = step_ms;
     if (finished >= request.slot->deadline()) {
       r.status = ResponseStatus::kExpired;
       r.reason = "completed after deadline";
       stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
-      ULLSNN_COUNTER_ADD("serve.shed.deadline", 1);
+      metrics_.shed_deadline.add(1);
     } else {
       r.status = degraded ? ResponseStatus::kDegraded : ResponseStatus::kOk;
       if (degraded) r.reason = "served at reduced T";
@@ -370,15 +579,16 @@ bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch) {
       r.predicted = r.logits.argmax();
       if (degraded) {
         stats_.completed_degraded.fetch_add(1, std::memory_order_relaxed);
-        ULLSNN_COUNTER_ADD("serve.completed.degraded", 1);
+        metrics_.completed_degraded.add(1);
       } else {
         stats_.completed_ok.fetch_add(1, std::memory_order_relaxed);
-        ULLSNN_COUNTER_ADD("serve.completed.ok", 1);
+        metrics_.completed_ok.add(1);
       }
-      ULLSNN_HISTOGRAM_OBSERVE("serve.latency.queue_ms", r.queue_ms);
-      ULLSNN_HISTOGRAM_OBSERVE("serve.latency.infer_ms", r.infer_ms);
+      metrics_.latency_queue_ms.observe(r.queue_ms);
+      metrics_.latency_batch_ms.observe(r.batch_ms);
+      metrics_.latency_infer_ms.observe(r.infer_ms);
     }
-    fulfill(request.slot, std::move(r));
+    fulfill(request.slot, std::move(r), batch_size, worker_index);
   }
   return true;
 }
@@ -395,20 +605,31 @@ void ServeEngine::watchdog_loop() {
         continue;
       }
       if (now - slot->enqueue_time() >= config_.request_timeout) {
+        obs::LogRequestScope rid_scope(slot->id());
         InferResponse r;
         r.status = ResponseStatus::kTimeout;
         r.reason = "request exceeded hard timeout";
-        r.total_ms = ms_between(slot->enqueue_time(), now);
-        if (slot->fulfill(std::move(r))) {
-          stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
-          ULLSNN_COUNTER_ADD("serve.timeouts", 1);
+        const double total_ms = ms_between(slot->enqueue_time(), now);
+        // Count only if this call won the fulfillment race — a worker may
+        // finish between the done() check above and here. The counters join
+        // the winning critical section so the woken client sees them.
+        if (fulfill(slot, std::move(r), 0, -1, [this] {
+              stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+              metrics_.timeouts.add(1);
+            })) {
+          obs::FlightRecorder::instance().note_anomaly(
+              "watchdog", "request %lld exceeded hard timeout after %.1f ms",
+              static_cast<long long>(slot->id()), total_ms);
+          obs::logf(obs::LogLevel::kWarn,
+                    "[serve] watchdog timed out request %lld after %.1f ms",
+                    static_cast<long long>(slot->id()), total_ms);
         }
         it = inflight_.erase(it);
         continue;
       }
       ++it;
     }
-    ULLSNN_GAUGE_SET("serve.queue.depth", static_cast<double>(queue_.depth()));
+    metrics_.queue_depth.set(static_cast<double>(queue_.depth()));
   }
 }
 
@@ -426,6 +647,12 @@ ServeStats ServeEngine::stats() const {
   s.retries = stats_.retries.load(std::memory_order_relaxed);
   s.batches = stats_.batches.load(std::memory_order_relaxed);
   s.swaps = stats_.swaps.load(std::memory_order_relaxed);
+  const obs::SloTracker::Report slo = slo_.update();
+  s.slo_p50_ms = slo.p50_ms;
+  s.slo_p95_ms = slo.p95_ms;
+  s.slo_p99_ms = slo.p99_ms;
+  s.slo_compliance = slo.compliance;
+  s.slo_burn = slo.burn;
   return s;
 }
 

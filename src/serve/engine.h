@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/slo.h"
 #include "src/robust/health.h"
 #include "src/serve/batcher.h"
 #include "src/serve/bounded_queue.h"
@@ -48,11 +49,41 @@ namespace ullsnn::artifact {
 class ModelRegistry;
 }  // namespace ullsnn::artifact
 
+namespace ullsnn::obs {
+class HttpEndpoint;
+struct HttpResponse;
+}  // namespace ullsnn::obs
+
 namespace ullsnn::serve {
 
 /// Builds one network replica per worker. Replicas must share weights'
 /// values (same conversion) but own their runtime state.
 using NetworkFactory = std::function<std::unique_ptr<snn::SnnNetwork>()>;
+
+/// Live-operations layer: request-scoped tracing, flight recorder, the
+/// embedded /metrics endpoint, and SLO tracking. Stage timings, the flight
+/// recorder, and the serve.* registry instruments are always on (they are
+/// engine-owned and off the per-element hot path — the same contract as
+/// ServeStats); only the endpoint itself is opt-in.
+struct ServeObsConfig {
+  /// Serve /metrics (Prometheus exposition), /healthz, and /flight over an
+  /// embedded blocking-socket HTTP endpoint while the engine runs.
+  bool endpoint = false;
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one from http_port().
+  int port = 0;
+  /// Where the flight recorder auto-dumps JSONL on anomalies (watchdog
+  /// timeout, breaker open, registry auto-rollback, std::terminate). Empty
+  /// disables auto-dumps; recording continues regardless.
+  std::string flight_dump_path;
+  /// Sample every Nth fulfilled request into the trace sink as an instant
+  /// event with its id/status/latency (when the tracer is enabled). 0
+  /// disables sampling; 1 traces every request.
+  std::int64_t trace_sample_every = 64;
+  /// Latency objective + target behind the slo.* gauges and the error-budget
+  /// burn rate exported at /metrics.
+  obs::SloConfig slo;
+};
 
 struct ServeConfig {
   std::int64_t queue_capacity = 256;
@@ -76,6 +107,8 @@ struct ServeConfig {
   /// Expected single-request input shape, e.g. {3, 32, 32}. Mismatching
   /// submissions are rejected at admission.
   Shape input_shape;
+  /// Live-operations layer (endpoint, flight dumps, SLO, trace sampling).
+  ServeObsConfig obs;
 
   // ---- chaos hooks (tests / bench_serve; null in production) ----
   /// Called before each forward attempt with the batch's request ids and the
@@ -113,6 +146,14 @@ struct ServeStats {
   std::int64_t retries = 0;
   std::int64_t batches = 0;
   std::int64_t swaps = 0;  // worker replica rebuilds after a registry flip
+
+  // SLO snapshot from the most recent SloTracker update (stats() refreshes
+  // it): rolling percentiles and the error-budget burn rate.
+  double slo_p50_ms = 0.0;
+  double slo_p95_ms = 0.0;
+  double slo_p99_ms = 0.0;
+  double slo_compliance = 1.0;
+  double slo_burn = 0.0;
 };
 
 class ServeEngine {
@@ -148,6 +189,14 @@ class ServeEngine {
   std::int64_t queue_depth() const { return queue_.depth(); }
   std::int64_t queue_peak_depth() const { return queue_.peak_depth(); }
 
+  /// Actual port of the embedded endpoint (config.obs.endpoint); 0 when the
+  /// endpoint is disabled or the engine is not running.
+  int http_port() const;
+  /// The engine's SLO tracker (rolling percentiles + error-budget burn).
+  /// update() advances the rolling window — /metrics scrapes and stats()
+  /// both call it; tests can drive it directly.
+  obs::SloTracker& slo() { return slo_; }
+
   /// Registry mode only: how many workers currently serve the registry's
   /// active version (== config.workers once a swap has fully propagated).
   std::int64_t workers_on_active() const;
@@ -161,10 +210,24 @@ class ServeEngine {
   /// Returns the batch's health verdict (false = all forward attempts failed
   /// or the logits failed the numeric scan). Refused/empty batches are not
   /// evidence of model damage and return true.
-  bool run_batch(snn::SnnNetwork& net, MicroBatch&& batch);
-  void fulfill(const SlotPtr& slot, InferResponse&& response);
+  bool run_batch(snn::SnnNetwork& net, MicroBatch&& batch,
+                 std::int64_t worker_index);
+  /// Terminal fulfillment: stamps id/total_ms, completes the slot, records
+  /// the request into the flight recorder, samples it into the trace sink,
+  /// and observes the latency histograms. Returns whether this call won the
+  /// first-fulfillment race (losers record nothing). The recording runs
+  /// inside the slot's winning critical section — before any waiter wakes —
+  /// so exported counters are conserved from the client's point of view;
+  /// `on_win` (optional, must not throw) joins that section for caller-side
+  /// counters that must share the same guarantee.
+  bool fulfill(const SlotPtr& slot, InferResponse&& response,
+               std::int64_t batch_size = 0, std::int64_t worker_index = -1,
+               const std::function<void()>& on_win = nullptr);
   /// NaN/Inf/explosion scan of a batch's logits via the shared monitor.
   bool logits_healthy(const Tensor& logits) const;
+  /// Build + start the embedded endpoint (config.obs.endpoint).
+  void start_endpoint();
+  obs::HttpResponse handle_healthz() const;
 
   ServeConfig config_;
   NetworkFactory factory_;                              // null in registry mode
@@ -194,6 +257,37 @@ class ServeEngine {
         swaps{0};
   };
   mutable AtomicStats stats_;
+
+  // Live-operations layer. serve_metrics_ holds direct registry instrument
+  // references (bound once in the constructor), so the serve.* series are
+  // exact in every build configuration — unlike the ULLSNN_* macros, they do
+  // not compile away with -DULLSNN_TELEMETRY=OFF, which is what lets the
+  // /metrics-vs-ServeStats conservation gate run in both CI legs.
+  struct ServeMetrics {
+    obs::Counter& submitted;
+    obs::Counter& accepted;
+    obs::Counter& rejected;
+    obs::Counter& shed_deadline;
+    obs::Counter& completed_ok;
+    obs::Counter& completed_degraded;
+    obs::Counter& unavailable;
+    obs::Counter& timeouts;
+    obs::Counter& errors;
+    obs::Counter& retries;
+    obs::Counter& batches;
+    obs::Counter& swaps;
+    obs::Gauge& queue_depth;
+    obs::Histogram& batch_size;
+    obs::Histogram& latency_total_ms;
+    obs::Histogram& latency_queue_ms;
+    obs::Histogram& latency_batch_ms;
+    obs::Histogram& latency_infer_ms;
+    obs::Histogram& latency_step_ms;
+    static ServeMetrics bind();
+  };
+  ServeMetrics metrics_;
+  mutable obs::SloTracker slo_;
+  std::unique_ptr<obs::HttpEndpoint> endpoint_;
 };
 
 }  // namespace ullsnn::serve

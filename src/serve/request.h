@@ -10,9 +10,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/tensor/tensor.h"
 
@@ -46,9 +48,18 @@ struct InferResponse {
   std::int64_t predicted = -1; // argmax of logits, -1 otherwise
   std::int64_t time_steps = 0; // T the network actually ran (0 if it didn't)
   std::int64_t retries = 0;    // transient-failure retries consumed
-  double queue_ms = 0.0;       // admission -> picked up by a worker
+
+  // Request-scoped trace: the monotonically unique id assigned at admission
+  // plus the per-stage timing record, propagated through queue wait ->
+  // micro-batch formation -> per-time-step forward -> fulfillment. The same
+  // record lands in the flight recorder and (sampled) in the trace sink;
+  // the id joins all three against [rid=N]-tagged log lines.
+  std::int64_t id = -1;        // request id (echoes ResponseFuture::id())
+  double queue_ms = 0.0;       // admission -> popped from the bounded queue
+  double batch_ms = 0.0;       // popped -> micro-batch dispatched to forward
   double infer_ms = 0.0;       // forward time (final attempt)
   double total_ms = 0.0;       // admission -> fulfillment
+  std::vector<double> step_ms; // per-time-step forward durations at ladder T
 };
 
 /// Shared completion state between the client-held ResponseFuture and the
@@ -70,13 +81,20 @@ class ResponseSlot {
   }
 
   /// First fulfillment wins and wakes waiters; later calls return false and
-  /// leave the stored response untouched.
-  bool fulfill(InferResponse response) {
+  /// leave the stored response untouched. `on_first` (optional, must not
+  /// throw) runs on the winning path while the slot lock is still held —
+  /// i.e. strictly before any waiter can observe the result. The engine uses
+  /// it to publish this request's metrics and flight record, so a client
+  /// that scrapes /metrics right after get() returns always sees itself
+  /// counted (counter conservation).
+  bool fulfill(InferResponse response,
+               const std::function<void()>& on_first = nullptr) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (done_) return false;
       response_ = std::move(response);
       done_ = true;
+      if (on_first) on_first();
     }
     cv_.notify_all();
     return true;
@@ -132,6 +150,9 @@ class ResponseFuture {
 struct PendingRequest {
   SlotPtr slot;
   Tensor image;  // [C, H, W]
+  /// Stamped by the micro-batcher when the request leaves the queue; the
+  /// boundary between queue-wait and batch-formation in the stage record.
+  Clock::time_point popped{};
 };
 
 }  // namespace ullsnn::serve

@@ -88,6 +88,10 @@ class SnnNetwork {
   using StepHook = std::function<void(SnnNetwork&, std::int64_t)>;
   void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
   void clear_step_hook() { step_hook_ = nullptr; }
+  /// Current hook (may be null). Lets an instrumenting caller — e.g. the
+  /// serving engine's per-step timer — chain an existing hook instead of
+  /// clobbering a fault injector installed by a chaos test.
+  const StepHook& step_hook() const { return step_hook_; }
 
   /// Attach a runtime telemetry observer (not owned; must outlive the network
   /// or detach first). Only one observer at a time; null detaches.

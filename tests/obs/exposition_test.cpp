@@ -1,0 +1,177 @@
+#include "src/obs/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace ullsnn::obs {
+namespace {
+
+HistogramSample make_histogram(std::string name, std::vector<double> bounds,
+                               std::vector<std::int64_t> counts) {
+  HistogramSample h;
+  h.name = std::move(name);
+  h.bounds = std::move(bounds);
+  h.counts = std::move(counts);
+  for (const std::int64_t c : h.counts) h.count += c;
+  return h;
+}
+
+TEST(ExpositionTest, SanitizesMetricNames) {
+  EXPECT_EQ(prometheus_metric_name("serve.latency.total_ms"),
+            "serve_latency_total_ms");
+  EXPECT_EQ(prometheus_metric_name("already_valid:name"), "already_valid:name");
+  EXPECT_EQ(prometheus_metric_name("space and-dash"), "space_and_dash");
+  // A leading digit is not a valid first character; it gets prefixed.
+  EXPECT_EQ(prometheus_metric_name("9lives"), "_9lives");
+}
+
+TEST(ExpositionTest, EscapesLabelValues) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escape_label_value("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(escape_label_value("new\nline"), "new\\nline");
+  EXPECT_EQ(escape_label_value("all\\three\"\n"), "all\\\\three\\\"\\n");
+}
+
+TEST(ExpositionTest, GoldenScrape) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"serve.accepted", 42});
+  snap.gauges.push_back({"train.loss", 0.5});
+  snap.histograms.push_back(
+      make_histogram("serve.latency.total_ms", {1.0, 10.0}, {3, 2, 1}));
+  const std::string text = render_prometheus(snap);
+  const std::string expected =
+      "# TYPE serve_accepted counter\n"
+      "serve_accepted 42\n"
+      "# TYPE train_loss gauge\n"
+      "train_loss 0.5\n"
+      "# TYPE serve_latency_total_ms histogram\n"
+      "serve_latency_total_ms_bucket{le=\"1\"} 3\n"
+      "serve_latency_total_ms_bucket{le=\"10\"} 5\n"
+      "serve_latency_total_ms_bucket{le=\"+Inf\"} 6\n"
+      "serve_latency_total_ms_sum 0\n"
+      "serve_latency_total_ms_count 6\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(ExpositionTest, RendersSharedLabelsOnEverySample) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"c", 1});
+  snap.histograms.push_back(make_histogram("h", {1.0}, {1, 0}));
+  const std::string text =
+      render_prometheus(snap, {{"job", "ullsnn"}, {"instance", "a\"b"}});
+  EXPECT_NE(text.find("c{job=\"ullsnn\",instance=\"a\\\"b\"} 1"),
+            std::string::npos);
+  // Histogram buckets merge the shared labels with `le`.
+  EXPECT_NE(
+      text.find("h_bucket{job=\"ullsnn\",instance=\"a\\\"b\",le=\"1\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("h_bucket{job=\"ullsnn\",instance=\"a\\\"b\",le=\"+Inf\"} 1"),
+      std::string::npos);
+}
+
+TEST(ExpositionTest, BucketLinesAreCumulativeAndEndAtCount) {
+  // Per the exposition spec, _bucket values must be cumulative
+  // (monotonically non-decreasing in le) and the +Inf bucket must equal
+  // _count exactly.
+  MetricsSnapshot snap;
+  snap.histograms.push_back(
+      make_histogram("h", {0.5, 1.0, 5.0, 10.0}, {7, 0, 12, 3, 5}));
+  const std::string text = render_prometheus(snap);
+  std::vector<std::int64_t> bucket_values;
+  std::size_t pos = 0;
+  while ((pos = text.find("} ", pos)) != std::string::npos) {
+    const std::size_t line_start = text.rfind('\n', pos);
+    const std::string line =
+        text.substr(line_start + 1, text.find('\n', pos) - line_start - 1);
+    if (line.rfind("h_bucket", 0) == 0) {
+      bucket_values.push_back(std::stoll(text.substr(pos + 2)));
+    }
+    pos += 2;
+  }
+  ASSERT_EQ(bucket_values.size(), 5u);  // 4 finite bounds + +Inf
+  for (std::size_t i = 1; i < bucket_values.size(); ++i) {
+    EXPECT_GE(bucket_values[i], bucket_values[i - 1]);
+  }
+  EXPECT_EQ(bucket_values.back(), 27);
+  EXPECT_NE(text.find("h_count 27"), std::string::npos);
+}
+
+TEST(ExpositionTest, QuantileOfEmptyHistogramIsZero) {
+  const HistogramSample h = make_histogram("h", {1.0, 2.0}, {0, 0, 0});
+  EXPECT_EQ(histogram_quantile(h, 0.5), 0.0);
+}
+
+TEST(ExpositionTest, QuantileInterpolatesWithinBucket) {
+  // 100 samples uniform in one bucket (1, 2]: the median estimate must land
+  // mid-bucket, and every quantile within bucket bounds.
+  const HistogramSample h = make_histogram("h", {1.0, 2.0, 4.0}, {0, 100, 0, 0});
+  EXPECT_NEAR(histogram_quantile(h, 0.5), 1.5, 1e-9);
+  EXPECT_NEAR(histogram_quantile(h, 0.0), 1.0, 1e-9);
+  EXPECT_NEAR(histogram_quantile(h, 1.0), 2.0, 1e-9);
+}
+
+TEST(ExpositionTest, QuantileErrorBoundedByBucketWidth) {
+  // Draw real samples, histogram them, and check every estimated quantile is
+  // within one bucket width of the true order statistic.
+  const std::vector<double> bounds = {1, 2, 5, 10, 25, 50, 100};
+  std::vector<std::int64_t> counts(bounds.size() + 1, 0);
+  std::mt19937 rng(7);
+  std::lognormal_distribution<double> dist(2.0, 0.8);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = dist(rng);
+    samples.push_back(v);
+    std::size_t b = 0;
+    while (b < bounds.size() && v > bounds[b]) ++b;
+    ++counts[b];
+  }
+  std::sort(samples.begin(), samples.end());
+  const HistogramSample h = make_histogram("h", bounds, counts);
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double truth =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    // Bucket width at the true value.
+    std::size_t b = 0;
+    while (b < bounds.size() && truth > bounds[b]) ++b;
+    ASSERT_LT(b, bounds.size()) << "test samples must not overflow";
+    const double width = b == 0 ? bounds[0] : bounds[b] - bounds[b - 1];
+    EXPECT_NEAR(histogram_quantile(h, q), truth, width)
+        << "q=" << q << " truth=" << truth;
+  }
+}
+
+TEST(ExpositionTest, QuantileInOverflowBucketReturnsLargestBound) {
+  const HistogramSample h = make_histogram("h", {1.0, 2.0}, {1, 1, 98});
+  EXPECT_EQ(histogram_quantile(h, 0.99), 2.0);
+}
+
+TEST(ExpositionTest, CountAboveIsExactAtBucketBounds) {
+  const HistogramSample h = make_histogram("h", {1.0, 10.0, 100.0},
+                                           {5, 10, 20, 3});
+  EXPECT_NEAR(histogram_count_above(h, 1.0), 33.0, 1e-9);
+  EXPECT_NEAR(histogram_count_above(h, 10.0), 23.0, 1e-9);
+  EXPECT_NEAR(histogram_count_above(h, 100.0), 3.0, 1e-9);
+}
+
+TEST(ExpositionTest, CountAboveInterpolatesMidBucket) {
+  // 10 samples in (1, 10]; a threshold of 5.5 splits the bucket in half.
+  const HistogramSample h = make_histogram("h", {1.0, 10.0}, {0, 10, 0});
+  EXPECT_NEAR(histogram_count_above(h, 5.5), 5.0, 1e-9);
+}
+
+TEST(ExpositionTest, OverflowSamplesAlwaysCountAsAbove) {
+  // Samples in the overflow bucket exceed every finite bound, so any
+  // threshold at or beyond the largest bound must still count all of them.
+  const HistogramSample h = make_histogram("h", {1.0, 2.0}, {0, 0, 7});
+  EXPECT_NEAR(histogram_count_above(h, 2.0), 7.0, 1e-9);
+  EXPECT_NEAR(histogram_count_above(h, 1000.0), 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ullsnn::obs

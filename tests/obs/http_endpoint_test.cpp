@@ -1,0 +1,152 @@
+#include "src/obs/http_endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "tests/testutil/http_get.h"
+
+namespace ullsnn::obs {
+namespace {
+
+using testutil::http_request;
+
+HttpEndpoint::Config loopback_config() {
+  HttpEndpoint::Config c;
+  c.port = 0;  // ephemeral
+  return c;
+}
+
+TEST(HttpEndpointTest, ServesRegisteredRoute) {
+  HttpEndpoint endpoint(loopback_config());
+  endpoint.route("/metrics", [](const std::string&, const std::string&) {
+    HttpResponse r;
+    r.body = "metric_total 1\n";
+    return r;
+  });
+  endpoint.start();
+  ASSERT_GT(endpoint.port(), 0);
+  const auto result = http_request(endpoint.port(), "/metrics");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "metric_total 1\n");
+  EXPECT_NE(result.headers.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(result.headers.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(endpoint.requests_served(), 1);
+}
+
+TEST(HttpEndpointTest, PassesQueryStringSeparately) {
+  HttpEndpoint endpoint(loopback_config());
+  std::string seen_path, seen_query;
+  endpoint.route("/flight", [&](const std::string& path, const std::string& query) {
+    seen_path = path;
+    seen_query = query;
+    return HttpResponse{};
+  });
+  endpoint.start();
+  const auto result = http_request(endpoint.port(), "/flight?n=10&kind=breaker");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(seen_path, "/flight");
+  EXPECT_EQ(seen_query, "n=10&kind=breaker");
+}
+
+TEST(HttpEndpointTest, UnknownPathIs404) {
+  HttpEndpoint endpoint(loopback_config());
+  endpoint.route("/metrics", [](const std::string&, const std::string&) {
+    return HttpResponse{};
+  });
+  endpoint.start();
+  const auto result = http_request(endpoint.port(), "/nope");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 404);
+  // The 404 body lists what IS routable, for the human with curl.
+  EXPECT_NE(result.body.find("/metrics"), std::string::npos);
+}
+
+TEST(HttpEndpointTest, NonGetIs405) {
+  HttpEndpoint endpoint(loopback_config());
+  endpoint.route("/metrics", [](const std::string&, const std::string&) {
+    return HttpResponse{};
+  });
+  endpoint.start();
+  const auto result = http_request(endpoint.port(), "/metrics", "POST");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 405);
+}
+
+TEST(HttpEndpointTest, ThrowingHandlerYields500NotACrash) {
+  HttpEndpoint endpoint(loopback_config());
+  endpoint.route("/boom", [](const std::string&, const std::string&) -> HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+  endpoint.start();
+  const auto result = http_request(endpoint.port(), "/boom");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 500);
+  EXPECT_NE(result.body.find("handler exploded"), std::string::npos);
+  // The accept thread survived; the endpoint still serves.
+  const auto again = http_request(endpoint.port(), "/boom");
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(again.status, 500);
+}
+
+TEST(HttpEndpointTest, RouteAfterStartThrows) {
+  HttpEndpoint endpoint(loopback_config());
+  endpoint.route("/a", [](const std::string&, const std::string&) {
+    return HttpResponse{};
+  });
+  endpoint.start();
+  EXPECT_THROW(endpoint.route("/b",
+                              [](const std::string&, const std::string&) {
+                                return HttpResponse{};
+                              }),
+               std::logic_error);
+}
+
+TEST(HttpEndpointTest, StopIsIdempotentAndReleasesThePort) {
+  HttpEndpoint endpoint(loopback_config());
+  endpoint.route("/metrics", [](const std::string&, const std::string&) {
+    return HttpResponse{};
+  });
+  endpoint.start();
+  const int port = endpoint.port();
+  EXPECT_TRUE(endpoint.running());
+  endpoint.stop();
+  endpoint.stop();
+  EXPECT_FALSE(endpoint.running());
+  // The port is free again: a second endpoint can claim it.
+  HttpEndpoint::Config reuse = loopback_config();
+  reuse.port = port;
+  HttpEndpoint second(reuse);
+  second.route("/metrics", [](const std::string&, const std::string&) {
+    HttpResponse r;
+    r.body = "second\n";
+    return r;
+  });
+  ASSERT_NO_THROW(second.start());
+  const auto result = http_request(port, "/metrics");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.body, "second\n");
+}
+
+TEST(HttpEndpointTest, ServesSequentialScrapes) {
+  HttpEndpoint endpoint(loopback_config());
+  int hits = 0;
+  endpoint.route("/metrics", [&hits](const std::string&, const std::string&) {
+    HttpResponse r;
+    r.body = "hit " + std::to_string(++hits) + "\n";
+    return r;
+  });
+  endpoint.start();
+  for (int i = 1; i <= 5; ++i) {
+    const auto result = http_request(endpoint.port(), "/metrics");
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.body, "hit " + std::to_string(i) + "\n");
+  }
+  EXPECT_EQ(endpoint.requests_served(), 5);
+}
+
+}  // namespace
+}  // namespace ullsnn::obs

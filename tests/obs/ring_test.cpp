@@ -1,0 +1,100 @@
+#include "src/obs/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace ullsnn::obs {
+namespace {
+
+TEST(RingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(Ring<int>(0).capacity(), 2u);
+  EXPECT_EQ(Ring<int>(1).capacity(), 2u);
+  EXPECT_EQ(Ring<int>(2).capacity(), 2u);
+  EXPECT_EQ(Ring<int>(3).capacity(), 4u);
+  EXPECT_EQ(Ring<int>(4).capacity(), 4u);
+  EXPECT_EQ(Ring<int>(1000).capacity(), 1024u);
+}
+
+TEST(RingTest, SnapshotReturnsPushesOldestFirst) {
+  Ring<int> ring(8);
+  for (int i = 0; i < 5; ++i) ring.push(i);
+  const std::vector<int> got = ring.snapshot();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(ring.total_pushed(), 5u);
+}
+
+TEST(RingTest, OverwriteKeepsOnlyTheLastCapacityRecords) {
+  Ring<int> ring(4);
+  for (int i = 0; i < 100; ++i) ring.push(i);
+  const std::vector<int> got = ring.snapshot();
+  EXPECT_EQ(got, (std::vector<int>{96, 97, 98, 99}));
+  EXPECT_EQ(ring.total_pushed(), 100u);
+}
+
+TEST(RingTest, ClearForgetsRetainedRecords) {
+  Ring<int> ring(4);
+  for (int i = 0; i < 10; ++i) ring.push(i);
+  ring.clear();
+  EXPECT_TRUE(ring.snapshot().empty());
+  EXPECT_EQ(ring.total_pushed(), 0u);
+  ring.push(7);
+  EXPECT_EQ(ring.snapshot(), std::vector<int>{7});
+}
+
+TEST(RingTest, SnapshotOfEmptyRingIsEmpty) {
+  Ring<int> ring(16);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+// Concurrent pushes must never produce a torn or invented record: every
+// snapshotted value must be one some thread actually pushed, and the ring
+// must account for every push in total_pushed().
+TEST(RingTest, ConcurrentPushesNeverTearRecords) {
+  struct Wide {
+    std::int64_t a = 0;
+    std::int64_t b = 0;  // always == -a; a mismatch means a torn copy
+  };
+  Ring<Wide> ring(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::int64_t v = static_cast<std::int64_t>(t) * kPerThread + i;
+        ring.push({v, -v});
+      }
+    });
+  }
+  // Concurrent snapshots must also come back untorn.
+  std::atomic<bool> done{false};
+  std::thread reader([&ring, &done] {
+    while (!done.load()) {
+      for (const Wide& w : ring.snapshot()) {
+        ASSERT_EQ(w.b, -w.a);
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+  done.store(true);
+  reader.join();
+  EXPECT_EQ(ring.total_pushed(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const std::vector<Wide> finals = ring.snapshot();
+  EXPECT_LE(finals.size(), ring.capacity());
+  ASSERT_FALSE(finals.empty());
+  std::set<std::int64_t> unique;
+  for (const Wide& w : finals) {
+    EXPECT_EQ(w.b, -w.a);
+    unique.insert(w.a);
+  }
+  EXPECT_EQ(unique.size(), finals.size());  // no duplicated slots
+}
+
+}  // namespace
+}  // namespace ullsnn::obs

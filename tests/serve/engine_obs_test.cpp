@@ -1,0 +1,310 @@
+// Live-operations integration tests: request-scoped stage timings on the
+// response, the embedded /metrics//healthz//flight endpoint, conservation
+// between the exported serve.* series and ServeStats, and the flight
+// recorder's anomaly dumps — all driven through a real running engine.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+#include "src/serve/engine.h"
+#include "tests/testutil/http_get.h"
+
+namespace ullsnn::serve {
+namespace {
+
+using namespace std::chrono_literals;
+using testutil::http_request;
+
+snn::IfConfig if_config(float v_th = 1.0F) {
+  snn::IfConfig c;
+  c.v_threshold = v_th;
+  return c;
+}
+
+NetworkFactory tiny_factory(std::int64_t time_steps = 3) {
+  return [time_steps] {
+    auto net = std::make_unique<snn::SnnNetwork>(time_steps);
+    Tensor w1({4, 4});
+    for (std::int64_t i = 0; i < 4; ++i) w1.at(i, i) = 1.0F;
+    net->emplace<snn::SpikingLinear>(w1, if_config(), /*with_neuron=*/true);
+    Tensor w2({2, 4});
+    w2.at(0, 0) = 1.0F;
+    w2.at(0, 1) = 1.0F;
+    w2.at(1, 2) = 1.0F;
+    w2.at(1, 3) = 1.0F;
+    net->emplace<snn::SpikingLinear>(w2, snn::IfConfig{}, /*with_neuron=*/false);
+    return net;
+  };
+}
+
+Tensor class_image(std::int64_t cls) {
+  Tensor image({4});
+  image[2 * cls] = 1.5F;
+  image[2 * cls + 1] = 1.5F;
+  return image;
+}
+
+ServeConfig base_config() {
+  ServeConfig config;
+  config.input_shape = {4};
+  config.workers = 1;
+  config.default_deadline = 10000ms;
+  config.request_timeout = 20000ms;
+  config.retry_backoff = std::chrono::microseconds(0);
+  return config;
+}
+
+/// Parse `<name> <value>` from an exposition body; -1 if absent.
+double scrape_value(const std::string& body, const std::string& name) {
+  const std::string needle = name + " ";
+  std::size_t pos = 0;
+  while ((pos = body.find(needle, pos)) != std::string::npos) {
+    // Must be at line start so serve_submitted doesn't match a TYPE line.
+    if (pos == 0 || body[pos - 1] == '\n') {
+      return std::stod(body.substr(pos + needle.size()));
+    }
+    pos += needle.size();
+  }
+  return -1.0;
+}
+
+TEST(EngineObsTest, ResponseCarriesIdAndStageTimings) {
+  ServeEngine engine(base_config(), tiny_factory());
+  engine.start();
+  SubmitResult submitted = engine.submit(class_image(1));
+  ASSERT_TRUE(submitted.accepted);
+  const InferResponse response = submitted.future.get();
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.id, submitted.future.id());
+  EXPECT_GE(response.queue_ms, 0.0);
+  EXPECT_GE(response.batch_ms, 0.0);
+  EXPECT_GT(response.infer_ms, 0.0);
+  EXPECT_GT(response.total_ms, 0.0);
+  // The stage record is internally consistent: stages cannot exceed the
+  // end-to-end total (infer runs inside it).
+  EXPECT_LE(response.infer_ms, response.total_ms + 1.0);
+  // One per-step duration per ladder time step, each non-negative and
+  // summing to (at most) the forward time.
+  ASSERT_EQ(response.step_ms.size(), 3u);
+  double step_sum = 0.0;
+  for (const double s : response.step_ms) {
+    EXPECT_GE(s, 0.0);
+    step_sum += s;
+  }
+  EXPECT_LE(step_sum, response.infer_ms + 1.0);
+  engine.stop();
+}
+
+TEST(EngineObsTest, RequestIdsAreUniqueAndMonotonic) {
+  ServeEngine engine(base_config(), tiny_factory());
+  engine.start();
+  std::vector<ResponseFuture> futures;
+  for (int i = 0; i < 16; ++i) {
+    SubmitResult s = engine.submit(class_image(i % 2));
+    ASSERT_TRUE(s.accepted);
+    futures.push_back(std::move(s.future));
+  }
+  std::int64_t prev = -1;
+  for (auto& f : futures) {
+    const InferResponse r = f.get();
+    EXPECT_EQ(r.id, f.id());
+    EXPECT_GT(r.id, prev);
+    prev = r.id;
+  }
+  engine.stop();
+}
+
+TEST(EngineObsTest, FlightRecorderCapturesFulfilledRequests) {
+  obs::FlightRecorder::instance().clear();
+  ServeEngine engine(base_config(), tiny_factory());
+  engine.start();
+  SubmitResult submitted = engine.submit(class_image(0));
+  ASSERT_TRUE(submitted.accepted);
+  const InferResponse response = submitted.future.get();
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  engine.stop();
+  const auto records = obs::FlightRecorder::instance().requests();
+  ASSERT_FALSE(records.empty());
+  bool found = false;
+  for (const auto& record : records) {
+    if (record.id != response.id) continue;
+    found = true;
+    EXPECT_STREQ(record.status, "ok");
+    EXPECT_EQ(record.time_steps, 3);
+    EXPECT_EQ(record.worker, 0);
+    EXPECT_GE(record.batch_size, 1);
+    EXPECT_EQ(record.steps, 3);
+    EXPECT_GT(record.total_ms, 0.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EngineObsTest, MetricsEndpointConservesCountsAgainstServeStats) {
+  obs::Registry::instance().reset_values();
+  ServeConfig config = base_config();
+  config.obs.endpoint = true;  // ephemeral loopback port
+  ServeEngine engine(config, tiny_factory());
+  engine.start();
+  ASSERT_GT(engine.http_port(), 0);
+  constexpr int kRequests = 24;
+  std::vector<ResponseFuture> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    SubmitResult s = engine.submit(class_image(i % 2));
+    ASSERT_TRUE(s.accepted);
+    futures.push_back(std::move(s.future));
+  }
+  for (auto& f : futures) {
+    EXPECT_TRUE(is_success(f.get().status));
+  }
+  const auto scrape = http_request(engine.http_port(), "/metrics");
+  ASSERT_TRUE(scrape.ok);
+  ASSERT_EQ(scrape.status, 200);
+  const ServeStats stats = engine.stats();
+  // Conservation: the exported serve.* series and the engine-owned stats
+  // describe the same requests. (Scrape first, then read stats: counters
+  // only grow, so scrape <= stats would catch drift in either direction.)
+  EXPECT_EQ(scrape_value(scrape.body, "serve_submitted"), stats.submitted);
+  EXPECT_EQ(scrape_value(scrape.body, "serve_accepted"), stats.accepted);
+  EXPECT_EQ(scrape_value(scrape.body, "serve_completed_ok"),
+            stats.completed_ok);
+  EXPECT_EQ(scrape_value(scrape.body, "serve_completed_degraded"),
+            stats.completed_degraded);
+  // The latency histogram saw every fulfilled request.
+  EXPECT_EQ(scrape_value(scrape.body, "serve_latency_total_ms_count"),
+            kRequests);
+  // The exposition carries the SLO gauges the tracker publishes on scrape.
+  EXPECT_GE(scrape_value(scrape.body, "serve_slo_p50_ms"), 0.0);
+  engine.stop();
+}
+
+TEST(EngineObsTest, HealthzReportsBreakerAndQueue) {
+  ServeConfig config = base_config();
+  config.obs.endpoint = true;
+  ServeEngine engine(config, tiny_factory());
+  engine.start();
+  const auto health = http_request(engine.http_port(), "/healthz");
+  ASSERT_TRUE(health.ok);
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"breaker\":\"closed\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"queue_capacity\":256"), std::string::npos);
+  engine.stop();
+}
+
+TEST(EngineObsTest, HealthzGoes503WhenTheCircuitOpens) {
+  ServeConfig config = base_config();
+  config.obs.endpoint = true;
+  config.max_attempts = 1;
+  config.breaker.ladder = {3, 2, 1};
+  config.breaker.failure_threshold = 1;
+  config.breaker.open_cooldown = 1000;  // stay open for the whole test
+  config.before_forward_hook = [](const std::vector<std::int64_t>&,
+                                  std::int64_t, snn::SnnNetwork&) {
+    throw std::runtime_error("injected persistent fault");
+  };
+  ServeEngine engine(config, tiny_factory());
+  engine.start();
+  // Every batch fails; the ladder descends then the circuit opens.
+  for (int i = 0; i < 10 && engine.breaker().state() != BreakerState::kOpen;
+       ++i) {
+    SubmitResult s = engine.submit(class_image(0));
+    ASSERT_TRUE(s.accepted);
+    s.future.get();
+  }
+  ASSERT_EQ(engine.breaker().state(), BreakerState::kOpen);
+  const auto health = http_request(engine.http_port(), "/healthz");
+  ASSERT_TRUE(health.ok);
+  EXPECT_EQ(health.status, 503);
+  EXPECT_NE(health.body.find("\"status\":\"unavailable\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"breaker\":\"open\""), std::string::npos);
+  engine.stop();
+}
+
+TEST(EngineObsTest, FlightEndpointServesRecentRequests) {
+  obs::FlightRecorder::instance().clear();
+  ServeConfig config = base_config();
+  config.obs.endpoint = true;
+  ServeEngine engine(config, tiny_factory());
+  engine.start();
+  SubmitResult submitted = engine.submit(class_image(1));
+  ASSERT_TRUE(submitted.accepted);
+  const InferResponse response = submitted.future.get();
+  const auto flight = http_request(engine.http_port(), "/flight");
+  ASSERT_TRUE(flight.ok);
+  EXPECT_EQ(flight.status, 200);
+  EXPECT_NE(flight.headers.find("application/x-ndjson"), std::string::npos);
+  EXPECT_NE(flight.body.find("\"id\":" + std::to_string(response.id)),
+            std::string::npos);
+  engine.stop();
+}
+
+TEST(EngineObsTest, WatchdogTimeoutDumpsTheFlightRecorder) {
+  obs::FlightRecorder::instance().clear();
+  const std::string dump_path =
+      testing::TempDir() + "engine_flight_dump.jsonl";
+  std::remove(dump_path.c_str());
+  ServeConfig config = base_config();
+  config.request_timeout = 50ms;
+  config.watchdog_period = 5ms;
+  config.max_attempts = 1;
+  config.obs.flight_dump_path = dump_path;
+  config.before_forward_hook = [](const std::vector<std::int64_t>&,
+                                  std::int64_t, snn::SnnNetwork&) {
+    std::this_thread::sleep_for(200ms);  // wedge past the hard timeout
+  };
+  ServeEngine engine(config, tiny_factory());
+  engine.start();
+  SubmitResult submitted = engine.submit(class_image(0));
+  ASSERT_TRUE(submitted.accepted);
+  const InferResponse response = submitted.future.get();
+  EXPECT_EQ(response.status, ResponseStatus::kTimeout);
+  EXPECT_EQ(response.id, submitted.future.id());
+  engine.stop();
+  EXPECT_GE(obs::FlightRecorder::instance().anomalies(), 1);
+  std::ifstream dump(dump_path);
+  ASSERT_TRUE(dump.good()) << "anomaly should have dumped " << dump_path;
+  std::string contents((std::istreambuf_iterator<char>(dump)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"kind\":\"watchdog\""), std::string::npos);
+  std::remove(dump_path.c_str());
+  // Don't leave the global recorder pointed at this test's temp file.
+  obs::FlightRecorder::instance().set_dump_path("");
+}
+
+TEST(EngineObsTest, StatsExposeSloReport) {
+  obs::Registry::instance().reset_values();
+  ServeEngine engine(base_config(), tiny_factory());
+  engine.start();
+  std::vector<ResponseFuture> futures;
+  for (int i = 0; i < 8; ++i) {
+    SubmitResult s = engine.submit(class_image(0));
+    ASSERT_TRUE(s.accepted);
+    futures.push_back(std::move(s.future));
+  }
+  for (auto& f : futures) f.get();
+  const ServeStats stats = engine.stats();
+  EXPECT_GT(stats.slo_p50_ms, 0.0);
+  EXPECT_LE(stats.slo_p50_ms, stats.slo_p99_ms);
+  // Tiny requests against a 250 ms objective: no violations, no burn.
+  EXPECT_NEAR(stats.slo_compliance, 1.0, 1e-9);
+  EXPECT_NEAR(stats.slo_burn, 0.0, 1e-9);
+  engine.stop();
+}
+
+TEST(EngineObsTest, EndpointDisabledByDefault) {
+  ServeEngine engine(base_config(), tiny_factory());
+  engine.start();
+  EXPECT_EQ(engine.http_port(), 0);
+  engine.stop();
+}
+
+}  // namespace
+}  // namespace ullsnn::serve

@@ -7,9 +7,11 @@
 # Modes:
 #   kernels (default)  google-benchmark kernel microbenches -> compare with
 #                      tools/compare_bench.py against bench/BENCH_kernels.json
-#   serve              resilient-serving soak + accuracy-vs-T via bench_serve
-#                      (latency percentiles, completion rate, breaker
-#                      counters) -> bench/BENCH_serve.json
+#   serve              resilient-serving soak + accuracy-vs-T + the
+#                      observability-overhead gate via bench_serve (latency
+#                      percentiles, completion rate, breaker counters, live
+#                      /metrics conservation, endpoint-on-vs-off p99)
+#                      -> bench/BENCH_serve.json
 #   artifact           artifact spin-up timings + swap-under-load soak via
 #                      bench_artifact (cold load vs mmap, zero-copy vs
 #                      deep-copy replicas, swap-drain latency, rollback
@@ -73,9 +75,12 @@ if [[ "$MODE" == "serve" ]]; then
     echo "error: $BIN not found or not executable (build the bench_serve target first)" >&2
     exit 1
   fi
-  # bench_serve exits non-zero if the soak misses its completion-rate or
-  # admission-conservation gates, failing this script with it.
-  "$BIN" --soak --accuracy \
+  # bench_serve exits non-zero if the soak misses its completion-rate,
+  # admission-conservation, or /metrics-conservation gates, or if the live
+  # endpoint costs more than 5% at p99 — failing this script with it.
+  # --http 0 serves /metrics,/healthz,/flight on an ephemeral port during
+  # the soak and self-scrapes it at quiescence.
+  "$BIN" --soak --accuracy --overhead --http 0 \
     --seconds "${ULLSNN_SERVE_SECONDS:-10}" \
     --faults "${ULLSNN_SERVE_FAULTS:-0.05}" \
     --json "$OUT"
