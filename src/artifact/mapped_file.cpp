@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "src/artifact/artifact_format.h"
+#include "src/util/errno_string.h"
 
 namespace ullsnn::artifact {
 
@@ -17,7 +18,7 @@ namespace {
 [[noreturn]] void raise_io(const std::string& op, const std::string& path) {
   throw ArtifactError(ArtifactErrorCode::kIo,
                       "MappedFile: " + op + " failed for " + path + ": " +
-                          std::strerror(errno));
+                          errno_string(errno));
 }
 }  // namespace
 

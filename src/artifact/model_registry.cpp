@@ -93,7 +93,7 @@ std::uint64_t ModelRegistry::deploy(const std::string& path) {
     candidate = UllsnnArtifact::load(path);
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (config_.require_same_arch && active_ != nullptr &&
           candidate->fingerprint() != active_->fingerprint()) {
         throw ArtifactError(
@@ -105,7 +105,7 @@ std::uint64_t ModelRegistry::deploy(const std::string& path) {
 
     if (config_.verify_canary) run_canary(*candidate);
   } catch (const ArtifactError& e) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++rejects_;
     note("reject", path + ": " + e.what());
     obs::logf(obs::LogLevel::kWarn, "[registry] rejected %s: %s", path.c_str(),
@@ -113,14 +113,14 @@ std::uint64_t ModelRegistry::deploy(const std::string& path) {
     throw;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++deploys_;
   activate_locked(std::move(candidate), "activate", path);
   return version_;
 }
 
 std::uint64_t ModelRegistry::rollback(const std::string& reason) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (previous_ == nullptr) {
     throw std::logic_error("ModelRegistry::rollback: no previous version");
   }
@@ -134,22 +134,22 @@ std::uint64_t ModelRegistry::rollback(const std::string& reason) {
 }
 
 ModelRegistry::Snapshot ModelRegistry::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return Snapshot{active_, version_};
 }
 
 std::uint64_t ModelRegistry::version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return version_;
 }
 
 bool ModelRegistry::can_rollback() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return previous_ != nullptr;
 }
 
 void ModelRegistry::record_batch_health(std::uint64_t version, bool healthy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (version != version_ || window_remaining_ <= 0) return;
   --window_remaining_;
   if (healthy) return;
@@ -174,22 +174,22 @@ void ModelRegistry::record_batch_health(std::uint64_t version, bool healthy) {
 }
 
 std::vector<ModelRegistry::Transition> ModelRegistry::history() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return history_;
 }
 
 std::int64_t ModelRegistry::deploys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return deploys_;
 }
 
 std::int64_t ModelRegistry::rejects() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rejects_;
 }
 
 std::int64_t ModelRegistry::rollbacks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rollbacks_;
 }
 

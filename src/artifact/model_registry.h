@@ -32,11 +32,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/artifact/artifact.h"
+#include "src/util/mutex.h"
 
 namespace ullsnn::artifact {
 
@@ -107,27 +107,30 @@ class ModelRegistry {
 
  private:
   /// Replay the probe batch; throws ArtifactError(kMalformed/kArchMismatch)
-  /// style errors via `fail` on mismatch. Caller does NOT hold mu_.
-  void run_canary(const UllsnnArtifact& candidate) const;
-  /// Append a transition. Caller holds mu_.
-  void note(const char* event, std::string detail);
-  /// Flip to `next`, reset the health window. Caller holds mu_.
+  /// style errors via `fail` on mismatch. Runs the candidate's forward pass,
+  /// so it must NOT hold mu_ (EXCLUDES keeps a deploy from serializing the
+  /// serving path behind a canary replay).
+  void run_canary(const UllsnnArtifact& candidate) const EXCLUDES(mu_);
+  /// Append a transition.
+  void note(const char* event, std::string detail) REQUIRES(mu_);
+  /// Flip to `next`, reset the health window.
   void activate_locked(std::shared_ptr<const UllsnnArtifact> next,
-                       const char* event, std::string detail);
+                       const char* event, std::string detail) REQUIRES(mu_);
 
   RegistryConfig config_;
-  mutable std::mutex mu_;
-  std::shared_ptr<const UllsnnArtifact> active_;
-  std::shared_ptr<const UllsnnArtifact> previous_;  // rollback target
-  std::uint64_t version_ = 0;
-  std::int64_t sequence_ = 0;
-  std::int64_t deploys_ = 0;
-  std::int64_t rejects_ = 0;
-  std::int64_t rollbacks_ = 0;
+  mutable Mutex mu_;
+  std::shared_ptr<const UllsnnArtifact> active_ GUARDED_BY(mu_);
+  /// Rollback target.
+  std::shared_ptr<const UllsnnArtifact> previous_ GUARDED_BY(mu_);
+  std::uint64_t version_ GUARDED_BY(mu_) = 0;
+  std::int64_t sequence_ GUARDED_BY(mu_) = 0;
+  std::int64_t deploys_ GUARDED_BY(mu_) = 0;
+  std::int64_t rejects_ GUARDED_BY(mu_) = 0;
+  std::int64_t rollbacks_ GUARDED_BY(mu_) = 0;
   // Post-activation watch window.
-  std::int64_t window_remaining_ = 0;
-  std::int64_t window_unhealthy_ = 0;
-  std::vector<Transition> history_;
+  std::int64_t window_remaining_ GUARDED_BY(mu_) = 0;
+  std::int64_t window_unhealthy_ GUARDED_BY(mu_) = 0;
+  std::vector<Transition> history_ GUARDED_BY(mu_);
 };
 
 }  // namespace ullsnn::artifact

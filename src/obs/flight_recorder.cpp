@@ -80,12 +80,12 @@ void FlightRecorder::record_event(const char* kind, const char* fmt, ...) {
 }
 
 void FlightRecorder::set_dump_path(std::string path) {
-  std::lock_guard<std::mutex> lock(dump_mu_);
+  MutexLock lock(dump_mu_);
   dump_path_ = std::move(path);
 }
 
 std::string FlightRecorder::dump_path() const {
-  std::lock_guard<std::mutex> lock(dump_mu_);
+  MutexLock lock(dump_mu_);
   return dump_path_;
 }
 
@@ -99,7 +99,7 @@ void FlightRecorder::note_anomaly(const char* kind, const char* fmt, ...) {
   anomalies_.fetch_add(1, std::memory_order_relaxed);
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(dump_mu_);
+    MutexLock lock(dump_mu_);
     if (dump_path_.empty()) return;
     const std::uint64_t now = Tracer::now_us();
     if (ever_dumped_ && now - last_dump_us_ < kDumpMinIntervalUs) return;
@@ -185,7 +185,7 @@ void FlightRecorder::clear() {
   events_.clear();
   anomalies_.store(0, std::memory_order_relaxed);
   dumps_written_.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(dump_mu_);
+  MutexLock lock(dump_mu_);
   last_dump_us_ = 0;
   ever_dumped_ = false;
 }

@@ -19,11 +19,11 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/obs/ring.h"
+#include "src/util/mutex.h"
 
 namespace ullsnn::obs {
 
@@ -105,10 +105,11 @@ class FlightRecorder {
 
   Ring<RequestRecord> requests_;
   Ring<FlightEvent> events_;
-  mutable std::mutex dump_mu_;  // guards dump_path_ + last_dump_us_
-  std::string dump_path_;
-  std::uint64_t last_dump_us_ = 0;
-  bool ever_dumped_ = false;
+  mutable Mutex dump_mu_;
+  std::string dump_path_ GUARDED_BY(dump_mu_);
+  std::uint64_t last_dump_us_ GUARDED_BY(dump_mu_) = 0;
+  bool ever_dumped_ GUARDED_BY(dump_mu_) = false;
+  // relaxed tallies: read in isolation by tests/exposition, publish nothing.
   std::atomic<std::int64_t> anomalies_{0};
   std::atomic<std::int64_t> dumps_written_{0};
 };

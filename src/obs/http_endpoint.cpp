@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "src/obs/log.h"
+#include "src/util/errno_string.h"
 
 namespace ullsnn::obs {
 
@@ -77,8 +78,7 @@ void HttpEndpoint::start() {
   if (running_.load(std::memory_order_acquire)) return;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    throw std::runtime_error(std::string("HttpEndpoint: socket(): ") +
-                             std::strerror(errno));
+    throw std::runtime_error("HttpEndpoint: socket(): " + errno_string(errno));
   }
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -92,7 +92,7 @@ void HttpEndpoint::start() {
   }
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
       ::listen(fd, config_.backlog) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = errno_string(errno);
     ::close(fd);
     throw std::runtime_error("HttpEndpoint: cannot listen on " +
                              config_.bind_address + ":" +

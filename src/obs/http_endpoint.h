@@ -75,12 +75,20 @@ class HttpEndpoint {
   void serve_connection(int fd);
 
   Config config_;
+  /// Written only before start() (enforced by route()); read-only while the
+  /// accept thread runs, so no lock is needed.
   std::map<std::string, HttpHandler> routes_;
   std::thread accept_thread_;
+  // running_: release store in start() publishes the bound socket + routes
+  // to acquire readers; stopping_ acquire/release orders the shutdown
+  // handshake (flag, then close the fd) against the accept loop's checks.
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  // listen_fd_/port_: release store after the socket is fully set up,
+  // acquire load wherever the fd/port is consumed (stop(), scrapers).
   std::atomic<int> listen_fd_{-1};
   std::atomic<int> port_{0};
+  // relaxed: independent tally read in isolation.
   std::atomic<std::int64_t> requests_served_{0};
 };
 

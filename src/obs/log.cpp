@@ -42,6 +42,8 @@ LogLevel parse_log_level(const char* text) {
 }
 
 LogLevel init_log_level_from_env() {
+  // getenv is read-once at startup before any thread writes the environment.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const LogLevel level = parse_log_level(std::getenv("ULLSNN_LOG_LEVEL"));
   // level_storage() itself calls this initializer exactly once; an explicit
   // re-init (tests) must also write the parsed value back.

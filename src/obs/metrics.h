@@ -13,11 +13,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/obs/telemetry.h"
+#include "src/sched/test_point.h"
+#include "src/util/mutex.h"
 
 namespace ullsnn::obs {
 
@@ -26,10 +27,19 @@ namespace ullsnn::obs {
 /// otherwise-supported toolchains (older libc++, some cross compilers) still
 /// lack; the CAS loop compiles everywhere and costs the same on x86.
 inline void atomic_add_double(std::atomic<double>& target, double delta) noexcept {
+  // relaxed throughout: the sum is a commutative tally read in isolation; no
+  // other data is published through it, so no acquire/release pairing exists.
   double current = target.load(std::memory_order_relaxed);
-  while (!target.compare_exchange_weak(current, current + delta,
-                                       std::memory_order_relaxed,
-                                       std::memory_order_relaxed)) {
+  for (;;) {
+    // Model-checker decision point between the read of `current` and the CAS
+    // — the window where a concurrent add forces the retry path. No-op in
+    // production builds (see src/sched/test_point.h).
+    ULLSNN_TEST_POINT("gauge.cas");
+    if (target.compare_exchange_weak(current, current + delta,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
   }
 }
 
@@ -37,6 +47,8 @@ inline void atomic_add_double(std::atomic<double>& target, double delta) noexcep
 class Counter {
  public:
   void add(std::int64_t delta = 1) noexcept {
+    // relaxed: independent tally; atomicity of the RMW alone guarantees no
+    // lost increments, and readers need no ordering with other instruments.
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
   std::int64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
@@ -131,10 +143,12 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // mu_ guards the maps (registration and snapshot iteration), not the
+  // instruments themselves — samples on returned references are lock-free.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 /// CSV: `kind,name,value,count,sum,buckets` (histogram buckets as

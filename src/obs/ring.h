@@ -19,6 +19,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/sched/test_point.h"
+
 namespace ullsnn::obs {
 
 template <typename T>
@@ -37,35 +39,56 @@ class Ring {
 
   /// Total records ever pushed (including those already overwritten).
   std::uint64_t total_pushed() const {
+    // acquire: pairs with push()'s release ticket store via the busy flag's
+    // release; a reader that sees N pushed can snapshot those N records.
     return head_.load(std::memory_order_acquire);
   }
 
   void push(const T& value) noexcept {
+    // relaxed: the fetch_add only reserves a unique ticket; publication of
+    // the record happens through the release stores below, not through head_.
     const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
     Slot& slot = slots_[ticket & mask_];
+    // Model-checker decision point: ticket reserved, slot flag not yet taken
+    // — the window where a wrapping producer or a snapshot walks this slot.
+    ULLSNN_TEST_POINT("ring.push");
+    // acquire on test_and_set: taking the flag must also acquire the previous
+    // owner's writes to slot.value/ticket (paired with the clear(release)).
     while (slot.busy.test_and_set(std::memory_order_acquire)) {
       // Another producer (one full lap ahead/behind) or a snapshot holds the
       // slot; both release within a copy's worth of work.
     }
     slot.value = value;
+    // release: publishes the completed value copy to whoever reads this
+    // ticket (snapshot checks ticket under the flag before copying out).
     slot.ticket.store(ticket + 1, std::memory_order_release);
+    // release: hands the slot (value + ticket writes) to the next flag owner.
     slot.busy.clear(std::memory_order_release);
   }
 
   /// Copy of the retained records, oldest first. Records overwritten while
   /// the walk is in progress are skipped, never returned torn.
   std::vector<T> snapshot() const {
+    // acquire: see total_pushed(); everything at tickets < end is published.
     const std::uint64_t end = head_.load(std::memory_order_acquire);
     const std::uint64_t start = end > capacity_ ? end - capacity_ : 0;
     std::vector<T> out;
     out.reserve(static_cast<std::size_t>(end - start));
     for (std::uint64_t ticket = start; ticket < end; ++ticket) {
       Slot& slot = slots_[ticket & mask_];
+      // Model-checker decision point: before taking the slot flag, where a
+      // concurrent push can overwrite the record this walk is about to read.
+      ULLSNN_TEST_POINT("ring.snapshot");
+      // acquire: taking the flag acquires the last producer's slot writes.
       while (slot.busy.test_and_set(std::memory_order_acquire)) {
       }
+      // relaxed: the flag's acquire above already ordered this read; the
+      // ticket is only a generation check, not a publication channel here.
       if (slot.ticket.load(std::memory_order_relaxed) == ticket + 1) {
         out.push_back(slot.value);
       }
+      // release: return the slot; we wrote nothing, but the symmetric pairing
+      // keeps the flag a total order of slot owners.
       slot.busy.clear(std::memory_order_release);
     }
     return out;
@@ -74,6 +97,8 @@ class Ring {
   /// Forget all retained records (tests). Not safe against concurrent push.
   void clear() {
     for (std::size_t i = 0; i < capacity_; ++i) {
+      // relaxed: caller guarantees quiescence; the head_ release below
+      // publishes the zeroed tickets to subsequent readers.
       slots_[i].ticket.store(0, std::memory_order_relaxed);
     }
     head_.store(0, std::memory_order_release);

@@ -21,7 +21,7 @@ SloTracker::Report SloTracker::update() {
   // engine has observed anything.
   Histogram& hist = Registry::instance().histogram(config_.histogram);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::vector<std::int64_t> counts = hist.bucket_counts();
   if (prev_counts_.size() != counts.size()) {
     prev_counts_.assign(counts.size(), 0);
@@ -68,7 +68,7 @@ SloTracker::Report SloTracker::update() {
 }
 
 SloTracker::Report SloTracker::last() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return last_report_;
 }
 

@@ -17,11 +17,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/util/mutex.h"
 
 namespace ullsnn::obs {
 
@@ -63,10 +63,11 @@ class SloTracker {
 
  private:
   SloConfig config_;
-  mutable std::mutex mu_;
-  Report last_report_;
-  std::vector<std::int64_t> prev_counts_;  // per-bucket cumulative baseline
-  std::int64_t prev_count_ = 0;
+  mutable Mutex mu_;
+  Report last_report_ GUARDED_BY(mu_);
+  /// Per-bucket cumulative baseline from the previous update.
+  std::vector<std::int64_t> prev_counts_ GUARDED_BY(mu_);
+  std::int64_t prev_count_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ullsnn::obs

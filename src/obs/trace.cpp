@@ -42,7 +42,7 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
     buffer = std::make_shared<ThreadBuffer>();
     buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
     buffer->events.reserve(4096);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers_.push_back(buffer);
   }
   return *buffer;
@@ -52,7 +52,7 @@ void Tracer::record_complete(const char* name, std::uint64_t ts_us,
                              std::uint64_t dur_us) {
   if (!enabled()) return;
   ThreadBuffer& buf = local_buffer();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  MutexLock lock(buf.mu);
   TraceEvent& e = buf.events.emplace_back();
   copy_bounded(e.name, sizeof e.name, name);
   e.ts_us = ts_us;
@@ -64,7 +64,7 @@ void Tracer::record_complete(const char* name, std::uint64_t ts_us,
 void Tracer::record_instant(const char* name, const char* args_body) {
   if (!enabled()) return;
   ThreadBuffer& buf = local_buffer();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  MutexLock lock(buf.mu);
   TraceEvent& e = buf.events.emplace_back();
   copy_bounded(e.name, sizeof e.name, name);
   copy_bounded(e.args, sizeof e.args, args_body);
@@ -75,9 +75,9 @@ void Tracer::record_instant(const char* name, const char* args_body) {
 
 std::vector<TraceEvent> Tracer::events() const {
   std::vector<TraceEvent> all;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& buf : buffers_) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    MutexLock buf_lock(buf->mu);
     all.insert(all.end(), buf->events.begin(), buf->events.end());
   }
   return all;
@@ -85,18 +85,18 @@ std::vector<TraceEvent> Tracer::events() const {
 
 std::size_t Tracer::event_count() const {
   std::size_t n = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& buf : buffers_) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    MutexLock buf_lock(buf->mu);
     n += buf->events.size();
   }
   return n;
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& buf : buffers_) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    MutexLock buf_lock(buf->mu);
     buf->events.clear();
   }
 }

@@ -17,11 +17,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/obs/telemetry.h"
+#include "src/util/mutex.h"
 
 namespace ullsnn::obs {
 
@@ -60,20 +60,25 @@ class Tracer {
 
  private:
   struct ThreadBuffer {
-    mutable std::mutex mu;
-    std::vector<TraceEvent> events;
-    std::uint32_t tid = 0;
+    mutable Mutex mu;
+    std::vector<TraceEvent> events GUARDED_BY(mu);
+    std::uint32_t tid = 0;  // set once at registration, then read-only
   };
 
   Tracer() = default;
   ThreadBuffer& local_buffer();
 
+  // relaxed: enabled_ is an independent on/off flag; a span racing the flip
+  // harmlessly records or skips — no data is published through the flag.
   std::atomic<bool> enabled_{false};
+  // relaxed: tids only need uniqueness.
   std::atomic<std::uint32_t> next_tid_{1};
-  mutable std::mutex mu_;  // guards buffers_ (registration + export)
+  // Lock order: mu_ before any ThreadBuffer::mu (export iterates under both;
+  // recording threads take only their own buffer's mu).
+  mutable Mutex mu_;
   // shared_ptr keeps a buffer alive after its thread exits so late exports
   // still see the events.
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
 };
 
 /// RAII span around the enclosing scope. Cheap no-op while the tracer is

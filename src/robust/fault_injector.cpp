@@ -43,12 +43,12 @@ std::int64_t FaultInjector::inject_tensor_impl(Tensor& t, double rate,
 }
 
 std::int64_t FaultInjector::inject_tensor(Tensor& t, double rate, bool sign_only) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return inject_tensor_impl(t, rate, sign_only);
 }
 
 std::int64_t FaultInjector::inject(const std::vector<dnn::Param*>& params) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::int64_t injected = 0;
   for (dnn::Param* param : params) {
     Tensor& w = param->value;
@@ -117,7 +117,7 @@ std::uint64_t FaultInjector::corrupt_random_byte(const std::string& path) {
   std::uint64_t offset = 0;
   unsigned char mask = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     offset = static_cast<std::uint64_t>(
         rng_.uniform_int(static_cast<std::int64_t>(size)));
     mask = static_cast<unsigned char>(1U << rng_.uniform_int(8));

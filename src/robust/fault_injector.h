@@ -30,13 +30,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/dnn/module.h"
 #include "src/snn/snn_network.h"
 #include "src/tensor/random.h"
+#include "src/util/mutex.h"
 
 namespace ullsnn::robust {
 
@@ -92,12 +92,14 @@ class FaultInjector {
   static void truncate_file(const std::string& path, std::uint64_t new_size);
 
  private:
-  /// Unlocked body of inject_tensor; callers must hold mu_.
-  std::int64_t inject_tensor_impl(Tensor& t, double rate, bool sign_only);
+  /// Unlocked body of inject_tensor.
+  std::int64_t inject_tensor_impl(Tensor& t, double rate, bool sign_only)
+      REQUIRES(mu_);
 
   FaultSpec spec_;
-  mutable std::mutex mu_;  // guards rng_ (xoshiro state is not atomic)
-  Rng rng_;
+  mutable Mutex mu_;  // guards rng_ (xoshiro state is not atomic)
+  Rng rng_ GUARDED_BY(mu_);
+  // relaxed: independent tally read in isolation.
   std::atomic<std::int64_t> faults_{0};
 };
 

@@ -77,7 +77,7 @@ HealthReport HealthMonitor::check(const std::vector<dnn::Param*>& params,
 
 void HealthMonitor::snapshot(const std::vector<dnn::Param*>& params,
                              const std::vector<Tensor>& velocity, const Rng& rng) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   saved_values_.clear();
   saved_values_.reserve(params.size());
   for (const dnn::Param* p : params) saved_values_.push_back(p->value);
@@ -88,7 +88,7 @@ void HealthMonitor::snapshot(const std::vector<dnn::Param*>& params,
 
 bool HealthMonitor::restore(const std::vector<dnn::Param*>& params,
                             std::vector<Tensor>& velocity, Rng& rng) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!has_snapshot_.load(std::memory_order_acquire)) return false;
   if (params.size() != saved_values_.size() ||
       velocity.size() != saved_velocity_.size()) {
@@ -132,7 +132,7 @@ GuardAction HealthMonitor::decide(const HealthReport& report) {
     case GuardPolicy::kThrow:
       return GuardAction::kAbort;
     case GuardPolicy::kRollback: {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const std::int64_t done = rollbacks_.load(std::memory_order_relaxed);
       if (!has_snapshot_.load(std::memory_order_acquire) ||
           done >= config_.retry_budget) {

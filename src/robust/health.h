@@ -27,12 +27,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/dnn/module.h"
 #include "src/tensor/random.h"
+#include "src/util/mutex.h"
 
 namespace ullsnn::robust {
 
@@ -108,11 +108,14 @@ class HealthMonitor {
 
  private:
   GuardConfig config_;
-  mutable std::mutex mu_;  // guards the snapshot buffers and decide()
-  std::vector<Tensor> saved_values_;
-  std::vector<Tensor> saved_velocity_;
-  RngState saved_rng_;
+  mutable Mutex mu_;  // guards the snapshot buffers and decide()
+  std::vector<Tensor> saved_values_ GUARDED_BY(mu_);
+  std::vector<Tensor> saved_velocity_ GUARDED_BY(mu_);
+  RngState saved_rng_ GUARDED_BY(mu_);
+  // release on store (after the buffers are filled under mu_), acquire on
+  // load: a true has_snapshot() implies the snapshot contents are visible.
   std::atomic<bool> has_snapshot_{false};
+  // relaxed: independent tallies read in isolation.
   std::atomic<std::int64_t> rollbacks_{0};
   std::atomic<float> lr_scale_{1.0F};
 };

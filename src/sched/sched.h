@@ -1,0 +1,139 @@
+// Deterministic interleaving explorer — a small model checker for the
+// repo's concurrent structures.
+//
+// TSan finds the races a particular schedule happens to exercise; this
+// harness *chooses* the schedule. Real std::threads run the model bodies,
+// but a cooperative scheduler serializes them: exactly one thread executes
+// at a time, and control only changes hands at explicit decision points
+// (sched::yield_point in test bodies, or ULLSNN_TEST_POINT markers inside
+// lock-free production code when RunOptions::hook_test_points is set). At
+// each decision point the scheduler picks which runnable thread continues;
+// the sequence of picks IS the interleaving.
+//
+// Because each pick is recorded as an index into the sorted runnable set,
+// a run serializes to a dot-joined schedule string ("0.2.1.0...") that
+// replays the exact interleaving — a failing schedule printed by a test is
+// a deterministic reproduction, not a flake (see docs/concurrency.md).
+//
+// explore() enumerates interleavings exhaustively (depth-first over choice
+// prefixes, rightmost-increment — every enumerated schedule is distinct by
+// construction) up to a run budget, then optionally samples seeded random
+// tails for trees too large to exhaust.
+//
+// Model rules:
+//  * Bodies must be non-blocking between decision points: use try_push /
+//    try_pop / wait_for(0ms)-style operations. A body that blocks on a
+//    condition variable never reaches its next decision point, and the
+//    scheduler (which runs exactly one thread) would hang — a watchdog
+//    timeout aborts such a run with a diagnostic instead.
+//  * hook_test_points may only be enabled when every ULLSNN_TEST_POINT the
+//    bodies reach sits at a lock-free program point (true for Ring and
+//    atomic_add_double). Parking a thread that holds a mutex would block
+//    any other body that takes the same mutex.
+//  * Bodies must be deterministic given the schedule (no wall-clock, no
+//    unseeded randomness), or the depth-first enumeration is unsound.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/sched/test_point.h"
+
+namespace ullsnn::sched {
+
+/// xorshift-free deterministic PRNG step (splitmix64): implementation-defined
+/// std distributions would make random schedules differ across standard
+/// libraries, so the harness draws raw 64-bit values and reduces by modulo.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+std::string format_schedule(const std::vector<int>& choices);
+std::vector<int> parse_schedule(const std::string& schedule);
+
+struct RunOptions {
+  /// Forced choice prefix (replay or DFS enumeration). Each entry is an
+  /// index into that step's sorted runnable set; out-of-range entries clamp.
+  std::vector<int> forced;
+  /// After the prefix: pick randomly (seeded) instead of leftmost.
+  bool random_fallback = false;
+  std::uint64_t seed = 0;
+  /// Route ULLSNN_TEST_POINT markers in production code into the scheduler.
+  bool hook_test_points = false;
+  /// Abort the run (completed=false) past this many decision points.
+  std::int64_t max_steps = 100000;
+  /// How long the scheduler waits for the granted thread to reach its next
+  /// decision point before declaring the run wedged (a body blocked outside
+  /// scheduler control — see the model rules above).
+  std::chrono::milliseconds grant_timeout{10000};
+};
+
+struct RunResult {
+  std::vector<int> choices;  // pick per step (index into the runnable set)
+  std::vector<int> options;  // runnable-set size at each step
+  std::string schedule;      // format_schedule(choices)
+  bool completed = true;     // false: max_steps exceeded or a body wedged
+  std::string error;         // why completed == false
+};
+
+class Scheduler {
+ public:
+  /// Run bodies[0..n) to completion under one controlled interleaving.
+  /// Threads are spawned fresh per run and joined before returning.
+  static RunResult run(std::vector<std::function<void()>> bodies,
+                       const RunOptions& opts = {});
+};
+
+/// Decision point inside a model body. Always honored when the calling
+/// thread belongs to an active scheduled run; no-op otherwise (so helper
+/// code shared with normal tests stays usable).
+void yield_point(const char* name = "yield");
+
+/// One model instance: fresh bodies (state must be rebuilt per run — the
+/// explorer calls the factory once per interleaving) plus an invariant check
+/// that runs after all bodies join. verify throws to fail the run.
+struct ModelRun {
+  std::vector<std::function<void()>> bodies;
+  std::function<void()> verify;
+};
+
+struct ExploreOptions {
+  /// Budget for the exhaustive depth-first phase. If the schedule tree is
+  /// larger, enumeration simply stops at the budget (still all-distinct).
+  std::int64_t max_exhaustive_runs = 4000;
+  /// Additional seeded-random schedules after the exhaustive phase.
+  std::int64_t random_runs = 0;
+  std::uint64_t seed = 0x5EED;
+  bool hook_test_points = false;
+  std::int64_t max_steps = 100000;
+};
+
+struct ExploreStats {
+  std::int64_t runs = 0;      // total interleavings executed
+  std::int64_t distinct = 0;  // distinct schedule strings observed
+  bool exhausted = false;     // the whole tree fit in the exhaustive budget
+};
+
+/// A verify failure (or wedged run), carrying the replay schedule.
+class ScheduleFailure : public std::runtime_error {
+ public:
+  ScheduleFailure(std::string schedule, const std::string& what);
+  const std::string& schedule() const { return schedule_; }
+
+ private:
+  std::string schedule_;
+};
+
+/// Enumerate interleavings of the model; throws ScheduleFailure (with the
+/// offending schedule string) on the first invariant violation.
+ExploreStats explore(const std::function<ModelRun()>& make_run,
+                     const ExploreOptions& opts = {});
+
+/// Re-execute one schedule (e.g. printed by a ScheduleFailure) against a
+/// fresh model instance; runs verify and rethrows its failure if any.
+RunResult replay(ModelRun run, const std::string& schedule,
+                 bool hook_test_points = false);
+
+}  // namespace ullsnn::sched

@@ -64,7 +64,7 @@ void CircuitBreaker::note(BreakerState state, const char* cause) {
 }
 
 CircuitBreaker::Decision CircuitBreaker::admit() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++sequence_;
   switch (state_) {
     case BreakerState::kClosed:
@@ -92,7 +92,7 @@ CircuitBreaker::Decision CircuitBreaker::admit() {
 }
 
 void CircuitBreaker::record(bool healthy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++sequence_;
   if (state_ == BreakerState::kHalfOpen) {
     probe_in_flight_ = false;
@@ -138,32 +138,32 @@ void CircuitBreaker::record(bool healthy) {
 }
 
 BreakerState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 
 std::int64_t CircuitBreaker::rung() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rung_;
 }
 
 std::int64_t CircuitBreaker::time_steps() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_t_locked();
 }
 
 std::vector<CircuitBreaker::Transition> CircuitBreaker::history() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return history_;
 }
 
 std::int64_t CircuitBreaker::trips() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return trips_;
 }
 
 std::int64_t CircuitBreaker::recoveries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recoveries_;
 }
 

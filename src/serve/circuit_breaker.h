@@ -23,9 +23,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/util/mutex.h"
 
 namespace ullsnn::serve {
 
@@ -89,24 +90,24 @@ class CircuitBreaker {
   std::int64_t recoveries() const;  // times it returned to the top rung
 
  private:
-  /// Record a transition and export breaker gauges. Caller holds mu_.
-  void note(BreakerState state, const char* cause);
-  std::int64_t current_t_locked() const {
+  /// Record a transition and export breaker gauges.
+  void note(BreakerState state, const char* cause) REQUIRES(mu_);
+  std::int64_t current_t_locked() const REQUIRES(mu_) {
     return config_.ladder[static_cast<std::size_t>(rung_)];
   }
 
   BreakerConfig config_;
-  mutable std::mutex mu_;
-  BreakerState state_ = BreakerState::kClosed;
-  std::int64_t rung_ = 0;
-  std::int64_t consecutive_failures_ = 0;
-  std::int64_t consecutive_successes_ = 0;
-  std::int64_t cooldown_remaining_ = 0;
-  bool probe_in_flight_ = false;
-  std::int64_t sequence_ = 0;  // admit()+record() event counter
-  std::int64_t trips_ = 0;
-  std::int64_t recoveries_ = 0;
-  std::vector<Transition> history_;
+  mutable Mutex mu_;
+  BreakerState state_ GUARDED_BY(mu_) = BreakerState::kClosed;
+  std::int64_t rung_ GUARDED_BY(mu_) = 0;
+  std::int64_t consecutive_failures_ GUARDED_BY(mu_) = 0;
+  std::int64_t consecutive_successes_ GUARDED_BY(mu_) = 0;
+  std::int64_t cooldown_remaining_ GUARDED_BY(mu_) = 0;
+  bool probe_in_flight_ GUARDED_BY(mu_) = false;
+  std::int64_t sequence_ GUARDED_BY(mu_) = 0;  // admit()+record() event counter
+  std::int64_t trips_ GUARDED_BY(mu_) = 0;
+  std::int64_t recoveries_ GUARDED_BY(mu_) = 0;
+  std::vector<Transition> history_ GUARDED_BY(mu_);
 };
 
 }  // namespace ullsnn::serve

@@ -301,7 +301,7 @@ void ServeEngine::stop() {
   }
   if (watchdog_.joinable()) watchdog_.join();
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     inflight_.clear();
   }
   if (endpoint_ != nullptr) {
@@ -340,7 +340,7 @@ SubmitResult ServeEngine::submit(Tensor image, std::chrono::milliseconds deadlin
     return reject(to_string(err));
   }
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     inflight_.push_back(slot);
   }
   stats_.accepted.fetch_add(1, std::memory_order_relaxed);
@@ -597,7 +597,7 @@ void ServeEngine::watchdog_loop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(config_.watchdog_period);
     const auto now = Clock::now();
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     for (auto it = inflight_.begin(); it != inflight_.end();) {
       const SlotPtr& slot = *it;
       if (slot->done()) {

@@ -33,9 +33,10 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
 
 #include "src/obs/slo.h"
 #include "src/robust/health.h"
@@ -233,6 +234,9 @@ class ServeEngine {
   NetworkFactory factory_;                              // null in registry mode
   std::shared_ptr<artifact::ModelRegistry> registry_;   // null in factory mode
   /// Version each worker is serving (registry mode; 0 before start()).
+  /// Workers store with release after the replica rebuild completes;
+  /// workers_on_active() loads with acquire so a version match implies the
+  /// rebuild it saw is fully visible.
   std::vector<std::atomic<std::uint64_t>> worker_versions_;
   BoundedQueue<PendingRequest> queue_;
   MicroBatcher batcher_;
@@ -241,15 +245,21 @@ class ServeEngine {
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;
+  // running_/stopping_ are acquire/release: start() publishes fully
+  // constructed worker state before flipping running_, and loops that observe
+  // stopping_ must see everything stop() wrote before the flag.
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  // Relaxed: ids only need uniqueness, no ordering with other state.
   std::atomic<std::int64_t> next_id_{0};
 
   // Outstanding slots for the watchdog scan (pruned lazily as slots finish).
-  mutable std::mutex inflight_mu_;
-  std::list<SlotPtr> inflight_;
+  mutable Mutex inflight_mu_;
+  std::list<SlotPtr> inflight_ GUARDED_BY(inflight_mu_);
 
-  // Engine-owned stats (see ServeStats).
+  // Engine-owned stats (see ServeStats). All relaxed: each counter is an
+  // independent monotonic tally; cross-counter conservation is established
+  // by the slot's winning critical section, not by atomic ordering.
   struct AtomicStats {
     std::atomic<std::int64_t> submitted{0}, accepted{0}, rejected{0},
         shed_deadline{0}, completed_ok{0}, completed_degraded{0},

@@ -8,15 +8,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/tensor/tensor.h"
+#include "src/util/mutex.h"
 
 namespace ullsnn::serve {
 
@@ -63,8 +62,9 @@ struct InferResponse {
 };
 
 /// Shared completion state between the client-held ResponseFuture and the
-/// engine. All members are guarded by mu (the atomics allow cheap lock-free
-/// peeking from the watchdog scan).
+/// engine. done_/response_ are GUARDED_BY(mu_); the first-wins race between
+/// worker, batcher, and watchdog is decided entirely inside that lock, which
+/// the sched model tests verify across exhaustive interleavings.
 class ResponseSlot {
  public:
   ResponseSlot(std::int64_t id, Clock::time_point enqueue,
@@ -76,7 +76,7 @@ class ResponseSlot {
   Clock::time_point deadline() const { return deadline_; }
 
   bool done() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return done_;
   }
 
@@ -90,7 +90,7 @@ class ResponseSlot {
   bool fulfill(InferResponse response,
                const std::function<void()>& on_first = nullptr) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (done_) return false;
       response_ = std::move(response);
       done_ = true;
@@ -102,15 +102,21 @@ class ResponseSlot {
 
   /// Block until fulfilled, then copy the response out.
   InferResponse wait() const {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return done_; });
+    MutexLock lock(mu_);
+    while (!done_) cv_.wait(mu_);
     return response_;
   }
 
   /// Block up to `timeout`; returns false (and no response) on timeout.
   bool wait_for(std::chrono::milliseconds timeout, InferResponse* out) const {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!cv_.wait_for(lock, timeout, [this] { return done_; })) return false;
+    const auto deadline = Clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (!done_) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+        if (done_) break;  // fulfilled exactly at expiry
+        return false;
+      }
+    }
     if (out != nullptr) *out = response_;
     return true;
   }
@@ -119,10 +125,10 @@ class ResponseSlot {
   const std::int64_t id_;
   const Clock::time_point enqueue_;
   const Clock::time_point deadline_;
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  bool done_ = false;
-  InferResponse response_;
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  bool done_ GUARDED_BY(mu_) = false;
+  InferResponse response_ GUARDED_BY(mu_);
 };
 
 using SlotPtr = std::shared_ptr<ResponseSlot>;

@@ -1,0 +1,34 @@
+// Thread-safe errno -> message conversion.
+//
+// std::strerror returns a pointer into internal static storage and is not
+// required to be reentrant (clang-tidy: concurrency-mt-unsafe), which
+// matters here: the serving endpoint and the artifact loader both format
+// system errors from concurrent threads. strerror_r is the reentrant form,
+// but glibc ships the GNU variant (returns char*, may ignore the buffer)
+// unless strict POSIX macros are set, while musl/POSIX return int. The
+// overload pair below dispatches on the actual return type, so both ABIs
+// compile without feature-macro contortions.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+namespace ullsnn {
+
+namespace detail {
+// XSI strerror_r: int return, message written into the caller's buffer.
+inline const char* errno_describe(int /*rc*/, const char* buf) { return buf; }
+// GNU strerror_r: returns the message (buffer used only for unknown errnos).
+inline const char* errno_describe(const char* msg, const char* /*buf*/) {
+  return msg;
+}
+}  // namespace detail
+
+/// Reentrant equivalent of std::strerror(err).
+inline std::string errno_string(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return detail::errno_describe(::strerror_r(err, buf, sizeof buf), buf);
+}
+
+}  // namespace ullsnn

@@ -1,0 +1,121 @@
+// Capability-annotated mutex primitives for Clang thread-safety analysis.
+//
+// std::mutex under libstdc++ carries no capability attribute, so fields
+// cannot be GUARDED_BY it — the analysis rejects the annotation itself.
+// These thin wrappers attach the attributes while delegating every
+// operation to the standard primitives, so the runtime behavior (and TSan's
+// view of it) is exactly std::mutex / std::condition_variable_any:
+//
+//   Mutex      CAPABILITY("mutex") wrapper over std::mutex.
+//   MutexLock  SCOPED_CAPABILITY lock_guard equivalent.
+//   CondVar    condition-variable whose waits REQUIRE the mutex, built on
+//              std::condition_variable_any.
+//
+// CondVar deliberately has no predicate-taking wait: a predicate lambda is
+// analyzed as a separate function that cannot see the held capability, so
+// every GUARDED_BY access inside it would (rightly) warn. Write the loop
+// explicitly instead — the analysis then proves the predicate reads are
+// made under the lock:
+//
+//   MutexLock lock(mu_);
+//   while (!closed_ && items_.empty()) ready_.wait(mu_);
+//
+// From the analysis' point of view the capability is held across wait()
+// (the wait releases and reacquires it internally, net zero), which matches
+// the caller-visible contract of a condition-variable wait.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace ullsnn {
+
+/// Annotated exclusive mutex. Use MutexLock for scoped holds; lock()/unlock()
+/// exist for the rare manual pattern and for CondVar's internal adapter.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock (std::lock_guard equivalent) that informs the analysis.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over Mutex. Callers must hold the mutex across every
+/// wait (enforced by REQUIRES); notify_* need no lock, matching std::.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Block until notified. Spurious wakeups happen; always re-check the
+  /// predicate in a loop.
+  void wait(Mutex& mu) REQUIRES(mu) {
+    LockAdapter adapter(mu);
+    cv_.wait(adapter);
+  }
+
+  /// Block until notified or `deadline`; std::cv_status::timeout on expiry.
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    LockAdapter adapter(mu);
+    return cv_.wait_until(adapter, deadline);
+  }
+
+  /// Block until notified or `timeout` elapses.
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    LockAdapter adapter(mu);
+    return cv_.wait_for(adapter, timeout);
+  }
+
+ private:
+  /// BasicLockable view of an already-held Mutex for condition_variable_any.
+  /// The wait's internal unlock/relock is invisible to the analysis on
+  /// purpose: the capability is held on entry and on exit, which is the
+  /// contract the caller reasons about.
+  class LockAdapter {
+   public:
+    explicit LockAdapter(Mutex& mu) : mu_(mu) {}
+    // NO_THREAD_SAFETY_ANALYSIS: transient release inside the wait; the
+    // caller-visible hold state is unchanged.
+    void lock() NO_THREAD_SAFETY_ANALYSIS { mu_.mu_.lock(); }
+    void unlock() NO_THREAD_SAFETY_ANALYSIS { mu_.mu_.unlock(); }
+
+   private:
+    Mutex& mu_;
+  };
+
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ullsnn

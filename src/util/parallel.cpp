@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::int64_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   wake_.notify_all();
@@ -29,8 +29,8 @@ void ThreadPool::worker_loop() {
   while (true) {
     const std::function<void(std::int64_t)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && generation_ == seen_generation) wake_.wait(mutex_);
       if (shutdown_) return;
       seen_generation = generation_;
       job = job_;
@@ -39,7 +39,7 @@ void ThreadPool::worker_loop() {
     while (true) {
       std::int64_t index;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (next_index_ >= job_count_) break;
         index = next_index_++;
       }
@@ -50,7 +50,7 @@ void ThreadPool::worker_loop() {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
       if (active_ == 0) done_.notify_all();
     }
@@ -58,7 +58,7 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::record_error(std::exception_ptr error) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!job_error_) job_error_ = std::move(error);
   next_index_ = job_count_;  // stop handing out further iterations
 }
@@ -70,7 +70,7 @@ void ThreadPool::run(std::int64_t count, const std::function<void(std::int64_t)>
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     job_count_ = count;
     next_index_ = 0;
@@ -82,7 +82,7 @@ void ThreadPool::run(std::int64_t count, const std::function<void(std::int64_t)>
   while (true) {
     std::int64_t index;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (next_index_ >= job_count_) break;
       index = next_index_++;
     }
@@ -92,14 +92,15 @@ void ThreadPool::run(std::int64_t count, const std::function<void(std::int64_t)>
       record_error(std::current_exception());
     }
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [&] { return active_ == 0; });
-  job_ = nullptr;
-  if (job_error_) {
-    std::exception_ptr error = std::exchange(job_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    while (active_ != 0) done_.wait(mutex_);
+    job_ = nullptr;
+    error = std::exchange(job_error_, nullptr);
   }
+  // Rethrow outside the lock so the pool stays usable from a catch block.
+  if (error) std::rethrow_exception(error);
 }
 
 namespace {

@@ -7,12 +7,13 @@
 // deterministic regardless of thread count.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
 
 namespace ullsnn {
 
@@ -41,21 +42,21 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  /// Record the first failure and stop handing out indices (mutex held by
-  /// the caller's scope via lock on mutex_ inside).
+  /// Record the first failure and stop handing out indices (takes mutex_
+  /// internally).
   void record_error(std::exception_ptr error);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  const std::function<void(std::int64_t)>* job_ = nullptr;
-  std::int64_t job_count_ = 0;
-  std::int64_t next_index_ = 0;
-  std::int64_t active_ = 0;
-  std::uint64_t generation_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr job_error_;
+  Mutex mutex_;
+  CondVar wake_;
+  CondVar done_;
+  const std::function<void(std::int64_t)>* job_ GUARDED_BY(mutex_) = nullptr;
+  std::int64_t job_count_ GUARDED_BY(mutex_) = 0;
+  std::int64_t next_index_ GUARDED_BY(mutex_) = 0;
+  std::int64_t active_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  std::exception_ptr job_error_ GUARDED_BY(mutex_);
 };
 
 /// Process-wide worker count for library kernels (default 1 = serial).

@@ -1,5 +1,7 @@
 #include "src/util/serialize.h"
 
+#include "src/util/errno_string.h"
+
 #include <fcntl.h>
 #include <unistd.h>
 
@@ -137,12 +139,12 @@ void atomic_write_file(const std::string& path, const void* data, std::size_t n)
     std::error_code ec;
     std::filesystem::remove(tmp, ec);
     throw std::runtime_error("atomic_write_file: " + op + " failed for " + tmp +
-                             ": " + std::strerror(err));
+                             ": " + errno_string(err));
   };
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
     throw std::runtime_error("atomic_write_file: cannot open " + tmp + ": " +
-                             std::strerror(errno));
+                             errno_string(errno));
   }
   const char* p = static_cast<const char*>(data);
   std::size_t left = n;

@@ -1,0 +1,89 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These annotations turn the repo's concurrency contracts — "items_ is
+// guarded by mu_", "note() must be called with the breaker lock held" —
+// into statically checked facts: a Clang build with -Wthread-safety (the
+// ULLSNN_THREAD_SAFETY CMake option, enforced as -Werror=thread-safety in
+// CI) rejects any access to a GUARDED_BY field outside its mutex and any
+// call to a REQUIRES function without the capability held. On GCC (which
+// has no capability analysis) every macro expands to nothing, so the
+// annotations are free documentation there.
+//
+// The macro set mirrors the naming in the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Use them through
+// the annotated primitives in src/util/mutex.h — std::mutex itself carries
+// no capability attribute under libstdc++, so GUARDED_BY(some_std_mutex)
+// would be rejected by the analysis.
+//
+// Conventions (see docs/concurrency.md):
+//   * every mutex-protected member is GUARDED_BY its mutex;
+//   * private "_locked" helpers are REQUIRES(mu_) instead of re-locking;
+//   * atomics are NOT annotated — the analysis has no ordering model; each
+//     atomic site instead carries a one-line memory_order justification.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a class as a capability (lockable) type; `x` is the capability
+/// kind shown in diagnostics, e.g. CAPABILITY("mutex").
+#define CAPABILITY(x) ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding capability `x`.
+#define GUARDED_BY(x) ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by capability `x`.
+#define PT_GUARDED_BY(x) ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Lock-ordering declarations (checked under -Wthread-safety-beta only;
+/// harmless documentation otherwise).
+#define ACQUIRED_BEFORE(...) \
+  ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function precondition: the listed capabilities must be held on entry
+/// (and are still held on exit).
+#define REQUIRES(...) \
+  ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires/releases the listed capabilities (empty list on a
+/// SCOPED_CAPABILITY member means "the scoped object's capabilities").
+#define ACQUIRE(...) \
+  ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the capability; first argument is the return value
+/// that signals success, e.g. TRY_ACQUIRE(true).
+#define TRY_ACQUIRE(...) \
+  ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock guard for self-locking public APIs).
+#define EXCLUDES(...) ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (tells the analysis to
+/// trust the caller from this point on).
+#define ASSERT_CAPABILITY(x) \
+  ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Function returns a reference to the capability protecting its result.
+#define RETURN_CAPABILITY(x) ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disable the analysis for one function body. Every use
+/// must carry a comment explaining why the analysis cannot see the truth.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  ULLSNN_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -1,0 +1,88 @@
+// Model-checking ResponseSlot first-wins fulfillment: worker, watchdog, and
+// batcher race to complete the same request under every interleaving —
+// exactly one may win, on_first runs exactly once, and every observer
+// (polling or blocking) sees the winner's response and nothing else.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "src/sched/sched.h"
+#include "src/serve/request.h"
+
+namespace ullsnn::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct SlotModel {
+  ResponseSlot slot{42, Clock::now(), Clock::now() + 1h};
+  int on_first_calls = 0;
+  std::vector<ResponseStatus> wins;      // statuses whose fulfill() won
+  std::vector<ResponseStatus> observed;  // what the poller saw while racing
+};
+
+sched::ModelRun make_slot_run() {
+  auto m = std::make_shared<SlotModel>();
+  sched::ModelRun run;
+
+  // The three parties that race in the real engine: the worker that ran the
+  // batch, the watchdog that timed it out, the batcher that shed it.
+  const ResponseStatus contenders[] = {
+      ResponseStatus::kOk, ResponseStatus::kTimeout, ResponseStatus::kExpired};
+  for (const ResponseStatus status : contenders) {
+    run.bodies.push_back([m, status] {
+      sched::yield_point("fulfill");
+      InferResponse r;
+      r.status = status;
+      r.id = 42;
+      const bool won =
+          m->slot.fulfill(std::move(r), [m] { ++m->on_first_calls; });
+      sched::yield_point("after-fulfill");
+      if (won) m->wins.push_back(status);
+    });
+  }
+  run.bodies.push_back([m] {  // client polling mid-race
+    for (int i = 0; i < 2; ++i) {
+      sched::yield_point("poll");
+      InferResponse out;
+      if (m->slot.wait_for(0ms, &out)) m->observed.push_back(out.status);
+    }
+  });
+
+  run.verify = [m] {
+    const auto fail = [](const std::string& why) {
+      throw std::runtime_error("slot invariant: " + why);
+    };
+    if (m->wins.size() != 1) {
+      fail(std::to_string(m->wins.size()) + " fulfillments won");
+    }
+    if (m->on_first_calls != 1) {
+      fail("on_first ran " + std::to_string(m->on_first_calls) + " times");
+    }
+    if (!m->slot.done()) fail("slot not done after all fulfillers finished");
+    // wait() after completion is non-blocking and must return the winner.
+    if (m->slot.wait().status != m->wins[0]) {
+      fail("stored response is not the winning fulfillment");
+    }
+    // A poll that observed completion must have seen the winner — a loser's
+    // response is discarded, never visible, not even transiently.
+    for (const ResponseStatus s : m->observed) {
+      if (s != m->wins[0]) fail("poller observed a losing response");
+    }
+  };
+  return run;
+}
+
+TEST(SlotModelTest, FirstWinsAcrossInterleavings) {
+  sched::ExploreOptions opts;
+  opts.max_exhaustive_runs = 1500;
+  const sched::ExploreStats stats = sched::explore(make_slot_run, opts);
+  // 3 fulfillers x 3 segments + poller x 3 = 12 steps: 369600 interleavings.
+  EXPECT_GE(stats.distinct, 1000) << "runs=" << stats.runs;
+  EXPECT_EQ(stats.runs, stats.distinct);
+}
+
+}  // namespace
+}  // namespace ullsnn::serve

@@ -1,0 +1,43 @@
+// Negative compile-check fixture for the thread-safety gate.
+//
+// This translation unit is NOT part of any build target. It exists so
+// tools/check_thread_safety.sh can prove the -Werror=thread-safety gate has
+// teeth: compiled as-is, the unlocked read below MUST be rejected by Clang's
+// analysis; compiled with -DULLSNN_EXPECT_CLEAN (the violation replaced by a
+// properly locked read) it MUST pass, proving the flags and annotations are
+// actually in effect rather than silently ignored.
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    ullsnn::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int read_balance() const {
+#if defined(ULLSNN_EXPECT_CLEAN)
+    ullsnn::MutexLock lock(mu_);
+    return balance_;
+#else
+    // DELIBERATE BUG: reads a GUARDED_BY(mu_) field without holding mu_.
+    // -Werror=thread-safety must refuse to compile this line.
+    return balance_;
+#endif
+  }
+
+ private:
+  mutable ullsnn::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.read_balance() == 1 ? 0 : 1;
+}

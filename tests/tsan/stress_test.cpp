@@ -15,10 +15,13 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/http_endpoint.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/robust/fault_injector.h"
 #include "src/robust/health.h"
 #include "src/util/parallel.h"
+#include "tests/testutil/http_get.h"
 
 namespace ullsnn {
 namespace {
@@ -231,6 +234,105 @@ TEST(TsanStressTest, HealthMonitorSharedScanSnapshotRestoreDecide) {
   snapshotter.join();
   EXPECT_GT(scans.load(), 0);
   EXPECT_EQ(monitor.rollbacks(), 500);
+}
+
+TEST(TsanStressTest, SloTrackerSnapshotUnderLoad) {
+  // Concurrent scrapes (update/last) against writers hammering the latency
+  // histogram the tracker windows over. The interval deltas must telescope:
+  // after quiescence, the window counts across every update sum to exactly
+  // the number of observations — no sample double-counted or dropped by a
+  // racing scrape.
+  auto& registry = obs::Registry::instance();
+  obs::SloConfig cfg;
+  cfg.histogram = "tsan.slo.latency_ms";
+  cfg.gauge_prefix = "tsan.slo";
+  cfg.objective_ms = 5.0;
+  obs::SloTracker tracker(cfg);
+  auto& hist = registry.histogram(cfg.histogram);
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> windowed{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 2; ++t) {
+    scrapers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const obs::SloTracker::Report report = tracker.update();
+        windowed.fetch_add(report.window_count, std::memory_order_relaxed);
+        const obs::SloTracker::Report last = tracker.last();
+        EXPECT_GE(last.compliance, 0.0);
+        EXPECT_LE(last.compliance, 1.0);
+        EXPECT_GE(last.burn, 0.0);
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        hist.observe(static_cast<double>((i + t) % 13));
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : scrapers) th.join();
+  windowed += tracker.update().window_count;  // capture the quiescent tail
+  EXPECT_EQ(windowed.load(), kWriters * kPerWriter);
+}
+
+TEST(TsanStressTest, HttpEndpointScrapeRacesShutdown) {
+  // Scrapers in flight while stop() tears the listener down, repeatedly:
+  // the running_/stopping_ handshake, the listen_fd_ publication, and the
+  // handler map must hold up when a request lands mid-shutdown. A scrape
+  // may fail at transport level (connection refused/reset) — that is the
+  // expected outcome of losing the race — but every scrape that returns 200
+  // must carry the full body, and requests_served() must cover at least
+  // every such success (the server may also have counted a response whose
+  // bytes the client never fully read).
+  for (int round = 0; round < 8; ++round) {
+    obs::HttpEndpoint::Config cfg;
+    cfg.port = 0;  // ephemeral
+    obs::HttpEndpoint endpoint(cfg);
+    endpoint.route("/metrics",
+                   [](const std::string&, const std::string&) {
+                     obs::HttpResponse r;
+                     r.body = "tsan_scrape_total 1\n";
+                     return r;
+                   });
+    endpoint.start();
+    const int port = endpoint.port();
+    ASSERT_GT(port, 0);
+
+    std::atomic<std::int64_t> ok_scrapes{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> scrapers;
+    for (int t = 0; t < 3; ++t) {
+      scrapers.emplace_back([&, port] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          const testutil::HttpResult result =
+              testutil::http_request(port, "/metrics");
+          if (result.ok && result.status == 200) {
+            EXPECT_EQ(result.body, "tsan_scrape_total 1\n");
+            ok_scrapes.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    // Let at least one scrape land, then yank the endpoint out from under
+    // the scrapers while they are mid-loop.
+    while (ok_scrapes.load(std::memory_order_relaxed) == 0) {
+      std::this_thread::yield();
+    }
+    endpoint.stop();
+    EXPECT_FALSE(endpoint.running());
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& th : scrapers) th.join();
+    EXPECT_GE(endpoint.requests_served(), ok_scrapes.load());
+    endpoint.stop();  // idempotent; destructor will run it again too
+  }
 }
 
 }  // namespace

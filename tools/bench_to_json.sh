@@ -41,6 +41,31 @@
 # the kernels JSON "context" object by bench_kernels itself.
 set -euo pipefail
 
+# Fail loudly on a missing dependency instead of surfacing as a confusing
+# downstream error (e.g. compare_bench.py choking on an empty file).
+require() {
+  command -v "$1" >/dev/null 2>&1 || {
+    echo "error: required tool '$1' not found on PATH" >&2
+    exit 1
+  }
+}
+
+# Refuse to publish anything that does not parse as JSON (a crashed bench
+# leaves truncated output), then move it into place atomically so no reader
+# — CI artifact upload, compare_bench.py, a baseline refresh — can ever see
+# a partial snapshot.
+publish_json() {
+  local tmp="$1" out="$2"
+  if ! python3 -m json.tool "$tmp" >/dev/null; then
+    echo "error: benchmark output is not valid JSON — discarding (kept nothing at $out)" >&2
+    exit 1
+  fi
+  mv -f "$tmp" "$out"
+}
+
+require python3
+require mktemp
+
 MODE="kernels"
 case "${1:-}" in
   kernels|serve|artifact)
@@ -60,10 +85,13 @@ if [[ "$MODE" == "artifact" ]]; then
   fi
   # bench_artifact exits non-zero if the swap-under-load soak loses a
   # request, activates a corrupt artifact, or never auto-rolls back.
+  TMP_OUT="$(mktemp "$OUT.XXXXXX")"
+  trap 'rm -f "$TMP_OUT"' EXIT
   "$BIN" --spinup --soak \
     --seconds "${ULLSNN_ARTIFACT_SECONDS:-8}" \
     --swap-every "${ULLSNN_ARTIFACT_SWAP_EVERY:-100}" \
-    --json "$OUT"
+    --json "$TMP_OUT"
+  publish_json "$TMP_OUT" "$OUT"
   echo "wrote $OUT (artifact spin-up + swap-under-load snapshot)" >&2
   exit 0
 fi
@@ -80,10 +108,13 @@ if [[ "$MODE" == "serve" ]]; then
   # endpoint costs more than 5% at p99 — failing this script with it.
   # --http 0 serves /metrics,/healthz,/flight on an ephemeral port during
   # the soak and self-scrapes it at quiescence.
+  TMP_OUT="$(mktemp "$OUT.XXXXXX")"
+  trap 'rm -f "$TMP_OUT"' EXIT
   "$BIN" --soak --accuracy --overhead --http 0 \
     --seconds "${ULLSNN_SERVE_SECONDS:-10}" \
     --faults "${ULLSNN_SERVE_FAULTS:-0.05}" \
-    --json "$OUT"
+    --json "$TMP_OUT"
+  publish_json "$TMP_OUT" "$OUT"
   echo "wrote $OUT (serving soak + accuracy-vs-T snapshot)" >&2
   exit 0
 fi
@@ -107,5 +138,16 @@ args=(
 [[ -n "$FILTER" ]] && args+=(--benchmark_filter="$FILTER")
 [[ -n "$MIN_TIME" ]] && args+=(--benchmark_min_time="$MIN_TIME")
 
-"$BIN" "${args[@]}" > "$OUT"
-echo "wrote $OUT ($(grep -c '"run_name"' "$OUT" || true) run entries)" >&2
+# Capture to a temp file first: google-benchmark streams JSON, so a crash
+# mid-suite would otherwise leave a truncated-but-plausible baseline.
+TMP_OUT="$(mktemp "$OUT.XXXXXX")"
+trap 'rm -f "$TMP_OUT"' EXIT
+"$BIN" "${args[@]}" > "$TMP_OUT"
+publish_json "$TMP_OUT" "$OUT"
+
+runs="$(grep -c '"run_name"' "$OUT")" || runs=0
+if [[ "$runs" -eq 0 ]]; then
+  echo "error: $OUT contains no benchmark runs (filter '${FILTER:-<none>}' matched nothing?)" >&2
+  exit 1
+fi
+echo "wrote $OUT ($runs run entries)" >&2
