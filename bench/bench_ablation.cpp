@@ -11,10 +11,15 @@
 //     (Sec. III-B removes it).
 //  E. Direct vs Poisson-rate input encoding (Sec. I's order-of-magnitude
 //     latency argument).
+//  F. Serving precision: the converted net evaluated with fp32 weights vs the
+//     per-output-channel int8 weight path, at T in {1, 2, 3}. Quantization
+//     must be accuracy-neutral (within 0.5% at T=3) for the int8 artifacts
+//     produced by ullsnn_pack --int8 to be deployable.
 #include <cstdio>
 
 #include "bench/common.h"
 #include "src/snn/sgl_trainer.h"
+#include "src/tensor/gemm.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
 
@@ -156,5 +161,28 @@ int main() {
   }
   enc.print("E: direct vs Poisson rate encoding (direct should dominate at low T)");
   bench::write_csv(enc, "ablation_encoding.csv");
+
+  // --- F: fp32 vs int8 serving precision across T ---
+  // Same converted network, flipped between the fp32 and int8 dense forward
+  // with set_precision (spike-binary inputs quantize losslessly, so any gap
+  // comes from the per-output-channel weight rounding alone).
+  Table prec({"Precision", "T", "converted %", "eval s"});
+  for (const std::int64_t t : {1, 2, 3}) {
+    core::ConversionConfig cc;
+    cc.time_steps = t;
+    auto net = core::convert(*model, profile, cc, nullptr);
+    for (const Precision p : {Precision::kFp32, Precision::kInt8}) {
+      net->set_precision(p);
+      Timer eval_timer;
+      const double acc = snn::evaluate_snn(*net, data.test, setup.batch_size);
+      prec.add_row({p == Precision::kInt8 ? "int8" : "fp32", std::to_string(t),
+                    Table::fmt(100.0 * acc), Table::fmt(eval_timer.seconds(), 2)});
+    }
+    std::printf("[ablation F] precision sweep T=%lld done\n",
+                static_cast<long long>(t));
+    std::fflush(stdout);
+  }
+  prec.print("F: serving precision fp32 vs int8 (int8 within 0.5% of fp32 at T=3)");
+  bench::write_csv(prec, "ablation_precision.csv");
   return 0;
 }

@@ -42,7 +42,11 @@ void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+// Fast kernels carry an explicit wall-clock budget (MinTime, which overrides
+// any --benchmark_min_time from the harness) so iteration counts are derived
+// from elapsed time: with the SIMD dispatch a 64x64 tile runs in a few µs,
+// and a fixed/short rep budget would sit at the timer's resolution floor.
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256)->MinTime(0.2);
 
 /// The retained pre-blocking kernel. Doubles as the cross-machine calibration
 /// anchor for the CI regression gate: its ratio to every other benchmark is
@@ -61,7 +65,7 @@ void BM_MatmulNaive(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatmulNaive)->Arg(64)->Arg(256);
+BENCHMARK(BM_MatmulNaive)->Arg(64)->Arg(256)->MinTime(0.2);
 
 void BM_MatmulBt(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -77,7 +81,32 @@ void BM_MatmulBt(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatmulBt)->Arg(256);
+BENCHMARK(BM_MatmulBt)->Arg(256)->MinTime(0.2);
+
+/// int8 weight-quantized GEMM through the same dispatch layer: per-row
+/// asymmetric activation quantization + int8xint8 micro-kernel with int32
+/// accumulation and fused dequant epilogue. Weights are packed once outside
+/// the timed loop, matching how layers reuse QuantizedPackedB across steps.
+/// Compare against BM_Matmul at the same size for the quantization speedup.
+void BM_MatmulInt8(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n});
+  Tensor w({n, n});
+  Tensor c({n, n});
+  uniform_fill(a, 0.0F, 1.0F, rng);
+  uniform_fill(w, -1.0F, 1.0F, rng);
+  const QuantizedWeight qw = quantize_weight_per_row(w.data(), n, n);
+  QuantizedPackedB packed;
+  packed.pack(qw);
+  for (auto _ : state) {
+    gemm_packed_int8(row_major(a.data(), n), packed, c.data(), n,
+                     /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulInt8)->Arg(64)->Arg(128)->Arg(256)->MinTime(0.2);
 
 // ---- convolution ----
 
@@ -98,7 +127,37 @@ void BM_Conv2dForward(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * output.numel());
 }
-BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(32)->Arg(64)->MinTime(0.2);
+
+/// int8 convolution: the spiking forward with a pre-quantized weight operand
+/// and the density threshold forced below zero so every sample takes the
+/// dense int8 path. Compare against BM_Conv2dForward at the same size.
+void BM_Conv2dForwardInt8(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  Rng rng(2);
+  Conv2dSpec spec;
+  spec.in_channels = channels;
+  spec.out_channels = channels;
+  Tensor input({1, channels, 32, 32});
+  Tensor weight({channels, channels, 3, 3});
+  Tensor output({1, channels, 32, 32});
+  uniform_fill(input, 0.0F, 1.0F, rng);
+  uniform_fill(weight, -0.1F, 0.1F, rng);
+  const QuantizedWeight qw =
+      quantize_weight_per_row(weight.data(), channels, channels * 9);
+  QuantizedPackedB packed;
+  packed.pack(qw);
+  std::vector<float> wt_cache;
+  SpikeKernelStats stats;
+  for (auto _ : state) {
+    conv2d_forward_spiking(input, weight, output, spec,
+                           /*density_threshold=*/-1.0F, wt_cache, stats,
+                           &packed);
+    benchmark::DoNotOptimize(output.data());
+  }
+  state.SetItemsProcessed(state.iterations() * output.numel());
+}
+BENCHMARK(BM_Conv2dForwardInt8)->Arg(16)->Arg(32)->Arg(64)->MinTime(0.2);
 
 /// Batched forward: the packed weight panels are reused across the 8 samples.
 void BM_Conv2dForwardBatched(benchmark::State& state) {
@@ -118,7 +177,7 @@ void BM_Conv2dForwardBatched(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * output.numel());
 }
-BENCHMARK(BM_Conv2dForwardBatched)->Arg(16)->Arg(32);
+BENCHMARK(BM_Conv2dForwardBatched)->Arg(16)->Arg(32)->MinTime(0.2);
 
 void BM_Conv2dBackward(benchmark::State& state) {
   const std::int64_t channels = state.range(0);
@@ -142,7 +201,7 @@ void BM_Conv2dBackward(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * input.numel());
 }
-BENCHMARK(BM_Conv2dBackward)->Arg(16)->Arg(32);
+BENCHMARK(BM_Conv2dBackward)->Arg(16)->Arg(32)->MinTime(0.2);
 
 // ---- linear ----
 
@@ -160,7 +219,7 @@ void BM_LinearForward(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 32 * features * features);
 }
-BENCHMARK(BM_LinearForward)->Arg(256)->Arg(1024);
+BENCHMARK(BM_LinearForward)->Arg(256)->Arg(1024)->MinTime(0.2);
 
 // ---- pooling ----
 
@@ -178,7 +237,7 @@ void BM_MaxPool(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * input.numel());
 }
-BENCHMARK(BM_MaxPool)->Arg(64);
+BENCHMARK(BM_MaxPool)->Arg(64)->MinTime(0.2);
 
 void BM_AvgPool(benchmark::State& state) {
   const std::int64_t channels = state.range(0);
@@ -193,7 +252,7 @@ void BM_AvgPool(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * input.numel());
 }
-BENCHMARK(BM_AvgPool)->Arg(64);
+BENCHMARK(BM_AvgPool)->Arg(64)->MinTime(0.2);
 
 // ---- sparse vs dense spike GEMM (density sweep) ----
 //
@@ -223,7 +282,7 @@ void BM_SpikeGemmSparse(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kM * kK * kN);
 }
-BENCHMARK(BM_SpikeGemmSparse)->Arg(10)->Arg(50)->Arg(100)->Arg(250)->Arg(500);
+BENCHMARK(BM_SpikeGemmSparse)->Arg(10)->Arg(50)->Arg(100)->Arg(250)->Arg(500)->MinTime(0.2);
 
 void BM_SpikeGemmDense(benchmark::State& state) {
   constexpr std::int64_t kM = 256, kK = 1024, kN = 256;
@@ -238,7 +297,7 @@ void BM_SpikeGemmDense(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kM * kK * kN);
 }
-BENCHMARK(BM_SpikeGemmDense)->Arg(10)->Arg(50)->Arg(100)->Arg(250)->Arg(500);
+BENCHMARK(BM_SpikeGemmDense)->Arg(10)->Arg(50)->Arg(100)->Arg(250)->Arg(500)->MinTime(0.2);
 
 // ---- IF neuron ----
 
@@ -256,7 +315,7 @@ void BM_IfNeuronStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_IfNeuronStep)->Arg(1 << 12)->Arg(1 << 16);
+BENCHMARK(BM_IfNeuronStep)->Arg(1 << 12)->Arg(1 << 16)->MinTime(0.2);
 
 // Dense time-stepped vs event-driven inference at controlled input activity.
 // The event engine's runtime should drop with activity while the dense
@@ -294,7 +353,7 @@ void BM_DenseInference(benchmark::State& state) {
     benchmark::DoNotOptimize(logits.data());
   }
 }
-BENCHMARK(BM_DenseInference)->Arg(1000)->Arg(100)->Arg(10);
+BENCHMARK(BM_DenseInference)->Arg(1000)->Arg(100)->Arg(10)->MinTime(0.2);
 
 void BM_EventDrivenInference(benchmark::State& state) {
   auto net = sparse_bench_net();
@@ -306,7 +365,7 @@ void BM_EventDrivenInference(benchmark::State& state) {
     benchmark::DoNotOptimize(logits.data());
   }
 }
-BENCHMARK(BM_EventDrivenInference)->Arg(1000)->Arg(100)->Arg(10);
+BENCHMARK(BM_EventDrivenInference)->Arg(1000)->Arg(100)->Arg(10)->MinTime(0.2);
 
 }  // namespace
 

@@ -15,6 +15,7 @@ const char* to_string(SectionKind kind) {
     case SectionKind::kTensorIndex: return "tensor-index";
     case SectionKind::kWeights: return "weights";
     case SectionKind::kProbe: return "probe";
+    case SectionKind::kQuantWeights: return "quant-weights";
   }
   return "unknown";
 }
@@ -110,7 +111,10 @@ class Reader {
 // Arch / tensor-table / probe (de)serialization
 // ---------------------------------------------------------------------------
 
-constexpr std::uint32_t kArchBlobVersion = 1;
+// v1: no precision field (parses as fp32). v2: appends `precision` (u32)
+// after encoder_seed. The reader accepts both, so pre-int8 artifacts keep
+// loading; the writer always emits v2.
+constexpr std::uint32_t kArchBlobVersion = 2;
 
 void write_conv_spec(ByteWriter& w, const Conv2dSpec& s) {
   w.pod(s.in_channels);
@@ -158,6 +162,7 @@ std::vector<char> write_arch_blob(const ArchDescriptor& arch) {
   w.pod(arch.time_steps);
   w.pod(arch.encoding);
   w.pod(arch.encoder_seed);
+  w.pod(arch.precision);
   w.pod(static_cast<std::uint32_t>(arch.layers.size()));
   for (const LayerDesc& l : arch.layers) {
     w.pod(static_cast<std::uint32_t>(l.kind));
@@ -203,7 +208,7 @@ std::vector<char> write_arch_blob(const ArchDescriptor& arch) {
 ArchDescriptor parse_arch_blob(Reader& r, const std::string& path) {
   ArchDescriptor arch;
   const auto version = r.pod<std::uint32_t>();
-  if (version != kArchBlobVersion) {
+  if (version == 0 || version > kArchBlobVersion) {
     fail(ArtifactErrorCode::kMalformed, path,
          "unsupported arch descriptor version " + std::to_string(version));
   }
@@ -216,6 +221,10 @@ ArchDescriptor parse_arch_blob(Reader& r, const std::string& path) {
     fail(ArtifactErrorCode::kMalformed, path, "unknown encoding");
   }
   arch.encoder_seed = r.pod<std::uint64_t>();
+  arch.precision = version >= 2 ? r.pod<std::uint32_t>() : 0;
+  if (arch.precision > static_cast<std::uint32_t>(Precision::kInt8)) {
+    fail(ArtifactErrorCode::kMalformed, path, "unknown precision");
+  }
   const auto count = r.pod<std::uint32_t>();
   if (count == 0 || count > kMaxLayers) {
     fail(ArtifactErrorCode::kMalformed, path, "layer count out of range");
@@ -422,8 +431,13 @@ std::uint64_t pack_network(snn::SnnNetwork& net, const std::string& path,
   }
 
   DescribedNetwork d = describe_network(net);
+  d.arch.precision = static_cast<std::uint32_t>(options.precision);
 
   // Deterministic probe batch + the bit-exact logits the artifact promises.
+  // The probe runs at the precision the artifact records: an int8 pack flips
+  // the live network to int8 first, so the canary logits are the ones an int8
+  // replica reproduces. quantize_weight_per_row is deterministic, so the
+  // network's lazily self-quantized weights equal the bytes written below.
   Shape probe_shape;
   probe_shape.push_back(options.probe_batch);
   for (std::int64_t dim : options.input_shape) probe_shape.push_back(dim);
@@ -432,12 +446,33 @@ std::uint64_t pack_network(snn::SnnNetwork& net, const std::string& path,
   for (std::int64_t i = 0; i < probe_inputs.numel(); ++i) {
     probe_inputs[i] = rng.uniform();
   }
+  const Precision prev_precision = net.precision();
+  net.set_precision(options.precision);
   net.reset_state();
   const Tensor probe_logits = net.forward(probe_inputs, /*train=*/false);
   net.reset_state();
+  net.set_precision(prev_precision);
 
   // ---- section payloads ----
   const std::vector<char> arch_blob = write_arch_blob(d.arch);
+
+  // Optional quant-weights payload: count, then per tensor
+  // { index u32, rows u64, cols u64, scales f32[rows], data i8[rows*cols] }.
+  ByteWriter quant;
+  if (options.precision == Precision::kInt8) {
+    quant.pod(static_cast<std::uint32_t>(d.tensors.size()));
+    for (std::size_t i = 0; i < d.tensors.size(); ++i) {
+      const Tensor& t = *d.tensor_sources[i];
+      const std::int64_t rows = t.dim(0);
+      const std::int64_t cols = t.numel() / rows;
+      const QuantizedWeight qw = quantize_weight_per_row(t.data(), rows, cols);
+      quant.pod(static_cast<std::uint32_t>(i));
+      quant.pod(static_cast<std::uint64_t>(rows));
+      quant.pod(static_cast<std::uint64_t>(cols));
+      quant.raw(qw.scales.data(), qw.scales.size() * sizeof(float));
+      quant.raw(qw.data.data(), qw.data.size());
+    }
+  }
 
   ByteWriter weights;
   for (std::size_t i = 0; i < d.tensors.size(); ++i) {
@@ -464,7 +499,8 @@ std::uint64_t pack_network(snn::SnnNetwork& net, const std::string& path,
     const std::vector<char>* payload;
   };
   ByteWriter index;  // written after offsets are known; placeholder for order
-  const std::uint32_t section_count = 4;
+  const std::uint32_t section_count =
+      options.precision == Precision::kInt8 ? 5 : 4;
   std::uint64_t cursor = kHeaderBytes + section_count * kSectionEntryBytes;
   auto place = [&cursor](std::uint64_t size) {
     cursor = (cursor + kAlignment - 1) / kAlignment * kAlignment;
@@ -488,6 +524,8 @@ std::uint64_t pack_network(snn::SnnNetwork& net, const std::string& path,
   }
   const std::uint64_t index_at = place(index.size());
   const std::uint64_t probe_at = place(probe.size());
+  const std::uint64_t quant_at =
+      section_count == 5 ? place(quant.size()) : 0;
   const std::uint64_t file_size = cursor + kFooterBytes;
 
   std::vector<char> file(static_cast<std::size_t>(file_size), 0);
@@ -496,13 +534,15 @@ std::uint64_t pack_network(snn::SnnNetwork& net, const std::string& path,
   };
 
   // Section table.
-  const Pending sections[4] = {
+  const Pending sections[5] = {
       {SectionKind::kArch, &arch_blob},
       {SectionKind::kWeights, &weights.bytes},
       {SectionKind::kTensorIndex, &index.bytes},
       {SectionKind::kProbe, &probe.bytes},
+      {SectionKind::kQuantWeights, &quant.bytes},
   };
-  const std::uint64_t offsets[4] = {arch_at, weights_at, index_at, probe_at};
+  const std::uint64_t offsets[5] = {arch_at, weights_at, index_at, probe_at,
+                                    quant_at};
   for (std::uint32_t s = 0; s < section_count; ++s) {
     ByteWriter entry;
     entry.pod(static_cast<std::uint32_t>(sections[s].kind));
@@ -543,9 +583,11 @@ std::uint64_t pack_network(snn::SnnNetwork& net, const std::string& path,
     throw ArtifactError(ArtifactErrorCode::kIo, e.what());
   }
   obs::logf(obs::LogLevel::kInfo,
-            "[artifact] packed %lld tensor(s), %lld layer(s), %llu bytes -> %s",
+            "[artifact] packed %lld tensor(s), %lld layer(s), precision=%s, "
+            "%llu bytes -> %s",
             static_cast<long long>(d.tensors.size()),
             static_cast<long long>(d.arch.layers.size()),
+            to_string(options.precision),
             static_cast<unsigned long long>(file_size), path.c_str());
   return file_size;
 }
@@ -623,7 +665,7 @@ std::shared_ptr<const UllsnnArtifact> UllsnnArtifact::load(const std::string& pa
     std::uint64_t size = 0;
     bool present = false;
   };
-  Located arch_s, index_s, weights_s, probe_s;
+  Located arch_s, index_s, weights_s, probe_s, quant_s;
   for (std::uint32_t s = 0; s < section_count; ++s) {
     Reader er(base + kHeaderBytes + s * kSectionEntryBytes, kSectionEntryBytes, path,
               ArtifactErrorCode::kSectionCorrupt);
@@ -652,6 +694,7 @@ std::shared_ptr<const UllsnnArtifact> UllsnnArtifact::load(const std::string& pa
       case SectionKind::kTensorIndex: slot = &index_s; break;
       case SectionKind::kWeights: slot = &weights_s; break;
       case SectionKind::kProbe: slot = &probe_s; break;
+      case SectionKind::kQuantWeights: slot = &quant_s; break;
       default:
         fail(ArtifactErrorCode::kSectionCorrupt, path,
              "unknown section kind " + std::to_string(kind));
@@ -728,6 +771,54 @@ std::shared_ptr<const UllsnnArtifact> UllsnnArtifact::load(const std::string& pa
     }
     if (r.remaining() != 0) {
       fail(ArtifactErrorCode::kMalformed, path, "trailing bytes in tensor index");
+    }
+  }
+
+  // Quant weights (optional): every entry must reference a valid tensor and
+  // agree with its shape (rows = output channels = dim 0, rows*cols = numel),
+  // so an int8 replica can never install a mis-sized operand.
+  if (quant_s.present) {
+    Reader r(base + quant_s.offset, quant_s.size, path, ArtifactErrorCode::kMalformed);
+    const auto count = r.pod<std::uint32_t>();
+    if (count > kMaxTensors) {
+      fail(ArtifactErrorCode::kMalformed, path, "quant tensor count out of range");
+    }
+    std::vector<bool> seen(art->tensors_.size(), false);
+    art->quant_weights_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto tensor_index = r.pod<std::uint32_t>();
+      if (tensor_index >= art->tensors_.size()) {
+        fail(ArtifactErrorCode::kMalformed, path,
+             "quant entry references tensor " + std::to_string(tensor_index) +
+                 " of " + std::to_string(art->tensors_.size()));
+      }
+      if (seen[tensor_index]) {
+        fail(ArtifactErrorCode::kMalformed, path,
+             "duplicate quant entry for tensor " + std::to_string(tensor_index));
+      }
+      seen[tensor_index] = true;
+      const TensorEntry& te = art->tensors_[tensor_index];
+      const auto rows = r.pod<std::uint64_t>();
+      const auto cols = r.pod<std::uint64_t>();
+      const std::uint64_t numel = static_cast<std::uint64_t>(shape_numel(te.shape));
+      if (rows == 0 || cols == 0 || te.shape.empty() ||
+          rows != static_cast<std::uint64_t>(te.shape[0]) || rows * cols != numel) {
+        fail(ArtifactErrorCode::kMalformed, path,
+             "quant entry for tensor '" + te.name + "' disagrees with its shape");
+      }
+      QuantizedWeight qw;
+      qw.rows = static_cast<std::int64_t>(rows);
+      qw.cols = static_cast<std::int64_t>(cols);
+      qw.scales.resize(rows);
+      qw.data.resize(rows * cols);
+      r.raw(qw.scales.data(), rows * sizeof(float));
+      r.raw(qw.data.data(), rows * cols);
+      art->quant_weights_.emplace_back(static_cast<std::int32_t>(tensor_index),
+                                       std::move(qw));
+    }
+    if (r.remaining() != 0) {
+      fail(ArtifactErrorCode::kMalformed, path,
+           "trailing bytes in quant-weights section");
     }
   }
 
@@ -861,17 +952,26 @@ Shape UllsnnArtifact::input_shape() const {
 std::unique_ptr<snn::SnnNetwork> UllsnnArtifact::make_network() const {
   auto net = std::make_unique<snn::SnnNetwork>(arch_.time_steps);
   net->set_encoding(static_cast<snn::Encoding>(arch_.encoding), arch_.encoder_seed);
+  net->set_precision(precision());
+  // Which synapse owns each tensor-table index, so pre-quantized weights from
+  // the optional section land on the right layer below.
+  std::vector<snn::SynapticConv*> conv_of(tensors_.size(), nullptr);
+  std::vector<snn::SynapticLinear*> linear_of(tensors_.size(), nullptr);
   for (const LayerDesc& l : arch_.layers) {
     switch (l.kind) {
-      case LayerKind::kConv2d:
-        net->emplace<snn::SpikingConv2d>(tensor_view(l.weight), l.conv,
-                                         to_if_config(l.neuron, path()));
+      case LayerKind::kConv2d: {
+        auto& layer = net->emplace<snn::SpikingConv2d>(
+            tensor_view(l.weight), l.conv, to_if_config(l.neuron, path()));
+        conv_of[static_cast<std::size_t>(l.weight)] = &layer.synapse();
         break;
-      case LayerKind::kLinear:
-        net->emplace<snn::SpikingLinear>(tensor_view(l.weight),
-                                         to_if_config(l.neuron, path()),
-                                         l.with_neuron != 0);
+      }
+      case LayerKind::kLinear: {
+        auto& layer = net->emplace<snn::SpikingLinear>(
+            tensor_view(l.weight), to_if_config(l.neuron, path()),
+            l.with_neuron != 0);
+        linear_of[static_cast<std::size_t>(l.weight)] = &layer.synapse();
         break;
+      }
       case LayerKind::kMaxPool:
         net->emplace<snn::SpikingMaxPool>(l.pool);
         break;
@@ -884,13 +984,28 @@ std::unique_ptr<snn::SnnNetwork> UllsnnArtifact::make_network() const {
       case LayerKind::kFlatten:
         net->emplace<snn::SpikingFlatten>();
         break;
-      case LayerKind::kResidual:
-        net->emplace<snn::SpikingResidualBlock>(
+      case LayerKind::kResidual: {
+        auto& layer = net->emplace<snn::SpikingResidualBlock>(
             tensor_view(l.weight), l.conv, to_if_config(l.neuron, path()),
             tensor_view(l.weight2), l.conv2, to_if_config(l.neuron2, path()),
             l.has_projection != 0 ? tensor_view(l.weight_projection) : Tensor(),
             l.projection);
+        conv_of[static_cast<std::size_t>(l.weight)] = &layer.conv1_synapse();
+        conv_of[static_cast<std::size_t>(l.weight2)] = &layer.conv2_synapse();
+        if (l.has_projection != 0) {
+          conv_of[static_cast<std::size_t>(l.weight_projection)] =
+              layer.projection_synapse_or_null();
+        }
         break;
+      }
+    }
+  }
+  for (const auto& [index, qw] : quant_weights_) {
+    const auto i = static_cast<std::size_t>(index);
+    if (snn::SynapticConv* conv = conv_of[i]) {
+      conv->set_quantized_weight(qw);
+    } else if (snn::SynapticLinear* linear = linear_of[i]) {
+      linear->set_quantized_weight(qw);
     }
   }
   return net;

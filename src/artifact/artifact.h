@@ -86,6 +86,11 @@ struct ArchDescriptor {
   std::int64_t time_steps = 0;
   std::uint32_t encoding = 0;  // snn::Encoding
   std::uint64_t encoder_seed = 99;
+  /// Serving precision (ullsnn::Precision). Arch blob v1 files predate the
+  /// field and parse as kFp32; v2 stores it explicitly. Not part of the
+  /// structural fingerprint — an int8 repack of a model hot-swaps over its
+  /// fp32 predecessor.
+  std::uint32_t precision = 0;
   std::vector<LayerDesc> layers;
 };
 
@@ -104,6 +109,12 @@ struct PackOptions {
   std::int64_t probe_batch = 4;
   /// Seed for the deterministic probe inputs (uniform in [0, 1)).
   std::uint64_t probe_seed = 0xA11CE;
+  /// Serving precision recorded in the artifact. kInt8 additionally writes a
+  /// kQuantWeights section (per-output-channel symmetric int8 + f32 scales,
+  /// quantized deterministically from the fp32 weights at pack time) and runs
+  /// the canary probe at int8 so the recorded logits are the ones an int8
+  /// replica must reproduce bit-exactly.
+  Precision precision = Precision::kFp32;
 };
 
 /// Serialize `net` (weights, architecture, probe logits) into an artifact at
@@ -135,6 +146,14 @@ class UllsnnArtifact {
   std::uint64_t fingerprint() const { return fingerprint_; }
   const ArchDescriptor& arch() const { return arch_; }
   std::int64_t time_steps() const { return arch_.time_steps; }
+  Precision precision() const { return static_cast<Precision>(arch_.precision); }
+
+  /// Pre-quantized weights from the optional kQuantWeights section, keyed by
+  /// tensor-table index (validated against the tensor shapes at load). Empty
+  /// for fp32 artifacts.
+  const std::vector<std::pair<std::int32_t, QuantizedWeight>>& quant_weights() const {
+    return quant_weights_;
+  }
 
   std::int64_t tensor_count() const {
     return static_cast<std::int64_t>(tensors_.size());
@@ -169,6 +188,7 @@ class UllsnnArtifact {
   MappedFile map_;
   ArchDescriptor arch_;
   std::vector<TensorEntry> tensors_;
+  std::vector<std::pair<std::int32_t, QuantizedWeight>> quant_weights_;
   std::uint64_t fingerprint_ = 0;
   std::int64_t probe_time_steps_ = 0;
   Shape probe_input_shape_;

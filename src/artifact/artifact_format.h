@@ -53,12 +53,14 @@ inline constexpr std::uint32_t kMaxTensors = 65536;
 inline constexpr std::uint32_t kMaxNameLen = 4096;
 inline constexpr std::uint32_t kMaxRank = 8;
 
-/// Section payload kinds. Exactly one of each required kind per file.
+/// Section payload kinds. Exactly one of each required kind per file;
+/// optional kinds appear at most once.
 enum class SectionKind : std::uint32_t {
-  kArch = 1,         // layer descriptors + temporal metadata (required)
-  kTensorIndex = 2,  // name/shape/offset table into kWeights (required)
-  kWeights = 3,      // raw f32 tensor payloads, 64-byte aligned (required)
-  kProbe = 4,        // canary probe batch + bit-exact expected logits (required)
+  kArch = 1,          // layer descriptors + temporal metadata (required)
+  kTensorIndex = 2,   // name/shape/offset table into kWeights (required)
+  kWeights = 3,       // raw f32 tensor payloads, 64-byte aligned (required)
+  kProbe = 4,         // canary probe batch + bit-exact expected logits (required)
+  kQuantWeights = 5,  // optional: per-output-channel int8 weights + f32 scales
 };
 
 const char* to_string(SectionKind kind);

@@ -12,7 +12,15 @@ SnnNetwork::SnnNetwork(std::int64_t time_steps) : time_steps_(time_steps) {
   if (time_steps <= 0) throw std::invalid_argument("SnnNetwork: time_steps must be positive");
 }
 
-void SnnNetwork::append(SpikingLayerPtr layer) { layers_.push_back(std::move(layer)); }
+void SnnNetwork::append(SpikingLayerPtr layer) {
+  layer->set_precision(precision_);
+  layers_.push_back(std::move(layer));
+}
+
+void SnnNetwork::set_precision(Precision precision) {
+  precision_ = precision;
+  for (auto& layer : layers_) layer->set_precision(precision);
+}
 
 void SnnNetwork::set_time_steps(std::int64_t t) {
   if (t <= 0) throw std::invalid_argument("SnnNetwork: time_steps must be positive");

@@ -59,7 +59,7 @@ class SnnNetwork {
   L& emplace(Args&&... args) {
     auto layer = std::make_unique<L>(std::forward<Args>(args)...);
     L& ref = *layer;
-    layers_.push_back(std::move(layer));
+    append(std::move(layer));
     return ref;
   }
 
@@ -76,6 +76,12 @@ class SnnNetwork {
   Encoding encoding() const { return encoding_; }
   void set_encoding(Encoding encoding, std::uint64_t seed = 99);
   std::uint64_t encoder_seed() const { return encoder_seed_; }
+
+  /// Inference precision, propagated to every weighted layer (current and
+  /// future appends). int8 affects only the eval-mode dense forward; training
+  /// and sparse-dispatched samples stay fp32 (see docs/performance.md).
+  Precision precision() const { return precision_; }
+  void set_precision(Precision precision);
 
   /// Shared RNG for SpikingDropout layers built into this network (the
   /// network outlives its layers' Rng* references by construction).
@@ -130,6 +136,7 @@ class SnnNetwork {
  private:
   std::vector<SpikingLayerPtr> layers_;
   std::int64_t time_steps_;
+  Precision precision_ = Precision::kFp32;
   Encoding encoding_ = Encoding::kDirect;
   std::uint64_t encoder_seed_ = 99;
   Rng encoder_rng_{99};

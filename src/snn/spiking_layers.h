@@ -56,9 +56,27 @@ class SynapticConv {
   const SpikeKernelStats& kernel_stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
   /// Drop cached inputs and the transposed-weight cache (isolation contract).
-  void clear_runtime_state() { cached_inputs_.clear(); wt_cache_.clear(); }
+  /// A pinned (artifact-installed) quantized weight is parameter-like and
+  /// survives; a derived one is a cache and is dropped.
+  void clear_runtime_state() {
+    cached_inputs_.clear();
+    wt_cache_.clear();
+    if (!qweight_pinned_) qpacked_.clear();
+  }
+
+  /// Inference precision: int8 applies to the eval-mode dense forward only
+  /// (training steps and sparse samples stay fp32). Without a pinned weight
+  /// the int8 operand is derived from the fp32 weight lazily and re-derived
+  /// after any training sequence.
+  void set_precision(Precision precision);
+  Precision precision() const { return precision_; }
+  /// Install pre-quantized weights (from an artifact); pins the operand so it
+  /// is never re-derived from the fp32 weight. Throws on shape mismatch.
+  void set_quantized_weight(const QuantizedWeight& qw);
 
  private:
+  const QuantizedPackedB* int8_operand(bool train);
+
   Param weight_;
   Conv2dSpec spec_;
   std::vector<Tensor> cached_inputs_;
@@ -66,6 +84,9 @@ class SynapticConv {
   // begin_sequence (weights only change between sequences).
   std::vector<float> wt_cache_;
   SpikeKernelStats stats_;
+  Precision precision_ = Precision::kFp32;
+  QuantizedPackedB qpacked_;
+  bool qweight_pinned_ = false;
 };
 
 class SynapticLinear {
@@ -87,13 +108,28 @@ class SynapticLinear {
   const SpikeKernelStats& kernel_stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
   /// Drop cached inputs and the transposed-weight cache (isolation contract).
-  void clear_runtime_state() { cached_inputs_.clear(); wt_cache_.clear(); }
+  /// Same pinned-vs-derived quantized-weight rule as SynapticConv.
+  void clear_runtime_state() {
+    cached_inputs_.clear();
+    wt_cache_.clear();
+    if (!qweight_pinned_) qpacked_.clear();
+  }
+
+  /// Same int8 contract as SynapticConv.
+  void set_precision(Precision precision);
+  Precision precision() const { return precision_; }
+  void set_quantized_weight(const QuantizedWeight& qw);
 
  private:
+  const QuantizedPackedB* int8_operand(bool train);
+
   Param weight_;
   std::vector<Tensor> cached_inputs_;
   std::vector<float> wt_cache_;  // [in, out] W^T; invalidated per sequence
   SpikeKernelStats stats_;
+  Precision precision_ = Precision::kFp32;
+  QuantizedPackedB qpacked_;
+  bool qweight_pinned_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -148,6 +184,10 @@ class SpikingLayer {
 
   /// Primary IF neuron of this layer, or nullptr for weight/shape-only layers.
   virtual IfNeuron* neuron_or_null() { return nullptr; }
+
+  /// Inference precision for this layer's synapses (no-op on weightless
+  /// layers). See SynapticConv::set_precision for the exact semantics.
+  virtual void set_precision(Precision precision) { (void)precision; }
 };
 
 using SpikingLayerPtr = std::unique_ptr<SpikingLayer>;
@@ -183,6 +223,9 @@ class SpikingConv2d final : public SpikingLayer {
     synapse_.clear_runtime_state();
   }
   IfNeuron* neuron_or_null() override { return &neuron_; }
+  void set_precision(Precision precision) override {
+    synapse_.set_precision(precision);
+  }
 
   SynapticConv& synapse() { return synapse_; }
 
@@ -223,6 +266,9 @@ class SpikingLinear final : public SpikingLayer {
     synapse_.clear_runtime_state();
   }
   IfNeuron* neuron_or_null() override { return neuron_.get(); }
+  void set_precision(Precision precision) override {
+    synapse_.set_precision(precision);
+  }
 
   SynapticLinear& synapse() { return synapse_; }
   bool has_neuron() const { return neuron_ != nullptr; }
@@ -347,6 +393,11 @@ class SpikingResidualBlock final : public SpikingLayer {
     if (projection_) projection_->clear_runtime_state();
   }
   IfNeuron* neuron_or_null() override { return &neuron2_; }
+  void set_precision(Precision precision) override {
+    conv1_.set_precision(precision);
+    conv2_.set_precision(precision);
+    if (projection_) projection_->set_precision(precision);
+  }
 
   IfNeuron& neuron1() { return neuron1_; }
   IfNeuron& neuron2() { return neuron2_; }

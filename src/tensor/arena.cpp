@@ -51,6 +51,18 @@ std::int64_t* Arena::alloc_indices(std::size_t count) {
   return reinterpret_cast<std::int64_t*>(alloc_bytes(count * sizeof(std::int64_t)));
 }
 
+std::uint8_t* Arena::alloc_u8(std::size_t count) {
+  return reinterpret_cast<std::uint8_t*>(alloc_bytes(count));
+}
+
+std::int8_t* Arena::alloc_i8(std::size_t count) {
+  return reinterpret_cast<std::int8_t*>(alloc_bytes(count));
+}
+
+std::int32_t* Arena::alloc_i32(std::size_t count) {
+  return reinterpret_cast<std::int32_t*>(alloc_bytes(count * sizeof(std::int32_t)));
+}
+
 float* Arena::alloc_floats_zeroed(std::size_t count) {
   float* out = alloc_floats(count);
   std::memset(out, 0, count * sizeof(float));

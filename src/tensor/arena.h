@@ -36,6 +36,12 @@ class Arena {
   /// Zero-filled float storage (memset on the uninitialized block).
   float* alloc_floats_zeroed(std::size_t count);
 
+  /// Uninitialized byte storage for the int8 kernel path (quantized activation
+  /// panels and int32 accumulator scratch), 64-byte aligned like the rest.
+  std::uint8_t* alloc_u8(std::size_t count);
+  std::int8_t* alloc_i8(std::size_t count);
+  std::int32_t* alloc_i32(std::size_t count);
+
   /// Release every allocation but keep the chunks for reuse.
   void reset();
 

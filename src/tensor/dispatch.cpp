@@ -1,0 +1,161 @@
+#include "src/tensor/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/tensor/gemm_kernels.h"
+
+namespace ullsnn {
+
+namespace {
+
+using detail::MicroKernelFp32;
+using detail::MicroKernelInt8;
+
+KernelPlan make_plan(KernelIsa isa) {
+  KernelPlan plan;
+  plan.isa = isa;
+  switch (isa) {
+    case KernelIsa::kAvx512:
+      plan.fp32_nr = 32;
+      plan.fp32 = reinterpret_cast<void (*)()>(&detail::micro_kernel_fp32_avx512);
+      plan.int8 = reinterpret_cast<void (*)()>(&detail::micro_kernel_int8_avx512);
+      break;
+    case KernelIsa::kAvx2:
+      plan.fp32_nr = 16;
+      plan.fp32 = reinterpret_cast<void (*)()>(&detail::micro_kernel_fp32_avx2);
+      plan.int8 = reinterpret_cast<void (*)()>(&detail::micro_kernel_int8_avx2);
+      break;
+    case KernelIsa::kScalar:
+      plan.fp32_nr = detail::kScalarNr;
+      plan.fp32 = reinterpret_cast<void (*)()>(
+          &detail::micro_kernel_fp32_scalar<detail::kScalarNr>);
+      plan.int8 = reinterpret_cast<void (*)()>(&detail::micro_kernel_int8_scalar);
+      break;
+  }
+  return plan;
+}
+
+// Plans are immutable after construction; the active one is published through
+// an atomic pointer so a mid-run test switch is at least a tearing-free swap.
+const KernelPlan kScalarPlan = make_plan(KernelIsa::kScalar);
+const KernelPlan kAvx2Plan = make_plan(KernelIsa::kAvx2);
+const KernelPlan kAvx512Plan = make_plan(KernelIsa::kAvx512);
+
+const KernelPlan& plan_for(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kAvx512: return kAvx512Plan;
+    case KernelIsa::kAvx2: return kAvx2Plan;
+    case KernelIsa::kScalar: break;
+  }
+  return kScalarPlan;
+}
+
+bool isa_supported(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar: return true;
+    case KernelIsa::kAvx2: return detail::avx2_kernels_ready();
+    case KernelIsa::kAvx512: return detail::avx512_kernels_ready();
+  }
+  return false;
+}
+
+/// ULLSNN_KERNEL_ISA parse: empty/"auto" -> no cap; unknown values warn and
+/// fall back to auto rather than failing startup.
+bool parse_isa_env(const char* text, KernelIsa* out) {
+  if (text == nullptr || *text == '\0') return false;
+  if (std::strcmp(text, "auto") == 0) return false;
+  if (std::strcmp(text, "scalar") == 0) { *out = KernelIsa::kScalar; return true; }
+  if (std::strcmp(text, "avx2") == 0) { *out = KernelIsa::kAvx2; return true; }
+  if (std::strcmp(text, "avx512") == 0) { *out = KernelIsa::kAvx512; return true; }
+  obs::logf(obs::LogLevel::kWarn,
+            "[kernels] unrecognized ULLSNN_KERNEL_ISA=\"%s\" (want scalar|avx2|avx512|auto); using auto",
+            text);
+  return false;
+}
+
+void publish(const KernelPlan& plan, const char* origin) {
+  ULLSNN_GAUGE_SET("kernels.isa", static_cast<double>(static_cast<int>(plan.isa)));
+  // Deliberately stderr, not the info-level stdout stream: dispatch init is
+  // lazy, so this line would otherwise land in the middle of
+  // --benchmark_format=json output the first time a benchmark hits a GEMM.
+  // The kernels.isa gauge above is the machine-readable record.
+  if (obs::log_enabled(obs::LogLevel::kInfo)) {
+    std::fprintf(stderr,
+                 "[kernels] dispatch: isa=%s fp32 tile %dx%d, int8 tile %dx%d (%s)\n",
+                 to_string(plan.isa), static_cast<int>(detail::kMR),
+                 static_cast<int>(plan.fp32_nr), static_cast<int>(detail::kMR),
+                 static_cast<int>(detail::kInt8Nr), origin);
+  }
+}
+
+KernelIsa resolve_initial() {
+  KernelIsa best = KernelIsa::kScalar;
+  if (isa_supported(KernelIsa::kAvx2)) best = KernelIsa::kAvx2;
+  if (isa_supported(KernelIsa::kAvx512)) best = KernelIsa::kAvx512;
+  KernelIsa cap;
+  if (parse_isa_env(std::getenv("ULLSNN_KERNEL_ISA"), &cap)) {
+    if (static_cast<int>(cap) > static_cast<int>(best)) {
+      obs::logf(obs::LogLevel::kWarn,
+                "[kernels] ULLSNN_KERNEL_ISA=%s not supported on this machine/build; using %s",
+                to_string(cap), to_string(best));
+    } else {
+      best = cap;
+    }
+  }
+  return best;
+}
+
+std::atomic<const KernelPlan*> g_active{nullptr};
+std::once_flag g_init_once;
+
+const KernelPlan* active_plan() {
+  std::call_once(g_init_once, [] {
+    const KernelPlan& plan = plan_for(resolve_initial());
+    g_active.store(&plan, std::memory_order_release);
+    publish(plan, "cpuid");
+  });
+  return g_active.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+const char* to_string(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar: return "scalar";
+    case KernelIsa::kAvx2: return "avx2";
+    case KernelIsa::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+const KernelPlan& kernel_plan() { return *active_plan(); }
+
+KernelIsa active_kernel_isa() { return active_plan()->isa; }
+
+std::vector<KernelIsa> supported_kernel_isas() {
+  std::vector<KernelIsa> out{KernelIsa::kScalar};
+  if (isa_supported(KernelIsa::kAvx2)) out.push_back(KernelIsa::kAvx2);
+  if (isa_supported(KernelIsa::kAvx512)) out.push_back(KernelIsa::kAvx512);
+  return out;
+}
+
+void set_kernel_isa_for_testing(KernelIsa isa) {
+  if (!isa_supported(isa)) {
+    throw std::invalid_argument(std::string("kernel isa not supported here: ") +
+                                to_string(isa));
+  }
+  active_plan();  // ensure the once-init ran (and logged) first
+  const KernelPlan& plan = plan_for(isa);
+  g_active.store(&plan, std::memory_order_release);
+  publish(plan, "forced");
+}
+
+}  // namespace ullsnn

@@ -1,0 +1,59 @@
+// Runtime CPU dispatch for the GEMM micro-kernels.
+//
+// The selector resolves once per process: the ULLSNN_KERNEL_ISA environment
+// variable ("scalar", "avx2", "avx512", or "auto") caps the tier, then cpuid
+// (__builtin_cpu_supports) picks the best tier the machine and the build both
+// support. The result is a KernelPlan — the fp32/int8 micro-kernel function
+// pointers plus the fp32 panel width NR — consumed by PackedB::pack and
+// gemm_packed, so every call site of the public gemm.h API picks up the
+// dispatched kernels with zero changes.
+//
+// Tier ladder: kScalar (the pre-dispatch auto-vectorized tile, always
+// available) < kAvx2 (hand-written AVX2+FMA 6x16) < kAvx512 (6x32, int8 via
+// VNNI when present). A tier is eligible only if its translation unit was
+// compiled with the matching -m flags AND cpuid reports the features, so a
+// binary built for generic x86-64 degrades gracefully.
+//
+// Observability: the first resolution emits one info log line and sets the
+// `kernels.isa` gauge (0 = scalar, 1 = avx2, 2 = avx512), so which kernel is
+// live can be confirmed from /metrics.
+//
+// Test hook: set_kernel_isa_for_testing() swaps the active plan. PackedB
+// panel layout depends on the plan's NR, so operands packed under a previous
+// plan must be re-packed; gemm_packed enforces this (throws on NR mismatch).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ullsnn {
+
+enum class KernelIsa : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+const char* to_string(KernelIsa isa);
+
+struct KernelPlan {
+  KernelIsa isa = KernelIsa::kScalar;
+  std::int64_t fp32_nr = 0;  // fp32 panel width (int8 width is fixed: 16)
+  // Opaque here; gemm.cpp casts to the detail:: micro-kernel signatures.
+  void (*fp32)() = nullptr;
+  void (*int8)() = nullptr;
+};
+
+/// The active plan (resolved and logged on first call, then cached).
+const KernelPlan& kernel_plan();
+
+/// Shorthand for kernel_plan().isa.
+KernelIsa active_kernel_isa();
+
+/// Every tier this build + machine can run, best last. Always contains
+/// kScalar.
+std::vector<KernelIsa> supported_kernel_isas();
+
+/// Force a tier (tests / bench A-B comparisons). Throws std::invalid_argument
+/// if the tier is not in supported_kernel_isas(). Not thread-safe against
+/// concurrent GEMMs; PackedB operands packed before the switch must be
+/// re-packed.
+void set_kernel_isa_for_testing(KernelIsa isa);
+
+}  // namespace ullsnn

@@ -23,9 +23,19 @@
 // nonzero (index, value) pairs on the fly, and C accumulates value-scaled
 // rows of B. Work drops from M*K*N to nnz(A)*N, which beats the dense kernel
 // once input density falls below roughly 10% (see docs/performance.md).
+// The micro-kernel under all of this is runtime-dispatched (scalar / AVX2 /
+// AVX-512 — see dispatch.h); PackedB panel layout follows the active plan's
+// register-tile width, so operands must be packed and consumed under the same
+// plan (enforced). The int8 path (QuantizedWeight / QuantizedPackedB /
+// gemm_packed_int8) quantizes weights per output channel offline and
+// activations per row on the fly, accumulates in int32, and dequantizes in a
+// fused float epilogue; its results are bitwise identical across dispatch
+// tiers (docs/performance.md has the argument).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "src/tensor/arena.h"
 
@@ -54,6 +64,9 @@ inline MatView transposed(const float* data, std::int64_t ld) {
 class PackedB {
  public:
   /// Pack the [k, n] matrix viewed by `b` into panels allocated from `arena`.
+  /// Panels are laid out for the kernel plan active at pack time; gemm_packed
+  /// rejects a PackedB packed under a different plan (re-pack after
+  /// set_kernel_isa_for_testing).
   void pack(MatView b, std::int64_t k, std::int64_t n, Arena& arena);
 
   std::int64_t k() const { return k_; }
@@ -73,6 +86,7 @@ class PackedB {
   std::vector<Block> blocks_;
   std::int64_t k_ = 0;
   std::int64_t n_ = 0;
+  std::int64_t nr_ = 0;  // panel width the blocks were packed for
 };
 
 /// C[m, n()] (+)= A[m, k()] * B. C is row-major contiguous with ld = n().
@@ -91,5 +105,68 @@ void gemm(MatView a, MatView b, float* c, std::int64_t m, std::int64_t k,
 std::int64_t spmm_row_compressed(const float* a, const float* b, float* c,
                                  std::int64_t m, std::int64_t k, std::int64_t n,
                                  bool accumulate);
+
+/// Inference numeric mode for a model or layer. kInt8 applies to the dense
+/// eval-mode forward only (training and the sparse spike path stay fp32).
+enum class Precision : std::uint8_t { kFp32 = 0, kInt8 = 1 };
+
+const char* to_string(Precision precision);
+
+/// Per-output-channel symmetric int8 weights: row i of `data` holds
+/// round(w[i, :] / scales[i]) clamped to [-127, 127], with
+/// scales[i] = max_abs(w[i, :]) / 127.
+struct QuantizedWeight {
+  std::vector<std::int8_t> data;  // [rows, cols] row-major
+  std::vector<float> scales;      // [rows]
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  bool empty() const { return rows == 0; }
+};
+
+/// Quantize a row-major [rows, cols] fp32 matrix per row. Deterministic
+/// (round-to-nearest-even via lrintf), so pack-time and load-time
+/// quantization of the same weights produce identical bytes — the artifact
+/// canary contract depends on this.
+QuantizedWeight quantize_weight_per_row(const float* w, std::int64_t rows,
+                                        std::int64_t cols);
+
+/// Pre-quantized right-hand operand in int8 micro-kernel panel layout
+/// (B = W^T: k = w.cols, n = w.rows), plus the per-block column sums the
+/// epilogue needs for the activation zero-point correction. Unlike PackedB,
+/// storage is owned by this object — a layer packs once and reuses across
+/// time steps, sequences, and threads (read-only after pack).
+class QuantizedPackedB {
+ public:
+  void pack(const QuantizedWeight& w);
+  void clear();
+
+  bool empty() const { return n_ == 0; }
+  std::int64_t k() const { return k_; }
+  std::int64_t n() const { return n_; }
+
+ private:
+  friend void gemm_packed_int8(MatView a, const QuantizedPackedB& b, float* c,
+                               std::int64_t m, bool accumulate);
+  struct Block {
+    std::int64_t pc, kc;      // K-range [pc, pc+kc)
+    std::int64_t jc, nc;      // N-range [jc, jc+nc)
+    std::size_t data_off;     // into panels_
+    std::size_t colsum_off;   // into colsums_
+  };
+  std::vector<Block> blocks_;
+  std::vector<std::int8_t> panels_;    // k-quad interleaved (gemm_kernels.h)
+  std::vector<std::int32_t> colsums_;  // per block: sum of q_b over real k
+  std::vector<float> scales_;          // per output column (= W row)
+  std::int64_t k_ = 0;
+  std::int64_t n_ = 0;
+};
+
+/// C[m, n()] (+)= A[m, k()] * B, with A quantized on the fly per row
+/// (asymmetric uint8 in [0, 127] — exact for nonnegative spike inputs) and B
+/// pre-quantized; int32 accumulation, fused dequant-to-float epilogue.
+/// Results are bitwise identical across dispatch tiers.
+void gemm_packed_int8(MatView a, const QuantizedPackedB& b, float* c,
+                      std::int64_t m, bool accumulate);
 
 }  // namespace ullsnn

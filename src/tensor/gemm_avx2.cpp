@@ -1,0 +1,116 @@
+// AVX2+FMA tier: hand-written 6x16 fp32 micro-kernel (12 ymm accumulators,
+// broadcast-FMA) and the 6x16 int8 kernel built from maddubs/madd pairs over
+// the shared k-quad-interleaved panels (see gemm_kernels.h for the panel
+// contract). This TU is compiled with -mavx2 -mfma regardless of the global
+// -march, so the tier exists even in a generic x86-64 build; when the
+// compiler cannot take those flags (non-x86 target) the stubs below keep the
+// link whole and avx2_kernels_ready() reports the tier unavailable.
+#include "src/tensor/gemm_kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__) && defined(__GNUC__)
+#define ULLSNN_HAVE_AVX2_TU 1
+#include <immintrin.h>
+#else
+#define ULLSNN_HAVE_AVX2_TU 0
+#endif
+
+#include <cstring>
+
+namespace ullsnn::detail {
+
+#if ULLSNN_HAVE_AVX2_TU
+
+bool avx2_kernels_ready() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+void micro_kernel_fp32_avx2(const float* ap, const float* bp, float* c,
+                            std::int64_t kc, std::int64_t ldc,
+                            std::int64_t rows, std::int64_t cols) {
+  constexpr std::int64_t kNr = 16;
+  __m256 acc[kMR][2];
+  for (auto& row : acc) {
+    row[0] = _mm256_setzero_ps();
+    row[1] = _mm256_setzero_ps();
+  }
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(bp + kk * kNr);
+    const __m256 b1 = _mm256_loadu_ps(bp + kk * kNr + 8);
+    const float* a = ap + kk * kMR;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const __m256 av = _mm256_broadcast_ss(a + i);
+      acc[i][0] = _mm256_fmadd_ps(av, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(av, b1, acc[i][1]);
+    }
+  }
+  if (rows == kMR && cols == kNr) {
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      float* ci = c + i * ldc;
+      _mm256_storeu_ps(ci, _mm256_add_ps(_mm256_loadu_ps(ci), acc[i][0]));
+      _mm256_storeu_ps(ci + 8, _mm256_add_ps(_mm256_loadu_ps(ci + 8), acc[i][1]));
+    }
+  } else {
+    // Edge tile: spill the register tile (padded lanes computed on zeros)
+    // and add back only the valid region.
+    alignas(32) float tile[kMR][kNr];
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      _mm256_store_ps(tile[i], acc[i][0]);
+      _mm256_store_ps(tile[i] + 8, acc[i][1]);
+    }
+    for (std::int64_t i = 0; i < rows; ++i) {
+      float* ci = c + i * ldc;
+      for (std::int64_t j = 0; j < cols; ++j) ci[j] += tile[i][j];
+    }
+  }
+}
+
+void micro_kernel_int8_avx2(const std::uint8_t* ap, const std::int8_t* bp,
+                            std::int32_t* acc, std::int64_t kq) {
+  // Per k-quad: broadcast 4 activation bytes per row, maddubs against the 4
+  // weight bytes of each column (u8 x s8 -> pairwise i16 sums; activations
+  // are quantized to [0,127] so the pair sums cannot saturate), then
+  // madd(.,1) folds the i16 pairs into per-column i32 partials.
+  __m256i acc0[kMR];
+  __m256i acc1[kMR];
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    acc0[i] = _mm256_setzero_si256();
+    acc1[i] = _mm256_setzero_si256();
+  }
+  const __m256i ones = _mm256_set1_epi16(1);
+  for (std::int64_t q = 0; q < kq; ++q) {
+    const std::int8_t* b = bp + q * kInt8Nr * 4;
+    const __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    const __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 32));
+    const std::uint8_t* a = ap + q * kMR * 4;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      std::int32_t quad;
+      std::memcpy(&quad, a + i * 4, sizeof(quad));
+      const __m256i av = _mm256_set1_epi32(quad);
+      acc0[i] = _mm256_add_epi32(acc0[i], _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones));
+      acc1[i] = _mm256_add_epi32(acc1[i], _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones));
+    }
+  }
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i * kInt8Nr), acc0[i]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i * kInt8Nr + 8), acc1[i]);
+  }
+}
+
+#else  // !ULLSNN_HAVE_AVX2_TU
+
+bool avx2_kernels_ready() { return false; }
+
+void micro_kernel_fp32_avx2(const float* ap, const float* bp, float* c,
+                            std::int64_t kc, std::int64_t ldc,
+                            std::int64_t rows, std::int64_t cols) {
+  micro_kernel_fp32_scalar<16>(ap, bp, c, kc, ldc, rows, cols);
+}
+
+void micro_kernel_int8_avx2(const std::uint8_t* ap, const std::int8_t* bp,
+                            std::int32_t* acc, std::int64_t kq) {
+  micro_kernel_int8_scalar(ap, bp, acc, kq);
+}
+
+#endif  // ULLSNN_HAVE_AVX2_TU
+
+}  // namespace ullsnn::detail

@@ -1,0 +1,113 @@
+// AVX-512 tier: 6x32 fp32 micro-kernel (12 zmm accumulators) and the 6x16
+// int8 kernel — vpdpbusd when the TU carries VNNI, else a 512-bit
+// maddubs/madd sequence (same exact int32 results either way). Panel
+// contracts in gemm_kernels.h. Compiled with -mavx512f -mavx512bw -mavx512vl
+// (+ -mavx512vnni when the compiler has it); on toolchains without those
+// flags the stubs keep the link whole and the tier reports unavailable.
+#include "src/tensor/gemm_kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__GNUC__)
+#define ULLSNN_HAVE_AVX512_TU 1
+#include <immintrin.h>
+#else
+#define ULLSNN_HAVE_AVX512_TU 0
+#endif
+
+#include <cstring>
+
+namespace ullsnn::detail {
+
+#if ULLSNN_HAVE_AVX512_TU
+
+bool avx512_kernels_ready() {
+  return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw")
+#if defined(__AVX512VNNI__)
+         && __builtin_cpu_supports("avx512vnni")
+#endif
+      ;
+}
+
+void micro_kernel_fp32_avx512(const float* ap, const float* bp, float* c,
+                              std::int64_t kc, std::int64_t ldc,
+                              std::int64_t rows, std::int64_t cols) {
+  constexpr std::int64_t kNr = 32;
+  __m512 acc[kMR][2];
+  for (auto& row : acc) {
+    row[0] = _mm512_setzero_ps();
+    row[1] = _mm512_setzero_ps();
+  }
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const __m512 b0 = _mm512_loadu_ps(bp + kk * kNr);
+    const __m512 b1 = _mm512_loadu_ps(bp + kk * kNr + 16);
+    const float* a = ap + kk * kMR;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const __m512 av = _mm512_set1_ps(a[i]);
+      acc[i][0] = _mm512_fmadd_ps(av, b0, acc[i][0]);
+      acc[i][1] = _mm512_fmadd_ps(av, b1, acc[i][1]);
+    }
+  }
+  if (rows == kMR && cols == kNr) {
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      float* ci = c + i * ldc;
+      _mm512_storeu_ps(ci, _mm512_add_ps(_mm512_loadu_ps(ci), acc[i][0]));
+      _mm512_storeu_ps(ci + 16, _mm512_add_ps(_mm512_loadu_ps(ci + 16), acc[i][1]));
+    }
+  } else {
+    alignas(64) float tile[kMR][kNr];
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      _mm512_store_ps(tile[i], acc[i][0]);
+      _mm512_store_ps(tile[i] + 16, acc[i][1]);
+    }
+    for (std::int64_t i = 0; i < rows; ++i) {
+      float* ci = c + i * ldc;
+      for (std::int64_t j = 0; j < cols; ++j) ci[j] += tile[i][j];
+    }
+  }
+}
+
+void micro_kernel_int8_avx512(const std::uint8_t* ap, const std::int8_t* bp,
+                              std::int32_t* acc, std::int64_t kq) {
+  // One 64-byte B row per k-quad covers all 16 columns in a single zmm.
+  __m512i accv[kMR];
+  for (std::int64_t i = 0; i < kMR; ++i) accv[i] = _mm512_setzero_si512();
+#if !defined(__AVX512VNNI__)
+  const __m512i ones = _mm512_set1_epi16(1);
+#endif
+  for (std::int64_t q = 0; q < kq; ++q) {
+    const __m512i b = _mm512_loadu_si512(bp + q * kInt8Nr * 4);
+    const std::uint8_t* a = ap + q * kMR * 4;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      std::int32_t quad;
+      std::memcpy(&quad, a + i * 4, sizeof(quad));
+      const __m512i av = _mm512_set1_epi32(quad);
+#if defined(__AVX512VNNI__)
+      accv[i] = _mm512_dpbusd_epi32(accv[i], av, b);
+#else
+      accv[i] = _mm512_add_epi32(accv[i],
+                                 _mm512_madd_epi16(_mm512_maddubs_epi16(av, b), ones));
+#endif
+    }
+  }
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    _mm512_storeu_si512(acc + i * kInt8Nr, accv[i]);
+  }
+}
+
+#else  // !ULLSNN_HAVE_AVX512_TU
+
+bool avx512_kernels_ready() { return false; }
+
+void micro_kernel_fp32_avx512(const float* ap, const float* bp, float* c,
+                              std::int64_t kc, std::int64_t ldc,
+                              std::int64_t rows, std::int64_t cols) {
+  micro_kernel_fp32_scalar<32>(ap, bp, c, kc, ldc, rows, cols);
+}
+
+void micro_kernel_int8_avx512(const std::uint8_t* ap, const std::int8_t* bp,
+                              std::int32_t* acc, std::int64_t kq) {
+  micro_kernel_int8_scalar(ap, bp, acc, kq);
+}
+
+#endif  // ULLSNN_HAVE_AVX512_TU
+
+}  // namespace ullsnn::detail

@@ -1,0 +1,116 @@
+// Internal micro-kernel contract shared by the dispatch tiers (scalar, AVX2,
+// AVX-512). Included only by the tensor/gemm* translation units and the
+// dispatch selector — not part of the public API (use gemm.h / dispatch.h).
+//
+// fp32 contract: ap is a packed A panel [kc x kMR] (kMR values per k step),
+// bp a packed B panel [kc x NR], both zero-padded on ragged edges; the kernel
+// adds the MR x NR product tile into C (ldc row stride), writing only the
+// `rows x cols` valid region. NR is a per-tier constant carried in the
+// KernelPlan; PackedB panels are laid out for the plan that packed them.
+//
+// int8 contract: every tier shares one panel geometry (kInt8Nr columns,
+// k-steps interleaved in groups of 4) so packed operands are tier-portable:
+//   B panel: [ceil(kc/4)][kInt8Nr][4] int8 — for each group of 4 k steps, 4
+//            consecutive weight bytes per output column (zero-padded past kc),
+//            i.e. one 64-byte row per k-quad, loadable as one zmm / two ymm.
+//   A panel: [ceil(kc/4)][kMR][4] uint8 — 4 consecutive quantized activation
+//            bytes per row (zero-padded past kc and past the ragged row edge).
+// The kernel writes the full kMR x kInt8Nr int32 product tile to `acc`
+// (row-major, no accumulation across calls); the shared scalar epilogue in
+// gemm.cpp applies the zero-point correction and the fused dequant into C, so
+// int8 results are bitwise identical across tiers (int32 accumulation is
+// exact; see docs/performance.md).
+#pragma once
+
+#include <cstdint>
+
+namespace ullsnn::detail {
+
+// Micro-tile geometry. MR x NR accumulators must fit the register file: with
+// AVX-512 (32 zmm) a 6x32 tile uses 12 accumulator registers; with AVX2/SSE
+// (16 ymm) 6x16 uses 12 ymm — the classic SGEMM shapes for each ISA.
+constexpr std::int64_t kMR = 6;
+// NR of the scalar tier. Matches what the pre-dispatch auto-vectorized kernel
+// compiled to under -march=native, so the forced-scalar path reproduces the
+// legacy kernel bit for bit (same tile shape, same packing, same loop).
+#if defined(__AVX512F__)
+constexpr std::int64_t kScalarNr = 32;
+#else
+constexpr std::int64_t kScalarNr = 16;
+#endif
+// Panel width shared by every int8 tier (16 i32 lanes = one zmm / two ymm).
+constexpr std::int64_t kInt8Nr = 16;
+
+// Cache blocking, shared by all tiers. The packed B panel (KC x NR strips)
+// streams through L2; the packed A block (MC x KC) is reused across every NR
+// strip of the current B block; C micro-tiles live in registers for the whole
+// KC loop. kKC <= 256 also bounds the int8 epilogue: |acc - zp*colsum| <
+// 2*256*127*127 < 2^24, so the int32 -> float conversion is exact.
+constexpr std::int64_t kMC = 96;    // multiple of kMR
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 1024;  // multiple of every tier's NR
+
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+using MicroKernelFp32 = void (*)(const float* ap, const float* bp, float* c,
+                                 std::int64_t kc, std::int64_t ldc,
+                                 std::int64_t rows, std::int64_t cols);
+// kq = ceil(kc/4) interleaved k-quads; acc is the kMR x kInt8Nr i32 tile.
+using MicroKernelInt8 = void (*)(const std::uint8_t* ap, const std::int8_t* bp,
+                                 std::int32_t* acc, std::int64_t kq);
+
+/// Scalar fp32 tier: kc iterations of the rank-1 update on an MR x NR register
+/// tile, auto-vectorized by the compiler under the build's -march flags. This
+/// is the pre-dispatch kernel verbatim (tests/tensor/dispatch_test.cpp pins
+/// the bitwise equivalence against an embedded copy of the legacy code).
+template <std::int64_t NR>
+void micro_kernel_fp32_scalar(const float* __restrict ap, const float* __restrict bp,
+                              float* __restrict c, std::int64_t kc, std::int64_t ldc,
+                              std::int64_t rows, std::int64_t cols) {
+  float acc[kMR][NR] = {};
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* a = ap + kk * kMR;
+    const float* b = bp + kk * NR;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const float av = a[i];
+      for (std::int64_t j = 0; j < NR; ++j) acc[i][j] += av * b[j];
+    }
+  }
+  if (rows == kMR && cols == NR) {
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      float* ci = c + i * ldc;
+      for (std::int64_t j = 0; j < NR; ++j) ci[j] += acc[i][j];
+    }
+  } else {
+    for (std::int64_t i = 0; i < rows; ++i) {
+      float* ci = c + i * ldc;
+      for (std::int64_t j = 0; j < cols; ++j) ci[j] += acc[i][j];
+    }
+  }
+}
+
+/// Scalar int8 tier over the shared interleaved panels (defined in gemm.cpp).
+void micro_kernel_int8_scalar(const std::uint8_t* ap, const std::int8_t* bp,
+                              std::int32_t* acc, std::int64_t kq);
+
+// AVX2/FMA tier (gemm_avx2.cpp, compiled with -mavx2 -mfma). NR = 16.
+// avx2_kernels_ready() folds together "this TU was compiled with the flags"
+// and the runtime cpuid check, so the selector needs no flag bookkeeping.
+bool avx2_kernels_ready();
+void micro_kernel_fp32_avx2(const float* ap, const float* bp, float* c,
+                            std::int64_t kc, std::int64_t ldc,
+                            std::int64_t rows, std::int64_t cols);
+void micro_kernel_int8_avx2(const std::uint8_t* ap, const std::int8_t* bp,
+                            std::int32_t* acc, std::int64_t kq);
+
+// AVX-512 tier (gemm_avx512.cpp, compiled with -mavx512{f,bw,vl}[,vnni]).
+// NR = 32 for fp32; the int8 kernel uses vpdpbusd when the TU was compiled
+// with VNNI (and the cpu has it), else a 512-bit maddubs sequence.
+bool avx512_kernels_ready();
+void micro_kernel_fp32_avx512(const float* ap, const float* bp, float* c,
+                              std::int64_t kc, std::int64_t ldc,
+                              std::int64_t rows, std::int64_t cols);
+void micro_kernel_int8_avx512(const std::uint8_t* ap, const std::int8_t* bp,
+                              std::int32_t* acc, std::int64_t kq);
+
+}  // namespace ullsnn::detail

@@ -177,27 +177,80 @@ void col2im(const float* cols, float* img, std::int64_t channels,
   }
 }
 
+namespace {
+
+/// Slow-path patch gather with per-element border clamping. Only used for the
+/// 2*pad output columns on the left/right image edge (and everything, for
+/// exotic specs where the interior fast path in im2row does not apply).
+void im2row_patch_clamped(const float* img, float* dst, std::int64_t channels,
+                          std::int64_t height, std::int64_t width,
+                          std::int64_t y0, std::int64_t x0, std::int64_t k) {
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float* ch = img + c * height * width;
+    for (std::int64_t ky = 0; ky < k; ++ky) {
+      const std::int64_t iy = y0 + ky;
+      if (iy < 0 || iy >= height) {
+        for (std::int64_t kx = 0; kx < k; ++kx) *dst++ = 0.0F;
+        continue;
+      }
+      const float* src_row = ch + iy * width;
+      for (std::int64_t kx = 0; kx < k; ++kx) {
+        const std::int64_t ix = x0 + kx;
+        *dst++ = (ix >= 0 && ix < width) ? src_row[ix] : 0.0F;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void im2row(const float* img, float* rows, std::int64_t channels,
             std::int64_t height, std::int64_t width, const Conv2dSpec& spec) {
   const std::int64_t oh = spec.out_extent(height);
   const std::int64_t ow = spec.out_extent(width);
   const std::int64_t k = spec.kernel;
   const std::int64_t patch = channels * k * k;
+  const std::int64_t hw = height * width;
   for (std::int64_t oy = 0; oy < oh; ++oy) {
+    const std::int64_t y0 = oy * spec.stride - spec.pad;
+    // Vertical border handling depends only on (oy, ky): rows with
+    // ky in [ky_lo, ky_hi) are in-bounds, the rest are zero padding.
+    const std::int64_t ky_lo = std::max<std::int64_t>(0, -y0);
+    const std::int64_t ky_hi = std::min(k, height - y0);
     for (std::int64_t ox = 0; ox < ow; ++ox) {
+      const std::int64_t x0 = ox * spec.stride - spec.pad;
       float* dst = rows + (oy * ow + ox) * patch;
-      for (std::int64_t c = 0; c < channels; ++c) {
-        const float* ch = img + c * height * width;
-        for (std::int64_t ky = 0; ky < k; ++ky) {
-          const std::int64_t iy = oy * spec.stride + ky - spec.pad;
-          if (iy < 0 || iy >= height) {
-            for (std::int64_t kx = 0; kx < k; ++kx) *dst++ = 0.0F;
-            continue;
+      if (x0 < 0 || x0 + k > width) {
+        im2row_patch_clamped(img, dst, channels, height, width, y0, x0, k);
+        continue;
+      }
+      // Interior column: every kernel row is a contiguous k-float span of the
+      // image, so the patch gather is k small copies per channel with no
+      // per-element bounds checks. k == 3 (every conv in the model zoo) gets
+      // an unrolled copy; other sizes take the memcpy loop.
+      const float* base = img + y0 * width + x0;
+      if (k == 3) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+          const float* ch = base + c * hw;
+          for (std::int64_t ky = 0; ky < 3; ++ky, dst += 3, ch += width) {
+            if (ky < ky_lo || ky >= ky_hi) {
+              dst[0] = dst[1] = dst[2] = 0.0F;
+            } else {
+              dst[0] = ch[0];
+              dst[1] = ch[1];
+              dst[2] = ch[2];
+            }
           }
-          const float* src_row = ch + iy * width;
-          for (std::int64_t kx = 0; kx < k; ++kx) {
-            const std::int64_t ix = ox * spec.stride + kx - spec.pad;
-            *dst++ = (ix >= 0 && ix < width) ? src_row[ix] : 0.0F;
+        }
+      } else {
+        for (std::int64_t c = 0; c < channels; ++c) {
+          const float* ch = base + c * hw;
+          for (std::int64_t ky = 0; ky < k; ++ky, dst += k, ch += width) {
+            if (ky < ky_lo || ky >= ky_hi) {
+              std::fill(dst, dst + k, 0.0F);
+            } else {
+              std::memcpy(dst, ch, sizeof(float) * static_cast<std::size_t>(k));
+            }
           }
         }
       }
@@ -435,7 +488,8 @@ void conv2d_forward_spiking(const Tensor& input, const Tensor& weight,
                             Tensor& output, const Conv2dSpec& spec,
                             float density_threshold,
                             std::vector<float>& wt_cache,
-                            SpikeKernelStats& stats) {
+                            SpikeKernelStats& stats,
+                            const QuantizedPackedB* qweight) {
   const std::int64_t batch = input.dim(0);
   const std::int64_t height = input.dim(2);
   const std::int64_t width = input.dim(3);
@@ -455,10 +509,20 @@ void conv2d_forward_spiking(const Tensor& input, const Tensor& weight,
       }
     }
   }
+  if (qweight != nullptr && (qweight->k() != patch || qweight->n() != cout)) {
+    throw std::invalid_argument("conv2d_forward_spiking: quantized weight is " +
+                                std::to_string(qweight->k()) + "x" +
+                                std::to_string(qweight->n()) + ", expected " +
+                                std::to_string(patch) + "x" + std::to_string(cout));
+  }
   Arena& arena = thread_arena();
   ArenaScope scope(arena);
+  // With an int8 weight installed, dense samples never touch the fp32 packed
+  // panels — skip the packing work entirely.
   PackedB wt_packed;
-  wt_packed.pack(row_major(wt_cache.data(), cout), patch, cout, arena);
+  if (qweight == nullptr) {
+    wt_packed.pack(row_major(wt_cache.data(), cout), patch, cout, arena);
+  }
   std::int64_t* nnz = arena.alloc_indices(static_cast<std::size_t>(batch));
   const auto run_sample = [&](std::int64_t n) {
     Arena& local = thread_arena();
@@ -477,7 +541,12 @@ void conv2d_forward_spiking(const Tensor& input, const Tensor& weight,
     } else {
       float* rows = local.alloc_floats(static_cast<std::size_t>(ohw * patch));
       im2row(img, rows, spec.in_channels, height, width, spec);
-      gemm_packed(row_major(rows, patch), wt_packed, out_t, ohw, /*accumulate=*/false);
+      if (qweight != nullptr) {
+        gemm_packed_int8(row_major(rows, patch), *qweight, out_t, ohw,
+                         /*accumulate=*/false);
+      } else {
+        gemm_packed(row_major(rows, patch), wt_packed, out_t, ohw, /*accumulate=*/false);
+      }
     }
     transpose_to_nchw(out_t, output.data() + n * cout * ohw, nullptr, cout, ohw);
   };
@@ -504,10 +573,17 @@ void conv2d_forward_spiking(const Tensor& input, const Tensor& weight,
 void linear_forward_spiking(const Tensor& input, const Tensor& weight,
                             Tensor& output, float density_threshold,
                             std::vector<float>& wt_cache,
-                            SpikeKernelStats& stats) {
+                            SpikeKernelStats& stats,
+                            const QuantizedPackedB* qweight) {
   const std::int64_t m = input.dim(0);
   const std::int64_t in = weight.dim(1);
   const std::int64_t out = weight.dim(0);
+  if (qweight != nullptr && (qweight->k() != in || qweight->n() != out)) {
+    throw std::invalid_argument("linear_forward_spiking: quantized weight is " +
+                                std::to_string(qweight->k()) + "x" +
+                                std::to_string(qweight->n()) + ", expected " +
+                                std::to_string(in) + "x" + std::to_string(out));
+  }
   // The dispatch scan doubles as the activity count (see conv above).
   const std::int64_t nnz = count_nonzeros_raw(input.data(), m * in);
   stats.nonzeros += nnz;
@@ -529,7 +605,12 @@ void linear_forward_spiking(const Tensor& input, const Tensor& weight,
                         /*accumulate=*/false);
     stats.sparse_samples += m;
   } else {
-    matmul_bt(input.data(), weight.data(), output.data(), m, in, out);
+    if (qweight != nullptr) {
+      gemm_packed_int8(row_major(input.data(), in), *qweight, output.data(), m,
+                       /*accumulate=*/false);
+    } else {
+      matmul_bt(input.data(), weight.data(), output.data(), m, in, out);
+    }
     stats.dense_samples += m;
   }
   ULLSNN_COUNTER_ADD("kernel.linear.spike_dispatch", m);

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/tensor/gemm.h"
 #include "src/tensor/tensor.h"
 
 namespace ullsnn {
@@ -123,19 +124,26 @@ struct SpikeKernelStats {
 /// owns it and must clear() it whenever the weight changes (layers do this in
 /// begin_sequence). The dispatch scan counts nonzeros exactly and accumulates
 /// them into `stats`, which replaces the layers' standalone counting pass.
+/// When `qweight` (packed from the [Cout, Cin*K*K] weight) is non-null, dense
+/// samples run the int8 kernel against it instead of the fp32 blocked GEMM;
+/// sparse samples keep the fp32 scatter (the dispatch is deterministic, so
+/// mixed-precision results stay reproducible).
 void conv2d_forward_spiking(const Tensor& input, const Tensor& weight,
                             Tensor& output, const Conv2dSpec& spec,
                             float density_threshold,
                             std::vector<float>& wt_cache,
-                            SpikeKernelStats& stats);
+                            SpikeKernelStats& stats,
+                            const QuantizedPackedB* qweight = nullptr);
 
 /// Fully-connected forward (out[N,out] = input[N,in] * W^T) with the same
 /// density dispatch: sparse inputs take the row-compressed spike GEMM against
-/// the cached [in, out] transposed weight. Same `wt_cache` contract as above.
+/// the cached [in, out] transposed weight. Same `wt_cache` contract as above;
+/// same optional int8 dense path (`qweight` packed from the [out, in] weight).
 void linear_forward_spiking(const Tensor& input, const Tensor& weight,
                             Tensor& output, float density_threshold,
                             std::vector<float>& wt_cache,
-                            SpikeKernelStats& stats);
+                            SpikeKernelStats& stats,
+                            const QuantizedPackedB* qweight = nullptr);
 
 // ---------------------------------------------------------------------------
 // Pooling.

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/build_info.h"
+#include "src/obs/metrics.h"
 #include "src/robust/fault_injector.h"
 #include "src/snn/snn_network.h"
 #include "src/tensor/random.h"
@@ -155,6 +157,61 @@ TEST(ArtifactTest, ResidualArchRoundTrips) {
   EXPECT_EQ(std::memcmp(got.data(), expected.data(),
                         static_cast<std::size_t>(got.numel()) * sizeof(float)),
             0);
+  std::filesystem::remove(path);
+}
+
+TEST(ArtifactTest, Int8PackRoundTripsAndReplaysCanaryBitExact) {
+  const std::string path = temp_path("artifact_int8.art");
+  auto source = make_vggish_net(13);
+  PackOptions opt = pack_options();
+  opt.precision = Precision::kInt8;
+  pack_network(*source, path, opt);
+  // pack_network flips the live net to int8 only for the probe forward.
+  EXPECT_EQ(source->precision(), Precision::kFp32);
+
+  auto art = UllsnnArtifact::load(path);
+  EXPECT_EQ(art->precision(), Precision::kInt8);
+  EXPECT_EQ(art->quant_weights().size(), 3U);  // conv + 2 linear weights
+
+  // A replica built from the artifact serves at int8 and must reproduce the
+  // canary logits recorded at pack time bit-for-bit — this is the deploy
+  // gate an int8 artifact has to clear.
+  auto replica = art->make_network();
+  EXPECT_EQ(replica->precision(), Precision::kInt8);
+  replica->reset_state();
+  const Tensor canary = replica->forward(art->probe_inputs(), false);
+  const Tensor want = art->probe_logits();
+  ASSERT_EQ(canary.shape(), want.shape());
+  EXPECT_EQ(std::memcmp(canary.data(), want.data(),
+                        static_cast<std::size_t>(want.numel()) * sizeof(float)),
+            0)
+      << "int8 replica canary drifted from the packed logits";
+
+  // Disk-installed quantized weights must equal what the live network
+  // self-quantizes lazily: same batch, bitwise-equal logits.
+  Rng rng(80);
+  Tensor batch = random_tensor({2, 2, 4, 4}, rng);
+  source->set_precision(Precision::kInt8);
+  source->reset_state();
+  const Tensor expected = source->forward(batch, false);
+  replica->reset_state();
+  const Tensor got = replica->forward(batch, false);
+  ASSERT_EQ(got.shape(), expected.shape());
+  EXPECT_EQ(std::memcmp(got.data(), expected.data(),
+                        static_cast<std::size_t>(got.numel()) * sizeof(float)),
+            0);
+
+  // Sanity: the precision flag actually routed dense samples through the
+  // int8 kernel (spike thresholding can absorb the quantization deltas on a
+  // net this small, so compare dispatch counts, not logits).
+  if (obs::build_info().telemetry) {
+    const std::int64_t before =
+        obs::Registry::instance().counter("kernels.int8_dispatch").value();
+    replica->reset_state();
+    replica->forward(batch, false);
+    EXPECT_GT(obs::Registry::instance().counter("kernels.int8_dispatch").value(),
+              before);
+  }
   std::filesystem::remove(path);
 }
 

@@ -2,6 +2,7 @@
 """Compare a bench_kernels JSON run against the checked-in baseline.
 
 Usage: tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 2.0]
+                              [--min-speedup FAST:REF:FACTOR ...]
 
 Noise strategy — this gate has to hold on shared CI runners, which are both
 slower and noisier than the dev boxes that produce baselines:
@@ -16,14 +17,40 @@ slower and noisier than the dev boxes that produce baselines:
     fails. The gate catches "someone accidentally reverted the blocked
     GEMM", not 10% drift.
 
-Exit status: 0 = no regression, 1 = regression, 2 = usage/format error.
+--min-speedup gates are intra-run: FAST and REF both come from CURRENT, so
+the assertion is machine-independent and can be much tighter than the
+cross-machine threshold. Example:
+
+  --min-speedup BM_MatmulInt8/256:BM_Matmul/256:1.5
+
+fails unless the int8 kernel beats the fp32 kernel by >= 1.5x on whatever
+machine ran the benchmarks.
+
+When $GITHUB_STEP_SUMMARY is set, a markdown summary table (with a speedup
+column vs the baseline) is appended to it for the CI job summary page.
+
+Exit status: 0 = no regression, 1 = regression or unmet --min-speedup,
+2 = usage/format error.
 """
 
 import argparse
 import json
+import os
+import re
 import sys
 
 ANCHOR = "BM_MatmulNaive/256"
+
+# Benchmark registration options are appended to the JSON name
+# ("BM_Matmul/256/min_time:0.200"); strip them so names stay stable when
+# per-bench time budgets are tuned.
+_NAME_OPTS = re.compile(r"/(min_time|min_warmup_time|repeats|iterations"
+                        r"|manual_time|process_time|real_time|threads):"
+                        r"[0-9.]+")
+
+
+def canon_name(name):
+    return _NAME_OPTS.sub("", name)
 
 
 def load_min_times(path):
@@ -44,12 +71,69 @@ def load_min_times(path):
         t = b.get("real_time")
         if name is None or t is None:
             continue
+        name = canon_name(name)
         if name not in times or t < times[name]:
             times[name] = t
     if not times:
         print(f"error: no benchmark entries in {path}", file=sys.stderr)
         sys.exit(2)
     return times
+
+
+def parse_min_speedup(spec):
+    parts = spec.rsplit(":", 1)
+    pair = parts[0].split(":") if len(parts) == 2 else []
+    if len(parts) != 2 or len(pair) != 2:
+        print(f"error: --min-speedup wants FAST:REF:FACTOR, got '{spec}'",
+              file=sys.stderr)
+        sys.exit(2)
+    try:
+        factor = float(parts[1])
+    except ValueError:
+        print(f"error: --min-speedup factor '{parts[1]}' is not a number",
+              file=sys.stderr)
+        sys.exit(2)
+    return pair[0], pair[1], factor
+
+
+def check_min_speedups(cur, specs):
+    """Intra-run gates: REF time / FAST time >= FACTOR, both from CURRENT."""
+    failures = []
+    for fast, ref, factor in specs:
+        if fast not in cur or ref not in cur:
+            missing = [n for n in (fast, ref) if n not in cur]
+            print(f"error: --min-speedup names missing from current run: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            sys.exit(2)
+        speedup = cur[ref] / cur[fast]
+        ok = speedup >= factor
+        print(f"min-speedup {fast} vs {ref}: {speedup:.2f}x "
+              f"(required >= {factor:.2f}x) {'OK' if ok else '<< FAIL'}")
+        if not ok:
+            failures.append((fast, ref, speedup, factor))
+    return failures
+
+
+def write_step_summary(rows, anchor_note, min_speedup_lines):
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("### Kernel benchmark comparison\n\n")
+            f.write(anchor_note + "\n\n")
+            f.write("| benchmark | base (ns) | current (ns) | speedup vs "
+                    "baseline (normalized) | |\n")
+            f.write("|---|---:|---:|---:|---|\n")
+            for name, base_t, cur_t, speedup, flag in rows:
+                f.write(f"| `{name}` | {base_t:,.0f} | {cur_t:,.0f} | "
+                        f"{speedup:.2f}x | {flag} |\n")
+            if min_speedup_lines:
+                f.write("\n")
+                for line in min_speedup_lines:
+                    f.write(f"- {line}\n")
+    except OSError as e:
+        print(f"warning: cannot write step summary: {e}", file=sys.stderr)
 
 
 def main():
@@ -59,6 +143,10 @@ def main():
     ap.add_argument("--threshold", type=float, default=2.0,
                     help="fail when normalized time exceeds baseline by this "
                          "factor (default 2.0)")
+    ap.add_argument("--min-speedup", action="append", default=[],
+                    metavar="FAST:REF:FACTOR",
+                    help="require current[REF]/current[FAST] >= FACTOR "
+                         "(intra-run, machine-independent); repeatable")
     args = ap.parse_args()
 
     base = load_min_times(args.baseline)
@@ -72,9 +160,10 @@ def main():
 
     base_anchor = base[ANCHOR]
     cur_anchor = cur[ANCHOR]
-    print(f"anchor {ANCHOR}: baseline {base_anchor:,.0f} ns, "
-          f"current {cur_anchor:,.0f} ns "
-          f"(machine speed ratio {cur_anchor / base_anchor:.2f}x)")
+    anchor_note = (f"anchor {ANCHOR}: baseline {base_anchor:,.0f} ns, "
+                   f"current {cur_anchor:,.0f} ns "
+                   f"(machine speed ratio {cur_anchor / base_anchor:.2f}x)")
+    print(anchor_note)
 
     shared = sorted(set(base) & set(cur) - {ANCHOR})
     skipped = sorted((set(base) ^ set(cur)) - {ANCHOR})
@@ -87,25 +176,52 @@ def main():
         sys.exit(2)
 
     regressions = []
+    summary_rows = []
     width = max(len(n) for n in shared)
     print(f"{'benchmark':<{width}}  {'base(ns)':>12}  {'cur(ns)':>12}  "
-          f"{'norm-ratio':>10}")
+          f"{'speedup':>8}")
     for name in shared:
-        ratio = (cur[name] / cur_anchor) / (base[name] / base_anchor)
-        flag = "  << REGRESSION" if ratio > args.threshold else ""
+        # speedup > 1 means current is faster than baseline after
+        # normalizing both files by their own anchor.
+        speedup = (base[name] / base_anchor) / (cur[name] / cur_anchor)
+        slow = 1.0 / speedup
+        flag = "  << REGRESSION" if slow > args.threshold else ""
         print(f"{name:<{width}}  {base[name]:>12,.0f}  {cur[name]:>12,.0f}  "
-              f"{ratio:>10.2f}{flag}")
-        if ratio > args.threshold:
-            regressions.append((name, ratio))
+              f"{speedup:>7.2f}x{flag}")
+        summary_rows.append((name, base[name], cur[name], speedup,
+                             "regression" if flag else ""))
+        if slow > args.threshold:
+            regressions.append((name, slow))
 
+    speedup_specs = [parse_min_speedup(s) for s in args.min_speedup]
+    speedup_failures = check_min_speedups(cur, speedup_specs)
+    min_speedup_lines = [
+        f"min-speedup `{fast}` vs `{ref}`: "
+        f"{cur[ref] / cur[fast]:.2f}x (required {factor:.2f}x)"
+        for fast, ref, factor in speedup_specs
+    ]
+    write_step_summary(summary_rows, anchor_note, min_speedup_lines)
+
+    failed = False
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
               f"{args.threshold}x (normalized):", file=sys.stderr)
-        for name, ratio in regressions:
-            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        for name, slow in regressions:
+            print(f"  {name}: {slow:.2f}x slower", file=sys.stderr)
+        failed = True
+    if speedup_failures:
+        print(f"\nFAIL: {len(speedup_failures)} min-speedup gate(s) unmet:",
+              file=sys.stderr)
+        for fast, ref, speedup, factor in speedup_failures:
+            print(f"  {fast} vs {ref}: {speedup:.2f}x < {factor:.2f}x",
+                  file=sys.stderr)
+        failed = True
+    if failed:
         sys.exit(1)
     print(f"\nOK: no benchmark regressed more than {args.threshold}x "
-          f"(normalized) across {len(shared)} comparisons")
+          f"(normalized) across {len(shared)} comparisons"
+          + (f"; {len(speedup_specs)} min-speedup gate(s) met"
+             if speedup_specs else ""))
 
 
 if __name__ == "__main__":

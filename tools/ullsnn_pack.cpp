@@ -45,6 +45,7 @@ struct PackArgs {
   std::int64_t time_steps = 3;
   std::int64_t calib = 256;
   std::uint64_t seed = 7;
+  bool int8 = false;
 };
 
 int usage() {
@@ -53,7 +54,7 @@ int usage() {
                "resnet20|resnet32]\n"
                "                        [--width F] [--classes N] [--T N]\n"
                "                        [--checkpoint ckpt.bin] [--calib N] "
-               "[--seed N]\n"
+               "[--seed N] [--int8]\n"
                "       ullsnn_pack verify <path>\n"
                "       ullsnn_pack info <path>\n");
   return 2;
@@ -100,9 +101,11 @@ int run_pack(const PackArgs& args) {
   artifact::PackOptions opt;
   opt.input_shape = Shape(calib.images.shape().begin() + 1,
                           calib.images.shape().end());
+  opt.precision = args.int8 ? Precision::kInt8 : Precision::kFp32;
   const std::uint64_t bytes = artifact::pack_network(*net, args.out, opt);
-  std::printf("[pack] wrote %llu bytes -> %s\n",
-              static_cast<unsigned long long>(bytes), args.out.c_str());
+  std::printf("[pack] wrote %llu bytes (precision=%s) -> %s\n",
+              static_cast<unsigned long long>(bytes), to_string(opt.precision),
+              args.out.c_str());
 
   // Round-trip gate: the artifact must survive the same load + canary a
   // ModelRegistry deploy would run before this tool reports success.
@@ -124,10 +127,11 @@ int run_verify(const std::string& path) {
               static_cast<unsigned long long>(art->file_size()));
   std::printf("  fingerprint  %016llx\n",
               static_cast<unsigned long long>(art->fingerprint()));
-  std::printf("  layers       %zu, tensors %lld, T=%lld\n",
+  std::printf("  layers       %zu, tensors %lld, T=%lld, precision %s\n",
               art->arch().layers.size(),
               static_cast<long long>(art->tensor_count()),
-              static_cast<long long>(art->time_steps()));
+              static_cast<long long>(art->time_steps()),
+              to_string(art->precision()));
   std::printf("  canary       replayed bit-exact at T=%lld\n",
               static_cast<long long>(art->probe_time_steps()));
   return 0;
@@ -140,10 +144,16 @@ int run_info(const std::string& path) {
               static_cast<unsigned long long>(art->file_size()));
   std::printf("  fingerprint  %016llx\n",
               static_cast<unsigned long long>(art->fingerprint()));
-  std::printf("  time steps   %lld  encoding %u  encoder seed %llu\n",
+  std::printf("  time steps   %lld  encoding %u  encoder seed %llu  "
+              "precision %s\n",
               static_cast<long long>(art->arch().time_steps),
               art->arch().encoding,
-              static_cast<unsigned long long>(art->arch().encoder_seed));
+              static_cast<unsigned long long>(art->arch().encoder_seed),
+              to_string(art->precision()));
+  if (!art->quant_weights().empty()) {
+    std::printf("  quant weights %zu tensor(s), per-output-channel int8\n",
+                art->quant_weights().size());
+  }
   std::printf("  layers (%zu):\n", art->arch().layers.size());
   for (std::size_t i = 0; i < art->arch().layers.size(); ++i) {
     std::printf("    [%zu] kind=%u\n", i,
@@ -185,6 +195,7 @@ int run(int argc, char** argv) {
     else if (flag == "--T") args.time_steps = std::atoll(value());
     else if (flag == "--calib") args.calib = std::atoll(value());
     else if (flag == "--seed") args.seed = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--int8") args.int8 = true;
     else return usage();
   }
   return run_pack(args);
