@@ -11,6 +11,14 @@
 //                counters, and FAILS (exit 1) if fewer than 99% of accepted
 //                in-deadline requests complete non-error or if the
 //                admission ledger does not balance.
+//                NOTE: this soak is CLOSED-LOOP — each wave waits for its
+//                responses before submitting the next, so under overload
+//                the driver throttles itself and the latencies describe a
+//                gentler workload than requested (coordinated omission).
+//                It remains the fault/conservation/accuracy gate; for
+//                latency and goodput under offered load use bench_load,
+//                whose open-loop generator does not self-throttle
+//                (docs/serving.md, "Overload & shedding").
 //   --accuracy   measure the ladder's accuracy cost: one SNN converted at
 //                T=3 evaluated at T=3/2/1 (what the breaker actually does),
 //                next to a fresh conversion at each T (the fair baseline).
@@ -647,6 +655,7 @@ void write_json(const std::string& path, const Options& opt,
     std::fprintf(
         f,
         ",\n  \"soak\": {\n"
+        "    \"loop\": \"closed\",\n"
         "    \"seconds\": %.3f,\n    \"fault_rate\": %.4f,\n"
         "    \"workers\": %lld,\n    \"submitted\": %lld,\n"
         "    \"accepted\": %lld,\n    \"rejected\": %lld,\n"

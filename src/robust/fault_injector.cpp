@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 namespace ullsnn::robust {
 
@@ -21,6 +22,15 @@ FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec), rng_(spec.seed) {
   validate_rate(spec_.weight_signflip_rate, "weight_signflip_rate");
   validate_rate(spec_.stuck_at_zero_rate, "stuck_at_zero_rate");
   validate_rate(spec_.membrane_bitflip_rate, "membrane_bitflip_rate");
+  validate_rate(spec_.stall_rate, "stall_rate");
+  validate_rate(spec_.slow_replica_rate, "slow_replica_rate");
+  if (spec_.stall_ms.count() < 0) {
+    throw std::invalid_argument("FaultInjector: stall_ms must be non-negative");
+  }
+  if (spec_.slow_replica_factor < 1.0) {
+    throw std::invalid_argument(
+        "FaultInjector: slow_replica_factor must be >= 1 (a slowdown)");
+  }
 }
 
 std::int64_t FaultInjector::inject_tensor_impl(Tensor& t, double rate,
@@ -80,6 +90,39 @@ void FaultInjector::attach_membrane_faults(snn::SnnNetwork& net) {
       }
     }
   });
+}
+
+bool FaultInjector::maybe_stall() {
+  if (spec_.stall_rate <= 0.0 || spec_.stall_ms.count() <= 0) return false;
+  bool fire = false;
+  {
+    MutexLock lock(mu_);
+    fire = rng_.bernoulli(static_cast<float>(spec_.stall_rate));
+  }
+  if (!fire) return false;
+  // Sleep outside the lock: concurrent workers stall independently instead
+  // of serializing every injector draw behind one sleeping thread.
+  std::this_thread::sleep_for(spec_.stall_ms);
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+double FaultInjector::replica_slowdown(std::int64_t worker_index) const {
+  if (spec_.slow_replica_rate <= 0.0 || spec_.slow_replica_factor <= 1.0) {
+    return 1.0;
+  }
+  // splitmix64 of (seed, index): a stateless hash rather than a stream draw,
+  // so the slow set depends only on the spec — not on how many faults other
+  // threads already drew from the shared RNG.
+  std::uint64_t x = spec_.seed + 0x9E3779B97F4A7C15ULL *
+                                     (static_cast<std::uint64_t>(worker_index) + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  const double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+  return u < spec_.slow_replica_rate ? spec_.slow_replica_factor : 1.0;
 }
 
 void FaultInjector::corrupt_byte(const std::string& path, std::uint64_t offset,

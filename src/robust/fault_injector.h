@@ -14,7 +14,13 @@
 //   * membrane bit-flips  — flip bits of live membrane potentials between
 //                           time steps, via SnnNetwork's step hook;
 //   * checkpoint-byte corruption — XOR a chosen or random byte of a file on
-//                           disk, for exercising the serializer's CRC path.
+//                           disk, for exercising the serializer's CRC path;
+//   * worker stalls       — maybe_stall() sleeps the calling worker mid-batch
+//                           at `stall_rate`, modeling GC pauses / page faults
+//                           / noisy neighbors (the watchdog's prey);
+//   * slow replicas       — replica_slowdown(worker) gives each serving
+//                           worker a deterministic multiplicative delay
+//                           factor, modeling a degraded host in the fleet.
 //
 // All injection is driven by a private xoshiro stream: the same spec + seed
 // reproduces the same faults, so degradation curves (bench_faults) and tests
@@ -29,6 +35,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -50,6 +57,16 @@ struct FaultSpec {
   /// Per-element, per-time-step probability of flipping one random bit of a
   /// membrane potential (applied through attach_membrane_faults).
   double membrane_bitflip_rate = 0.0;
+  /// Per-call probability that maybe_stall() sleeps the calling worker for
+  /// `stall_ms`, modeling a mid-batch execution stall.
+  double stall_rate = 0.0;
+  std::chrono::milliseconds stall_ms{0};
+  /// Fraction of serving workers that run slow: replica_slowdown(w) returns
+  /// `slow_replica_factor` for ~`slow_replica_rate` of worker indices
+  /// (chosen by a pure hash of seed + index, so *which* workers are slow is
+  /// deterministic even though request routing is not) and 1.0 for the rest.
+  double slow_replica_rate = 0.0;
+  double slow_replica_factor = 1.0;
   std::uint64_t seed = 0xFA017;
 };
 
@@ -69,6 +86,20 @@ class FaultInjector {
   /// `membrane_bitflip_rate` after every time step. The injector must outlive
   /// the hook (call net.clear_step_hook() or destroy the network first).
   void attach_membrane_faults(snn::SnnNetwork& net);
+
+  /// With probability `stall_rate`, sleep the calling thread for `stall_ms`
+  /// (counted as one fault). Call from a worker-side hook (e.g.
+  /// before_forward_hook) to simulate a mid-batch stall. Returns true when a
+  /// stall fired. The bernoulli draw comes from the shared deterministic
+  /// stream; the sleep itself happens outside the lock so concurrent workers
+  /// stall in parallel, not in convoy.
+  bool maybe_stall();
+
+  /// Deterministic per-worker slowdown factor: `slow_replica_factor` when
+  /// worker `worker_index` is one of the ~`slow_replica_rate` slow replicas,
+  /// 1.0 otherwise. Pure function of (seed, worker_index) — no RNG stream
+  /// state — so the slow set is stable across calls and threads.
+  double replica_slowdown(std::int64_t worker_index) const;
 
   /// Total faults injected since construction (all kinds).
   std::int64_t faults_injected() const {

@@ -2,10 +2,17 @@
 //
 // Coalesces queued requests into one forward pass: a batch closes when it
 // reaches max_batch, when the oldest member has waited max_batch_delay, or
-// when the queue runs dry. Requests whose deadline already passed are shed
-// here (fulfilled with kExpired) instead of wasting a slot in the batch —
-// under overload, work that can no longer meet its deadline is the cheapest
-// work to drop.
+// when the queue runs dry. Two kinds of work are separated out at dequeue
+// instead of wasting a batch slot:
+//
+//  - `expired`: the deadline already passed — under overload, work that can
+//    no longer meet its deadline is the cheapest work to drop (kExpired);
+//  - `shed`: still in-deadline, but the lane's CoDel controller decided the
+//    standing queueing delay makes it load-shed material (kShed).
+//
+// Requests without a deadline are never routed to either bucket: "no
+// deadline" means the client opted out of shedding entirely (the watchdog's
+// hard timeout still bounds the wait).
 #pragma once
 
 #include <chrono>
@@ -13,6 +20,7 @@
 #include <vector>
 
 #include "src/serve/bounded_queue.h"
+#include "src/serve/overload.h"
 #include "src/serve/request.h"
 
 namespace ullsnn::serve {
@@ -28,8 +36,11 @@ struct BatcherConfig {
 
 struct MicroBatch {
   std::vector<PendingRequest> requests;  // in-deadline, ready to run
-  std::vector<PendingRequest> expired;   // deadline already passed; shed
-  bool empty() const { return requests.empty() && expired.empty(); }
+  std::vector<PendingRequest> expired;   // deadline already passed; kExpired
+  std::vector<PendingRequest> shed;      // CoDel load-shed in-deadline; kShed
+  bool empty() const {
+    return requests.empty() && expired.empty() && shed.empty();
+  }
 };
 
 class MicroBatcher {
@@ -38,15 +49,29 @@ class MicroBatcher {
 
   const BatcherConfig& config() const { return config_; }
 
-  /// Pull the next micro-batch from `queue`. Blocks up to poll_timeout for
-  /// the first request; then drains greedily until the batch is full, the
-  /// age limit trips, or the queue is momentarily empty. Expired requests
-  /// are separated out and do not count toward max_batch.
+  /// Pull the next micro-batch from the strict-priority `queue`. Blocks up
+  /// to poll_timeout for the first request; then drains greedily until the
+  /// batch is full, the age limit trips, or the queue is momentarily empty.
+  /// Expired/shed requests are separated out and do not count toward
+  /// max_batch. `codel` (optional) classifies in-deadline requests by
+  /// sojourn time.
+  MicroBatch collect(LaneQueue<PendingRequest>& queue, CoDelController* codel) {
+    return collect_impl(queue, codel);
+  }
+
+  /// Single-lane compatibility overload (no CoDel) for callers that still
+  /// drive a plain BoundedQueue.
   MicroBatch collect(BoundedQueue<PendingRequest>& queue) {
+    return collect_impl(queue, nullptr);
+  }
+
+ private:
+  template <typename Queue>
+  MicroBatch collect_impl(Queue& queue, CoDelController* codel) {
     MicroBatch batch;
     PendingRequest first;
     if (!queue.pop(&first, config_.poll_timeout)) return batch;
-    admit(std::move(first), batch);
+    admit(std::move(first), batch, codel);
     while (static_cast<std::int64_t>(batch.requests.size()) < config_.max_batch) {
       if (!batch.requests.empty() &&
           Clock::now() - batch.requests.front().slot->enqueue_time() >=
@@ -55,20 +80,31 @@ class MicroBatcher {
       }
       PendingRequest next;
       if (!queue.try_pop(&next)) break;
-      admit(std::move(next), batch);
+      admit(std::move(next), batch, codel);
     }
     return batch;
   }
 
- private:
-  static void admit(PendingRequest&& request, MicroBatch& batch) {
+  static void admit(PendingRequest&& request, MicroBatch& batch,
+                    CoDelController* codel) {
     const auto now = Clock::now();
     request.popped = now;  // queue-wait ends here; formation wait begins
+    if (!request.slot->has_deadline()) {
+      // No deadline: never expired, never load-shed.
+      batch.requests.push_back(std::move(request));
+      return;
+    }
     if (now >= request.slot->deadline()) {
       batch.expired.push_back(std::move(request));
-    } else {
-      batch.requests.push_back(std::move(request));
+      return;
     }
+    if (codel != nullptr &&
+        codel->should_shed(request.slot->priority(),
+                           now - request.slot->enqueue_time(), now)) {
+      batch.shed.push_back(std::move(request));
+      return;
+    }
+    batch.requests.push_back(std::move(request));
   }
 
   BatcherConfig config_;

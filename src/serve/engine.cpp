@@ -1,5 +1,6 @@
 #include "src/serve/engine.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -53,6 +54,7 @@ const char* to_string(ResponseStatus status) {
     case ResponseStatus::kDegraded: return "degraded";
     case ResponseStatus::kRejected: return "rejected";
     case ResponseStatus::kExpired: return "expired";
+    case ResponseStatus::kShed: return "shed";
     case ResponseStatus::kTimeout: return "timeout";
     case ResponseStatus::kUnavailable: return "unavailable";
     case ResponseStatus::kError: return "error";
@@ -66,9 +68,13 @@ ServeEngine::ServeMetrics ServeEngine::ServeMetrics::bind() {
       r.counter("serve.submitted"),
       r.counter("serve.accepted"),
       r.counter("serve.rejected"),
+      r.counter("serve.shed.admission"),
       r.counter("serve.shed.deadline"),
+      r.counter("serve.shed.load"),
       r.counter("serve.completed.ok"),
       r.counter("serve.completed.degraded"),
+      r.counter("serve.completed.interactive"),
+      r.counter("serve.completed.batch"),
       r.counter("serve.unavailable"),
       r.counter("serve.timeouts"),
       r.counter("serve.errors"),
@@ -76,6 +82,8 @@ ServeEngine::ServeMetrics ServeEngine::ServeMetrics::bind() {
       r.counter("serve.batches"),
       r.counter("serve.swaps"),
       r.gauge("serve.queue.depth"),
+      r.gauge("serve.queue.depth.interactive"),
+      r.gauge("serve.queue.depth.batch"),
       r.histogram("serve.batch.size", batch_size_bounds()),
       r.histogram("serve.latency.total_ms", serve_latency_bounds()),
       r.histogram("serve.latency.queue_ms", serve_latency_bounds()),
@@ -90,9 +98,13 @@ ServeEngine::ServeEngine(ServeConfig config, NetworkFactory factory)
       factory_(std::move(factory)),
       worker_versions_(static_cast<std::size_t>(
           config_.workers > 0 ? config_.workers : 0)),
-      queue_(config_.queue_capacity),
+      queue_({config_.queue_capacity,
+              config_.batch_queue_capacity > 0 ? config_.batch_queue_capacity
+                                               : config_.queue_capacity}),
       batcher_(config_.batcher),
       breaker_(std::make_unique<CircuitBreaker>(config_.breaker)),
+      codel_(config_.codel),
+      brownout_(config_.brownout),
       monitor_(monitor_config(config_.explosion_threshold)),
       metrics_(ServeMetrics::bind()),
       slo_(config_.obs.slo) {
@@ -196,7 +208,11 @@ void ServeEngine::start() {
           stats_.swaps.fetch_add(1, std::memory_order_relaxed);
           metrics_.swaps.add(1);
         }
-        MicroBatch batch = batcher_.collect(queue_);
+        MicroBatch batch = batcher_.collect(queue_, &codel_);
+        // One queue-pressure observation per collect (including empty polls,
+        // which are evidence of relief and drive brownout recovery).
+        brownout_.observe(static_cast<double>(queue_.depth()) /
+                          static_cast<double>(queue_.total_capacity()));
         if (batch.empty()) continue;
         const bool healthy = run_batch(*net, std::move(batch), w);
         if (registry_ != nullptr) registry_->record_batch_health(version, healthy);
@@ -255,7 +271,11 @@ obs::HttpResponse ServeEngine::handle_healthz() const {
   body += R"(,"queue_depth":)";
   body += std::to_string(queue_.depth());
   body += R"(,"queue_capacity":)";
-  body += std::to_string(queue_.capacity());
+  body += std::to_string(queue_.total_capacity());
+  body += R"(,"queue_capacity_interactive":)";
+  body += std::to_string(queue_.capacity(0));
+  body += R"(,"queue_capacity_batch":)";
+  body += std::to_string(queue_.capacity(1));
   body += R"(,"workers":)";
   body += std::to_string(config_.workers);
   if (registry_ != nullptr) {
@@ -295,8 +315,6 @@ void ServeEngine::stop() {
     InferResponse r;
     r.status = ResponseStatus::kUnavailable;
     r.reason = "engine stopped before execution";
-    stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
-    metrics_.unavailable.add(1);
     fulfill(leftover.slot, std::move(r));
   }
   if (watchdog_.joinable()) watchdog_.join();
@@ -311,7 +329,7 @@ void ServeEngine::stop() {
   obs::logf(obs::LogLevel::kInfo, "[serve] engine stopped");
 }
 
-SubmitResult ServeEngine::submit(Tensor image, std::chrono::milliseconds deadline) {
+SubmitResult ServeEngine::submit(Tensor image, const SubmitOptions& options) {
   SubmitResult result;
   stats_.submitted.fetch_add(1, std::memory_order_relaxed);
   metrics_.submitted.add(1);
@@ -330,12 +348,35 @@ SubmitResult ServeEngine::submit(Tensor image, std::chrono::milliseconds deadlin
     return reject("input shape " + shape_to_string(image.shape()) +
                   " != expected " + shape_to_string(config_.input_shape));
   }
-  if (deadline.count() < 0) deadline = config_.default_deadline;
   const auto now = Clock::now();
+  // Deadline resolution: an absolute deadline (propagated from upstream)
+  // wins; otherwise the relative one is stamped here, with zero meaning "no
+  // deadline" and negative meaning "engine default".
+  Clock::time_point deadline;
+  if (options.absolute_deadline != Clock::time_point{}) {
+    deadline = options.absolute_deadline;
+  } else {
+    const auto relative = options.deadline.count() < 0 ? config_.default_deadline
+                                                       : options.deadline;
+    deadline = relative.count() == 0 ? kNoDeadline : now + relative;
+  }
+  if (deadline != kNoDeadline && now >= deadline) {
+    // Admission-time shed: the work is already hopeless, so don't spend a
+    // queue slot on it. Typed outcome, counted in its own ledger bucket
+    // (submitted = accepted + rejected + shed_admission).
+    stats_.shed_admission.fetch_add(1, std::memory_order_relaxed);
+    metrics_.shed_admission.add(1);
+    result.accepted = false;
+    result.response.status = ResponseStatus::kExpired;
+    result.response.reason = "deadline already expired at admission";
+    return result;
+  }
   auto slot = std::make_shared<ResponseSlot>(
-      next_id_.fetch_add(1, std::memory_order_relaxed), now, now + deadline);
+      next_id_.fetch_add(1, std::memory_order_relaxed), now, deadline,
+      options.priority);
   PendingRequest pending{slot, std::move(image), now};
-  const AdmitError err = queue_.try_push(std::move(pending));
+  const auto lane = static_cast<std::size_t>(options.priority);
+  const AdmitError err = queue_.try_push(std::move(pending), lane);
   if (err != AdmitError::kNone) {
     return reject(to_string(err));
   }
@@ -346,9 +387,55 @@ SubmitResult ServeEngine::submit(Tensor image, std::chrono::milliseconds deadlin
   stats_.accepted.fetch_add(1, std::memory_order_relaxed);
   metrics_.accepted.add(1);
   metrics_.queue_depth.set(static_cast<double>(queue_.depth()));
+  metrics_.queue_depth_interactive.set(static_cast<double>(queue_.lane_depth(0)));
+  metrics_.queue_depth_batch.set(static_cast<double>(queue_.lane_depth(1)));
   result.accepted = true;
   result.future = ResponseFuture(slot);
   return result;
+}
+
+void ServeEngine::count_terminal(ResponseStatus status, Priority priority) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      stats_.completed_ok.fetch_add(1, std::memory_order_relaxed);
+      metrics_.completed_ok.add(1);
+      break;
+    case ResponseStatus::kDegraded:
+      stats_.completed_degraded.fetch_add(1, std::memory_order_relaxed);
+      metrics_.completed_degraded.add(1);
+      break;
+    case ResponseStatus::kExpired:
+      stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      metrics_.shed_deadline.add(1);
+      break;
+    case ResponseStatus::kShed:
+      stats_.shed_load.fetch_add(1, std::memory_order_relaxed);
+      metrics_.shed_load.add(1);
+      break;
+    case ResponseStatus::kTimeout:
+      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      metrics_.timeouts.add(1);
+      break;
+    case ResponseStatus::kUnavailable:
+      stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
+      metrics_.unavailable.add(1);
+      break;
+    case ResponseStatus::kError:
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      metrics_.errors.add(1);
+      break;
+    case ResponseStatus::kRejected:
+      break;  // counted at admission; rejected requests never reach a slot
+  }
+  if (is_success(status)) {
+    if (priority == Priority::kInteractive) {
+      stats_.completed_interactive.fetch_add(1, std::memory_order_relaxed);
+      metrics_.completed_interactive.add(1);
+    } else {
+      stats_.completed_batch.fetch_add(1, std::memory_order_relaxed);
+      metrics_.completed_batch.add(1);
+    }
+  }
 }
 
 bool ServeEngine::fulfill(const SlotPtr& slot, InferResponse&& response,
@@ -380,6 +467,7 @@ bool ServeEngine::fulfill(const SlotPtr& slot, InferResponse&& response,
   record.ts_us = obs::Tracer::now_us();
   const ResponseStatus status = response.status;
   const bool won = slot->fulfill(std::move(response), [&] {
+    count_terminal(status, slot->priority());
     if (on_win) on_win();
     obs::FlightRecorder::instance().record_request(record);
     metrics_.latency_total_ms.observe(total_ms);
@@ -413,7 +501,9 @@ bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch,
                                    ? batch.requests.front().slot->id()
                                    : (!batch.expired.empty()
                                           ? batch.expired.front().slot->id()
-                                          : -1);
+                                          : (!batch.shed.empty()
+                                                 ? batch.shed.front().slot->id()
+                                                 : -1));
   obs::LogRequestScope rid_scope(lead_id);
   const auto picked_up = Clock::now();
   for (auto& expired : batch.expired) {
@@ -422,9 +512,47 @@ bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch,
     r.reason = "deadline passed before execution";
     r.queue_ms = ms_between(expired.slot->enqueue_time(), expired.popped);
     r.batch_ms = ms_between(expired.popped, picked_up);
-    stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
-    metrics_.shed_deadline.add(1);
     fulfill(expired.slot, std::move(r), 0, worker_index);
+  }
+  for (auto& shed : batch.shed) {
+    InferResponse r;
+    r.status = ResponseStatus::kShed;
+    r.reason = "load shed: standing queueing delay over CoDel target";
+    r.queue_ms = ms_between(shed.slot->enqueue_time(), shed.popped);
+    r.batch_ms = ms_between(shed.popped, picked_up);
+    fulfill(shed.slot, std::move(r), 0, worker_index);
+  }
+  if (batch.requests.empty()) return true;
+
+  if (config_.before_dispatch_hook) {
+    std::vector<std::int64_t> pending_ids;
+    pending_ids.reserve(batch.requests.size());
+    for (const auto& request : batch.requests) {
+      pending_ids.push_back(request.slot->id());
+    }
+    config_.before_dispatch_hook(pending_ids);
+  }
+  // Pre-dispatch re-check: deadlines can expire between dequeue and dispatch
+  // (batch formation waits, a stalled worker, a slow collect). Shed them now
+  // rather than spending forward-pass time on work that is already dead.
+  {
+    const auto dispatch_now = Clock::now();
+    std::vector<PendingRequest> alive;
+    alive.reserve(batch.requests.size());
+    for (auto& request : batch.requests) {
+      if (request.slot->has_deadline() &&
+          dispatch_now >= request.slot->deadline()) {
+        InferResponse r;
+        r.status = ResponseStatus::kExpired;
+        r.reason = "deadline passed before dispatch";
+        r.queue_ms = ms_between(request.slot->enqueue_time(), request.popped);
+        r.batch_ms = ms_between(request.popped, dispatch_now);
+        fulfill(request.slot, std::move(r), 0, worker_index);
+      } else {
+        alive.push_back(std::move(request));
+      }
+    }
+    batch.requests = std::move(alive);
   }
   if (batch.requests.empty()) return true;
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
@@ -439,14 +567,19 @@ bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch,
       r.reason = "circuit open";
       r.queue_ms = ms_between(request.slot->enqueue_time(), request.popped);
       r.batch_ms = ms_between(request.popped, picked_up);
-      stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
-      metrics_.unavailable.add(1);
       fulfill(request.slot, std::move(r),
               static_cast<std::int64_t>(batch.requests.size()), worker_index);
     }
     // A refused batch never touched the network: no verdict on the model.
     return true;
   }
+
+  // Effective time-step budget: the health breaker's rung capped by the
+  // load-driven brownout rung. The two ladders are independent levers —
+  // numeric distress and queue pressure each lower T on their own evidence;
+  // the batch runs at whichever is lower.
+  const std::int64_t effective_t =
+      std::min(decision.time_steps, brownout_.time_steps());
 
   // Assemble [B, C, H, W] from the per-request [C, H, W] inputs.
   const std::int64_t batch_size = static_cast<std::int64_t>(batch.requests.size());
@@ -492,7 +625,7 @@ bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch,
       if (config_.before_forward_hook) {
         config_.before_forward_hook(ids, attempt, net);
       }
-      net.set_time_steps(decision.time_steps);
+      net.set_time_steps(effective_t);
       net.reset_state();
       // Per-time-step timing: wrap (not clobber) any step hook a chaos test
       // installed, so fault injection and timing compose. The wrapped hook
@@ -540,36 +673,32 @@ bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch,
       r.reason = "all " + std::to_string(config_.max_attempts) +
                  " attempts failed: " + last_error;
       r.retries = retries_used;
-      r.time_steps = decision.time_steps;
+      r.time_steps = effective_t;
       r.queue_ms = ms_between(request.slot->enqueue_time(), request.popped);
       r.batch_ms = ms_between(request.popped, picked_up);
       r.infer_ms = infer_ms;
       r.step_ms = step_ms;
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      metrics_.errors.add(1);
       fulfill(request.slot, std::move(r), batch_size, worker_index);
     }
     return false;
   }
 
   const bool degraded =
-      decision.time_steps != config_.breaker.ladder.front() || decision.probe;
+      effective_t != config_.breaker.ladder.front() || decision.probe;
   const std::int64_t classes = logits.numel() / batch_size;
   const auto finished = Clock::now();
   for (std::int64_t i = 0; i < batch_size; ++i) {
     const PendingRequest& request = batch.requests[static_cast<std::size_t>(i)];
     InferResponse r;
     r.retries = retries_used;
-    r.time_steps = decision.time_steps;
+    r.time_steps = effective_t;
     r.queue_ms = ms_between(request.slot->enqueue_time(), request.popped);
     r.batch_ms = ms_between(request.popped, picked_up);
     r.infer_ms = infer_ms;
     r.step_ms = step_ms;
-    if (finished >= request.slot->deadline()) {
+    if (request.slot->has_deadline() && finished >= request.slot->deadline()) {
       r.status = ResponseStatus::kExpired;
       r.reason = "completed after deadline";
-      stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
-      metrics_.shed_deadline.add(1);
     } else {
       r.status = degraded ? ResponseStatus::kDegraded : ResponseStatus::kOk;
       if (degraded) r.reason = "served at reduced T";
@@ -577,13 +706,6 @@ bool ServeEngine::run_batch(snn::SnnNetwork& net, MicroBatch&& batch,
       std::memcpy(r.logits.data(), logits.data() + i * classes,
                   static_cast<std::size_t>(classes) * sizeof(float));
       r.predicted = r.logits.argmax();
-      if (degraded) {
-        stats_.completed_degraded.fetch_add(1, std::memory_order_relaxed);
-        metrics_.completed_degraded.add(1);
-      } else {
-        stats_.completed_ok.fetch_add(1, std::memory_order_relaxed);
-        metrics_.completed_ok.add(1);
-      }
       metrics_.latency_queue_ms.observe(r.queue_ms);
       metrics_.latency_batch_ms.observe(r.batch_ms);
       metrics_.latency_infer_ms.observe(r.infer_ms);
@@ -610,13 +732,10 @@ void ServeEngine::watchdog_loop() {
         r.status = ResponseStatus::kTimeout;
         r.reason = "request exceeded hard timeout";
         const double total_ms = ms_between(slot->enqueue_time(), now);
-        // Count only if this call won the fulfillment race — a worker may
-        // finish between the done() check above and here. The counters join
-        // the winning critical section so the woken client sees them.
-        if (fulfill(slot, std::move(r), 0, -1, [this] {
-              stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
-              metrics_.timeouts.add(1);
-            })) {
+        // A worker may finish between the done() check above and here; the
+        // timeout is counted (by count_terminal, inside the winning critical
+        // section) only if this call wins the fulfillment race.
+        if (fulfill(slot, std::move(r))) {
           obs::FlightRecorder::instance().note_anomaly(
               "watchdog", "request %lld exceeded hard timeout after %.1f ms",
               static_cast<long long>(slot->id()), total_ms);
@@ -630,6 +749,8 @@ void ServeEngine::watchdog_loop() {
       ++it;
     }
     metrics_.queue_depth.set(static_cast<double>(queue_.depth()));
+    metrics_.queue_depth_interactive.set(static_cast<double>(queue_.lane_depth(0)));
+    metrics_.queue_depth_batch.set(static_cast<double>(queue_.lane_depth(1)));
   }
 }
 
@@ -638,15 +759,23 @@ ServeStats ServeEngine::stats() const {
   s.submitted = stats_.submitted.load(std::memory_order_relaxed);
   s.accepted = stats_.accepted.load(std::memory_order_relaxed);
   s.rejected = stats_.rejected.load(std::memory_order_relaxed);
+  s.shed_admission = stats_.shed_admission.load(std::memory_order_relaxed);
   s.shed_deadline = stats_.shed_deadline.load(std::memory_order_relaxed);
+  s.shed_load = stats_.shed_load.load(std::memory_order_relaxed);
   s.completed_ok = stats_.completed_ok.load(std::memory_order_relaxed);
   s.completed_degraded = stats_.completed_degraded.load(std::memory_order_relaxed);
+  s.completed_interactive =
+      stats_.completed_interactive.load(std::memory_order_relaxed);
+  s.completed_batch = stats_.completed_batch.load(std::memory_order_relaxed);
   s.unavailable = stats_.unavailable.load(std::memory_order_relaxed);
   s.timeouts = stats_.timeouts.load(std::memory_order_relaxed);
   s.errors = stats_.errors.load(std::memory_order_relaxed);
   s.retries = stats_.retries.load(std::memory_order_relaxed);
   s.batches = stats_.batches.load(std::memory_order_relaxed);
   s.swaps = stats_.swaps.load(std::memory_order_relaxed);
+  s.brownout_level = brownout_.level();
+  s.brownout_escalations = brownout_.escalations();
+  s.brownout_recoveries = brownout_.recoveries();
   const obs::SloTracker::Report slo = slo_.update();
   s.slo_p50_ms = slo.p50_ms;
   s.slo_p95_ms = slo.p95_ms;

@@ -43,6 +43,7 @@
 #include "src/serve/batcher.h"
 #include "src/serve/bounded_queue.h"
 #include "src/serve/circuit_breaker.h"
+#include "src/serve/overload.h"
 #include "src/serve/request.h"
 #include "src/snn/snn_network.h"
 
@@ -87,10 +88,20 @@ struct ServeObsConfig {
 };
 
 struct ServeConfig {
+  /// Capacity of the interactive admission lane.
   std::int64_t queue_capacity = 256;
+  /// Capacity of the batch lane; <= 0 means "same as queue_capacity". A
+  /// separate lane capacity keeps a batch flood from consuming interactive
+  /// admission slots (and vice versa).
+  std::int64_t batch_queue_capacity = -1;
   std::int64_t workers = 1;
   BatcherConfig batcher;
   BreakerConfig breaker;
+  /// CoDel queueing-delay shedding, per priority lane (see overload.h).
+  CoDelConfig codel;
+  /// Load-driven brownout T-ladder; the engine serves each batch at
+  /// min(breaker T, brownout T).
+  BrownoutConfig brownout;
   /// Default per-request deadline when submit() is not given one.
   std::chrono::milliseconds default_deadline{250};
   /// Hard per-request timeout enforced by the watchdog, measured from
@@ -122,6 +133,10 @@ struct ServeConfig {
   /// FaultInjector::inject_tensor) to exercise the breaker's numeric checks.
   std::function<void(const std::vector<std::int64_t>& ids, Tensor& logits)>
       after_forward_hook;
+  /// Called with the batch's request ids after micro-batch formation but
+  /// before the pre-dispatch deadline re-check. Sleeping here makes the
+  /// dequeue -> dispatch expiry window deterministic in tests.
+  std::function<void(const std::vector<std::int64_t>& ids)> before_dispatch_hook;
 };
 
 /// Result of an admission attempt. On rejection `future` is invalid and
@@ -134,19 +149,33 @@ struct SubmitResult {
 
 /// Engine-owned counters, independent of the telemetry build flag so tests
 /// can assert exact totals in every configuration.
+/// Engine-owned counters, independent of the telemetry build flag so tests
+/// can assert exact totals in every configuration. Conservation ledger
+/// (exact, established by the slot's winning critical section):
+///
+///   submitted = accepted + rejected + shed_admission
+///   accepted  = completed_ok + completed_degraded + shed_deadline +
+///               shed_load + unavailable + timeouts + errors
 struct ServeStats {
   std::int64_t submitted = 0;
   std::int64_t accepted = 0;
-  std::int64_t rejected = 0;       // all admission rejections
-  std::int64_t shed_deadline = 0;  // kExpired (pre-run or post-run)
+  std::int64_t rejected = 0;        // all admission rejections
+  std::int64_t shed_admission = 0;  // kExpired: deadline already past at submit
+  std::int64_t shed_deadline = 0;   // kExpired after admission (pre/post-run)
+  std::int64_t shed_load = 0;       // kShed: CoDel load shedding, in-deadline
   std::int64_t completed_ok = 0;
   std::int64_t completed_degraded = 0;
+  std::int64_t completed_interactive = 0;  // successes in the interactive class
+  std::int64_t completed_batch = 0;        // successes in the batch class
   std::int64_t unavailable = 0;
   std::int64_t timeouts = 0;
   std::int64_t errors = 0;
   std::int64_t retries = 0;
   std::int64_t batches = 0;
   std::int64_t swaps = 0;  // worker replica rebuilds after a registry flip
+  std::int64_t brownout_level = 0;        // current load-driven T rung
+  std::int64_t brownout_escalations = 0;  // rungs descended (load)
+  std::int64_t brownout_recoveries = 0;   // rungs climbed back
 
   // SLO snapshot from the most recent SloTracker update (stats() refreshes
   // it): rolling percentiles and the error-budget burn rate.
@@ -181,14 +210,29 @@ class ServeEngine {
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Admission-controlled, non-blocking submit. `image` must match
-  /// config.input_shape. A negative deadline means "use the default".
+  /// config.input_shape. Deadlines propagate as absolute time points (see
+  /// SubmitOptions); a request whose deadline already passed is shed at
+  /// admission with a typed kExpired outcome (`accepted == false`, counted
+  /// as shed_admission, never rejected silently).
+  SubmitResult submit(Tensor image, const SubmitOptions& options);
+  /// Convenience overload: relative deadline, interactive priority. A
+  /// negative deadline means "use the default"; zero means "no deadline".
   SubmitResult submit(Tensor image,
-                      std::chrono::milliseconds deadline = std::chrono::milliseconds(-1));
+                      std::chrono::milliseconds deadline = std::chrono::milliseconds(-1)) {
+    SubmitOptions options;
+    options.deadline = deadline;
+    return submit(std::move(image), options);
+  }
 
   ServeStats stats() const;
   const CircuitBreaker& breaker() const { return *breaker_; }
+  const BrownoutController& brownout() const { return brownout_; }
+  const CoDelController& codel() const { return codel_; }
   std::int64_t queue_depth() const { return queue_.depth(); }
   std::int64_t queue_peak_depth() const { return queue_.peak_depth(); }
+  std::int64_t lane_depth(Priority p) const {
+    return queue_.lane_depth(static_cast<std::size_t>(p));
+  }
 
   /// Actual port of the embedded endpoint (config.obs.endpoint); 0 when the
   /// endpoint is disabled or the engine is not running.
@@ -224,6 +268,13 @@ class ServeEngine {
   bool fulfill(const SlotPtr& slot, InferResponse&& response,
                std::int64_t batch_size = 0, std::int64_t worker_index = -1,
                const std::function<void()>& on_win = nullptr);
+  /// Status-keyed terminal counting, run inside the slot's winning critical
+  /// section by fulfill(). Centralizing the increments there (instead of at
+  /// each fulfill call site) closes the conservation hole where a caller
+  /// counts an outcome, then loses the first-fulfillment race to the
+  /// watchdog — the ledger in ServeStats holds exactly because exactly one
+  /// party ever counts a terminal status per request.
+  void count_terminal(ResponseStatus status, Priority priority);
   /// NaN/Inf/explosion scan of a batch's logits via the shared monitor.
   bool logits_healthy(const Tensor& logits) const;
   /// Build + start the embedded endpoint (config.obs.endpoint).
@@ -238,9 +289,11 @@ class ServeEngine {
   /// workers_on_active() loads with acquire so a version match implies the
   /// rebuild it saw is fully visible.
   std::vector<std::atomic<std::uint64_t>> worker_versions_;
-  BoundedQueue<PendingRequest> queue_;
+  LaneQueue<PendingRequest> queue_;
   MicroBatcher batcher_;
   std::unique_ptr<CircuitBreaker> breaker_;
+  CoDelController codel_;
+  BrownoutController brownout_;
   robust::HealthMonitor monitor_;
 
   std::vector<std::thread> workers_;
@@ -262,7 +315,8 @@ class ServeEngine {
   // by the slot's winning critical section, not by atomic ordering.
   struct AtomicStats {
     std::atomic<std::int64_t> submitted{0}, accepted{0}, rejected{0},
-        shed_deadline{0}, completed_ok{0}, completed_degraded{0},
+        shed_admission{0}, shed_deadline{0}, shed_load{0}, completed_ok{0},
+        completed_degraded{0}, completed_interactive{0}, completed_batch{0},
         unavailable{0}, timeouts{0}, errors{0}, retries{0}, batches{0},
         swaps{0};
   };
@@ -277,9 +331,13 @@ class ServeEngine {
     obs::Counter& submitted;
     obs::Counter& accepted;
     obs::Counter& rejected;
+    obs::Counter& shed_admission;
     obs::Counter& shed_deadline;
+    obs::Counter& shed_load;
     obs::Counter& completed_ok;
     obs::Counter& completed_degraded;
+    obs::Counter& completed_interactive;
+    obs::Counter& completed_batch;
     obs::Counter& unavailable;
     obs::Counter& timeouts;
     obs::Counter& errors;
@@ -287,6 +345,8 @@ class ServeEngine {
     obs::Counter& batches;
     obs::Counter& swaps;
     obs::Gauge& queue_depth;
+    obs::Gauge& queue_depth_interactive;
+    obs::Gauge& queue_depth_batch;
     obs::Histogram& batch_size;
     obs::Histogram& latency_total_ms;
     obs::Histogram& latency_queue_ms;

@@ -28,6 +28,7 @@ enum class ResponseStatus {
   kDegraded,     // served at a reduced T — the degradation ladder in action
   kRejected,     // refused at admission (queue full / engine stopped / bad input)
   kExpired,      // deadline passed before or during execution; result dropped
+  kShed,         // load-shed (CoDel sojourn overrun) while still in-deadline
   kTimeout,      // watchdog fired: the request exceeded its hard timeout
   kUnavailable,  // circuit open: static fallback response, network not run
   kError,        // all forward attempts failed (non-transient fault)
@@ -39,6 +40,46 @@ const char* to_string(ResponseStatus status);
 inline bool is_success(ResponseStatus s) {
   return s == ResponseStatus::kOk || s == ResponseStatus::kDegraded;
 }
+
+/// True for outcomes where the engine deliberately dropped in-queue work
+/// (deadline expiry or load shedding) — "shed" in the conservation ledger.
+inline bool is_shed(ResponseStatus s) {
+  return s == ResponseStatus::kExpired || s == ResponseStatus::kShed;
+}
+
+/// Request priority class. Strict-priority dequeue: interactive requests are
+/// always served before batch requests, so under overload batch work absorbs
+/// the queueing delay (and therefore the shedding) while interactive p99
+/// stays bounded.
+enum class Priority : std::uint8_t {
+  kInteractive = 0,  // latency-sensitive; protected under overload
+  kBatch = 1,        // throughput work; first to be shed
+};
+
+inline constexpr std::size_t kPriorityClasses = 2;
+
+inline const char* to_string(Priority p) {
+  return p == Priority::kInteractive ? "interactive" : "batch";
+}
+
+/// Per-request admission options. Deadlines propagate end-to-end as absolute
+/// time points so an upstream service's remaining budget survives hops:
+/// either give `deadline` (relative, stamped at submit) or `absolute_deadline`
+/// (wins when set). A zero/absent deadline means "no deadline" — such a
+/// request is never deadline-shed (the watchdog's hard timeout still bounds
+/// its wait).
+struct SubmitOptions {
+  /// Relative deadline. Negative = engine default; zero = no deadline.
+  std::chrono::milliseconds deadline{-1};
+  /// Absolute deadline (deadline propagation). time_point{} = unset; when
+  /// set it overrides `deadline` and may already be in the past, in which
+  /// case the request is shed at admission with a typed kExpired outcome.
+  Clock::time_point absolute_deadline{};
+  Priority priority = Priority::kInteractive;
+};
+
+/// Sentinel for "no deadline": orders after every reachable time point.
+inline constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
 
 struct InferResponse {
   ResponseStatus status = ResponseStatus::kError;
@@ -68,12 +109,17 @@ struct InferResponse {
 class ResponseSlot {
  public:
   ResponseSlot(std::int64_t id, Clock::time_point enqueue,
-               Clock::time_point deadline)
-      : id_(id), enqueue_(enqueue), deadline_(deadline) {}
+               Clock::time_point deadline,
+               Priority priority = Priority::kInteractive)
+      : id_(id), enqueue_(enqueue), deadline_(deadline), priority_(priority) {}
 
   std::int64_t id() const { return id_; }
   Clock::time_point enqueue_time() const { return enqueue_; }
   Clock::time_point deadline() const { return deadline_; }
+  Priority priority() const { return priority_; }
+  /// False when the request carries no deadline (kNoDeadline): it is never
+  /// deadline-shed, only watchdog-bounded.
+  bool has_deadline() const { return deadline_ != kNoDeadline; }
 
   bool done() const {
     MutexLock lock(mu_);
@@ -125,6 +171,7 @@ class ResponseSlot {
   const std::int64_t id_;
   const Clock::time_point enqueue_;
   const Clock::time_point deadline_;
+  const Priority priority_;
   mutable Mutex mu_;
   mutable CondVar cv_;
   bool done_ GUARDED_BY(mu_) = false;

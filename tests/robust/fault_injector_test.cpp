@@ -210,5 +210,96 @@ TEST(FaultInjectorTest, ZeroRateMembraneHookIsTransparent) {
   EXPECT_EQ(injector.faults_injected(), 0);
 }
 
+// ---- serving-side faults: worker stalls and slow replicas ----
+
+TEST(FaultInjectorTest, StallAndSlowReplicaSpecsValidated) {
+  EXPECT_THROW(FaultInjector(FaultSpec{.stall_rate = -0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector(FaultSpec{.stall_rate = 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      FaultInjector(FaultSpec{.stall_ms = std::chrono::milliseconds(-1)}),
+      std::invalid_argument);
+  EXPECT_THROW(FaultInjector(FaultSpec{.slow_replica_rate = 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector(FaultSpec{.slow_replica_factor = 0.5}),
+               std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, MaybeStallIsNoOpWhenDisabled) {
+  FaultInjector no_rate(FaultSpec{.stall_ms = std::chrono::milliseconds(10)});
+  FaultInjector no_duration(FaultSpec{.stall_rate = 1.0});
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(no_rate.maybe_stall());
+    EXPECT_FALSE(no_duration.maybe_stall());
+  }
+  EXPECT_EQ(no_rate.faults_injected(), 0);
+  EXPECT_EQ(no_duration.faults_injected(), 0);
+}
+
+TEST(FaultInjectorTest, MaybeStallFiresDeterministicallyPerSeed) {
+  FaultSpec spec;
+  spec.stall_rate = 0.5;
+  spec.stall_ms = std::chrono::milliseconds(1);
+  spec.seed = 77;
+  FaultInjector a(spec);
+  FaultInjector b(spec);
+  std::int64_t fired = 0;
+  for (int i = 0; i < 32; ++i) {
+    const bool fa = a.maybe_stall();
+    EXPECT_EQ(fa, b.maybe_stall()) << "draw " << i;
+    fired += fa ? 1 : 0;
+  }
+  // At rate 0.5 over 32 draws, all-true / all-false means a broken stream.
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 32);
+  EXPECT_EQ(a.faults_injected(), fired);
+  EXPECT_EQ(b.faults_injected(), fired);
+}
+
+TEST(FaultInjectorTest, MaybeStallSleepsAtLeastStallMs) {
+  FaultSpec spec;
+  spec.stall_rate = 1.0;
+  spec.stall_ms = std::chrono::milliseconds(5);
+  FaultInjector injector(spec);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(injector.maybe_stall());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(5));
+}
+
+TEST(FaultInjectorTest, ReplicaSlowdownIsPureStableAndSeedDeterministic) {
+  FaultSpec spec;
+  spec.slow_replica_rate = 0.5;
+  spec.slow_replica_factor = 3.0;
+  spec.stall_rate = 0.5;
+  spec.stall_ms = std::chrono::milliseconds(1);
+  spec.seed = 99;
+  FaultInjector injector(spec);
+  FaultInjector twin(spec);
+  std::int64_t slow = 0;
+  std::vector<double> first(64);
+  for (std::int64_t w = 0; w < 64; ++w) {
+    first[static_cast<std::size_t>(w)] = injector.replica_slowdown(w);
+    EXPECT_TRUE(first[static_cast<std::size_t>(w)] == 1.0 ||
+                first[static_cast<std::size_t>(w)] == 3.0);
+    if (first[static_cast<std::size_t>(w)] == 3.0) ++slow;
+  }
+  // Pure hash of (seed, index): advancing the shared RNG stream (stall
+  // draws) must not move the slow set.
+  for (int i = 0; i < 8; ++i) injector.maybe_stall();
+  for (std::int64_t w = 0; w < 64; ++w) {
+    EXPECT_EQ(injector.replica_slowdown(w), first[static_cast<std::size_t>(w)]);
+    EXPECT_EQ(twin.replica_slowdown(w), first[static_cast<std::size_t>(w)]);
+  }
+  // ~Half the fleet at rate 0.5; neither none nor all.
+  EXPECT_GT(slow, 8);
+  EXPECT_LT(slow, 56);
+
+  // Disabled configurations always answer 1.0.
+  FaultInjector no_slow(FaultSpec{.slow_replica_factor = 3.0});
+  EXPECT_EQ(no_slow.replica_slowdown(0), 1.0);
+}
+
 }  // namespace
 }  // namespace ullsnn::robust

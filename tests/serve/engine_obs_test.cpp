@@ -195,7 +195,11 @@ TEST(EngineObsTest, HealthzReportsBreakerAndQueue) {
   EXPECT_EQ(health.status, 200);
   EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos);
   EXPECT_NE(health.body.find("\"breaker\":\"closed\""), std::string::npos);
-  EXPECT_NE(health.body.find("\"queue_capacity\":256"), std::string::npos);
+  // Total capacity spans both priority lanes (interactive + batch).
+  EXPECT_NE(health.body.find("\"queue_capacity\":512"), std::string::npos);
+  EXPECT_NE(health.body.find("\"queue_capacity_interactive\":256"),
+            std::string::npos);
+  EXPECT_NE(health.body.find("\"queue_capacity_batch\":256"), std::string::npos);
   engine.stop();
 }
 

@@ -1,0 +1,202 @@
+// CoDel + brownout controller state machines, driven with a synthetic clock
+// so every transition is exact: bursts shorter than one interval never shed,
+// a standing backlog sheds on the drop law, the interactive lane sheds after
+// the batch lane, and brownout walks the T ladder with dwell + hysteresis.
+#include "src/serve/overload.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace ullsnn::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Synthetic clock: absolute time points offset from a fixed epoch.
+Clock::time_point at(std::chrono::milliseconds offset) {
+  return Clock::time_point{} + offset;
+}
+
+CoDelConfig codel_config() {
+  CoDelConfig c;
+  c.target = 5ms;
+  c.interval = 100ms;
+  c.interactive_target_factor = 4.0;  // interactive target: 20ms
+  return c;
+}
+
+TEST(CoDelTest, ValidatesConfig) {
+  CoDelConfig zero_target = codel_config();
+  zero_target.target = 0ms;
+  EXPECT_THROW(CoDelController{zero_target}, std::invalid_argument);
+  CoDelConfig zero_interval = codel_config();
+  zero_interval.interval = 0ms;
+  EXPECT_THROW(CoDelController{zero_interval}, std::invalid_argument);
+  CoDelConfig inverted = codel_config();
+  inverted.interactive_target_factor = 0.5;  // interactive would shed first
+  EXPECT_THROW(CoDelController{inverted}, std::invalid_argument);
+}
+
+TEST(CoDelTest, BelowTargetNeverSheds) {
+  CoDelController codel(codel_config());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(codel.should_shed(Priority::kBatch, 4ms, at(i * 10ms)));
+  }
+  EXPECT_EQ(codel.shed_count(Priority::kBatch), 0);
+  EXPECT_FALSE(codel.dropping(Priority::kBatch));
+}
+
+TEST(CoDelTest, TransientBurstShorterThanIntervalNeverSheds) {
+  CoDelController codel(codel_config());
+  // Sojourn above target, but each excursion drains before a full interval
+  // elapses: first_above re-arms on every dip below target.
+  EXPECT_FALSE(codel.should_shed(Priority::kBatch, 10ms, at(0ms)));
+  EXPECT_FALSE(codel.should_shed(Priority::kBatch, 12ms, at(50ms)));
+  EXPECT_FALSE(codel.should_shed(Priority::kBatch, 2ms, at(60ms)));  // drains
+  EXPECT_FALSE(codel.should_shed(Priority::kBatch, 11ms, at(70ms)));
+  EXPECT_FALSE(codel.should_shed(Priority::kBatch, 10ms, at(150ms)));
+  EXPECT_FALSE(codel.should_shed(Priority::kBatch, 1ms, at(160ms)));  // drains
+  EXPECT_EQ(codel.shed_count(Priority::kBatch), 0);
+  EXPECT_FALSE(codel.dropping(Priority::kBatch));
+}
+
+TEST(CoDelTest, StandingBacklogShedsOnDropLaw) {
+  CoDelController codel(codel_config());
+  // Sojourn continuously above target: first sample arms the interval timer,
+  // a full interval later the lane enters dropping and sheds immediately.
+  EXPECT_FALSE(codel.should_shed(Priority::kBatch, 10ms, at(0ms)));
+  EXPECT_FALSE(codel.should_shed(Priority::kBatch, 15ms, at(50ms)));
+  EXPECT_TRUE(codel.should_shed(Priority::kBatch, 20ms, at(100ms)));
+  EXPECT_TRUE(codel.dropping(Priority::kBatch));
+  // Drop law: next shed at 100ms + interval/sqrt(1) = 200ms.
+  EXPECT_FALSE(codel.should_shed(Priority::kBatch, 20ms, at(150ms)));
+  EXPECT_TRUE(codel.should_shed(Priority::kBatch, 20ms, at(200ms)));
+  // count=2: next at 200ms + 100/sqrt(2) ~ 270.7ms — spacing shrinks the
+  // longer the overload persists.
+  EXPECT_FALSE(codel.should_shed(Priority::kBatch, 20ms, at(260ms)));
+  EXPECT_TRUE(codel.should_shed(Priority::kBatch, 20ms, at(271ms)));
+  EXPECT_EQ(codel.shed_count(Priority::kBatch), 3);
+}
+
+TEST(CoDelTest, InteractiveLaneShedsOnlyAboveItsLargerTarget) {
+  CoDelController codel(codel_config());
+  // 10ms sojourn: above the 5ms batch target, below the 20ms interactive
+  // target — only the batch lane ever sheds at this pressure.
+  for (int i = 0; i <= 5; ++i) {
+    codel.should_shed(Priority::kBatch, 10ms, at(i * 50ms));
+    EXPECT_FALSE(codel.should_shed(Priority::kInteractive, 10ms, at(i * 50ms)));
+  }
+  EXPECT_GT(codel.shed_count(Priority::kBatch), 0);
+  EXPECT_EQ(codel.shed_count(Priority::kInteractive), 0);
+  EXPECT_FALSE(codel.dropping(Priority::kInteractive));
+
+  // Interactive sheds too once *its* target is exceeded for an interval:
+  // priority softens shedding, it does not exempt the lane.
+  EXPECT_FALSE(codel.should_shed(Priority::kInteractive, 30ms, at(1000ms)));
+  EXPECT_TRUE(codel.should_shed(Priority::kInteractive, 30ms, at(1100ms)));
+  EXPECT_EQ(codel.shed_count(Priority::kInteractive), 1);
+}
+
+TEST(CoDelTest, EpisodeMemoryRampsFasterOnQuickReentry) {
+  CoDelController codel(codel_config());
+  // Build an episode up to count=4 (sheds at 100, 200, ~271, ~329).
+  codel.should_shed(Priority::kBatch, 20ms, at(0ms));
+  EXPECT_TRUE(codel.should_shed(Priority::kBatch, 20ms, at(100ms)));
+  EXPECT_TRUE(codel.should_shed(Priority::kBatch, 20ms, at(200ms)));
+  EXPECT_TRUE(codel.should_shed(Priority::kBatch, 20ms, at(271ms)));
+  EXPECT_TRUE(codel.should_shed(Priority::kBatch, 20ms, at(329ms)));
+  // Backlog drains: exit dropping, but keep the episode's count memory.
+  EXPECT_FALSE(codel.should_shed(Priority::kBatch, 1ms, at(400ms)));
+  EXPECT_FALSE(codel.dropping(Priority::kBatch));
+  // Congestion returns: re-entry restarts at count-2=2, so the second shed
+  // of the new episode comes interval/sqrt(2) ~ 70.7ms after the first —
+  // a fresh episode would have waited the full 100ms.
+  codel.should_shed(Priority::kBatch, 20ms, at(500ms));
+  EXPECT_TRUE(codel.should_shed(Priority::kBatch, 20ms, at(600ms)));
+  EXPECT_FALSE(codel.should_shed(Priority::kBatch, 20ms, at(665ms)));
+  EXPECT_TRUE(codel.should_shed(Priority::kBatch, 20ms, at(671ms)));
+}
+
+BrownoutConfig brownout_config() {
+  BrownoutConfig c;
+  c.high_watermark = 0.5;
+  c.low_watermark = 0.125;
+  c.dwell = 3;
+  c.ladder = {3, 2, 1};
+  return c;
+}
+
+TEST(BrownoutTest, ValidatesConfig) {
+  BrownoutConfig empty_ladder = brownout_config();
+  empty_ladder.ladder = {};
+  EXPECT_THROW(BrownoutController{empty_ladder}, std::invalid_argument);
+  BrownoutConfig not_decreasing = brownout_config();
+  not_decreasing.ladder = {3, 3, 1};
+  EXPECT_THROW(BrownoutController{not_decreasing}, std::invalid_argument);
+  BrownoutConfig zero_t = brownout_config();
+  zero_t.ladder = {2, 0};
+  EXPECT_THROW(BrownoutController{zero_t}, std::invalid_argument);
+  BrownoutConfig zero_dwell = brownout_config();
+  zero_dwell.dwell = 0;
+  EXPECT_THROW(BrownoutController{zero_dwell}, std::invalid_argument);
+  BrownoutConfig inverted_marks = brownout_config();
+  inverted_marks.low_watermark = 0.6;  // >= high_watermark
+  EXPECT_THROW(BrownoutController{inverted_marks}, std::invalid_argument);
+}
+
+TEST(BrownoutTest, EscalatesOneRungPerDwell) {
+  BrownoutController brownout(brownout_config());
+  EXPECT_EQ(brownout.time_steps(), 3);
+  EXPECT_EQ(brownout.observe(0.6), 0);
+  EXPECT_EQ(brownout.observe(0.6), 0);
+  EXPECT_EQ(brownout.observe(0.6), 1);  // dwell=3 observations met
+  EXPECT_EQ(brownout.time_steps(), 2);
+  EXPECT_EQ(brownout.escalations(), 1);
+  // Next rung needs a fresh dwell count.
+  EXPECT_EQ(brownout.observe(0.9), 1);
+  EXPECT_EQ(brownout.observe(0.9), 1);
+  EXPECT_EQ(brownout.observe(0.9), 2);
+  EXPECT_EQ(brownout.time_steps(), 1);
+  // Clamped at the ladder floor.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(brownout.observe(1.0), 2);
+  EXPECT_EQ(brownout.escalations(), 2);
+  EXPECT_EQ(brownout.deepest_reached(), 2);
+}
+
+TEST(BrownoutTest, RecoversOneRungPerDwell) {
+  BrownoutController brownout(brownout_config());
+  for (int i = 0; i < 6; ++i) brownout.observe(0.8);
+  ASSERT_EQ(brownout.level(), 2);
+  EXPECT_EQ(brownout.observe(0.05), 2);
+  EXPECT_EQ(brownout.observe(0.05), 2);
+  EXPECT_EQ(brownout.observe(0.05), 1);
+  EXPECT_EQ(brownout.observe(0.05), 1);
+  EXPECT_EQ(brownout.observe(0.05), 1);
+  EXPECT_EQ(brownout.observe(0.05), 0);
+  EXPECT_EQ(brownout.time_steps(), 3);
+  EXPECT_EQ(brownout.recoveries(), 2);
+  // Fully recovered: stays at full quality.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(brownout.observe(0.0), 0);
+  EXPECT_EQ(brownout.recoveries(), 2);
+  EXPECT_EQ(brownout.deepest_reached(), 2);  // history, not current level
+}
+
+TEST(BrownoutTest, HysteresisBandHoldsLevelAndResetsStreaks) {
+  BrownoutController brownout(brownout_config());
+  for (int i = 0; i < 3; ++i) brownout.observe(0.7);
+  ASSERT_EQ(brownout.level(), 1);
+  // Between the watermarks: no drift in either direction, however long.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(brownout.observe(0.3), 1);
+  // The band also resets partial streaks: 2 high, 1 mid, 2 high never
+  // accumulates the 3-observation dwell.
+  brownout.observe(0.7);
+  brownout.observe(0.7);
+  brownout.observe(0.3);
+  brownout.observe(0.7);
+  EXPECT_EQ(brownout.observe(0.7), 1);
+  EXPECT_EQ(brownout.escalations(), 1);
+}
+
+}  // namespace
+}  // namespace ullsnn::serve

@@ -16,6 +16,12 @@
 #                      bench_artifact (cold load vs mmap, zero-copy vs
 #                      deep-copy replicas, swap-drain latency, rollback
 #                      gates) -> bench/BENCH_artifact.json
+#   load               open-loop Poisson load sweep via bench_load: knee
+#                      calibration, knee-relative QPS points, per-class
+#                      goodput/shed/latency, and the overload gates
+#                      (conservation, zero watchdog terminations, bounded
+#                      overload p99, priority order, clean drain)
+#                      -> bench/BENCH_load.json
 #
 # MODE may be omitted; a first argument that is not a known mode is taken as
 # BUILD_DIR for backward compatibility.
@@ -36,6 +42,13 @@
 #   ULLSNN_BENCH_SCALE         quick|default|full (bench/common.h)
 #   ULLSNN_ARTIFACT_SECONDS    soak duration in seconds (default 8)
 #   ULLSNN_ARTIFACT_SWAP_EVERY hot-swap every N accepted requests (default 100)
+#
+# Environment (load mode):
+#   ULLSNN_BENCH_SCALE     quick|default|full data/model scale (bench/common.h)
+#   ULLSNN_LOAD_SECONDS    seconds per sweep point (default: scale-dependent)
+#   ULLSNN_LOAD_REL        comma list of knee-relative QPS multipliers
+#                          (default "0.5,0.75,1.0,1.5,2.0,3.0")
+#   ULLSNN_LOAD_WORKERS    serving workers (default 2)
 #
 # The build-info stamp (compiler, flags, git hash, telemetry) is embedded in
 # the kernels JSON "context" object by bench_kernels itself.
@@ -68,7 +81,7 @@ require mktemp
 
 MODE="kernels"
 case "${1:-}" in
-  kernels|serve|artifact)
+  kernels|serve|artifact|load)
     MODE="$1"
     shift
     ;;
@@ -93,6 +106,29 @@ if [[ "$MODE" == "artifact" ]]; then
     --json "$TMP_OUT"
   publish_json "$TMP_OUT" "$OUT"
   echo "wrote $OUT (artifact spin-up + swap-under-load snapshot)" >&2
+  exit 0
+fi
+
+if [[ "$MODE" == "load" ]]; then
+  OUT="${2:-BENCH_load.json}"
+  BIN="$BUILD_DIR/bench/bench_load"
+  if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not found or not executable (build the bench_load target first)" >&2
+    exit 1
+  fi
+  # bench_load exits non-zero when any overload gate fails: conservation,
+  # zero watchdog terminations, sub-knee interactive fulfillment, bounded
+  # overload p99, interactive-over-batch priority order, goodput retention
+  # past the knee, or a dirty drain after the 3x-knee point.
+  args=(--json)
+  TMP_OUT="$(mktemp "$OUT.XXXXXX")"
+  trap 'rm -f "$TMP_OUT"' EXIT
+  args+=("$TMP_OUT" --workers "${ULLSNN_LOAD_WORKERS:-2}"
+         --rel "${ULLSNN_LOAD_REL:-0.5,0.75,1.0,1.5,2.0,3.0}")
+  [[ -n "${ULLSNN_LOAD_SECONDS:-}" ]] && args+=(--seconds "$ULLSNN_LOAD_SECONDS")
+  "$BIN" "${args[@]}"
+  publish_json "$TMP_OUT" "$OUT"
+  echo "wrote $OUT (open-loop load sweep snapshot)" >&2
   exit 0
 fi
 

@@ -3,6 +3,14 @@
 
 Usage: tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 2.0]
                               [--min-speedup FAST:REF:FACTOR ...]
+       tools/compare_bench.py --load BASELINE.json CURRENT.json
+
+--load switches to bench_load snapshots (bench/BENCH_load.json): the gate
+booleans and per-point conservation/drain flags of CURRENT must all hold —
+they are machine-independent because bench_load self-calibrates its knee and
+sweeps knee-relative QPS. The baseline's knee and goodput are reported for
+context only; absolute QPS is machine-dependent, so it is never gated
+across files.
 
 Noise strategy — this gate has to hold on shared CI runners, which are both
 slower and noisier than the dev boxes that produce baselines:
@@ -136,10 +144,69 @@ def write_step_summary(rows, anchor_note, min_speedup_lines):
         print(f"warning: cannot write step summary: {e}", file=sys.stderr)
 
 
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def compare_load(baseline_path, current_path):
+    """Gate a bench_load snapshot: every machine-independent boolean must
+    hold in CURRENT; the baseline is informational context."""
+    base = load_json(baseline_path)
+    cur = load_json(current_path)
+    for name, doc in (("baseline", base), ("current", cur)):
+        if doc.get("bench") != "load":
+            print(f"error: {name} is not a bench_load snapshot "
+                  f"(bench = {doc.get('bench')!r})", file=sys.stderr)
+            sys.exit(2)
+
+    print(f"knee: baseline {base.get('knee_qps', 0):.0f} qps, "
+          f"current {cur.get('knee_qps', 0):.0f} qps "
+          f"(absolute QPS is machine-dependent; informational only)")
+
+    failures = []
+    gates = cur.get("gates", {})
+    if not gates:
+        print("error: current snapshot has no gates object", file=sys.stderr)
+        sys.exit(2)
+    for name, ok in sorted(gates.items()):
+        print(f"gate {name}: {'OK' if ok else '<< FAIL'}")
+        if not ok:
+            failures.append(f"gate {name}")
+    points = cur.get("points", [])
+    if not points:
+        failures.append("no sweep points in current snapshot")
+    for p in points:
+        rel = p.get("rel", 0.0)
+        if not p.get("conserved", False):
+            failures.append(f"point rel={rel}: conservation violated")
+        if not p.get("drained", False):
+            failures.append(f"point rel={rel}: queue did not drain")
+        if p.get("watchdog_timeouts", 0) != 0:
+            failures.append(f"point rel={rel}: watchdog terminations")
+    if not cur.get("passed", False):
+        failures.append("snapshot-level passed flag is false")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} load gate(s) unmet:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nOK: all load gates held across {len(points)} sweep points")
+    sys.exit(0)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
     ap.add_argument("current")
+    ap.add_argument("--load", action="store_true",
+                    help="compare bench_load snapshots (gate booleans) "
+                         "instead of bench_kernels timings")
     ap.add_argument("--threshold", type=float, default=2.0,
                     help="fail when normalized time exceeds baseline by this "
                          "factor (default 2.0)")
@@ -148,6 +215,9 @@ def main():
                     help="require current[REF]/current[FAST] >= FACTOR "
                          "(intra-run, machine-independent); repeatable")
     args = ap.parse_args()
+
+    if args.load:
+        compare_load(args.baseline, args.current)
 
     base = load_min_times(args.baseline)
     cur = load_min_times(args.current)
